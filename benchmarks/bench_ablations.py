@@ -1,0 +1,96 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each test times one configuration axis and prints the comparison the
+ablation is about:
+
+* pulse-based vs CW pump (the Section V-C energy argument);
+* exhaustive worst-case eye vs the literal Eq. 8 sum;
+* coarse vs dense ring profile on the same grid;
+* order-16 scalability of the exhaustive pattern table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.design import mrr_first_design
+from repro.core.energy import energy_breakdown
+from repro.core.params import paper_section5a_parameters
+from repro.core.snr import circuit_snr
+from repro.photonics.devices import COARSE_RING_PROFILE, DENSE_RING_PROFILE
+from repro.simulation.montecarlo import VariationModel, run_monte_carlo
+
+
+def test_ablation_pulsed_vs_cw_pump(benchmark):
+    """Pulse-based pump buys ~38x on pump energy (26 ps of a 1 ns slot)."""
+    design = mrr_first_design(order=2, wl_spacing_nm=0.165)
+
+    def both():
+        pulsed = energy_breakdown(design.params).pump_energy_pj
+        # CW pump: on for the full bit period instead of one pulse.
+        cw = (
+            design.params.pump_power_mw
+            * 1e-3
+            / design.params.bit_rate_hz
+            / design.params.laser_efficiency
+            * 1e12
+        )
+        return pulsed, cw
+
+    pulsed, cw = benchmark(both)
+    print(f"\npump energy: pulsed {pulsed:.1f} pJ vs CW {cw:.1f} pJ "
+          f"({cw / pulsed:.1f}x saving from 26 ps pulses)")
+    assert cw / pulsed == pytest.approx(1e-9 / 26e-12, rel=1e-6)
+
+
+def test_ablation_snr_methods(benchmark):
+    """Exhaustive worst-case eye vs the literal Eq. 8 crosstalk sum."""
+    params = paper_section5a_parameters()
+
+    def both():
+        return (
+            circuit_snr(params, method="worstcase"),
+            circuit_snr(params, method="eq8"),
+        )
+
+    worst, eq8 = benchmark(both)
+    print(f"\nSNR: worst-case {worst:.1f} vs Eq. 8 {eq8:.1f} "
+          f"(Eq. 8 optimistic by {eq8 / worst - 1:.0%})")
+    assert eq8 >= worst
+
+
+def test_ablation_ring_profiles(benchmark):
+    """Coarse vs dense rings on the paper's 1 nm grid."""
+
+    def both():
+        coarse = mrr_first_design(
+            order=2, wl_spacing_nm=1.0, ring_profile=COARSE_RING_PROFILE
+        )
+        dense = mrr_first_design(
+            order=2, wl_spacing_nm=1.0, ring_profile=DENSE_RING_PROFILE
+        )
+        return coarse.probe_power_mw, dense.probe_power_mw
+
+    coarse_probe, dense_probe = benchmark(both)
+    print(f"\nprobe @1 nm grid: coarse rings {coarse_probe:.3f} mW vs "
+          f"dense rings {dense_probe:.3f} mW")
+    # High-Q rings pass the ON-state better: cheaper probes.
+    assert dense_probe < coarse_probe
+
+
+def test_ablation_process_variation(benchmark):
+    """Monte Carlo yield at the paper's design point (100 corners)."""
+    params = paper_section5a_parameters()
+    rng = np.random.default_rng(3)
+    result = benchmark.pedantic(
+        lambda: run_monte_carlo(
+            params,
+            VariationModel(ring_sigma_nm=0.02, filter_sigma_nm=0.02),
+            samples=100,
+            rng=rng,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nyield at 20 pm sigma: {result.yield_fraction:.0%}, "
+          f"mean eye {result.mean_eye_mw:.3f} mW")
+    assert 0.0 <= result.yield_fraction <= 1.0

@@ -1,0 +1,49 @@
+"""Benchmarks regenerating Fig. 5 and the Section V-A sizing numbers."""
+
+import pytest
+
+from repro.core.params import paper_section5a_parameters
+from repro.core.transmission import TransmissionModel
+from repro.experiments import run_experiment
+
+
+class BenchFig5:
+    pass
+
+
+def test_fig5a_transmissions(benchmark, print_result):
+    """Fig. 5(a): z=(0,1,0), x1=x2=1 transmissions (paper: 0.091/0.004/0.0002)."""
+    result = benchmark(lambda: run_experiment("fig5a"))
+    print_result(result)
+    values = {r["signal"]: r["total_transmission"] for r in result.rows}
+    assert values["lambda_2"] == pytest.approx(0.091, rel=0.05)
+
+
+def test_fig5b_transmissions(benchmark, print_result):
+    """Fig. 5(b): z=(1,1,0), x1=x2=0 transmissions (paper: 0.476 / 0.482 mW)."""
+    result = benchmark(lambda: run_experiment("fig5b"))
+    print_result(result)
+    values = {r["signal"]: r["total_transmission"] for r in result.rows}
+    assert values["lambda_0"] == pytest.approx(0.476, rel=0.05)
+
+
+def test_fig5c_received_power_table(benchmark, print_result):
+    """Fig. 5(c): all (z, x) received powers (paper bands 0.092-0.099 / 0.477-0.482)."""
+    result = benchmark(lambda: run_experiment("fig5c"))
+    print_result(result)
+    assert any("band" in str(r["z2z1z0"]) for r in result.rows)
+
+
+def test_pump_sizing(benchmark, print_result):
+    """Section V-A: pump power and ER derivation (paper: 591.8 mW / 13.22 dB)."""
+    result = benchmark(lambda: run_experiment("pump"))
+    print_result(result)
+    values = {r["quantity"]: r["model"] for r in result.rows}
+    assert values["pump power (mW)"] == pytest.approx(591.8, abs=0.5)
+
+
+def test_kernel_pattern_table(benchmark):
+    """Micro-benchmark: the exhaustive Eq. 6 pattern table (n=2)."""
+    model = TransmissionModel(paper_section5a_parameters())
+    table = benchmark(model.received_power_table_mw)
+    assert table.shape == (8, 3)

@@ -1,0 +1,29 @@
+"""Benchmarks regenerating the Fig. 7 energy study."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_fig7a_energy_vs_spacing(benchmark, print_result):
+    """Fig. 7(a): energy/bit vs WLspacing for n = 2/4/6 + optima.
+
+    Heavy sweep (60 designed points + 3 golden-section searches): one
+    timed round.
+    """
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig7a"), rounds=1, iterations=1
+    )
+    print_result(result)
+    assert "order-independent" in result.notes
+
+
+def test_fig7b_order_scaling(benchmark, print_result):
+    """Fig. 7(b): energy vs order at 1 nm vs optimal spacing (~76.6 % saving)."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig7b"), rounds=1, iterations=1
+    )
+    print_result(result)
+    savings = [r["saving_%"] for r in result.rows]
+    assert np.mean(savings) == pytest.approx(76.6, abs=3.0)

@@ -1,0 +1,36 @@
+"""Benchmarks for the headline result and the gamma-correction study."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_headline_20p1_pj(benchmark, print_result):
+    """Sections I/VI: 20.1 pJ laser energy per computed bit (n=2, 1 GHz)."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("headline"), rounds=1, iterations=1
+    )
+    print_result(result)
+    total = [
+        r for r in result.rows if r["quantity"] == "total energy (pJ/bit)"
+    ][0]
+    assert total["model"] == pytest.approx(20.1, abs=0.5)
+
+
+def test_gamma_case_study(benchmark, print_result):
+    """Section V-C: 6th-order gamma correction, 10x speedup vs 100 MHz."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("gamma"), rounds=1, iterations=1
+    )
+    print_result(result)
+    speedup = [
+        r for r in result.rows if r["quantity"] == "speedup vs 100 MHz ReSC"
+    ][0]
+    assert speedup["model"] == pytest.approx(10.0)
+
+
+def test_parameter_table(benchmark, print_result):
+    """Fig. 4(b): the system/device parameter table."""
+    result = benchmark(lambda: run_experiment("params"))
+    print_result(result)
+    assert len(result.rows) >= 10

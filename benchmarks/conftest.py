@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` module regenerates one paper artifact (table/figure)
+under pytest-benchmark timing.  Heavy experiments use ``pedantic`` mode
+(one round) so the harness stays laptop-friendly; the regenerated rows
+are printed so the run doubles as a reproduction report.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks live outside the default testpaths; ensure a sane
+    # default when invoked as `pytest benchmarks/ --benchmark-only`.
+    config.option.benchmark_disable_gc = True
+
+
+@pytest.fixture
+def print_result():
+    """Print an ExperimentResult table after the timed run."""
+
+    def _print(result):
+        print()
+        print(result.to_text())
+        return result
+
+    return _print

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Fault tolerance: SC's error resilience plus closed-loop recalibration.
+
+The paper's premise is that stochastic computing tolerates transmission
+errors gracefully (Section II-A), and its future work calls for a
+monitoring/calibration control loop (Section VI item i).  This example
+exercises both:
+
+1. inject link bit errors at increasing BER and measure the output
+   error — it stays on the order of the BER, independent of the stream
+   length (graceful degradation);
+2. drift the all-optical filter thermally and watch the link budget
+   collapse;
+3. run the dither-based calibration controller and verify the circuit
+   recovers.
+
+Run:  python examples/fault_tolerance_study.py
+"""
+
+import numpy as np
+
+import repro
+from repro.simulation.faults import FaultInjector, with_filter_drift
+from repro.simulation.noise import apply_ber_flips
+from repro.stochastic import Bitstream
+
+
+def main() -> None:
+    rng = np.random.default_rng(2019)
+    params = repro.paper_section5a_parameters()
+    program = repro.BernsteinPolynomial([0.25, 0.625, 0.375])
+    circuit = repro.OpticalStochasticCircuit(params, program)
+
+    # --- 1. BER injection on the output stream -------------------------------
+    print("=== graceful degradation under link bit errors ===")
+    clean = circuit.evaluate(0.5, length=16384, rng=rng, noisy=False)
+    print(f"{'BER':>8} | {'decoded':>8} | {'output error':>12}")
+    for ber in (0.0, 1e-3, 1e-2, 5e-2):
+        corrupted = apply_ber_flips(clean.output_bits, ber, rng)
+        error = abs(corrupted.probability - clean.expected)
+        print(f"{ber:8.0e} | {corrupted.probability:8.4f} | {error:12.4f}")
+    print("-> a 1 % BER moves the result by ~1 %: SC absorbs transmission")
+    print("   errors that would corrupt a binary-coded datapath entirely.")
+    print()
+
+    # --- 2. thermal drift of the filter --------------------------------------
+    print("=== filter drift vs link budget ===")
+    print(f"{'drift (nm)':>10} | {'eye (mW)':>9} | {'status':>10}")
+    for drift in (0.0, 0.02, 0.05, 0.08, 0.12):
+        drifted = with_filter_drift(params, drift)
+        eye = repro.worst_case_eye(drifted)
+        status = "open" if eye.is_open else "CLOSED"
+        print(f"{drift:10.3f} | {eye.opening:9.4f} | {status:>10}")
+    print()
+
+    injector = FaultInjector(circuit)
+    study = injector.filter_drift_study(
+        [0.0, 0.04, 0.08], x=0.5, length=4096, rng=rng
+    )
+    print("output error under drift:",
+          np.array2string(study["absolute_error"], precision=4))
+    print()
+
+    # --- 3. closed-loop recalibration ----------------------------------------
+    print("=== calibration controller (paper future work i) ===")
+    controller = repro.CalibrationController(circuit)
+    initial_drift = 0.06
+    trace = controller.calibrate(initial_drift_nm=initial_drift, iterations=40)
+    print(f"initial drift   : {initial_drift:.3f} nm")
+    print(f"final residual  : {trace.residual_drift_nm[-1]:+.5f} nm")
+    print(f"settled after   : {trace.settling_iterations} iterations")
+    print(f"pilot power     : {trace.pilot_power_mw[0]:.4f} -> "
+          f"{trace.pilot_power_mw[-1]:.4f} mW")
+    print(f"converged       : {trace.converged}")
+
+    recovered = with_filter_drift(params, float(trace.residual_drift_nm[-1]))
+    eye = repro.worst_case_eye(recovered)
+    print(f"post-calibration eye: {eye.opening:.4f} mW (healthy: "
+          f"{repro.worst_case_eye(params).opening:.4f} mW)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Stochastic signal processing: denoising with a scaled-addition FIR.
+
+The paper motivates SC with signal processing (Section II-A).  This
+example denoises a corrupted waveform with an 8-tap stochastic moving
+average — a filter built entirely from the multiplexer primitive the
+optical architecture implements — and shows the tradeoff the paper's
+throughput-accuracy discussion is about: stream length buys filter
+fidelity, and optical transmission speed buys stream length.
+
+Run:  python examples/signal_denoising.py
+"""
+
+import numpy as np
+
+from repro.stochastic.signal import (
+    StochasticFIRFilter,
+    denormalize_signal,
+    normalize_signal,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+
+    # A noisy sensor trace: slow sine + impulsive noise.
+    t = np.linspace(0.0, 2.0, 120)
+    clean = 2.0 + np.sin(2 * np.pi * t)
+    noise = rng.normal(0.0, 0.25, t.size)
+    noisy = clean + noise
+
+    # Normalize into the unipolar SC domain.
+    normalized, offset, scale = normalize_signal(noisy)
+
+    # Triangular 5-tap kernel (more weight on the current sample).
+    fir = StochasticFIRFilter([1.0, 2.0, 3.0, 2.0, 1.0])
+    reference = np.convolve(
+        np.concatenate([np.zeros(4), normalized]),
+        fir.weights[::-1] / fir.weight_sum,
+        mode="valid",
+    )
+
+    print("=== stochastic FIR denoising (5-tap triangular) ===")
+    print(f"{'stream bits':>12} | {'RMS vs exact FIR':>17} | {'eval time @1GHz':>15}")
+    for length in (128, 512, 2048, 8192):
+        filtered = fir.filter_signal(normalized, stream_length=length, rng=rng)
+        rms = float(np.sqrt(np.mean((filtered - reference) ** 2)))
+        eval_time_us = length * t.size / 1e9 * 1e6
+        print(f"{length:12d} | {rms:17.4f} | {eval_time_us:12.1f} us")
+
+    filtered = fir.filter_signal(normalized, stream_length=8192, rng=rng)
+    recovered = denormalize_signal(filtered, offset, scale)
+    residual_noisy = float(np.std(noisy - clean))
+    residual_filtered = float(np.std(recovered[8:] - clean[8:]))
+    print()
+    print(f"noise std before filtering: {residual_noisy:.3f}")
+    print(f"noise std after filtering : {residual_filtered:.3f}")
+    print("-> quadrupling the stream length halves the stochastic error;")
+    print("   at 1 Gb/s the whole trace still filters in under a")
+    print("   millisecond, which is the paper's throughput argument.")
+
+
+if __name__ == "__main__":
+    main()

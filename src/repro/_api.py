@@ -1,0 +1,114 @@
+"""Aggregated public API re-exported lazily by ``repro.__getattr__``.
+
+Everything a downstream user needs for the common workflows:
+
+>>> import repro
+>>> design = repro.mrr_first_design(order=2, wl_spacing_nm=1.0)
+>>> circuit = repro.OpticalStochasticCircuit.from_design(
+...     design, repro.BernsteinPolynomial([0.25, 0.625, 0.375]))
+>>> result = circuit.evaluate(0.5, length=4096)
+"""
+
+from .core.circuit import OpticalStochasticCircuit
+from .core.design import CircuitDesign, mrr_first_design, mzi_first_design
+from .core.energy import (
+    EnergyBreakdown,
+    energy_breakdown,
+    energy_vs_spacing,
+    optimal_wl_spacing_nm,
+)
+from .core.link_budget import LinkBudget, received_power_table
+from .core.params import OpticalSCParameters, paper_section5a_parameters
+from .core.reconfigurable import ReconfigurableCircuit
+from .core.snr import (
+    ber_for_snr,
+    circuit_ber,
+    circuit_snr,
+    minimum_probe_power_mw,
+    required_snr_for_ber,
+    worst_case_eye,
+)
+from .core.transmission import TransmissionModel
+from .exploration import (
+    gamma_correction_case_study,
+    grid_sweep,
+    order_scaling_table,
+    pareto_front,
+    throughput_accuracy_frontier,
+)
+from .experiments import list_experiments, run_experiment
+from .photonics import (
+    CWLaser,
+    MZIModulator,
+    Photodetector,
+    PulsedLaser,
+    RingParameters,
+    WDMGrid,
+)
+from .photonics import devices
+from .simulation import (
+    CalibrationController,
+    FaultInjector,
+    OpticalReceiver,
+    TransientSimulator,
+    simulate_evaluation,
+    simulate_sweep,
+)
+from .stochastic import (
+    BernsteinPolynomial,
+    Bitstream,
+    ComparatorSNG,
+    PowerPolynomial,
+    ReSCUnit,
+)
+from .stochastic.functions import bernstein_program, gamma_bernstein
+
+__all__ = [
+    "OpticalStochasticCircuit",
+    "CircuitDesign",
+    "mrr_first_design",
+    "mzi_first_design",
+    "EnergyBreakdown",
+    "energy_breakdown",
+    "energy_vs_spacing",
+    "optimal_wl_spacing_nm",
+    "LinkBudget",
+    "received_power_table",
+    "OpticalSCParameters",
+    "paper_section5a_parameters",
+    "ReconfigurableCircuit",
+    "ber_for_snr",
+    "required_snr_for_ber",
+    "circuit_snr",
+    "circuit_ber",
+    "minimum_probe_power_mw",
+    "worst_case_eye",
+    "TransmissionModel",
+    "grid_sweep",
+    "pareto_front",
+    "order_scaling_table",
+    "gamma_correction_case_study",
+    "throughput_accuracy_frontier",
+    "list_experiments",
+    "run_experiment",
+    "MZIModulator",
+    "RingParameters",
+    "WDMGrid",
+    "Photodetector",
+    "CWLaser",
+    "PulsedLaser",
+    "devices",
+    "OpticalReceiver",
+    "simulate_evaluation",
+    "simulate_sweep",
+    "TransientSimulator",
+    "CalibrationController",
+    "FaultInjector",
+    "Bitstream",
+    "BernsteinPolynomial",
+    "PowerPolynomial",
+    "ReSCUnit",
+    "ComparatorSNG",
+    "bernstein_program",
+    "gamma_bernstein",
+]

@@ -1,0 +1,120 @@
+"""Physical constants and paper-level default values.
+
+Constants are grouped in two tiers:
+
+* universal physical constants (speed of light, elementary charge), and
+* defaults quoted by the paper itself, with the paper locus cited next to
+  each value (section, figure, or reference number in the DATE'19 paper).
+
+The paper defaults are deliberately plain module-level floats — they are the
+single source of truth used by :mod:`repro.core.params` and the experiment
+modules, so the numbers in the evaluation section trace back to one place.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SPEED_OF_LIGHT_M_S",
+    "ELEMENTARY_CHARGE_C",
+    "PLANCK_CONSTANT_J_S",
+    "DEFAULT_WAVELENGTH_NM",
+    "PAPER_WL_SPACING_NM",
+    "PAPER_LAMBDA2_NM",
+    "PAPER_LAMBDA_REF_NM",
+    "PAPER_GUARD_NM",
+    "PAPER_OTE_NM_PER_MW",
+    "PAPER_MZI_IL_DB",
+    "PAPER_MZI_ER_DB",
+    "PAPER_PUMP_POWER_MW",
+    "PAPER_PROBE_POWER_MW",
+    "PAPER_FIG6_PUMP_POWER_MW",
+    "PAPER_FIG6_TARGET_BER",
+    "PAPER_PULSE_WIDTH_S",
+    "PAPER_LASING_EFFICIENCY",
+    "PAPER_BIT_RATE_HZ",
+    "PAPER_OPTIMAL_WL_SPACING_NM",
+    "PAPER_HEADLINE_ENERGY_PJ_PER_BIT",
+    "PAPER_ENERGY_SAVING_FRACTION",
+    "PAPER_RESC_CLOCK_HZ",
+    "PAPER_GAMMA_ORDER",
+]
+
+# --- universal constants -------------------------------------------------
+
+SPEED_OF_LIGHT_M_S = 299_792_458.0
+"""Speed of light in vacuum (m/s)."""
+
+ELEMENTARY_CHARGE_C = 1.602_176_634e-19
+"""Elementary charge (C)."""
+
+PLANCK_CONSTANT_J_S = 6.626_070_15e-34
+"""Planck constant (J*s)."""
+
+# --- paper defaults (section / figure cited per value) -------------------
+
+DEFAULT_WAVELENGTH_NM = 1550.0
+"""C-band reference wavelength used throughout the paper (nm)."""
+
+PAPER_WL_SPACING_NM = 1.0
+"""Wavelength spacing of the 2nd-order design example, Section V-A (nm)."""
+
+PAPER_LAMBDA2_NM = 1550.0
+"""Right-most probe wavelength of the Section V-A design example (nm)."""
+
+PAPER_LAMBDA_REF_NM = 1550.1
+"""Untuned filter resonance of the Section V-A example (nm): 0.1 nm above
+the right-most signal, matching the detuning demonstrated in [14]."""
+
+PAPER_GUARD_NM = 0.1
+"""Guard band lambda_ref - lambda_n (nm); the 0.1 nm all-optical shift
+reported by Van et al. [14] for a 10 mW average pump."""
+
+PAPER_OTE_NM_PER_MW = 0.1 / 10.0
+"""Optical tuning efficiency of the all-optical filter (nm/mW): 0.1 nm shift
+per 10 mW pump, Section V-A quoting [14]."""
+
+PAPER_MZI_IL_DB = 4.5
+"""MZI insertion loss (dB) of the Ziebell et al. modulator [10]."""
+
+PAPER_MZI_ER_DB = 13.22
+"""MZI extinction ratio (dB) derived by the MRR-first method in Section V-A
+for the 2nd-order, 1 nm-spacing design."""
+
+PAPER_PUMP_POWER_MW = 591.8
+"""Minimum pump laser power (mW) reported in Section V-A for the 2nd-order
+design (IL = 4.5 dB, OTE = 0.1 nm / 10 mW, swing 2.1 nm)."""
+
+PAPER_PROBE_POWER_MW = 1.0
+"""Probe laser power assumed for the Fig. 5 link-budget study (mW)."""
+
+PAPER_FIG6_PUMP_POWER_MW = 600.0
+"""Pump power used for the Fig. 6 probe-power exploration (0.6 W)."""
+
+PAPER_FIG6_TARGET_BER = 1e-6
+"""Bit-error-rate target of the Fig. 6(a) exploration."""
+
+PAPER_PULSE_WIDTH_S = 26e-12
+"""Pump laser pulse width (s) from Van et al. [15], Section V-C."""
+
+PAPER_LASING_EFFICIENCY = 0.20
+"""Wall-plug lasing efficiency assumed in Section V-C."""
+
+PAPER_BIT_RATE_HZ = 1e9
+"""Modulation speed of MZIs and MRRs in the energy study (1 Gb/s)."""
+
+PAPER_OPTIMAL_WL_SPACING_NM = 0.165
+"""Optimal wavelength spacing reported in Fig. 7(a) (nm); the paper's key
+result is that this optimum is independent of the polynomial degree."""
+
+PAPER_HEADLINE_ENERGY_PJ_PER_BIT = 20.1
+"""Headline result: laser energy per computed bit for the 2nd-order circuit
+operating at 1 GHz (pJ/bit), Sections I and VI."""
+
+PAPER_ENERGY_SAVING_FRACTION = 0.766
+"""Energy saving of optimal spacing vs. 1 nm spacing, Fig. 7(b)."""
+
+PAPER_RESC_CLOCK_HZ = 100e6
+"""Clock of the electronic ReSC baseline considered in [9], Section V-C."""
+
+PAPER_GAMMA_ORDER = 6
+"""Bernstein degree used for the gamma-correction application, Section V-C."""

@@ -1,0 +1,49 @@
+"""The paper's core contribution: the optical stochastic-computing circuit.
+
+Analytical models (transmission Eqs. 6-7, SNR/BER Eqs. 8-9, laser energy),
+the MRR-first and MZI-first design methods of Section IV-B, the assembled
+circuit facade, and the calibration layer that pins the constants the
+paper leaves unstated.
+"""
+
+from .params import OpticalSCParameters, paper_section5a_parameters
+from .transmission import TransmissionModel
+from .link_budget import LinkBudget, received_power_table
+from .snr import (
+    ber_for_snr,
+    minimum_probe_power_mw,
+    required_snr_for_ber,
+    worst_case_eye,
+    EyeDiagram,
+)
+from .design import CircuitDesign, mrr_first_design, mzi_first_design
+from .energy import (
+    EnergyBreakdown,
+    energy_breakdown,
+    energy_vs_spacing,
+    optimal_wl_spacing_nm,
+)
+from .circuit import OpticalStochasticCircuit
+from .reconfigurable import ReconfigurableCircuit
+
+__all__ = [
+    "OpticalSCParameters",
+    "paper_section5a_parameters",
+    "TransmissionModel",
+    "LinkBudget",
+    "received_power_table",
+    "required_snr_for_ber",
+    "ber_for_snr",
+    "worst_case_eye",
+    "EyeDiagram",
+    "minimum_probe_power_mw",
+    "CircuitDesign",
+    "mrr_first_design",
+    "mzi_first_design",
+    "EnergyBreakdown",
+    "energy_breakdown",
+    "energy_vs_spacing",
+    "optimal_wl_spacing_nm",
+    "OpticalStochasticCircuit",
+    "ReconfigurableCircuit",
+]

@@ -1,0 +1,221 @@
+"""Calibration of the constants the paper leaves unstated.
+
+The paper quotes *outputs* (transmissions, received powers, probe powers,
+energies) but not the ring quality factors or receiver constants that
+produce them.  This module recovers those constants by fitting the
+analytical models to the paper-quoted numbers; the fitted values are
+frozen in :mod:`repro.photonics.devices` and re-derived here so tests can
+verify the frozen constants still reproduce the paper:
+
+* **COARSE profile** (Fig. 5, 1 nm grid): modulator OFF-leakage 0.10 and
+  filter drop peak 0.91 follow directly from the quoted 0.091 total
+  transmission (``0.091 = 0.10 x 0.91``); the two linewidths are fitted
+  to the quoted 0.476 '1'-level and the 0.004 / 0.0002 crosstalk terms.
+* **DENSE profile + detector noise** (Figs. 6-7): the shared ring
+  linewidth and the receiver noise current are fitted so the n=2 energy
+  optimum lands at WLspacing = 0.165 nm with 20.1 pJ/bit total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import CalibrationError
+from ..photonics.devices import RingProfile
+from ..photonics.photodetector import Photodetector
+from ..photonics.ring import design_add_drop_ring, design_modulator_ring
+from .design import mrr_first_design
+from .energy import energy_breakdown
+from .link_budget import received_power_table
+
+__all__ = [
+    "PAPER_FIG5_QUOTES",
+    "fig5_report",
+    "calibrate_coarse_linewidths",
+    "calibrate_dense_profile",
+    "dense_profile_with_fwhm",
+]
+
+PAPER_FIG5_QUOTES = {
+    "t_lambda2_case_a": 0.091,  # z=(0,1,0), x1=x2=1: transmission at l2
+    "t_lambda1_case_a": 0.004,  # crosstalk of l1 in the same state
+    "t_lambda0_case_a": 0.0002,  # crosstalk of l0 in the same state
+    "received_case_a_mw": 0.0952,
+    "t_lambda0_case_b": 0.476,  # z=(1,1,0), x1=x2=0: transmission at l0
+    "received_case_b_mw": 0.482,
+    "zero_band_mw": (0.092, 0.099),
+    "one_band_mw": (0.477, 0.482),
+}
+"""Every number quoted in Section V-A for the Fig. 5 study."""
+
+
+@dataclass(frozen=True)
+class Fig5Report:
+    """Model-vs-paper comparison for the Fig. 5 link-budget quotes."""
+
+    model: dict
+    paper: dict
+
+    def worst_relative_error(self) -> float:
+        """Largest relative deviation across the scalar quotes."""
+        worst = 0.0
+        for key, paper_value in self.paper.items():
+            if isinstance(paper_value, tuple):
+                continue
+            model_value = self.model[key]
+            worst = max(worst, abs(model_value - paper_value) / paper_value)
+        return worst
+
+
+def fig5_report(profile: Optional[RingProfile] = None) -> Fig5Report:
+    """Evaluate the Fig. 5 quotes with the given (default frozen) profile."""
+    design = mrr_first_design(
+        order=2, wl_spacing_nm=1.0, ring_profile=profile, probe_power_mw=1.0
+    )
+    from .transmission import TransmissionModel
+
+    model = TransmissionModel(design.params)
+    # Case (a): z = (0, 1, 0), x1 = x2 = 1 -> level 2 (filter at lambda_2).
+    t_a = model.total_transmissions([0, 1, 0], 2)
+    # Case (b): z = (1, 1, 0), x1 = x2 = 0 -> level 0 (filter at lambda_0).
+    t_b = model.total_transmissions([1, 1, 0], 0)
+    budget = received_power_table(design.params)
+    values = {
+        "t_lambda2_case_a": float(t_a[2]),
+        "t_lambda1_case_a": float(t_a[1]),
+        "t_lambda0_case_a": float(t_a[0]),
+        "received_case_a_mw": float(t_a.sum()),
+        "t_lambda0_case_b": float(t_b[0]),
+        "received_case_b_mw": float(t_b.sum()),
+        "zero_band_mw": budget.zero_band_mw,
+        "one_band_mw": budget.one_band_mw,
+    }
+    return Fig5Report(model=values, paper=dict(PAPER_FIG5_QUOTES))
+
+
+def calibrate_coarse_linewidths(
+    fsr_nm: float = 20.0,
+    through_floor: float = 0.10,
+    drop_peak: float = 0.91,
+) -> dict:
+    """Re-derive the COARSE profile linewidths from the Fig. 5 quotes.
+
+    The filter linewidth follows from the crosstalk ratio
+    ``phi_d(1 nm)/phi_d(0) = 0.004/0.55/0.91`` (Lorentzian tail) and the
+    modulator linewidth from the '1'-level product 0.476.  A coarse scan
+    plus golden refinement keeps this dependency-free and fast.
+    """
+    best = None
+    for filt_fwhm in np.linspace(0.14, 0.24, 21):
+        for mod_fwhm in np.linspace(0.16, 0.26, 21):
+            profile = RingProfile(
+                modulator=design_modulator_ring(
+                    fsr_nm=fsr_nm,
+                    fwhm_nm=float(mod_fwhm),
+                    through_floor=through_floor,
+                    a=0.998,
+                ),
+                filter=design_add_drop_ring(
+                    fsr_nm=fsr_nm, fwhm_nm=float(filt_fwhm), drop_peak=drop_peak
+                ),
+                modulation_shift_nm=0.10,
+                name="calibration candidate",
+            )
+            report = fig5_report(profile)
+            error = report.worst_relative_error()
+            if best is None or error < best[0]:
+                best = (error, float(mod_fwhm), float(filt_fwhm))
+    if best is None or best[0] > 0.25:
+        raise CalibrationError(
+            "coarse-profile calibration failed to approach the Fig. 5 quotes"
+        )
+    return {
+        "modulator_fwhm_nm": best[1],
+        "filter_fwhm_nm": best[2],
+        "worst_relative_error": best[0],
+    }
+
+
+def dense_profile_with_fwhm(fwhm_nm: float, fsr_nm: float = 40.0) -> RingProfile:
+    """Candidate dense profile with a shared modulator/filter linewidth."""
+    return RingProfile(
+        modulator=design_modulator_ring(
+            fsr_nm=fsr_nm, fwhm_nm=fwhm_nm, through_floor=0.10, a=0.999
+        ),
+        filter=design_add_drop_ring(
+            fsr_nm=fsr_nm, fwhm_nm=fwhm_nm, drop_peak=0.91
+        ),
+        modulation_shift_nm=0.10,
+        name=f"dense candidate (FWHM {fwhm_nm} nm)",
+    )
+
+
+def _energy_total_pj(
+    spacing_nm: float, profile: RingProfile, noise_a: float
+) -> float:
+    detector = Photodetector(responsivity_a_per_w=1.0, noise_current_a=noise_a)
+    design = mrr_first_design(
+        order=2,
+        wl_spacing_nm=spacing_nm,
+        ring_profile=profile,
+        detector=detector,
+    )
+    return energy_breakdown(design.params).total_energy_pj
+
+
+def calibrate_dense_profile(
+    target_spacing_nm: float = 0.165,
+    target_total_pj: float = 20.1,
+    fwhm_grid_nm: Optional[np.ndarray] = None,
+) -> dict:
+    """Re-derive the DENSE linewidth and receiver noise from Fig. 7 targets.
+
+    For each candidate linewidth, the noise current is solved in closed
+    form so the *total* energy at 0.165 nm equals 20.1 pJ (probe energy
+    scales linearly with noise); the linewidth is then chosen so the
+    energy *optimum* also falls at 0.165 nm.
+    """
+    if fwhm_grid_nm is None:
+        fwhm_grid_nm = np.linspace(0.09, 0.14, 11)
+    spacing_scan = np.linspace(0.11, 0.25, 29)
+    best = None
+    for fwhm in fwhm_grid_nm:
+        profile = dense_profile_with_fwhm(float(fwhm))
+        reference_noise = 10e-6
+        design = mrr_first_design(
+            order=2,
+            wl_spacing_nm=target_spacing_nm,
+            ring_profile=profile,
+            detector=Photodetector(
+                responsivity_a_per_w=1.0, noise_current_a=reference_noise
+            ),
+        )
+        breakdown = energy_breakdown(design.params)
+        needed_probe_pj = target_total_pj - breakdown.pump_energy_pj
+        if needed_probe_pj <= 0.0:
+            continue
+        noise_a = reference_noise * needed_probe_pj / breakdown.probe_energy_pj
+        totals = []
+        for spacing in spacing_scan:
+            try:
+                totals.append(_energy_total_pj(float(spacing), profile, noise_a))
+            except Exception:
+                totals.append(np.inf)
+        optimum = float(spacing_scan[int(np.argmin(totals))])
+        miss = abs(optimum - target_spacing_nm)
+        if best is None or miss < best[0]:
+            best = (miss, float(fwhm), float(noise_a), optimum)
+    if best is None or best[0] > 0.02:
+        raise CalibrationError(
+            "dense-profile calibration failed to place the energy optimum "
+            f"near {target_spacing_nm} nm"
+        )
+    return {
+        "fwhm_nm": best[1],
+        "noise_current_a": best[2],
+        "achieved_optimum_nm": best[3],
+        "optimum_miss_nm": best[0],
+    }

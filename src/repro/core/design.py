@@ -1,0 +1,266 @@
+"""The paper's design methods (Section IV-B): MRR-first and MZI-first.
+
+*MRR-first* starts from the ring side: choose the wavelength grid
+(``WLspacing``, anchor, guard), then derive the pump power that tunes the
+filter across the full swing and the MZI extinction ratio that makes the
+``n + 1`` detuning levels land exactly on the channels.  This reproduces
+the Section V-A numbers: 591.8 mW pump and 13.22 dB ER for the 2nd-order,
+1 nm-spacing circuit.
+
+*MZI-first* starts from a given MZI device (IL, ER) and pump budget: the
+achievable filter swing dictates the wavelength grid instead.  This is
+the method behind the Fig. 6 probe-power exploration.
+
+Both end by sizing the probe lasers from the SNR/BER target (Eqs. 8-9).
+
+The key structural fact both methods exploit: the MZI power sum of
+Eq. 7a takes ``n + 1`` *equally spaced* values as the ones-count goes
+``0..n``, so equally spaced detuning levels align with an equally spaced
+wavelength grid — see ``tests/test_design.py`` for the property test.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..constants import (
+    PAPER_BIT_RATE_HZ,
+    PAPER_FIG6_TARGET_BER,
+    PAPER_GUARD_NM,
+    PAPER_LASING_EFFICIENCY,
+    PAPER_MZI_IL_DB,
+    PAPER_PULSE_WIDTH_S,
+)
+from ..errors import ConfigurationError, DesignInfeasibleError
+from ..photonics.devices import (
+    COARSE_RING_PROFILE,
+    DEFAULT_PHOTODETECTOR,
+    DENSE_RING_PROFILE,
+    RingProfile,
+    VAN_2002_OTE,
+)
+from ..photonics.mzi import MZIModulator
+from ..photonics.nonlinear import OpticalTuningEfficiency
+from ..photonics.photodetector import Photodetector
+from ..photonics.wdm import WDMGrid
+from .params import OpticalSCParameters
+from .snr import circuit_ber, circuit_snr, minimum_probe_power_mw
+
+__all__ = ["CircuitDesign", "mrr_first_design", "mzi_first_design"]
+
+_DENSE_GRID_THRESHOLD_NM = 0.5
+"""Spacing below which the high-Q DENSE ring profile is the default."""
+
+
+def _default_profile(spacing_nm: float) -> RingProfile:
+    if spacing_nm >= _DENSE_GRID_THRESHOLD_NM:
+        return COARSE_RING_PROFILE
+    return DENSE_RING_PROFILE
+
+
+@dataclass(frozen=True)
+class CircuitDesign:
+    """A fully sized circuit produced by one of the design methods.
+
+    Attributes
+    ----------
+    params:
+        The complete parameter bundle (consumable by every model).
+    method:
+        ``"mrr_first"`` or ``"mzi_first"``.
+    target_ber:
+        The BER constraint the probe power was sized for.
+    """
+
+    params: OpticalSCParameters
+    method: str
+    target_ber: float
+
+    # -- headline knobs ----------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Polynomial degree ``n``."""
+        return self.params.order
+
+    @property
+    def pump_power_mw(self) -> float:
+        """Pump laser power (mW)."""
+        return self.params.pump_power_mw
+
+    @property
+    def probe_power_mw(self) -> float:
+        """Per-channel probe laser power (mW)."""
+        return self.params.probe_power_mw
+
+    @property
+    def wl_spacing_nm(self) -> float:
+        """Wavelength spacing of the probe grid (nm)."""
+        return self.params.wl_spacing_nm
+
+    @property
+    def required_er_db(self) -> float:
+        """MZI extinction ratio of the sized design (dB)."""
+        return self.params.mzi.extinction_ratio_db
+
+    # -- achieved link metrics ------------------------------------------------------
+
+    def snr(self, method: str = "worstcase") -> float:
+        """Achieved electrical SNR at the designed probe power."""
+        return circuit_snr(self.params, method=method)
+
+    def ber(self, method: str = "worstcase") -> float:
+        """Achieved BER at the designed probe power."""
+        return circuit_ber(self.params, method=method)
+
+    def describe(self) -> str:
+        """One-paragraph summary of the sized design."""
+        return (
+            f"{self.method} design, order {self.order}: "
+            f"WLspacing {self.wl_spacing_nm:.3f} nm, "
+            f"pump {self.pump_power_mw:.1f} mW, "
+            f"probe {self.probe_power_mw:.3f} mW/channel, "
+            f"MZI ER {self.required_er_db:.2f} dB, "
+            f"target BER {self.target_ber:g}"
+        )
+
+
+def mrr_first_design(
+    order: int,
+    wl_spacing_nm: float,
+    anchor_nm: float = 1550.0,
+    guard_nm: float = PAPER_GUARD_NM,
+    insertion_loss_db: float = PAPER_MZI_IL_DB,
+    ring_profile: Optional[RingProfile] = None,
+    ote: OpticalTuningEfficiency = VAN_2002_OTE,
+    detector: Photodetector = DEFAULT_PHOTODETECTOR,
+    target_ber: float = PAPER_FIG6_TARGET_BER,
+    probe_power_mw: Optional[float] = None,
+    bit_rate_hz: float = PAPER_BIT_RATE_HZ,
+    pump_pulse_width_s: float = PAPER_PULSE_WIDTH_S,
+    laser_efficiency: float = PAPER_LASING_EFFICIENCY,
+    mzi_speed_gbps: Optional[float] = 40.0,
+) -> CircuitDesign:
+    """Section IV-B MRR-first method: grid in, lasers and MZI ER out.
+
+    Steps (following the paper):
+
+    1. place the ``n + 1`` channels on the grid (*wl_spacing_nm*, anchored
+       at *anchor_nm*) with ``lambda_ref = anchor + guard``;
+    2. the minimum pump power puts the filter on the left-most channel
+       when all MZIs are constructive:
+       ``OP_pump = (n * spacing + guard) / (OTE * IL%)``;
+    3. the required extinction ratio makes the all-destructive state land
+       on the right-most channel: ``ER% = guard / (n * spacing + guard)``;
+    4. the probe power is the Eq. 8/9 minimum for *target_ber* (unless
+       fixed explicitly, as in the Fig. 5 study's 1 mW).
+    """
+    if order < 1:
+        raise ConfigurationError(f"order must be >= 1, got {order!r}")
+    grid = WDMGrid(
+        channel_count=order + 1,
+        spacing_nm=wl_spacing_nm,
+        anchor_nm=anchor_nm,
+        guard_nm=guard_nm,
+    )
+    profile = ring_profile or _default_profile(wl_spacing_nm)
+
+    il_fraction = MZIModulator(
+        insertion_loss_db=insertion_loss_db, extinction_ratio_db=1.0
+    ).il_fraction
+    swing_nm = grid.span_nm
+    pump_power_mw = float(ote.required_power_mw(swing_nm)) / il_fraction
+
+    er_fraction = guard_nm / swing_nm
+    er_db = -10.0 * math.log10(er_fraction)
+    mzi = MZIModulator(
+        insertion_loss_db=insertion_loss_db,
+        extinction_ratio_db=er_db,
+        modulation_speed_gbps=mzi_speed_gbps,
+        name="MRR-first sized MZI",
+    )
+
+    params = OpticalSCParameters(
+        order=order,
+        grid=grid,
+        ring_profile=profile,
+        mzi=mzi,
+        ote=ote,
+        pump_power_mw=pump_power_mw,
+        probe_power_mw=1.0,  # placeholder until sized below
+        detector=detector,
+        bit_rate_hz=bit_rate_hz,
+        pump_pulse_width_s=pump_pulse_width_s,
+        laser_efficiency=laser_efficiency,
+    )
+    if probe_power_mw is None:
+        probe_power_mw = minimum_probe_power_mw(params, target_ber=target_ber)
+    params = params.with_probe_power(probe_power_mw)
+    return CircuitDesign(params=params, method="mrr_first", target_ber=target_ber)
+
+
+def mzi_first_design(
+    order: int,
+    mzi: MZIModulator,
+    pump_power_mw: float,
+    lambda_ref_nm: float = 1550.1,
+    ring_profile: Optional[RingProfile] = None,
+    ote: OpticalTuningEfficiency = VAN_2002_OTE,
+    detector: Photodetector = DEFAULT_PHOTODETECTOR,
+    target_ber: float = PAPER_FIG6_TARGET_BER,
+    probe_power_mw: Optional[float] = None,
+    bit_rate_hz: float = PAPER_BIT_RATE_HZ,
+    pump_pulse_width_s: float = PAPER_PULSE_WIDTH_S,
+    laser_efficiency: float = PAPER_LASING_EFFICIENCY,
+) -> CircuitDesign:
+    """Section IV-B MZI-first method: device and pump in, grid out.
+
+    Steps:
+
+    1. the available filter swing is ``OP_pump * OTE * IL%`` (all MZIs
+       constructive);
+    2. the all-destructive state retains ``ER%`` of that swing, which
+       becomes the guard band; the remaining swing is divided into ``n``
+       equal channel spacings: ``WLspacing = swing * (1 - ER%) / n``;
+    3. channels are placed below ``lambda_ref``; the probe power is the
+       Eq. 8/9 minimum for *target_ber*.
+    """
+    if order < 1:
+        raise ConfigurationError(f"order must be >= 1, got {order!r}")
+    if pump_power_mw <= 0.0:
+        raise ConfigurationError(
+            f"pump_power_mw must be positive, got {pump_power_mw!r}"
+        )
+    swing_nm = float(ote.shift_nm(pump_power_mw * mzi.il_fraction))
+    guard_nm = swing_nm * mzi.er_fraction
+    spacing_nm = swing_nm * (1.0 - mzi.er_fraction) / order
+    if spacing_nm <= 0.0:
+        raise DesignInfeasibleError(
+            "MZI extinction leaves no usable swing for the channel grid"
+        )
+    grid = WDMGrid(
+        channel_count=order + 1,
+        spacing_nm=spacing_nm,
+        anchor_nm=lambda_ref_nm - guard_nm,
+        guard_nm=guard_nm,
+    )
+    profile = ring_profile or _default_profile(spacing_nm)
+    params = OpticalSCParameters(
+        order=order,
+        grid=grid,
+        ring_profile=profile,
+        mzi=mzi,
+        ote=ote,
+        pump_power_mw=pump_power_mw,
+        probe_power_mw=1.0,  # placeholder until sized below
+        detector=detector,
+        bit_rate_hz=bit_rate_hz,
+        pump_pulse_width_s=pump_pulse_width_s,
+        laser_efficiency=laser_efficiency,
+    )
+    if probe_power_mw is None:
+        probe_power_mw = minimum_probe_power_mw(params, target_ber=target_ber)
+    params = params.with_probe_power(probe_power_mw)
+    return CircuitDesign(params=params, method="mzi_first", target_ber=target_ber)

@@ -1,0 +1,181 @@
+"""Laser energy model (paper Section V-C, Fig. 7).
+
+Per computed bit:
+
+* the pulse-based **pump** laser emits one 26 ps pulse [15], so
+  ``E_pump = OP_pump * tau_pulse / eta``;
+* the ``n + 1`` CW **probe** lasers stay on for the whole bit period, so
+  ``E_probe = (n + 1) * OP_probe * T_bit / eta``;
+
+with ``eta`` the lasing efficiency (20 % in the paper).  Because the pump
+power grows linearly with the wavelength spacing (Eq. 7 via the MRR-first
+sizing) while the probe power falls as crosstalk abates, the total energy
+has an interior optimum — the paper's Fig. 7(a), with the key observation
+that the optimal spacing is independent of the polynomial degree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, DesignInfeasibleError
+from ..photonics.devices import DENSE_RING_PROFILE, RingProfile
+from .design import CircuitDesign, mrr_first_design
+from .params import OpticalSCParameters
+
+__all__ = [
+    "EnergyBreakdown",
+    "energy_breakdown",
+    "energy_vs_spacing",
+    "optimal_wl_spacing_nm",
+]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Wall-plug laser energy per computed bit, split by laser type."""
+
+    pump_energy_j: float
+    probe_energy_j: float
+    probe_laser_count: int
+
+    @property
+    def total_energy_j(self) -> float:
+        """All ``n + 2`` lasers (pump + probes) per bit (J)."""
+        return self.pump_energy_j + self.probe_energy_j
+
+    @property
+    def pump_energy_pj(self) -> float:
+        """Pump laser energy per bit (pJ)."""
+        return self.pump_energy_j * 1e12
+
+    @property
+    def probe_energy_pj(self) -> float:
+        """Aggregate probe laser energy per bit (pJ)."""
+        return self.probe_energy_j * 1e12
+
+    @property
+    def total_energy_pj(self) -> float:
+        """Total laser energy per bit (pJ) — the Fig. 7 y-axis."""
+        return self.total_energy_j * 1e12
+
+    @property
+    def dominant(self) -> str:
+        """Which laser type dominates (``"pump"`` or ``"probe"``)."""
+        return "pump" if self.pump_energy_j >= self.probe_energy_j else "probe"
+
+
+def energy_breakdown(params: OpticalSCParameters) -> EnergyBreakdown:
+    """Evaluate the Section V-C energy model for one parameter set."""
+    if not isinstance(params, OpticalSCParameters):
+        raise ConfigurationError("params must be OpticalSCParameters")
+    eta = params.laser_efficiency
+    pump_j = params.pump_power_mw * 1e-3 * params.pump_pulse_width_s / eta
+    bit_period_s = 1.0 / params.bit_rate_hz
+    probe_count = params.channel_count
+    probe_j = probe_count * params.probe_power_mw * 1e-3 * bit_period_s / eta
+    return EnergyBreakdown(
+        pump_energy_j=pump_j,
+        probe_energy_j=probe_j,
+        probe_laser_count=probe_count,
+    )
+
+
+def _default_designer(
+    order: int, spacing_nm: float, ring_profile: RingProfile, target_ber: float
+) -> CircuitDesign:
+    return mrr_first_design(
+        order=order,
+        wl_spacing_nm=spacing_nm,
+        ring_profile=ring_profile,
+        target_ber=target_ber,
+    )
+
+
+def energy_vs_spacing(
+    order: int,
+    spacings_nm: Sequence[float],
+    ring_profile: RingProfile = DENSE_RING_PROFILE,
+    target_ber: float = 1e-6,
+    designer: Optional[Callable[..., CircuitDesign]] = None,
+) -> dict:
+    """The Fig. 7(a) sweep: laser energies across wavelength spacings.
+
+    For each spacing an MRR-first design is sized (pump from the swing,
+    probe from the BER target) and its energy breakdown recorded.
+    Spacings whose worst-case eye is closed yield ``inf`` probe energy.
+
+    Returns a dict of numpy arrays keyed ``"spacing_nm"``,
+    ``"pump_pj"``, ``"probe_pj"``, ``"total_pj"``.
+    """
+    designer = designer or _default_designer
+    spacings = np.asarray(list(spacings_nm), dtype=float)
+    if spacings.size == 0:
+        raise ConfigurationError("need at least one spacing")
+    pump = np.empty_like(spacings)
+    probe = np.empty_like(spacings)
+    for index, spacing in enumerate(spacings):
+        try:
+            design = designer(
+                order=order,
+                spacing_nm=float(spacing),
+                ring_profile=ring_profile,
+                target_ber=target_ber,
+            )
+        except DesignInfeasibleError:
+            pump[index] = np.nan
+            probe[index] = np.inf
+            continue
+        breakdown = energy_breakdown(design.params)
+        pump[index] = breakdown.pump_energy_pj
+        probe[index] = breakdown.probe_energy_pj
+    return {
+        "spacing_nm": spacings,
+        "pump_pj": pump,
+        "probe_pj": probe,
+        "total_pj": pump + probe,
+    }
+
+
+def optimal_wl_spacing_nm(
+    order: int,
+    lower_nm: float = 0.1,
+    upper_nm: float = 0.3,
+    ring_profile: RingProfile = DENSE_RING_PROFILE,
+    target_ber: float = 1e-6,
+    tolerance_nm: float = 1e-4,
+) -> float:
+    """Spacing minimizing the total laser energy (Fig. 7(a) optimum).
+
+    Golden-section search on the (unimodal) total-energy curve; the
+    paper's headline observation is that the result is independent of
+    *order* (validated in ``tests/test_energy.py``).
+    """
+    if not 0.0 < lower_nm < upper_nm:
+        raise ConfigurationError("need 0 < lower_nm < upper_nm")
+
+    def total_pj(spacing: float) -> float:
+        result = energy_vs_spacing(
+            order, [spacing], ring_profile=ring_profile, target_ber=target_ber
+        )
+        value = float(result["total_pj"][0])
+        return value if np.isfinite(value) else 1e30
+
+    inv_phi = (np.sqrt(5.0) - 1.0) / 2.0
+    a, b = lower_nm, upper_nm
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    fc, fd = total_pj(c), total_pj(d)
+    while (b - a) > tolerance_nm:
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - inv_phi * (b - a)
+            fc = total_pj(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + inv_phi * (b - a)
+            fd = total_pj(d)
+    return 0.5 * (a + b)

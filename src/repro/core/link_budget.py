@@ -1,0 +1,93 @@
+"""Link budget: received power for all data/coefficient combinations.
+
+Reproduces the Fig. 5(c) study: for every coefficient pattern ``z`` and
+every adder level (combination of data bits ``x``), the optical power at
+the photodetector is evaluated; the powers must split into two disjoint
+bands — one for transmitted '0' coefficients, one for '1' — for correct
+execution of stochastic computing in the optical domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .params import OpticalSCParameters
+from .transmission import TransmissionModel, all_coefficient_patterns
+
+__all__ = ["LinkBudget", "received_power_table"]
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Exhaustive received-power table plus its '0'/'1' band statistics.
+
+    Attributes
+    ----------
+    power_mw:
+        Array ``(patterns, levels)``: received power for coefficient
+        pattern row and adder level column (Fig. 5(c) unrolled).
+    patterns:
+        The coefficient patterns, one row per table row.
+    zero_band_mw / one_band_mw:
+        ``(min, max)`` received power over all cases where the *selected*
+        coefficient is 0 / 1.
+    """
+
+    power_mw: np.ndarray
+    patterns: np.ndarray
+    zero_band_mw: tuple
+    one_band_mw: tuple
+
+    @property
+    def bands_separated(self) -> bool:
+        """True when every '1' case exceeds every '0' case (open eye)."""
+        return self.one_band_mw[0] > self.zero_band_mw[1]
+
+    @property
+    def eye_opening_mw(self) -> float:
+        """Worst-case separation ``min('1') - max('0')`` (may be < 0)."""
+        return self.one_band_mw[0] - self.zero_band_mw[1]
+
+    @property
+    def decision_threshold_mw(self) -> float:
+        """Midpoint threshold between the two bands."""
+        return 0.5 * (self.one_band_mw[0] + self.zero_band_mw[1])
+
+    def describe(self) -> str:
+        """Summary string in the style of the Section V-A discussion."""
+        z0 = self.zero_band_mw
+        z1 = self.one_band_mw
+        status = "separated" if self.bands_separated else "OVERLAPPING"
+        return (
+            f"'0' band: {z0[0]:.4f}-{z0[1]:.4f} mW, "
+            f"'1' band: {z1[0]:.4f}-{z1[1]:.4f} mW ({status}; "
+            f"eye {self.eye_opening_mw:.4f} mW)"
+        )
+
+
+def received_power_table(params: OpticalSCParameters) -> LinkBudget:
+    """Evaluate the full Fig. 5(c) table for *params*.
+
+    For each level ``m`` the *selected* coefficient is ``z_m``; table
+    entries with ``z_m = 1`` belong to the '1' band, the rest to the '0'
+    band.
+    """
+    if not isinstance(params, OpticalSCParameters):
+        raise ConfigurationError("params must be OpticalSCParameters")
+    model = TransmissionModel(params)
+    table = model.received_power_table_mw()
+    patterns = all_coefficient_patterns(params.channel_count)
+    levels = np.arange(params.order + 1)
+    selected = patterns[:, levels]  # [p, m] = z_m of pattern p
+    ones_mask = selected == 1
+    one_values = table[ones_mask]
+    zero_values = table[~ones_mask]
+    return LinkBudget(
+        power_mw=table,
+        patterns=patterns,
+        zero_band_mw=(float(zero_values.min()), float(zero_values.max())),
+        one_band_mw=(float(one_values.min()), float(one_values.max())),
+    )

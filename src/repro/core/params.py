@@ -1,0 +1,189 @@
+"""System- and device-level parameter bundle (paper Fig. 4(b)).
+
+:class:`OpticalSCParameters` collects everything the analytical models
+need: the polynomial order ``n``, the WDM grid (``WLspacing``, guard,
+``lambda_ref``), the ring technology (modulator and filter coefficients,
+modulation shift), the MZI figures (IL, ER), the all-optical tuning
+efficiency, laser powers and receiver constants.  It is a frozen
+dataclass so parameter sets can be hashed, compared and swept safely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..constants import (
+    PAPER_BIT_RATE_HZ,
+    PAPER_LASING_EFFICIENCY,
+    PAPER_MZI_IL_DB,
+    PAPER_PROBE_POWER_MW,
+    PAPER_PULSE_WIDTH_S,
+    PAPER_PUMP_POWER_MW,
+    PAPER_WL_SPACING_NM,
+)
+from ..errors import ConfigurationError
+from ..photonics.devices import (
+    COARSE_RING_PROFILE,
+    DEFAULT_PHOTODETECTOR,
+    RingProfile,
+    VAN_2002_OTE,
+)
+from ..photonics.mzi import MZIModulator
+from ..photonics.nonlinear import OpticalTuningEfficiency
+from ..photonics.photodetector import Photodetector
+from ..photonics.wdm import WDMGrid
+from ..units import validate_fraction, validate_non_negative, validate_positive
+
+__all__ = ["OpticalSCParameters", "paper_section5a_parameters"]
+
+
+@dataclass(frozen=True)
+class OpticalSCParameters:
+    """Complete parameterization of the generic circuit (Fig. 4).
+
+    Parameters
+    ----------
+    order:
+        Polynomial degree ``n``: the circuit has ``n`` MZIs and ``n + 1``
+        coefficient MRRs.
+    grid:
+        WDM channel plan of the coefficient probes.
+    ring_profile:
+        Modulator/filter ring technology.
+    mzi:
+        MZI device characteristics (IL, ER) used by the adder.
+    ote:
+        All-optical tuning efficiency of the filter (nm/mW).
+    pump_power_mw / probe_power_mw:
+        Laser powers; *probe_power_mw* is per probe channel.
+    detector:
+        Receiver responsivity and noise.
+    bit_rate_hz:
+        Modulation speed of data and coefficients (1 Gb/s in the paper).
+    pump_pulse_width_s:
+        Pump pulse width for the pulse-based energy accounting.
+    laser_efficiency:
+        Wall-plug (lasing) efficiency shared by all lasers.
+    """
+
+    order: int
+    grid: WDMGrid
+    ring_profile: RingProfile
+    mzi: MZIModulator
+    ote: OpticalTuningEfficiency = VAN_2002_OTE
+    pump_power_mw: float = PAPER_PUMP_POWER_MW
+    probe_power_mw: float = PAPER_PROBE_POWER_MW
+    detector: Photodetector = DEFAULT_PHOTODETECTOR
+    bit_rate_hz: float = PAPER_BIT_RATE_HZ
+    pump_pulse_width_s: float = PAPER_PULSE_WIDTH_S
+    laser_efficiency: float = PAPER_LASING_EFFICIENCY
+
+    def __post_init__(self) -> None:
+        if self.order < 1:
+            raise ConfigurationError(
+                f"order must be >= 1, got {self.order!r}"
+            )
+        if self.grid.channel_count != self.order + 1:
+            raise ConfigurationError(
+                f"grid must have order + 1 = {self.order + 1} channels, "
+                f"got {self.grid.channel_count}"
+            )
+        validate_non_negative(self.pump_power_mw, "pump_power_mw")
+        validate_positive(self.probe_power_mw, "probe_power_mw")
+        validate_positive(self.bit_rate_hz, "bit_rate_hz")
+        validate_positive(self.pump_pulse_width_s, "pump_pulse_width_s")
+        validate_fraction(self.laser_efficiency, "laser_efficiency")
+        # The probe comb plus guard must fit inside the filter FSR so the
+        # pump resonance one FSR below does not alias onto a channel.
+        self.grid.validate_against_fsr(self.ring_profile.filter.fsr_nm)
+
+    # -- convenience accessors --------------------------------------------------
+
+    @property
+    def channel_count(self) -> int:
+        """Number of coefficient channels (``n + 1``)."""
+        return self.order + 1
+
+    @property
+    def wl_spacing_nm(self) -> float:
+        """``WLspacing`` (Eq. 5)."""
+        return self.grid.spacing_nm
+
+    @property
+    def lambda_ref_nm(self) -> float:
+        """Untuned filter resonance."""
+        return self.grid.reference_nm
+
+    @property
+    def full_swing_nm(self) -> float:
+        """Detuning required to reach the left-most channel
+        (``lambda_ref - lambda_0``)."""
+        return self.grid.span_nm
+
+    def with_pump_power(self, pump_power_mw: float) -> "OpticalSCParameters":
+        """Copy with a different pump power."""
+        return replace(self, pump_power_mw=pump_power_mw)
+
+    def with_probe_power(self, probe_power_mw: float) -> "OpticalSCParameters":
+        """Copy with a different per-channel probe power."""
+        return replace(self, probe_power_mw=probe_power_mw)
+
+    def describe(self) -> str:
+        """Human-readable parameter table in the spirit of Fig. 4(b)."""
+        lines = [
+            "Optical SC circuit parameters",
+            f"  order n                : {self.order}",
+            f"  WLspacing              : {self.wl_spacing_nm:.4g} nm",
+            f"  lambda grid            : "
+            + ", ".join(f"{w:.3f}" for w in self.grid.wavelengths_nm)
+            + " nm",
+            f"  lambda_ref             : {self.lambda_ref_nm:.3f} nm",
+            f"  MZI IL / ER            : {self.mzi.insertion_loss_db:.3g} dB / "
+            f"{self.mzi.extinction_ratio_db:.3g} dB",
+            f"  MRR shift (delta)      : "
+            f"{self.ring_profile.modulation_shift_nm:.3g} nm",
+            f"  filter FWHM / FSR      : {self.ring_profile.filter.fwhm_nm:.4g} / "
+            f"{self.ring_profile.filter.fsr_nm:.4g} nm",
+            f"  OTE                    : {self.ote.nm_per_mw:.4g} nm/mW",
+            f"  pump / probe power     : {self.pump_power_mw:.4g} / "
+            f"{self.probe_power_mw:.4g} mW",
+            f"  detector R, i_n        : {self.detector.responsivity_a_per_w:.3g} A/W, "
+            f"{self.detector.noise_current_a * 1e6:.3g} uA",
+            f"  bit rate               : {self.bit_rate_hz / 1e9:.3g} Gb/s",
+        ]
+        return "\n".join(lines)
+
+
+def paper_section5a_parameters(
+    pump_power_mw: Optional[float] = None,
+    probe_power_mw: float = PAPER_PROBE_POWER_MW,
+) -> OpticalSCParameters:
+    """The Section V-A design example: n=2, 1 nm grid, lambda_2 = 1550 nm.
+
+    With the default *pump_power_mw* of ``None`` the paper's published
+    591.8 mW operating point is used (which the MRR-first method derives;
+    see :func:`repro.core.design.mrr_first_design`).
+    """
+    grid = WDMGrid(
+        channel_count=3,
+        spacing_nm=PAPER_WL_SPACING_NM,
+        anchor_nm=1550.0,
+        guard_nm=0.1,
+    )
+    mzi = MZIModulator(
+        insertion_loss_db=PAPER_MZI_IL_DB,
+        extinction_ratio_db=13.22,
+        modulation_speed_gbps=40.0,
+        name="Ziebell IL with MRR-first-derived ER",
+    )
+    return OpticalSCParameters(
+        order=2,
+        grid=grid,
+        ring_profile=COARSE_RING_PROFILE,
+        mzi=mzi,
+        pump_power_mw=(
+            PAPER_PUMP_POWER_MW if pump_power_mw is None else pump_power_mw
+        ),
+        probe_power_mw=probe_power_mw,
+    )

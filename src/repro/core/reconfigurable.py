@@ -1,0 +1,138 @@
+"""Reconfigurable multi-order circuit (paper Sections V-C and VI).
+
+The paper's key energy result — the optimal wavelength spacing is
+independent of the polynomial degree — enables a *reconfigurable* version
+of the architecture: fix the grid at the shared optimal spacing, then
+serve any order up to ``max_order`` by enabling a subset of MZIs/MRRs and
+resizing the pump.  This module implements that circuit and verifies the
+underlying order-independence property.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..photonics.devices import DENSE_RING_PROFILE, RingProfile
+from ..stochastic.bernstein import BernsteinPolynomial
+from .circuit import OpticalStochasticCircuit
+from .design import CircuitDesign, mrr_first_design
+from .energy import energy_breakdown, optimal_wl_spacing_nm
+
+__all__ = ["ReconfigurableCircuit"]
+
+
+class ReconfigurableCircuit:
+    """A shared-grid circuit serving polynomial orders ``1..max_order``.
+
+    Parameters
+    ----------
+    max_order:
+        Largest polynomial degree the hardware supports (its MZI/MRR
+        count is provisioned for this order).
+    wl_spacing_nm:
+        Shared grid spacing.  Defaults to the energy-optimal spacing of
+        the *max_order* configuration, which — per the paper's Fig. 7(a)
+        observation — is also optimal for every smaller order.
+    ring_profile:
+        Ring technology (defaults to the dense/high-Q profile).
+    target_ber:
+        BER target used to size per-order probe powers.
+    """
+
+    def __init__(
+        self,
+        max_order: int,
+        wl_spacing_nm: Optional[float] = None,
+        ring_profile: RingProfile = DENSE_RING_PROFILE,
+        target_ber: float = 1e-6,
+    ):
+        if max_order < 1:
+            raise ConfigurationError(
+                f"max_order must be >= 1, got {max_order!r}"
+            )
+        self.max_order = int(max_order)
+        self.ring_profile = ring_profile
+        self.target_ber = float(target_ber)
+        if wl_spacing_nm is None:
+            wl_spacing_nm = optimal_wl_spacing_nm(
+                max_order, ring_profile=ring_profile, target_ber=target_ber
+            )
+        if wl_spacing_nm <= 0.0:
+            raise ConfigurationError("wl_spacing_nm must be positive")
+        self.wl_spacing_nm = float(wl_spacing_nm)
+        self._designs: Dict[int, CircuitDesign] = {}
+
+    @property
+    def supported_orders(self) -> range:
+        """Orders this hardware can execute."""
+        return range(1, self.max_order + 1)
+
+    def design_for(self, order: int) -> CircuitDesign:
+        """The sized configuration for one order (cached).
+
+        Reconfiguration keeps the grid and rings; only the pump power
+        (smaller swing for smaller order) and probe sizing change.
+        """
+        if order not in self.supported_orders:
+            raise ConfigurationError(
+                f"order must be in [1, {self.max_order}], got {order!r}"
+            )
+        if order not in self._designs:
+            self._designs[order] = mrr_first_design(
+                order=order,
+                wl_spacing_nm=self.wl_spacing_nm,
+                ring_profile=self.ring_profile,
+                target_ber=self.target_ber,
+            )
+        return self._designs[order]
+
+    def circuit_for(
+        self, polynomial: BernsteinPolynomial
+    ) -> OpticalStochasticCircuit:
+        """Program the hardware with *polynomial* (order from its degree)."""
+        design = self.design_for(polynomial.degree)
+        return OpticalStochasticCircuit.from_design(design, polynomial)
+
+    def energy_per_bit_pj(self, order: int) -> float:
+        """Total laser energy per bit in the given configuration (pJ)."""
+        return energy_breakdown(self.design_for(order).params).total_energy_pj
+
+    def energy_table_pj(self, orders: Optional[Sequence[int]] = None) -> dict:
+        """Energy per bit across configurations (Fig. 7(b) companion)."""
+        orders = list(orders) if orders is not None else list(self.supported_orders)
+        return {
+            "order": np.asarray(orders, dtype=int),
+            "total_pj": np.asarray(
+                [self.energy_per_bit_pj(order) for order in orders]
+            ),
+        }
+
+    def verify_order_independence(
+        self,
+        orders: Sequence[int],
+        tolerance_nm: float = 0.02,
+    ) -> dict:
+        """Check the paper's claim: per-order optima agree within tolerance.
+
+        Returns a dict ``order -> optimal spacing``; raises
+        :class:`ConfigurationError` for an empty order list.  Callers
+        (and tests) assert the spread against *tolerance_nm*.
+        """
+        orders = list(orders)
+        if not orders:
+            raise ConfigurationError("need at least one order")
+        optima = {
+            order: optimal_wl_spacing_nm(
+                order,
+                ring_profile=self.ring_profile,
+                target_ber=self.target_ber,
+            )
+            for order in orders
+        }
+        spread = max(optima.values()) - min(optima.values())
+        optima["spread_nm"] = spread
+        optima["within_tolerance"] = spread <= tolerance_nm
+        return optima

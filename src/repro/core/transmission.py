@@ -1,0 +1,227 @@
+"""The paper's analytical transmission model (Eqs. 6 and 7).
+
+For a probe channel ``i`` the end-to-end power transmission is
+
+``T_s,z[i] = prod_w phi_t(lambda_i, lambda_w - dl*z_w)
+           * phi_d(lambda_i, lambda_ref - DeltaFilter(x))``      (Eq. 6)
+
+with the pump-controlled filter detuning
+
+``DeltaFilter(x) = OP_pump * OTE * (1/n) * sum_i T_MZI(x_i)``    (Eq. 7a)
+``T_MZI(0) = IL%``, ``T_MZI(1) = IL% * ER%``                      (Eq. 7b)
+
+:class:`TransmissionModel` precomputes the modulator through matrices and
+the per-level filter drop matrix, and vectorizes the evaluation over all
+``2^(n+1)`` coefficient patterns — the exhaustive enumeration behind the
+Fig. 5(c) link budget and the worst-case SNR of Eq. 8.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .params import OpticalSCParameters
+
+__all__ = ["TransmissionModel", "all_coefficient_patterns"]
+
+
+def all_coefficient_patterns(channel_count: int) -> np.ndarray:
+    """All ``2**channel_count`` coefficient patterns as a (P, C) 0/1 array.
+
+    Row ``p`` is the binary expansion of ``p`` with ``z_0`` in column 0
+    (so pattern index reads as the integer ``z_n ... z_1 z_0``, matching
+    the ``z2 z1 z0`` row labels of Fig. 5(c)).
+    """
+    if channel_count < 1:
+        raise ConfigurationError(
+            f"channel_count must be >= 1, got {channel_count!r}"
+        )
+    if channel_count > 20:
+        raise ConfigurationError(
+            "exhaustive pattern enumeration limited to 20 channels "
+            f"(got {channel_count}); use sampled methods beyond that"
+        )
+    indices = np.arange(1 << channel_count, dtype=np.int64)
+    bits = (indices[:, None] >> np.arange(channel_count)) & 1
+    return bits.astype(np.uint8)
+
+
+class TransmissionModel:
+    """Vectorized evaluation of Eq. 6 over channels, patterns and levels.
+
+    Parameters
+    ----------
+    params:
+        The full circuit parameterization.
+
+    Notes
+    -----
+    *Levels* index the adder output: level ``m`` means ``m`` of the ``n``
+    data bits are 1, which tunes the filter to (nominally) channel ``m``
+    — the multiplexing rule of the ReSC architecture.
+    """
+
+    def __init__(self, params: OpticalSCParameters):
+        if not isinstance(params, OpticalSCParameters):
+            raise ConfigurationError("params must be OpticalSCParameters")
+        self.params = params
+        grid = params.grid
+        self._wavelengths = grid.wavelengths_nm
+        shift = params.ring_profile.modulation_shift_nm
+        modulator = params.ring_profile.modulator
+
+        # Through matrices [k, w]: channel k past modulator w (Eq. 6 product).
+        lam_k = self._wavelengths[:, None]
+        res_off = self._wavelengths[None, :]
+        self._phi_off = np.asarray(modulator.through(lam_k, res_off))
+        self._phi_on = np.asarray(modulator.through(lam_k, res_off - shift))
+        self._log_phi_off = np.log(np.maximum(self._phi_off, 1e-300))
+        self._log_phi_on = np.log(np.maximum(self._phi_on, 1e-300))
+
+        # Filter drop matrix [m, k]: level m dropping channel k (Eq. 6 tail).
+        resonances = self.filter_resonances_nm()
+        self._drop = np.asarray(
+            params.ring_profile.filter.drop(
+                self._wavelengths[None, :], resonances[:, None]
+            )
+        )
+
+    # -- Eq. 7: pump-controlled filter tuning -------------------------------------
+
+    def mzi_transmission_sum(self, ones_count: int) -> float:
+        """``(1/n) * sum_i T_MZI(x_i)`` for *ones_count* destructive MZIs."""
+        n = self.params.order
+        if not 0 <= ones_count <= n:
+            raise ConfigurationError(
+                f"ones_count must be in [0, {n}], got {ones_count!r}"
+            )
+        il = self.params.mzi.il_fraction
+        er = self.params.mzi.er_fraction
+        return il * ((n - ones_count) + ones_count * er) / n
+
+    def filter_detuning_nm(self, ones_count: int) -> float:
+        """Eq. 7a: pump-induced blue shift of the filter resonance (nm)."""
+        control_mw = self.params.pump_power_mw * self.mzi_transmission_sum(
+            ones_count
+        )
+        return float(self.params.ote.shift_nm(control_mw))
+
+    def filter_resonances_nm(self) -> np.ndarray:
+        """Filter resonance per level: ``lambda_ref - DeltaFilter(m)``."""
+        ref = self.params.lambda_ref_nm
+        return np.asarray(
+            [
+                ref - self.filter_detuning_nm(m)
+                for m in range(self.params.order + 1)
+            ]
+        )
+
+    def tuning_errors_nm(self) -> np.ndarray:
+        """Per-level misalignment between filter resonance and its channel.
+
+        Zero for a perfectly sized pump/ER pair (the MRR-first condition);
+        non-zero values quantify calibration error for the controller
+        study.
+        """
+        return self.filter_resonances_nm() - self._wavelengths
+
+    # -- Eq. 6: probe transmissions -------------------------------------------------
+
+    def modulator_through_matrices(self) -> tuple:
+        """``(phi_on, phi_off)`` matrices ``[k, w]`` for z_w = 1 / 0."""
+        return self._phi_on.copy(), self._phi_off.copy()
+
+    def drop_matrix(self) -> np.ndarray:
+        """Drop transmission ``[m, k]``: level ``m`` dropping channel ``k``."""
+        return self._drop.copy()
+
+    def channel_transmissions(self, z: Sequence[int]) -> np.ndarray:
+        """Per-channel transmission through the modulator bus (no filter)."""
+        z = self._validate_pattern(z)
+        log_t = np.where(z[None, :] == 1, self._log_phi_on, self._log_phi_off)
+        return np.exp(log_t.sum(axis=1))
+
+    def total_transmissions(self, z: Sequence[int], ones_count: int) -> np.ndarray:
+        """Eq. 6 for every channel: modulator bus times filter drop."""
+        bus = self.channel_transmissions(z)
+        if not 0 <= ones_count <= self.params.order:
+            raise ConfigurationError(
+                f"ones_count must be in [0, {self.params.order}]"
+            )
+        return bus * self._drop[ones_count]
+
+    def received_power_mw(self, z: Sequence[int], ones_count: int) -> float:
+        """Total optical power at the photodetector (mW).
+
+        Sum of all probe channels after modulators and filter; the pump is
+        assumed fully absorbed by the band-pass filter (paper assumption).
+        """
+        return float(
+            self.params.probe_power_mw
+            * self.total_transmissions(z, ones_count).sum()
+        )
+
+    # -- exhaustive pattern tables ---------------------------------------------------
+
+    def pattern_bus_transmissions(self) -> np.ndarray:
+        """Modulator-bus transmission for all patterns: ``(P, C)`` array."""
+        patterns = all_coefficient_patterns(self.params.channel_count)
+        z = patterns.astype(float)
+        # log T[p, k] = sum_w [ z log phi_on + (1 - z) log phi_off ][k, w]
+        log_t = z @ self._log_phi_on.T + (1.0 - z) @ self._log_phi_off.T
+        return np.exp(log_t)
+
+    def received_power_table_mw(self) -> np.ndarray:
+        """Received power for every (pattern, level): ``(P, L)`` array (mW).
+
+        ``table[p, m]`` is the photodetector power when the coefficients
+        take pattern ``p`` and ``m`` data bits are 1 — the exhaustive
+        enumeration plotted in Fig. 5(c) for n = 2.
+        """
+        bus = self.pattern_bus_transmissions()
+        return self.params.probe_power_mw * bus @ self._drop.T
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _validate_pattern(self, z: Iterable[int]) -> np.ndarray:
+        z = np.asarray(list(z) if not isinstance(z, np.ndarray) else z)
+        if z.shape != (self.params.channel_count,):
+            raise ConfigurationError(
+                f"need {self.params.channel_count} coefficient bits, "
+                f"got shape {z.shape}"
+            )
+        if not np.all((z == 0) | (z == 1)):
+            raise ConfigurationError("coefficient bits must be 0 or 1")
+        return z.astype(np.uint8)
+
+    def spectrum(
+        self,
+        z: Sequence[int],
+        ones_count: int,
+        wavelengths_nm: np.ndarray,
+    ) -> dict:
+        """Spectral responses for Fig. 5(a)/(b)-style plots.
+
+        Returns a dict with one through-transmission curve per modulator
+        MRR (keyed ``"MRR0"..``), the filter drop curve (``"filter"``),
+        and the probe-channel markers (``"probes"``).
+        """
+        z = self._validate_pattern(z)
+        wavelengths_nm = np.asarray(wavelengths_nm, dtype=float)
+        profile = self.params.ring_profile
+        shift = profile.modulation_shift_nm
+        curves: dict = {}
+        for w, lam_w in enumerate(self._wavelengths):
+            resonance = lam_w - shift * int(z[w])
+            curves[f"MRR{w}"] = np.asarray(
+                profile.modulator.through(wavelengths_nm, resonance)
+            )
+        level_res = self.filter_resonances_nm()[ones_count]
+        curves["filter"] = np.asarray(
+            profile.filter.drop(wavelengths_nm, level_res)
+        )
+        curves["probes"] = self._wavelengths.copy()
+        return curves

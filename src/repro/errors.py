@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from physical-model violations.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "PhysicalModelError",
+    "DesignInfeasibleError",
+    "CalibrationError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A parameter is outside its documented domain.
+
+    Raised eagerly at object construction time (e.g. a coupling coefficient
+    outside ``(0, 1]`` or a negative laser power) so that invalid models
+    cannot silently propagate through a design-space sweep.
+    """
+
+
+class PhysicalModelError(ReproError):
+    """An analytical model was evaluated outside its validity region."""
+
+
+class DesignInfeasibleError(ReproError):
+    """A design method cannot satisfy its constraints.
+
+    Examples: the worst-case eye closes completely so no finite probe laser
+    power reaches the BER target, or a WDM grid does not fit inside the
+    filter free spectral range.
+    """
+
+
+class CalibrationError(ReproError):
+    """A calibration fit failed to converge or missed its targets."""
+
+
+class SimulationError(ReproError):
+    """A functional or transient simulation reached an inconsistent state."""

@@ -1,0 +1,41 @@
+"""Experiment harness: one callable per paper table/figure.
+
+Every artifact of the paper's evaluation (Section V) has a registered
+experiment that regenerates its rows/series and records the paper's
+reference values next to the model's output:
+
+===========  ====================================================
+experiment   paper artifact
+===========  ====================================================
+``fig5a``    Fig. 5(a) transmissions, z=(0,1,0), x1=x2=1
+``fig5b``    Fig. 5(b) transmissions, z=(1,1,0), x1=x2=0
+``fig5spec`` Fig. 5(a)/(b) spectral curves (the plotted series)
+``fig5c``    Fig. 5(c) received power for all (z, x) combinations
+``pump``     Section V-A pump sizing (591.8 mW / 13.22 dB)
+``fig6a``    Fig. 6(a) min probe power vs (IL, ER)
+``fig6b``    Fig. 6(b) min probe power vs target BER
+``fig6c``    Fig. 6(c) min probe power per literature MZI
+``fig7a``    Fig. 7(a) energy vs wavelength spacing, n = 2/4/6
+``fig7b``    Fig. 7(b) energy vs order, 1 nm vs optimal spacing
+``headline`` 20.1 pJ/bit headline + 10x gamma-correction speedup
+``gamma``    Section V-C gamma-correction case study
+``params``   Fig. 4(b) parameter table
+===========  ====================================================
+
+Extensions beyond the paper's artifacts: ``yield`` (Monte Carlo
+process variation), ``controller`` (calibration-loop convergence),
+``sensitivity`` (headline-energy sensitivities) and ``parallel``
+(power-density scaling).
+
+Run them via ``python -m repro.experiments <name|all>`` or the
+``repro-experiments`` console script.
+"""
+
+from .registry import ExperimentResult, get_experiment, list_experiments, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,72 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments            # list experiments
+    python -m repro.experiments all        # run everything
+    python -m repro.experiments fig7a ...  # run selected experiments
+    python -m repro.experiments all --csv results/   # also write CSVs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..reporting.csvio import write_csv
+from .registry import list_experiments, run_experiment
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    """Entry point for ``python -m repro.experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'Stochastic Computing "
+            "with Integrated Optics' (DATE 2019)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (or 'all'); empty lists the registry",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write each result's rows to DIR/<id>.csv",
+    )
+    args = parser.parse_args(argv)
+
+    available = list_experiments()
+    if not args.experiments:
+        print("available experiments:")
+        for name in available:
+            print(f"  {name}")
+        return 0
+
+    selected = (
+        available if args.experiments == ["all"] else args.experiments
+    )
+    status = 0
+    for name in selected:
+        try:
+            result = run_experiment(name)
+        except Exception as error:  # surface but keep running the rest
+            print(f"[{name}] FAILED: {error}", file=sys.stderr)
+            status = 1
+            continue
+        print()
+        print(result.to_text())
+        if args.csv:
+            path = write_csv(Path(args.csv) / f"{name}.csv", result.rows)
+            print(f"(rows written to {path})")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

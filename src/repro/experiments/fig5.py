@@ -1,0 +1,213 @@
+"""Fig. 5 experiments: the Section V-A 2nd-order design example.
+
+Regenerates the two spectral case studies (Fig. 5(a)/(b)), the full
+received-power table (Fig. 5(c)) and the pump/ER sizing numbers the text
+derives with the MRR-first method.
+"""
+
+from __future__ import annotations
+
+from ..core.design import mrr_first_design
+from ..core.link_budget import received_power_table
+from ..core.transmission import TransmissionModel
+from .registry import ExperimentResult, register
+
+__all__ = ["fig5a", "fig5b", "fig5c", "pump_sizing"]
+
+
+def _paper_design():
+    return mrr_first_design(order=2, wl_spacing_nm=1.0, probe_power_mw=1.0)
+
+
+@register("fig5a")
+def fig5a() -> ExperimentResult:
+    """Fig. 5(a): z=(0,1,0), x1=x2=1 — filter tuned to lambda_2.
+
+    The paper quotes total transmissions 0.091 / 0.004 / 0.0002 for the
+    signals at lambda_2 / lambda_1 / lambda_0 and 0.0952 mW received for
+    a 1 mW probe.
+    """
+    design = _paper_design()
+    model = TransmissionModel(design.params)
+    totals = model.total_transmissions([0, 1, 0], 2)
+    received = model.received_power_mw([0, 1, 0], 2)
+    rows = [
+        {
+            "signal": "lambda_2",
+            "total_transmission": float(totals[2]),
+            "paper": 0.091,
+        },
+        {
+            "signal": "lambda_1",
+            "total_transmission": float(totals[1]),
+            "paper": 0.004,
+        },
+        {
+            "signal": "lambda_0",
+            "total_transmission": float(totals[0]),
+            "paper": 0.0002,
+        },
+        {
+            "signal": "received (mW)",
+            "total_transmission": received,
+            "paper": 0.0952,
+        },
+    ]
+    return ExperimentResult(
+        experiment_id="fig5a",
+        title="Fig. 5(a): transmissions for z=(0,1,0), x1=x2=1",
+        rows=rows,
+        paper_reference={
+            "transmissions": "0.091 / 0.004 / 0.0002",
+            "received_power_mw": 0.0952,
+        },
+        notes=(
+            "COARSE ring profile calibrated to the quoted values; "
+            "the selected coefficient is z2=0, so the received power "
+            "sits in the '0' band."
+        ),
+    )
+
+
+@register("fig5b")
+def fig5b() -> ExperimentResult:
+    """Fig. 5(b): z=(1,1,0), x1=x2=0 — filter tuned to lambda_0.
+
+    The paper quotes a 0.476 total transmission of the lambda_0 signal
+    and 0.482 mW received power.
+    """
+    design = _paper_design()
+    model = TransmissionModel(design.params)
+    totals = model.total_transmissions([1, 1, 0], 0)
+    received = model.received_power_mw([1, 1, 0], 0)
+    rows = [
+        {
+            "signal": "lambda_0",
+            "total_transmission": float(totals[0]),
+            "paper": 0.476,
+        },
+        {
+            "signal": "lambda_1 (crosstalk)",
+            "total_transmission": float(totals[1]),
+            "paper": None,
+        },
+        {
+            "signal": "lambda_2 (crosstalk)",
+            "total_transmission": float(totals[2]),
+            "paper": None,
+        },
+        {
+            "signal": "received (mW)",
+            "total_transmission": received,
+            "paper": 0.482,
+        },
+    ]
+    return ExperimentResult(
+        experiment_id="fig5b",
+        title="Fig. 5(b): transmissions for z=(1,1,0), x1=x2=0",
+        rows=rows,
+        paper_reference={
+            "t_lambda0": 0.476,
+            "received_power_mw": 0.482,
+        },
+        notes="Selected coefficient z0=1: received power in the '1' band.",
+    )
+
+
+@register("fig5c")
+def fig5c() -> ExperimentResult:
+    """Fig. 5(c): received power for all 8 z-patterns x 3 levels.
+
+    The paper reports the '0' cases in 0.092-0.099 mW and the '1' cases
+    in 0.477-0.482 mW, "allowing a correct execution of SC in the
+    optical domain".
+    """
+    design = _paper_design()
+    budget = received_power_table(design.params)
+    rows = []
+    for p in range(budget.power_mw.shape[0]):
+        pattern = budget.patterns[p]
+        label = f"{pattern[2]}{pattern[1]}{pattern[0]}"  # z2 z1 z0
+        for level in range(budget.power_mw.shape[1]):
+            rows.append(
+                {
+                    "z2z1z0": label,
+                    "level(x ones)": level,
+                    "selected_bit": int(pattern[level]),
+                    "received_mw": float(budget.power_mw[p, level]),
+                }
+            )
+    rows.append(
+        {
+            "z2z1z0": "'0' band",
+            "level(x ones)": "",
+            "selected_bit": 0,
+            "received_mw": f"{budget.zero_band_mw[0]:.4f}-{budget.zero_band_mw[1]:.4f}",
+        }
+    )
+    rows.append(
+        {
+            "z2z1z0": "'1' band",
+            "level(x ones)": "",
+            "selected_bit": 1,
+            "received_mw": f"{budget.one_band_mw[0]:.4f}-{budget.one_band_mw[1]:.4f}",
+        }
+    )
+    return ExperimentResult(
+        experiment_id="fig5c",
+        title="Fig. 5(c): received optical power, all (z, x) combinations",
+        rows=rows,
+        paper_reference={
+            "zero_band_mw": "0.092-0.099",
+            "one_band_mw": "0.477-0.482",
+        },
+        notes=(
+            "Bands separated -> correct optical SC execution "
+            f"(eye {budget.eye_opening_mw:.3f} mW at 1 mW probes)."
+        ),
+    )
+
+
+@register("pump")
+def pump_sizing() -> ExperimentResult:
+    """Section V-A sizing: minimum pump power and required MZI ER.
+
+    The paper derives 591.8 mW (IL 4.5 dB, OTE 0.1 nm/10 mW, swing
+    2.1 nm) and ER = 13.22 dB.
+    """
+    design = _paper_design()
+    model = TransmissionModel(design.params)
+    rows = [
+        {
+            "quantity": "pump power (mW)",
+            "model": design.pump_power_mw,
+            "paper": 591.8,
+        },
+        {
+            "quantity": "required MZI ER (dB)",
+            "model": design.required_er_db,
+            "paper": 13.22,
+        },
+        {
+            "quantity": "detuning x=00 (nm)",
+            "model": model.filter_detuning_nm(0),
+            "paper": 2.1,
+        },
+        {
+            "quantity": "detuning x=01/10 (nm)",
+            "model": model.filter_detuning_nm(1),
+            "paper": 1.1,
+        },
+        {
+            "quantity": "detuning x=11 (nm)",
+            "model": model.filter_detuning_nm(2),
+            "paper": 0.1,
+        },
+    ]
+    return ExperimentResult(
+        experiment_id="pump",
+        title="Section V-A pump/ER sizing (MRR-first method)",
+        rows=rows,
+        paper_reference={"pump_mw": 591.8, "er_db": 13.22},
+        notes="Closed-form consequences of Eq. 7; match is exact.",
+    )

@@ -1,0 +1,146 @@
+"""Fig. 6 experiments: probe-laser power exploration (MZI-first method).
+
+Regenerates the (IL, ER) grid of Fig. 6(a), the BER sensitivity of
+Fig. 6(b) and the literature-device comparison of Fig. 6(c), all at the
+paper's operating point (0.6 W pump, 2nd order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.design import mzi_first_design
+from ..errors import ReproError
+from ..photonics.devices import DENSE_RING_PROFILE, FIG6C_DEVICES, XIAO_2013
+from ..photonics.mzi import MZIModulator
+from .registry import ExperimentResult, register
+
+__all__ = ["fig6a", "fig6b", "fig6c"]
+
+_PUMP_MW = 600.0
+
+
+def _probe_power(il_db: float, er_db: float, target_ber: float = 1e-6) -> float:
+    mzi = MZIModulator(insertion_loss_db=il_db, extinction_ratio_db=er_db)
+    design = mzi_first_design(
+        order=2,
+        mzi=mzi,
+        pump_power_mw=_PUMP_MW,
+        ring_profile=DENSE_RING_PROFILE,
+        target_ber=target_ber,
+    )
+    return design.probe_power_mw
+
+
+@register("fig6a")
+def fig6a() -> ExperimentResult:
+    """Fig. 6(a): minimum probe power across the (IL, ER) plane.
+
+    Paper: 0.6 W pump, BER 1e-6; the probe power rises with IL and with
+    falling ER; the Xiao et al. point (6.5 dB, 7.5 dB) needs ~0.26 mW.
+    """
+    il_grid = np.linspace(3.0, 7.4, 12)
+    er_grid = np.linspace(4.0, 7.6, 10)
+    rows = []
+    for il in il_grid:
+        for er in er_grid:
+            try:
+                probe = _probe_power(float(il), float(er))
+            except ReproError:
+                probe = float("nan")
+            rows.append(
+                {
+                    "il_db": float(il),
+                    "er_db": float(er),
+                    "probe_mw": probe,
+                }
+            )
+    xiao = _probe_power(6.5, 7.5)
+    rows.append({"il_db": 6.5, "er_db": 7.5, "probe_mw": xiao})
+    return ExperimentResult(
+        experiment_id="fig6a",
+        title="Fig. 6(a): min probe power (mW) vs MZI IL/ER @0.6 W pump, BER 1e-6",
+        rows=rows,
+        paper_reference={
+            "xiao_point_mw": 0.26,
+            "trend": "probe power rises with IL and with decreasing ER",
+            "paper_range_mw": "0.24-0.36",
+        },
+        notes=(
+            f"Model value at the Xiao point: {xiao:.3f} mW (paper 0.26 mW, "
+            "factor ~1.9). Monotone trends reproduce exactly; the absolute "
+            "level sits below the paper because the receiver constants are "
+            "calibrated to the Fig. 7 energy targets (see EXPERIMENTS.md)."
+        ),
+    )
+
+
+@register("fig6b")
+def fig6b() -> ExperimentResult:
+    """Fig. 6(b): minimum probe power vs target BER.
+
+    Paper: relaxing 1e-6 to 1e-2 halves the probe power (a closed-form
+    consequence of Eq. 9).
+    """
+    rows = []
+    reference = None
+    for ber in (1e-2, 1e-4, 1e-6):
+        probe = _probe_power(
+            XIAO_2013.insertion_loss_db,
+            XIAO_2013.extinction_ratio_db,
+            target_ber=ber,
+        )
+        if ber == 1e-6:
+            reference = probe
+        rows.append({"target_ber": ber, "probe_mw": probe})
+    for row in rows:
+        row["relative_to_1e-6"] = row["probe_mw"] / reference
+    return ExperimentResult(
+        experiment_id="fig6b",
+        title="Fig. 6(b): min probe power vs target BER (Xiao MZI, 0.6 W pump)",
+        rows=rows,
+        paper_reference={
+            "claim": "10^-2 BER needs ~50 % of the 10^-6 power",
+        },
+        notes="Ratio follows erfc^-1(2 BER); ~0.49 at 1e-2 as the paper states.",
+    )
+
+
+@register("fig6c")
+def fig6c() -> ExperimentResult:
+    """Fig. 6(c): probe power per literature MZI (speed / shifter length).
+
+    Paper order: Dong (50G/1mm), Thomson (40G/1mm), Dong (40G/4mm),
+    Xiao (60G/0.75mm).  IL/ER of the first three are not published in the
+    paper; assigned values (documented in repro.photonics.devices) stay
+    inside the Fig. 6(a) exploration ranges.
+    """
+    rows = []
+    for device in FIG6C_DEVICES:
+        probe = _probe_power(
+            device.insertion_loss_db, device.extinction_ratio_db
+        )
+        rows.append(
+            {
+                "device": device.name,
+                "speed_gbps": device.modulation_speed_gbps,
+                "psl_mm": device.phase_shifter_length_mm,
+                "il_db": device.insertion_loss_db,
+                "er_db": device.extinction_ratio_db,
+                "probe_mw": probe,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="fig6c",
+        title="Fig. 6(c): min probe power per MZI device (0.6 W pump, BER 1e-6)",
+        rows=rows,
+        paper_reference={
+            "bar_range_mw": "0-0.35",
+            "devices": "Dong 50G/1mm, Thomson 40G/1mm, Dong 40G/4mm, Xiao 60G/0.75mm",
+        },
+        notes=(
+            "IL/ER for the non-Xiao devices are assumptions inside the "
+            "paper's explored ranges; the comparison shape (long-shifter "
+            "device cheapest, lossy Xiao device most expensive) holds."
+        ),
+    )

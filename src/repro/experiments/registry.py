@@ -1,0 +1,98 @@
+"""Experiment registry and the shared result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..reporting.tables import format_table
+
+__all__ = [
+    "ExperimentResult",
+    "register",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Output of one regenerated paper artifact.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry key (``"fig5a"``, ``"fig7b"``, ...).
+    title:
+        Human-readable description referencing the paper artifact.
+    rows:
+        The regenerated table/series, one dict per row.
+    paper_reference:
+        The values the paper reports for the same artifact, for
+        side-by-side comparison (EXPERIMENTS.md is generated from this).
+    notes:
+        Free-text commentary: substitutions, tolerances, deviations.
+    """
+
+    experiment_id: str
+    title: str
+    rows: List[dict]
+    paper_reference: Mapping[str, object] = field(default_factory=dict)
+    notes: str = ""
+
+    def to_text(self, columns: Optional[Sequence[str]] = None) -> str:
+        """Render the result as a printable report block."""
+        parts = [format_table(self.rows, columns=columns, title=self.title)]
+        if self.paper_reference:
+            parts.append("paper reference:")
+            for key, value in self.paper_reference.items():
+                parts.append(f"  {key}: {value}")
+        if self.notes:
+            parts.append(f"notes: {self.notes}")
+        return "\n".join(parts)
+
+
+_REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator adding an experiment callable to the registry."""
+
+    def decorator(func: Callable[[], ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ConfigurationError(
+                f"experiment {experiment_id!r} registered twice"
+            )
+        _REGISTRY[experiment_id] = func
+        return func
+
+    return decorator
+
+
+def _ensure_loaded() -> None:
+    # Import the experiment modules for their registration side effects.
+    from . import extras, fig5, fig6, fig7, headline, spectra  # noqa: F401
+
+
+def list_experiments() -> List[str]:
+    """All registered experiment ids, sorted."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
+    """The callable for one experiment id."""
+    _ensure_loaded()
+    if experiment_id not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[experiment_id]
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment and return its result."""
+    return get_experiment(experiment_id)()

@@ -1,0 +1,66 @@
+"""Fig. 5(a)/(b) spectral curves — the literal plotted series.
+
+``fig5a``/``fig5b`` reproduce the *numbers* the text quotes;
+``fig5spec`` regenerates the *curves* the figure panels draw: the
+through-transmission of each modulator MRR and the drop response of the
+pump-tuned filter across 1547-1550.6 nm, for both panel states.  Export
+with ``python -m repro.experiments fig5spec --csv out/`` and plot
+``transmission`` columns against ``wavelength_nm`` to redraw the figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.design import mrr_first_design
+from ..core.transmission import TransmissionModel
+from .registry import ExperimentResult, register
+
+__all__ = ["fig5_spectra"]
+
+_PANELS = {
+    # label: (z pattern, adder level, paper description)
+    "a": ((0, 1, 0), 2, "z=(0,1,0), x1=x2=1: filter at lambda_2"),
+    "b": ((1, 1, 0), 0, "z=(1,1,0), x1=x2=0: filter at lambda_0"),
+}
+
+
+@register("fig5spec")
+def fig5_spectra(points: int = 181) -> ExperimentResult:
+    """Sampled spectra of every ring for both Fig. 5 panels.
+
+    One row per (panel, wavelength): the three modulator through-curves
+    plus the filter drop-curve, exactly the four traces of each panel.
+    """
+    design = mrr_first_design(order=2, wl_spacing_nm=1.0, probe_power_mw=1.0)
+    model = TransmissionModel(design.params)
+    wavelengths = np.linspace(1547.0, 1550.6, points)
+    rows = []
+    for label, (z, level, description) in _PANELS.items():
+        curves = model.spectrum(list(z), level, wavelengths)
+        for i, wl in enumerate(wavelengths):
+            rows.append(
+                {
+                    "panel": label,
+                    "wavelength_nm": float(wl),
+                    "MRR0": float(curves["MRR0"][i]),
+                    "MRR1": float(curves["MRR1"][i]),
+                    "MRR2": float(curves["MRR2"][i]),
+                    "filter": float(curves["filter"][i]),
+                }
+            )
+    return ExperimentResult(
+        experiment_id="fig5spec",
+        title="Fig. 5(a)/(b): device spectra (4 curves x 2 panels)",
+        rows=rows,
+        paper_reference={
+            "panel_a": _PANELS["a"][2],
+            "panel_b": _PANELS["b"][2],
+            "probes_nm": "1548 / 1549 / 1550 (vertical arrows)",
+        },
+        notes=(
+            "Panel (a): MRR1 detuned (z1=1) so lambda_1 transmits; filter "
+            "resonant at lambda_2.  Panel (b): MRR0/MRR1 detuned, filter "
+            "tuned to lambda_0 by the full pump swing."
+        ),
+    )

@@ -1,0 +1,37 @@
+"""Design-space exploration: sweeps, tradeoffs and scaling studies.
+
+Drives the core models across parameter grids to regenerate the paper's
+exploration figures (Fig. 6, Fig. 7) and the discussion-level studies
+(throughput-accuracy tradeoff, order scaling, gamma-correction case
+study).
+"""
+
+from .sweep import SweepResult, grid_sweep
+from .pareto import pareto_front
+from .tradeoffs import (
+    accuracy_model,
+    stream_length_for_accuracy,
+    throughput_accuracy_frontier,
+)
+from .scaling import (
+    gamma_correction_case_study,
+    order_scaling_table,
+)
+from .sensitivity import headline_energy_sensitivities, relative_sensitivity
+from .parallelism import FootprintModel, max_instances_within_density, parallel_study
+
+__all__ = [
+    "SweepResult",
+    "grid_sweep",
+    "pareto_front",
+    "accuracy_model",
+    "stream_length_for_accuracy",
+    "throughput_accuracy_frontier",
+    "order_scaling_table",
+    "gamma_correction_case_study",
+    "relative_sensitivity",
+    "headline_energy_sensitivities",
+    "FootprintModel",
+    "parallel_study",
+    "max_instances_within_density",
+]

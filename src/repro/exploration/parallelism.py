@@ -1,0 +1,140 @@
+"""Parallel-implementation study (paper Section V-C, closing remark).
+
+"It is also worth mentioning that power density limitation could be
+leveraged using a parallel implementation of the architecture."  This
+module prices that statement: ``P`` independent circuit instances
+multiply the throughput by ``P`` at ``P``-times the laser power, and the
+per-area power density follows from a footprint model of the photonic
+devices (MZI phase shifters dominate; rings are tiny).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..core.design import CircuitDesign
+from ..core.energy import energy_breakdown
+
+__all__ = ["FootprintModel", "ParallelismStudy", "parallel_study"]
+
+
+@dataclass(frozen=True)
+class FootprintModel:
+    """Area model of one circuit instance.
+
+    Parameters
+    ----------
+    mzi_area_mm2:
+        Footprint of one MZI (phase shifter dominated; ~1 mm x 50 um).
+    ring_area_mm2:
+        Footprint of one micro-ring (tens of um on a side).
+    overhead_mm2:
+        Fixed per-instance overhead: couplers, splitter tree, detector,
+        routing.
+    """
+
+    mzi_area_mm2: float = 0.05
+    ring_area_mm2: float = 0.0016
+    overhead_mm2: float = 0.02
+
+    def __post_init__(self) -> None:
+        for name in ("mzi_area_mm2", "ring_area_mm2", "overhead_mm2"):
+            if getattr(self, name) < 0.0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+    def instance_area_mm2(self, order: int) -> float:
+        """Area of one order-*order* instance (n MZIs, n+2 rings)."""
+        if order < 1:
+            raise ConfigurationError(f"order must be >= 1, got {order!r}")
+        return (
+            order * self.mzi_area_mm2
+            + (order + 2) * self.ring_area_mm2
+            + self.overhead_mm2
+        )
+
+
+@dataclass(frozen=True)
+class ParallelismStudy:
+    """Throughput / power / density figures for P parallel instances."""
+
+    instances: int
+    throughput_bits_per_s: float
+    total_wall_power_mw: float
+    total_area_mm2: float
+
+    @property
+    def power_density_mw_per_mm2(self) -> float:
+        """Wall-plug power per chip area — the paper's limiting metric."""
+        return self.total_wall_power_mw / self.total_area_mm2
+
+    @property
+    def throughput_per_power(self) -> float:
+        """Bits per second per wall-plug milliwatt (efficiency figure)."""
+        return self.throughput_bits_per_s / self.total_wall_power_mw
+
+
+def parallel_study(
+    design: CircuitDesign,
+    instances: int,
+    footprint: FootprintModel = FootprintModel(),
+    max_power_density_mw_per_mm2: float = 1000.0,
+) -> ParallelismStudy:
+    """Scale one sized design to *instances* parallel copies.
+
+    Wall-plug power counts the pulse-based pump at its duty-cycled
+    average plus the CW probes, all divided by the lasing efficiency.
+    Raises :class:`ConfigurationError` when the configuration exceeds
+    *max_power_density_mw_per_mm2* — the "power density limitation" the
+    paper alludes to.
+    """
+    if not isinstance(design, CircuitDesign):
+        raise ConfigurationError("design must be a CircuitDesign")
+    if instances < 1:
+        raise ConfigurationError(f"instances must be >= 1, got {instances!r}")
+    params = design.params
+    breakdown = energy_breakdown(params)
+    # Average wall power per instance = energy per bit x bit rate.
+    wall_power_mw = (
+        breakdown.total_energy_j * params.bit_rate_hz * 1e3
+    )
+    total_power = instances * wall_power_mw
+    total_area = instances * footprint.instance_area_mm2(params.order)
+    study = ParallelismStudy(
+        instances=instances,
+        throughput_bits_per_s=instances * params.bit_rate_hz,
+        total_wall_power_mw=total_power,
+        total_area_mm2=total_area,
+    )
+    if study.power_density_mw_per_mm2 > max_power_density_mw_per_mm2:
+        raise ConfigurationError(
+            f"power density {study.power_density_mw_per_mm2:.0f} mW/mm^2 "
+            f"exceeds the {max_power_density_mw_per_mm2:.0f} mW/mm^2 budget"
+        )
+    return study
+
+
+def max_instances_within_density(
+    design: CircuitDesign,
+    footprint: FootprintModel = FootprintModel(),
+    max_power_density_mw_per_mm2: float = 1000.0,
+) -> int:
+    """Largest instance count below the density budget.
+
+    Density is independent of P in this homogeneous model, so the answer
+    is either unbounded (returned as a large sentinel) or zero; the
+    function exists to make that structural fact explicit and to keep a
+    hook for heterogeneous floorplans.
+    """
+    try:
+        parallel_study(
+            design, 1, footprint, max_power_density_mw_per_mm2
+        )
+    except ConfigurationError:
+        return 0
+    return np.iinfo(np.int32).max
+
+
+__all__.append("max_instances_within_density")

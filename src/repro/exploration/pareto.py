@@ -1,0 +1,54 @@
+"""Pareto-front utilities for multi-objective design exploration.
+
+The paper's design space trades conflicting objectives (probe vs pump
+power, energy vs robustness, throughput vs accuracy); the helpers here
+extract the non-dominated frontier from a cloud of candidate designs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["pareto_front", "is_dominated"]
+
+
+def is_dominated(point: np.ndarray, others: np.ndarray) -> bool:
+    """True when some row of *others* is <= *point* everywhere and < somewhere.
+
+    All objectives are minimized.
+    """
+    point = np.asarray(point, dtype=float)
+    others = np.asarray(others, dtype=float)
+    if others.size == 0:
+        return False
+    not_worse = np.all(others <= point, axis=1)
+    strictly_better = np.any(others < point, axis=1)
+    return bool(np.any(not_worse & strictly_better))
+
+
+def pareto_front(points: Sequence[Sequence[float]]) -> np.ndarray:
+    """Indices of the non-dominated points (all objectives minimized).
+
+    Returns indices sorted by the first objective, so plotting the
+    selected points draws the frontier left to right.
+
+    >>> pareto_front([[1, 5], [2, 2], [3, 4], [2, 6]]).tolist()
+    [0, 1]
+    """
+    array = np.asarray(list(points), dtype=float)
+    if array.ndim != 2 or array.shape[0] == 0:
+        raise ConfigurationError("need a non-empty 2-D point cloud")
+    if not np.all(np.isfinite(array)):
+        raise ConfigurationError("points must be finite")
+    keep = []
+    for i in range(array.shape[0]):
+        others = np.delete(array, i, axis=0)
+        if not is_dominated(array[i], others):
+            keep.append(i)
+    keep_array = np.asarray(keep, dtype=int)
+    order = np.argsort(array[keep_array, 0], kind="stable")
+    return keep_array[order]

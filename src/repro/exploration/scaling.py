@@ -1,0 +1,111 @@
+"""Order-scaling studies (paper Fig. 7(b) and the Section V-C case study).
+
+The generic architecture scales to any polynomial degree ``n``; the cost
+is linear in ``n`` for the pump (larger swing) and in ``n + 1`` for the
+probes.  This module produces the Fig. 7(b) table (energy vs order at
+1 nm and optimal spacing) and the gamma-correction case study the paper
+uses to argue the 10x speedup over the 100 MHz electronic ReSC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..constants import PAPER_GAMMA_ORDER, PAPER_RESC_CLOCK_HZ
+from ..errors import ConfigurationError
+from ..core.design import mrr_first_design
+from ..core.energy import energy_breakdown, energy_vs_spacing, optimal_wl_spacing_nm
+from ..photonics.devices import DENSE_RING_PROFILE, RingProfile
+
+__all__ = ["order_scaling_table", "gamma_correction_case_study"]
+
+
+def order_scaling_table(
+    orders: Sequence[int],
+    coarse_spacing_nm: float = 1.0,
+    optimal_spacing_nm: Optional[float] = None,
+    ring_profile: RingProfile = DENSE_RING_PROFILE,
+) -> dict:
+    """The Fig. 7(b) data: energy per bit vs order, 1 nm vs optimal grid.
+
+    When *optimal_spacing_nm* is None the optimum of the smallest order
+    is used for every order — valid because of the paper's
+    order-independence observation (and ~40x faster than re-optimizing
+    per order).
+    """
+    orders = [int(o) for o in orders]
+    if not orders or any(o < 1 for o in orders):
+        raise ConfigurationError("orders must be positive integers")
+    if optimal_spacing_nm is None:
+        optimal_spacing_nm = optimal_wl_spacing_nm(
+            min(orders), ring_profile=ring_profile
+        )
+    coarse = []
+    optimal = []
+    for order in orders:
+        coarse.append(
+            float(
+                energy_vs_spacing(
+                    order, [coarse_spacing_nm], ring_profile=ring_profile
+                )["total_pj"][0]
+            )
+        )
+        optimal.append(
+            float(
+                energy_vs_spacing(
+                    order, [optimal_spacing_nm], ring_profile=ring_profile
+                )["total_pj"][0]
+            )
+        )
+    coarse_array = np.asarray(coarse)
+    optimal_array = np.asarray(optimal)
+    return {
+        "order": np.asarray(orders, dtype=int),
+        "coarse_spacing_nm": float(coarse_spacing_nm),
+        "optimal_spacing_nm": float(optimal_spacing_nm),
+        "coarse_total_pj": coarse_array,
+        "optimal_total_pj": optimal_array,
+        "saving_fraction": 1.0 - optimal_array / coarse_array,
+    }
+
+
+def gamma_correction_case_study(
+    bit_rate_hz: float = 1e9,
+    electronic_clock_hz: float = PAPER_RESC_CLOCK_HZ,
+    stream_length: int = 1024,
+    ring_profile: RingProfile = DENSE_RING_PROFILE,
+) -> dict:
+    """Section V-C application study: 6th-order gamma correction.
+
+    Sizes the order-6 circuit at its optimal spacing and reports energy,
+    per-pixel latency and the speedup over the electronic ReSC baseline
+    (the paper quotes 10x for 1 GHz vs 100 MHz).
+    """
+    if bit_rate_hz <= 0 or electronic_clock_hz <= 0:
+        raise ConfigurationError("rates must be positive")
+    if stream_length <= 0:
+        raise ConfigurationError("stream_length must be positive")
+    order = PAPER_GAMMA_ORDER
+    spacing = optimal_wl_spacing_nm(order, ring_profile=ring_profile)
+    design = mrr_first_design(
+        order=order,
+        wl_spacing_nm=spacing,
+        ring_profile=ring_profile,
+        bit_rate_hz=bit_rate_hz,
+    )
+    breakdown = energy_breakdown(design.params)
+    optical_pixel_time = stream_length / bit_rate_hz
+    electronic_pixel_time = stream_length / electronic_clock_hz
+    return {
+        "order": order,
+        "wl_spacing_nm": spacing,
+        "pump_power_mw": design.pump_power_mw,
+        "probe_power_mw": design.probe_power_mw,
+        "energy_per_bit_pj": breakdown.total_energy_pj,
+        "energy_per_pixel_pj": breakdown.total_energy_pj * stream_length,
+        "optical_pixel_time_s": optical_pixel_time,
+        "electronic_pixel_time_s": electronic_pixel_time,
+        "speedup": electronic_pixel_time / optical_pixel_time,
+    }

@@ -1,0 +1,118 @@
+"""Local sensitivity analysis of the headline metrics.
+
+Which device parameter buys the most energy?  The paper's design-space
+discussion (Section III-B) stresses the "heterogeneity of the involved
+devices"; this module quantifies it: relative sensitivities of the
+energy-per-bit (and any custom metric) to the technology constants —
+OTE, MZI insertion loss, lasing efficiency, guard band, pulse width —
+via central finite differences.  Useful both as a designer's tool and as
+a robustness statement about the calibration (small parameter errors
+move the headline smoothly).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Sequence
+
+from ..errors import ConfigurationError
+from ..core.design import mrr_first_design
+from ..core.energy import energy_breakdown
+from ..photonics.devices import DENSE_RING_PROFILE
+from ..photonics.nonlinear import OpticalTuningEfficiency
+
+__all__ = ["relative_sensitivity", "headline_energy_sensitivities"]
+
+
+def relative_sensitivity(
+    metric: Callable[[float], float],
+    nominal: float,
+    step_fraction: float = 0.02,
+) -> float:
+    """Normalized local sensitivity ``(dM/M) / (dp/p)`` at *nominal*.
+
+    Central difference with a relative step; a value of +1 means the
+    metric scales linearly with the parameter, 0 means locally flat.
+    """
+    if nominal == 0.0:
+        raise ConfigurationError("nominal parameter value must be non-zero")
+    if not 0.0 < step_fraction < 0.5:
+        raise ConfigurationError(
+            f"step_fraction must be in (0, 0.5), got {step_fraction!r}"
+        )
+    step = abs(nominal) * step_fraction
+    up = metric(nominal + step)
+    down = metric(nominal - step)
+    center = metric(nominal)
+    if center == 0.0:
+        raise ConfigurationError("metric is zero at the nominal point")
+    return float(((up - down) / (2.0 * step)) * (nominal / center))
+
+
+def _headline_energy_pj(
+    order: int,
+    spacing_nm: float,
+    *,
+    ote_nm_per_mw: float = 0.01,
+    insertion_loss_db: float = 4.5,
+    guard_nm: float = 0.1,
+    laser_efficiency: float = 0.2,
+    pulse_width_s: float = 26e-12,
+) -> float:
+    design = mrr_first_design(
+        order=order,
+        wl_spacing_nm=spacing_nm,
+        guard_nm=guard_nm,
+        insertion_loss_db=insertion_loss_db,
+        ring_profile=DENSE_RING_PROFILE,
+        ote=OpticalTuningEfficiency(nm_per_mw=ote_nm_per_mw),
+        laser_efficiency=laser_efficiency,
+        pump_pulse_width_s=pulse_width_s,
+    )
+    return energy_breakdown(design.params).total_energy_pj
+
+
+def headline_energy_sensitivities(
+    order: int = 2,
+    spacing_nm: float = 0.165,
+    parameters: Sequence[str] = (
+        "ote_nm_per_mw",
+        "insertion_loss_db",
+        "guard_nm",
+        "laser_efficiency",
+        "pulse_width_s",
+    ),
+    step_fraction: float = 0.02,
+) -> Dict[str, float]:
+    """Relative sensitivities of the energy/bit to each technology knob.
+
+    Expected structure (and what the tests assert):
+
+    * ``laser_efficiency`` ~ -1 (energy inversely proportional to eta);
+    * ``ote_nm_per_mw`` < 0 (better tuning -> less pump power);
+    * ``insertion_loss_db`` > 0 (lossier MZIs -> more pump power);
+    * ``pulse_width_s`` in (0, 1) (scales only the pump share).
+    """
+    nominals: Mapping[str, float] = {
+        "ote_nm_per_mw": 0.01,
+        "insertion_loss_db": 4.5,
+        "guard_nm": 0.1,
+        "laser_efficiency": 0.2,
+        "pulse_width_s": 26e-12,
+    }
+    unknown = [p for p in parameters if p not in nominals]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown parameters {unknown}; choose from {sorted(nominals)}"
+        )
+    sensitivities: Dict[str, float] = {}
+    for name in parameters:
+
+        def metric(value: float, _name=name) -> float:
+            kwargs = {str(k): float(v) for k, v in nominals.items()}
+            kwargs[_name] = value
+            return _headline_energy_pj(order, spacing_nm, **kwargs)
+
+        sensitivities[name] = relative_sensitivity(
+            metric, nominals[name], step_fraction=step_fraction
+        )
+    return sensitivities

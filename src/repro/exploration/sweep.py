@@ -1,0 +1,104 @@
+"""Generic grid-sweep engine.
+
+Evaluates a metric function over the Cartesian product of named parameter
+axes and returns a labeled N-D result — the workhorse behind the
+Fig. 6(a) IL/ER exploration and any custom study a user wants to run.
+Failed evaluations (e.g. infeasible designs) record ``nan`` instead of
+aborting the sweep.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, ReproError
+
+__all__ = ["SweepResult", "grid_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Labeled result of an N-dimensional grid sweep."""
+
+    axes: Tuple[str, ...]
+    grids: Dict[str, np.ndarray]
+    values: np.ndarray
+
+    def axis(self, name: str) -> np.ndarray:
+        """Grid points of one axis."""
+        if name not in self.grids:
+            raise ConfigurationError(
+                f"unknown axis {name!r}; have {list(self.grids)}"
+            )
+        return self.grids[name]
+
+    @property
+    def finite_fraction(self) -> float:
+        """Fraction of sweep points that evaluated successfully."""
+        return float(np.mean(np.isfinite(self.values)))
+
+    def argmin(self) -> dict:
+        """Coordinates and value of the sweep minimum (ignoring nans)."""
+        if not np.any(np.isfinite(self.values)):
+            raise ReproError("sweep produced no finite values")
+        flat = np.nanargmin(self.values)
+        index = np.unravel_index(flat, self.values.shape)
+        coords = {
+            name: float(self.grids[name][i])
+            for name, i in zip(self.axes, index)
+        }
+        coords["value"] = float(self.values[index])
+        return coords
+
+    def argmax(self) -> dict:
+        """Coordinates and value of the sweep maximum (ignoring nans)."""
+        if not np.any(np.isfinite(self.values)):
+            raise ReproError("sweep produced no finite values")
+        flat = np.nanargmax(self.values)
+        index = np.unravel_index(flat, self.values.shape)
+        coords = {
+            name: float(self.grids[name][i])
+            for name, i in zip(self.axes, index)
+        }
+        coords["value"] = float(self.values[index])
+        return coords
+
+
+def grid_sweep(
+    metric: Callable[..., float],
+    **axes: Sequence[float],
+) -> SweepResult:
+    """Evaluate ``metric(**point)`` over the grid product of *axes*.
+
+    Example
+    -------
+    >>> result = grid_sweep(
+    ...     lambda il_db, er_db: il_db + er_db,
+    ...     il_db=[3.0, 4.0],
+    ...     er_db=[5.0, 6.0],
+    ... )
+    >>> result.values.shape
+    (2, 2)
+    """
+    if not axes:
+        raise ConfigurationError("need at least one sweep axis")
+    names = tuple(axes.keys())
+    grids = {name: np.asarray(list(axes[name]), dtype=float) for name in names}
+    for name, grid in grids.items():
+        if grid.size == 0:
+            raise ConfigurationError(f"axis {name!r} is empty")
+    shape = tuple(grids[name].size for name in names)
+    values = np.full(shape, np.nan)
+    for index in itertools.product(*(range(s) for s in shape)):
+        point = {
+            name: float(grids[name][i]) for name, i in zip(names, index)
+        }
+        try:
+            values[index] = float(metric(**point))
+        except ReproError:
+            values[index] = np.nan
+    return SweepResult(axes=names, grids=grids, values=values)

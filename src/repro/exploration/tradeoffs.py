@@ -1,0 +1,111 @@
+"""The throughput-accuracy tradeoff (paper Sections V-B and V-D).
+
+A stochastic computation's output error has two independent sources:
+
+* **randomizer variance**: ``sqrt(p(1-p)/N)`` for stream length ``N``;
+* **transmission bias**: symmetric flips with rate ``BER`` shift the
+  decoded value by ``BER * (1 - 2p)`` (at most ``BER``).
+
+Relaxing the link BER (cheaper probe lasers, Fig. 6(b)) can be bought
+back by streaming more bits — and optical transmission speed makes longer
+streams cheap.  The helpers here quantify that exchange and produce the
+frontier a designer would navigate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..stochastic.accuracy import required_stream_length
+
+__all__ = [
+    "accuracy_model",
+    "stream_length_for_accuracy",
+    "throughput_accuracy_frontier",
+]
+
+
+def accuracy_model(
+    stream_length: int, ber: float, probability: float = 0.5
+) -> float:
+    """RMS output error combining stream variance and BER bias.
+
+    ``error = sqrt( p'(1-p')/N + (BER*(1-2p))^2 )`` with
+    ``p' = p + BER(1-2p)`` the flipped-stream mean.
+    """
+    if stream_length <= 0:
+        raise ConfigurationError("stream_length must be positive")
+    if not 0.0 <= ber <= 0.5:
+        raise ConfigurationError(f"ber must be in [0, 0.5], got {ber!r}")
+    if not 0.0 <= probability <= 1.0:
+        raise ConfigurationError("probability must be in [0, 1]")
+    p_eff = probability + ber * (1.0 - 2.0 * probability)
+    variance = p_eff * (1.0 - p_eff) / stream_length
+    bias = ber * (1.0 - 2.0 * probability)
+    return math.sqrt(variance + bias * bias)
+
+
+def stream_length_for_accuracy(
+    target_rms_error: float, ber: float, probability: float = 0.5
+) -> int:
+    """Stream length needed for *target_rms_error* at a given link BER.
+
+    Inverts :func:`accuracy_model`; raises
+    :class:`ConfigurationError` when the BER bias alone exceeds the
+    target (no stream length can fix a bias).
+    """
+    if target_rms_error <= 0.0:
+        raise ConfigurationError("target_rms_error must be positive")
+    if not 0.0 <= ber <= 0.5:
+        raise ConfigurationError(f"ber must be in [0, 0.5], got {ber!r}")
+    bias = ber * (1.0 - 2.0 * probability)
+    remaining = target_rms_error**2 - bias * bias
+    if remaining <= 0.0:
+        raise ConfigurationError(
+            f"BER bias {abs(bias):.2e} alone exceeds the error target "
+            f"{target_rms_error:.2e}; lower the BER instead"
+        )
+    p_eff = probability + ber * (1.0 - 2.0 * probability)
+    variance_per_bit = p_eff * (1.0 - p_eff)
+    return max(1, math.ceil(variance_per_bit / remaining))
+
+
+def throughput_accuracy_frontier(
+    bers: Sequence[float],
+    target_rms_error: float = 0.01,
+    bit_rate_hz: float = 1e9,
+    probability: float = 0.25,
+) -> dict:
+    """The designer's frontier: link BER vs evaluation latency.
+
+    For each candidate BER, computes the stream length restoring the
+    accuracy target and the resulting evaluation time at *bit_rate_hz*.
+    Combined with Fig. 6(b)'s probe-power-vs-BER curve this exposes the
+    full energy/latency/accuracy exchange.
+    """
+    bers = np.asarray(list(bers), dtype=float)
+    if bers.size == 0:
+        raise ConfigurationError("need at least one BER")
+    lengths = []
+    for ber in bers:
+        try:
+            lengths.append(
+                stream_length_for_accuracy(
+                    target_rms_error, float(ber), probability
+                )
+            )
+        except ConfigurationError:
+            lengths.append(np.iinfo(np.int64).max)
+    lengths_array = np.asarray(lengths, dtype=float)
+    return {
+        "ber": bers,
+        "stream_length": lengths_array,
+        "evaluation_time_s": lengths_array / bit_rate_hz,
+        "baseline_length": float(
+            required_stream_length(target_rms_error * 2.0)
+        ),
+    }

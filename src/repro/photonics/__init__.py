@@ -1,0 +1,54 @@
+"""Silicon-photonics device substrate.
+
+Analytical models for every optical device the DATE'19 architecture is built
+from: micro-ring resonators (modulator and all-optical add-drop filter,
+Eqs. 2-3 of the paper), Mach-Zehnder interferometers (Eq. 7b), the
+two-photon-absorption tuning effect (Eq. 4), lasers, photodetectors and the
+passive distribution network.
+"""
+
+from .geometry import RingGeometry
+from .ring import (
+    RingParameters,
+    add_drop_fwhm_nm,
+    design_add_drop_ring,
+    design_modulator_ring,
+    drop_transmission,
+    round_trip_phase,
+    through_transmission,
+)
+from .mzi import MZIModulator
+from .nonlinear import OpticalTuningEfficiency, effective_index, tpa_wavelength_shift_nm
+from .laser import CWLaser, LaserBank, PulsedLaser
+from .photodetector import AvalanchePhotodetector, Photodetector
+from .thermal import ThermalTuner
+from .waveguide import BandPassFilter, Coupler, Splitter, Waveguide
+from .wdm import WDMGrid
+from . import devices
+
+__all__ = [
+    "RingGeometry",
+    "RingParameters",
+    "round_trip_phase",
+    "through_transmission",
+    "drop_transmission",
+    "add_drop_fwhm_nm",
+    "design_modulator_ring",
+    "design_add_drop_ring",
+    "MZIModulator",
+    "OpticalTuningEfficiency",
+    "effective_index",
+    "tpa_wavelength_shift_nm",
+    "CWLaser",
+    "PulsedLaser",
+    "LaserBank",
+    "Photodetector",
+    "AvalanchePhotodetector",
+    "Splitter",
+    "Coupler",
+    "Waveguide",
+    "BandPassFilter",
+    "ThermalTuner",
+    "WDMGrid",
+    "devices",
+]

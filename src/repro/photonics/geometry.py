@@ -1,0 +1,139 @@
+"""Micro-ring resonator geometry.
+
+Connects the physical layout of a ring (radius, effective and group index)
+to the spectral quantities used by the transfer-function models in
+:mod:`repro.photonics.ring`: free spectral range, resonance comb and exact
+round-trip phase.  The transmission model of the paper only needs the
+*detuning-relative* phase ``theta = 2*pi*(lambda - lambda_res)/FSR``; this
+module provides the exact dispersive phase as well so that the
+approximation can be validated (see ``tests/test_geometry.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import ArrayLike, validate_positive
+
+__all__ = ["RingGeometry"]
+
+
+@dataclass(frozen=True)
+class RingGeometry:
+    """Physical description of a circular micro-ring resonator.
+
+    Parameters
+    ----------
+    radius_um:
+        Ring radius (um).  Silicon micro-rings are typically 5-20 um.
+    effective_index:
+        Phase effective index ``n_eff`` of the bent waveguide mode.
+    group_index:
+        Group index ``n_g`` governing the free spectral range.  For silicon
+        wire waveguides ``n_g`` is around 4.2-4.4.
+    """
+
+    radius_um: float
+    effective_index: float = 2.4
+    group_index: float = 4.3
+
+    def __post_init__(self) -> None:
+        validate_positive(self.radius_um, "radius_um")
+        validate_positive(self.effective_index, "effective_index")
+        validate_positive(self.group_index, "group_index")
+        if self.group_index < self.effective_index:
+            raise ConfigurationError(
+                "group_index must be >= effective_index for a normally "
+                f"dispersive waveguide (got n_g={self.group_index} < "
+                f"n_eff={self.effective_index})"
+            )
+
+    @property
+    def round_trip_length_um(self) -> float:
+        """Circumference ``2*pi*R`` of the ring (um)."""
+        return 2.0 * math.pi * self.radius_um
+
+    def fsr_nm(self, wavelength_nm: float) -> float:
+        """Free spectral range ``FSR = lambda^2 / (n_g * L)`` (nm)."""
+        validate_positive(wavelength_nm, "wavelength_nm")
+        length_nm = self.round_trip_length_um * 1e3
+        return wavelength_nm**2 / (self.group_index * length_nm)
+
+    @classmethod
+    def for_fsr(
+        cls,
+        fsr_nm: float,
+        wavelength_nm: float = 1550.0,
+        effective_index: float = 2.4,
+        group_index: float = 4.3,
+    ) -> "RingGeometry":
+        """Build the geometry whose FSR at *wavelength_nm* equals *fsr_nm*."""
+        validate_positive(fsr_nm, "fsr_nm")
+        validate_positive(wavelength_nm, "wavelength_nm")
+        length_nm = wavelength_nm**2 / (group_index * fsr_nm)
+        radius_um = length_nm / 1e3 / (2.0 * math.pi)
+        return cls(
+            radius_um=radius_um,
+            effective_index=effective_index,
+            group_index=group_index,
+        )
+
+    def round_trip_phase(self, wavelength_nm: ArrayLike) -> ArrayLike:
+        """Exact round-trip phase ``theta = 2*pi*n_eff(lambda)*L/lambda``.
+
+        A first-order dispersion model is used:
+        ``n_eff(lambda) = n_eff(l0) - (n_g - n_eff)*(lambda - l0)/l0`` with
+        ``l0`` the reference 1550 nm, which reproduces the group-index FSR.
+        """
+        wavelength_nm = np.asarray(wavelength_nm, dtype=float)
+        if np.any(wavelength_nm <= 0.0):
+            raise ConfigurationError("wavelength must be positive")
+        reference_nm = 1550.0
+        n_eff = self.effective_index - (self.group_index - self.effective_index) * (
+            wavelength_nm - reference_nm
+        ) / reference_nm
+        length_nm = self.round_trip_length_um * 1e3
+        return 2.0 * math.pi * n_eff * length_nm / wavelength_nm
+
+    def resonance_order(self, wavelength_nm: float) -> int:
+        """Longitudinal mode order ``m`` of the resonance nearest *wavelength_nm*."""
+        theta = float(self.round_trip_phase(wavelength_nm))
+        order = int(round(theta / (2.0 * math.pi)))
+        if order < 1:
+            raise ConfigurationError(
+                f"no physical resonance order at {wavelength_nm} nm"
+            )
+        return order
+
+    def resonance_wavelengths_nm(
+        self, lower_nm: float, upper_nm: float
+    ) -> np.ndarray:
+        """All resonance wavelengths of the comb inside ``[lower, upper]`` (nm).
+
+        Resonances satisfy ``round_trip_phase(lambda) = 2*pi*m``; they are
+        located by bisection on the (monotonically decreasing) phase.
+        """
+        if not 0.0 < lower_nm < upper_nm:
+            raise ConfigurationError("need 0 < lower_nm < upper_nm")
+        phase_hi = float(self.round_trip_phase(lower_nm))
+        phase_lo = float(self.round_trip_phase(upper_nm))
+        orders = np.arange(
+            math.ceil(phase_lo / (2 * math.pi)),
+            math.floor(phase_hi / (2 * math.pi)) + 1,
+        )
+        resonances = []
+        for order in orders:
+            target = 2.0 * math.pi * order
+            lo, hi = lower_nm, upper_nm
+            for _ in range(80):
+                mid = 0.5 * (lo + hi)
+                if float(self.round_trip_phase(mid)) > target:
+                    lo = mid
+                else:
+                    hi = mid
+            resonances.append(0.5 * (lo + hi))
+        return np.sort(np.asarray(resonances, dtype=float))

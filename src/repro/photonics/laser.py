@@ -1,0 +1,167 @@
+"""Laser source models: CW probes, pulsed pump, and probe banks.
+
+The energy study of the paper (Section V-C) distinguishes:
+
+* ``n + 1`` continuous-wave **probe lasers**, one per coefficient channel,
+  that stay on for the whole bit period, and
+* one **pump laser** that can be operated pulse-based (26 ps pulses [15]),
+  paying energy only during the pulse.
+
+Wall-plug energy is optical energy divided by the lasing efficiency
+``eta`` (20 % in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..constants import PAPER_LASING_EFFICIENCY, PAPER_PULSE_WIDTH_S
+from ..errors import ConfigurationError
+from ..units import validate_fraction, validate_non_negative, validate_positive
+
+__all__ = ["CWLaser", "PulsedLaser", "LaserBank"]
+
+
+@dataclass(frozen=True)
+class CWLaser:
+    """Continuous-wave laser emitting *power_mw* at *wavelength_nm*.
+
+    Parameters
+    ----------
+    power_mw:
+        Emitted optical power (mW).
+    wavelength_nm:
+        Emission wavelength (nm).
+    efficiency:
+        Wall-plug (lasing) efficiency ``eta`` in (0, 1].
+    """
+
+    power_mw: float
+    wavelength_nm: float = 1550.0
+    efficiency: float = PAPER_LASING_EFFICIENCY
+
+    def __post_init__(self) -> None:
+        validate_non_negative(self.power_mw, "power_mw")
+        validate_positive(self.wavelength_nm, "wavelength_nm")
+        validate_fraction(self.efficiency, "efficiency")
+
+    @property
+    def electrical_power_mw(self) -> float:
+        """Wall-plug power draw (mW)."""
+        return self.power_mw / self.efficiency
+
+    def optical_energy_per_bit_j(self, bit_rate_hz: float) -> float:
+        """Optical energy emitted during one bit period (J)."""
+        validate_positive(bit_rate_hz, "bit_rate_hz")
+        return self.power_mw * 1e-3 / bit_rate_hz
+
+    def energy_per_bit_j(self, bit_rate_hz: float) -> float:
+        """Wall-plug energy consumed during one bit period (J)."""
+        return self.optical_energy_per_bit_j(bit_rate_hz) / self.efficiency
+
+
+@dataclass(frozen=True)
+class PulsedLaser:
+    """Pulse-based laser: emits *peak_power_mw* for *pulse_width_s* per bit.
+
+    Models the 26 ps pump pulses of Van et al. [15] used in Section V-C to
+    cut the pump energy: the filter only needs to be tuned while the probe
+    bit is sampled, so the pump duty cycle is ``pulse_width * bit_rate``.
+    """
+
+    peak_power_mw: float
+    pulse_width_s: float = PAPER_PULSE_WIDTH_S
+    efficiency: float = PAPER_LASING_EFFICIENCY
+    wavelength_nm: float = 1550.0
+
+    def __post_init__(self) -> None:
+        validate_non_negative(self.peak_power_mw, "peak_power_mw")
+        validate_positive(self.pulse_width_s, "pulse_width_s")
+        validate_fraction(self.efficiency, "efficiency")
+        validate_positive(self.wavelength_nm, "wavelength_nm")
+
+    def duty_cycle(self, bit_rate_hz: float) -> float:
+        """Fraction of the bit period during which the laser emits."""
+        validate_positive(bit_rate_hz, "bit_rate_hz")
+        duty = self.pulse_width_s * bit_rate_hz
+        if duty > 1.0:
+            raise ConfigurationError(
+                f"pulse width {self.pulse_width_s} s does not fit in the "
+                f"{1.0 / bit_rate_hz} s bit period"
+            )
+        return duty
+
+    @property
+    def optical_energy_per_pulse_j(self) -> float:
+        """Optical energy in a single pulse (J)."""
+        return self.peak_power_mw * 1e-3 * self.pulse_width_s
+
+    @property
+    def energy_per_pulse_j(self) -> float:
+        """Wall-plug energy per pulse (J)."""
+        return self.optical_energy_per_pulse_j / self.efficiency
+
+    def energy_per_bit_j(self, bit_rate_hz: float) -> float:
+        """Wall-plug energy per computed bit (one pulse per bit) (J)."""
+        self.duty_cycle(bit_rate_hz)  # validates the pulse fits
+        return self.energy_per_pulse_j
+
+    def average_power_mw(self, bit_rate_hz: float) -> float:
+        """Time-averaged optical power at the given bit rate (mW)."""
+        return self.peak_power_mw * self.duty_cycle(bit_rate_hz)
+
+
+@dataclass(frozen=True)
+class LaserBank:
+    """A bank of CW probe lasers, one per WDM coefficient channel."""
+
+    lasers: tuple
+
+    def __init__(self, lasers: Sequence[CWLaser]):
+        if not lasers:
+            raise ConfigurationError("LaserBank needs at least one laser")
+        object.__setattr__(self, "lasers", tuple(lasers))
+
+    def __len__(self) -> int:
+        return len(self.lasers)
+
+    @property
+    def total_power_mw(self) -> float:
+        """Aggregate optical power of the bank (mW)."""
+        return sum(laser.power_mw for laser in self.lasers)
+
+    @property
+    def total_electrical_power_mw(self) -> float:
+        """Aggregate wall-plug power of the bank (mW)."""
+        return sum(laser.electrical_power_mw for laser in self.lasers)
+
+    def energy_per_bit_j(self, bit_rate_hz: float) -> float:
+        """Aggregate wall-plug energy per bit period (J)."""
+        return sum(laser.energy_per_bit_j(bit_rate_hz) for laser in self.lasers)
+
+    @classmethod
+    def uniform(
+        cls,
+        count: int,
+        power_mw: float,
+        wavelengths_nm: Sequence[float],
+        efficiency: float = PAPER_LASING_EFFICIENCY,
+    ) -> "LaserBank":
+        """Bank of *count* identical-power probes on the given wavelengths."""
+        if count <= 0:
+            raise ConfigurationError("count must be positive")
+        if len(wavelengths_nm) != count:
+            raise ConfigurationError(
+                f"need {count} wavelengths, got {len(wavelengths_nm)}"
+            )
+        return cls(
+            [
+                CWLaser(
+                    power_mw=power_mw,
+                    wavelength_nm=wavelength,
+                    efficiency=efficiency,
+                )
+                for wavelength in wavelengths_nm
+            ]
+        )

@@ -1,0 +1,129 @@
+"""Mach-Zehnder interferometer modulator model (paper Fig. 2(a), Eq. 7b).
+
+In the DATE'19 adder, each MZI is driven by one stochastic data bit
+``x_i``.  The constructive state (``x = 0``) transmits the pump with only
+the insertion loss ``IL``; the destructive state (``x = 1``) additionally
+attenuates it by the extinction ratio ``ER``:
+
+``T_MZI(0) = IL%`` and ``T_MZI(1) = IL% * ER%``            (Eq. 7b)
+
+where ``IL% = 10^(-IL_dB/10)`` and ``ER% = 10^(-ER_dB/10)`` (so ``ER%`` is
+the *inverse* extinction ratio, a fraction < 1).  A continuous
+phase-domain transfer is also provided for transient simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import ArrayLike, db_loss_to_transmission, validate_positive
+
+__all__ = ["MZIModulator"]
+
+
+@dataclass(frozen=True)
+class MZIModulator:
+    """A 1x1 MZI modulator characterized by insertion loss and extinction.
+
+    Parameters
+    ----------
+    insertion_loss_db:
+        Fraction of optical power lost in the constructive state (dB >= 0).
+    extinction_ratio_db:
+        Ratio of constructive (ON) to destructive (OFF) output power (dB > 0).
+    modulation_speed_gbps:
+        Demonstrated modulation speed (Gb/s); metadata used by the
+        throughput/energy studies (Fig. 6(c)).
+    phase_shifter_length_mm:
+        Phase shifter length (mm); metadata for area discussion (Fig. 6(c)).
+    name:
+        Optional literature label (e.g. ``"Ziebell et al. 2012"``).
+    """
+
+    insertion_loss_db: float
+    extinction_ratio_db: float
+    modulation_speed_gbps: Optional[float] = None
+    phase_shifter_length_mm: Optional[float] = None
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.insertion_loss_db < 0.0:
+            raise ConfigurationError(
+                f"insertion_loss_db must be >= 0, got {self.insertion_loss_db!r}"
+            )
+        validate_positive(self.extinction_ratio_db, "extinction_ratio_db")
+        if self.modulation_speed_gbps is not None:
+            validate_positive(self.modulation_speed_gbps, "modulation_speed_gbps")
+        if self.phase_shifter_length_mm is not None:
+            validate_positive(self.phase_shifter_length_mm, "phase_shifter_length_mm")
+
+    # -- linear-scale characteristics ----------------------------------------
+
+    @property
+    def il_fraction(self) -> float:
+        """Constructive-state power transmission ``IL%`` (paper notation)."""
+        return float(db_loss_to_transmission(self.insertion_loss_db))
+
+    @property
+    def er_fraction(self) -> float:
+        """Destructive/constructive power ratio ``ER%`` (< 1, paper notation)."""
+        return float(db_loss_to_transmission(self.extinction_ratio_db))
+
+    # -- transfer functions ---------------------------------------------------
+
+    def transmission(self, bit: ArrayLike) -> ArrayLike:
+        """Eq. 7b: power transmission for data bit(s) ``x in {0, 1}``.
+
+        Accepts scalars or arrays of 0/1 values (booleans or integers).
+        """
+        bit = np.asarray(bit)
+        if not np.all((bit == 0) | (bit == 1)):
+            raise ConfigurationError("MZI data bits must be 0 or 1")
+        bit = bit.astype(float)
+        value = self.il_fraction * (
+            (1.0 - bit) + bit * self.er_fraction
+        )
+        if value.ndim == 0:
+            return float(value)
+        return value
+
+    def phase_transmission(self, phase_shift_rad: ArrayLike) -> ArrayLike:
+        """Continuous interferometric transfer for transient simulation.
+
+        ``T(phi) = IL% * [(1 + ER%)/2 + (1 - ER%)/2 * cos(phi)]``
+
+        satisfies ``T(0) = IL%`` (constructive) and ``T(pi) = IL% * ER%``
+        (destructive), matching Eq. 7b at the two digital operating points
+        while modeling finite rise/fall trajectories in between.
+        """
+        phase = np.asarray(phase_shift_rad, dtype=float)
+        il, er = self.il_fraction, self.er_fraction
+        value = il * ((1.0 + er) / 2.0 + (1.0 - er) / 2.0 * np.cos(phase))
+        if value.ndim == 0:
+            return float(value)
+        return value
+
+    def mean_transmission(self, ones_probability: float) -> float:
+        """Expected transmission for a stochastic input of given probability.
+
+        For a bit-stream with ``P(x=1) = p`` the time-averaged pump
+        transmission is ``IL% * (1 - p*(1 - ER%))`` — the quantity that sets
+        the average filter detuning in the stochastic regime.
+        """
+        if not 0.0 <= ones_probability <= 1.0:
+            raise ConfigurationError("ones_probability must be in [0, 1]")
+        return self.il_fraction * (
+            1.0 - ones_probability * (1.0 - self.er_fraction)
+        )
+
+    def bit_period_s(self) -> float:
+        """Bit period implied by the demonstrated modulation speed (s)."""
+        if self.modulation_speed_gbps is None:
+            raise ConfigurationError(
+                "modulation_speed_gbps not set for this MZI device"
+            )
+        return 1.0 / (self.modulation_speed_gbps * 1e9)

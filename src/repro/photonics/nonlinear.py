@@ -1,0 +1,150 @@
+"""All-optical (two-photon absorption) tuning of a micro-ring (Eq. 4).
+
+A high-intensity pump injected into the add-drop filter shifts its
+effective index through TPA-generated free carriers:
+
+``n_eff = n0 + n2 * P / S``                                   (Eq. 4)
+
+which blue-shifts the resonance proportionally to pump power.  The paper
+works with the *linearized* figure of merit OTE (optical tuning
+efficiency, nm/mW) quoting Van et al. [14]: a 0.1 nm shift for a 10 mW
+average pump.  Both the physical and linearized forms are provided here;
+the rest of the library consumes :class:`OpticalTuningEfficiency`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..constants import PAPER_OTE_NM_PER_MW
+from ..errors import ConfigurationError, PhysicalModelError
+from ..units import ArrayLike, validate_positive
+
+__all__ = [
+    "effective_index",
+    "tpa_wavelength_shift_nm",
+    "OpticalTuningEfficiency",
+]
+
+
+def effective_index(
+    n0: float, n2_m2_per_w: float, pump_power_w: ArrayLike, cross_section_m2: float
+) -> ArrayLike:
+    """Paper Eq. (4): intensity-dependent effective index.
+
+    Parameters
+    ----------
+    n0:
+        Linear effective index.
+    n2_m2_per_w:
+        Non-linear index coefficient (m^2/W); note the paper's sign
+        convention folds the carrier-induced *blue* shift into the spectral
+        model, so a positive ``n2`` here simply scales the shift magnitude.
+    pump_power_w:
+        Pump power (W), scalar or array.
+    cross_section_m2:
+        Effective cross-sectional area ``S`` of the filter waveguide (m^2).
+    """
+    validate_positive(n0, "n0")
+    validate_positive(cross_section_m2, "cross_section_m2")
+    pump = np.asarray(pump_power_w, dtype=float)
+    if np.any(pump < 0.0):
+        raise ConfigurationError("pump power must be >= 0")
+    return n0 + n2_m2_per_w * pump / cross_section_m2
+
+
+def tpa_wavelength_shift_nm(
+    wavelength_nm: float,
+    group_index: float,
+    n2_m2_per_w: float,
+    pump_power_w: ArrayLike,
+    cross_section_m2: float,
+) -> ArrayLike:
+    """Resonance shift implied by Eq. 4: ``d_lambda = lambda * d_n / n_g``.
+
+    The fractional resonance shift of a ring equals the fractional
+    effective-index change divided by the group index (first-order
+    perturbation), giving the physical underpinning of the linear OTE.
+    """
+    validate_positive(wavelength_nm, "wavelength_nm")
+    validate_positive(group_index, "group_index")
+    validate_positive(cross_section_m2, "cross_section_m2")
+    pump = np.asarray(pump_power_w, dtype=float)
+    if np.any(pump < 0.0):
+        raise ConfigurationError("pump power must be >= 0")
+    delta_n = n2_m2_per_w * pump / cross_section_m2
+    return wavelength_nm * delta_n / group_index
+
+
+@dataclass(frozen=True)
+class OpticalTuningEfficiency:
+    """Linearized all-optical tuning: shift (nm) per pump power (mW).
+
+    Parameters
+    ----------
+    nm_per_mw:
+        Tuning slope.  The paper assumes 0.1 nm / 10 mW = 0.01 nm/mW [14].
+    max_shift_nm:
+        Optional saturation bound.  Real carrier-plasma tuning saturates;
+        when set, requesting shifts beyond it raises
+        :class:`PhysicalModelError`, and :meth:`shift_nm` clips with a
+        warning flag instead of silently extrapolating.
+    """
+
+    nm_per_mw: float = PAPER_OTE_NM_PER_MW
+    max_shift_nm: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        validate_positive(self.nm_per_mw, "nm_per_mw")
+        if self.max_shift_nm is not None:
+            validate_positive(self.max_shift_nm, "max_shift_nm")
+
+    def shift_nm(self, pump_power_mw: ArrayLike) -> ArrayLike:
+        """Blue shift (nm, positive number) produced by *pump_power_mw*."""
+        pump = np.asarray(pump_power_mw, dtype=float)
+        if np.any(pump < 0.0):
+            raise ConfigurationError("pump power must be >= 0")
+        shift = self.nm_per_mw * pump
+        if self.max_shift_nm is not None:
+            if np.any(shift > self.max_shift_nm):
+                raise PhysicalModelError(
+                    "requested all-optical shift exceeds the saturation bound "
+                    f"({self.max_shift_nm} nm); increase OTE or reduce pump"
+                )
+        if shift.ndim == 0:
+            return float(shift)
+        return shift
+
+    def required_power_mw(self, shift_nm: ArrayLike) -> ArrayLike:
+        """Pump power (mW) needed to achieve *shift_nm* of blue shift."""
+        shift = np.asarray(shift_nm, dtype=float)
+        if np.any(shift < 0.0):
+            raise ConfigurationError("shift must be >= 0")
+        if self.max_shift_nm is not None and np.any(shift > self.max_shift_nm):
+            raise PhysicalModelError(
+                f"shift beyond saturation bound ({self.max_shift_nm} nm)"
+            )
+        power = shift / self.nm_per_mw
+        if power.ndim == 0:
+            return float(power)
+        return power
+
+    @classmethod
+    def from_physics(
+        cls,
+        wavelength_nm: float,
+        group_index: float,
+        n2_m2_per_w: float,
+        cross_section_m2: float,
+        max_shift_nm: Optional[float] = None,
+    ) -> "OpticalTuningEfficiency":
+        """Derive the linear OTE from the Eq. 4 device physics."""
+        shift_per_w = float(
+            tpa_wavelength_shift_nm(
+                wavelength_nm, group_index, n2_m2_per_w, 1.0, cross_section_m2
+            )
+        )
+        return cls(nm_per_mw=shift_per_w * 1e-3, max_shift_nm=max_shift_nm)

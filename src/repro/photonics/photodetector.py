@@ -1,0 +1,149 @@
+"""Photodetector models: PIN detector and avalanche extension.
+
+The paper's receiver model (Eq. 8) needs only two device figures: the
+responsivity ``R`` (A/W) and the internal noise current ``i_n`` (A, RMS).
+The SNR of an on-off-keyed link is the photocurrent swing divided by the
+noise current; Eq. 9 then maps SNR to BER.
+
+The avalanche photodetector of Steindl et al. [21] (paper future work,
+Section V-D) is modeled with an internal gain and a McIntyre excess-noise
+factor so that the benefit of high responsivity can be quantified.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import ArrayLike, validate_positive
+
+__all__ = ["Photodetector", "AvalanchePhotodetector"]
+
+
+@dataclass(frozen=True)
+class Photodetector:
+    """PIN photodetector with responsivity and a lumped noise current.
+
+    Parameters
+    ----------
+    responsivity_a_per_w:
+        Photocurrent per optical watt (A/W).
+    noise_current_a:
+        RMS internal noise current ``i_n`` (A), lumping thermal and dark
+        contributions over the receiver bandwidth.
+    """
+
+    responsivity_a_per_w: float
+    noise_current_a: float
+
+    def __post_init__(self) -> None:
+        validate_positive(self.responsivity_a_per_w, "responsivity_a_per_w")
+        validate_positive(self.noise_current_a, "noise_current_a")
+
+    def photocurrent_a(self, power_mw: ArrayLike) -> ArrayLike:
+        """Mean photocurrent (A) for incident optical *power_mw*."""
+        power = np.asarray(power_mw, dtype=float)
+        if np.any(power < 0.0):
+            raise ConfigurationError("optical power must be >= 0")
+        current = self.responsivity_a_per_w * power * 1e-3
+        if current.ndim == 0:
+            return float(current)
+        return current
+
+    def snr(self, high_power_mw: float, low_power_mw: float) -> float:
+        """Electrical SNR of an OOK swing: ``(I1 - I0) / i_n`` (Eq. 8 form).
+
+        *high_power_mw* must exceed *low_power_mw*; a non-positive swing
+        means the eye is closed and no SNR is defined.
+        """
+        if high_power_mw <= low_power_mw:
+            raise ConfigurationError(
+                "high power must exceed low power for a defined SNR "
+                f"(got high={high_power_mw}, low={low_power_mw})"
+            )
+        swing_a = self.photocurrent_a(high_power_mw) - self.photocurrent_a(
+            low_power_mw
+        )
+        return swing_a / self.noise_current_a
+
+    def sample(
+        self,
+        power_mw: ArrayLike,
+        rng: np.random.Generator,
+    ) -> ArrayLike:
+        """Draw noisy photocurrent samples (A): mean + Gaussian ``i_n``."""
+        mean = np.asarray(self.photocurrent_a(power_mw), dtype=float)
+        noise = rng.normal(0.0, self.noise_current_a, size=mean.shape)
+        return mean + noise
+
+    def decide(
+        self,
+        current_a: ArrayLike,
+        threshold_a: float,
+    ) -> ArrayLike:
+        """Threshold detection: 1 where the current exceeds *threshold_a*."""
+        current = np.asarray(current_a, dtype=float)
+        bits = (current > threshold_a).astype(np.uint8)
+        if bits.ndim == 0:
+            return int(bits)
+        return bits
+
+    def midpoint_threshold_a(
+        self, high_power_mw: float, low_power_mw: float
+    ) -> float:
+        """Optimal OOK threshold for equal Gaussian noise on both levels."""
+        high = float(self.photocurrent_a(high_power_mw))
+        low = float(self.photocurrent_a(low_power_mw))
+        return 0.5 * (high + low)
+
+
+@dataclass(frozen=True)
+class AvalanchePhotodetector(Photodetector):
+    """Avalanche photodetector (Steindl et al. [21]) with internal gain.
+
+    The effective responsivity is multiplied by the avalanche *gain*; the
+    avalanche process multiplies the signal-dependent noise by the McIntyre
+    excess-noise factor ``F(M) = k*M + (1 - k)*(2 - 1/M)``, so the SNR gain
+    saturates for large ``M``.
+    """
+
+    gain: float = 10.0
+    ionization_ratio: float = 0.1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.gain < 1.0:
+            raise ConfigurationError(f"gain must be >= 1, got {self.gain!r}")
+        if not 0.0 <= self.ionization_ratio <= 1.0:
+            raise ConfigurationError("ionization_ratio must be in [0, 1]")
+
+    @property
+    def excess_noise_factor(self) -> float:
+        """McIntyre excess-noise factor ``F(M)``."""
+        m, k = self.gain, self.ionization_ratio
+        return k * m + (1.0 - k) * (2.0 - 1.0 / m)
+
+    def photocurrent_a(self, power_mw: ArrayLike) -> ArrayLike:
+        """Mean multiplied photocurrent (A)."""
+        base = super().photocurrent_a(power_mw)
+        value = np.asarray(base, dtype=float) * self.gain
+        if value.ndim == 0:
+            return float(value)
+        return value
+
+    def snr(self, high_power_mw: float, low_power_mw: float) -> float:
+        """SNR with avalanche gain and excess noise on the noise floor."""
+        if high_power_mw <= low_power_mw:
+            raise ConfigurationError(
+                "high power must exceed low power for a defined SNR"
+            )
+        swing_a = self.photocurrent_a(high_power_mw) - self.photocurrent_a(
+            low_power_mw
+        )
+        effective_noise = self.noise_current_a * math.sqrt(
+            self.excess_noise_factor
+        )
+        return swing_a / effective_noise

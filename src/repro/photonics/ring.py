@@ -1,0 +1,297 @@
+"""Micro-ring resonator transfer functions (paper Eqs. 2 and 3).
+
+Two configurations are used by the DATE'19 architecture:
+
+* **modulator** (Fig. 2(b)): an MRR coupled to the coefficient waveguide.
+  The *through* transmission ``phi_t`` (Eq. 2) attenuates the probe when the
+  ring is on resonance (coefficient ``z = 0``) and passes it when the ring
+  is blue-shifted by ``delta_lambda`` (``z = 1``).
+* **all-optical add-drop filter** (Fig. 2(c)): the multiplexer.  The *drop*
+  transmission ``phi_d`` (Eq. 3) extracts the probe channel whose
+  wavelength matches the pump-tuned resonance.
+
+Both equations share the round-trip quantities: self-coupling coefficients
+``r1``/``r2``, single-pass amplitude transmission ``a`` and single-pass
+phase ``theta``.  Following the paper, the phase is expressed relative to
+the resonance: ``theta = 2*pi*(lambda_signal - lambda_res)/FSR`` — exact up
+to second order in detuning/FSR (validated against
+:class:`repro.photonics.geometry.RingGeometry`).
+
+The module also provides the inverse *design* helpers used by the
+calibration layer: given a target linewidth (FWHM) and floor/peak
+transmission, solve for ``(r1, r2, a)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..errors import ConfigurationError, DesignInfeasibleError
+from ..units import ArrayLike, validate_positive
+
+__all__ = [
+    "RingParameters",
+    "round_trip_phase",
+    "through_transmission",
+    "drop_transmission",
+    "add_drop_fwhm_nm",
+    "loss_coupling_product_for_fwhm",
+    "design_modulator_ring",
+    "design_add_drop_ring",
+]
+
+
+def round_trip_phase(
+    signal_nm: ArrayLike, resonance_nm: ArrayLike, fsr_nm: float
+) -> ArrayLike:
+    """Detuning-relative round-trip phase ``2*pi*(lambda - lambda_res)/FSR``.
+
+    Zero phase (modulo ``2*pi``) corresponds to resonance; the transfer
+    functions are ``2*pi``-periodic in this phase, which encodes the free
+    spectral range of the physical ring.
+    """
+    validate_positive(fsr_nm, "fsr_nm")
+    signal_nm = np.asarray(signal_nm, dtype=float)
+    resonance_nm = np.asarray(resonance_nm, dtype=float)
+    return 2.0 * math.pi * (signal_nm - resonance_nm) / fsr_nm
+
+
+def through_transmission(
+    theta: ArrayLike, a: float, r1: float, r2: float
+) -> ArrayLike:
+    """Paper Eq. (2): power transmission of the MRR through port.
+
+    ``phi_t = (a^2 r2^2 - 2 a r1 r2 cos(theta) + r1^2)
+            / (1 - 2 a r1 r2 cos(theta) + (a r1 r2)^2)``
+
+    On resonance this reaches the extinction floor
+    ``((a r2 - r1) / (1 - a r1 r2))^2``; far from resonance it approaches
+    ``((a r2 + r1) / (1 + a r1 r2))^2 <= 1``.
+    """
+    _validate_ring_coefficients(a, r1, r2)
+    cos_theta = np.cos(np.asarray(theta, dtype=float))
+    x = a * r1 * r2
+    numerator = a**2 * r2**2 - 2.0 * a * r1 * r2 * cos_theta + r1**2
+    denominator = 1.0 - 2.0 * x * cos_theta + x**2
+    return numerator / denominator
+
+
+def drop_transmission(theta: ArrayLike, a: float, r1: float, r2: float) -> ArrayLike:
+    """Paper Eq. (3): power transmission of the add-drop filter drop port.
+
+    ``phi_d = a (1 - r1^2)(1 - r2^2)
+            / (1 - 2 a r1 r2 cos(theta) + (a r1 r2)^2)``
+
+    Maximal on resonance, Lorentzian-shaped for small detuning and
+    ``2*pi``-periodic in *theta*.
+    """
+    _validate_ring_coefficients(a, r1, r2)
+    cos_theta = np.cos(np.asarray(theta, dtype=float))
+    x = a * r1 * r2
+    numerator = a * (1.0 - r1**2) * (1.0 - r2**2)
+    denominator = 1.0 - 2.0 * x * cos_theta + x**2
+    return numerator / denominator
+
+
+def _validate_ring_coefficients(a: float, r1: float, r2: float) -> None:
+    for name, value in (("a", a), ("r1", r1), ("r2", r2)):
+        if not 0.0 < value <= 1.0:
+            raise ConfigurationError(f"{name} must be in (0, 1], got {value!r}")
+
+
+@dataclass(frozen=True)
+class RingParameters:
+    """A ring's round-trip coefficients plus its free spectral range.
+
+    Parameters
+    ----------
+    r1, r2:
+        Self-coupling (field) coefficients of the input and drop couplers.
+        ``r -> 1`` means weak coupling (narrow line).
+    a:
+        Single-pass amplitude transmission (``a = 1`` is lossless).
+    fsr_nm:
+        Free spectral range (nm), fixing the phase/wavelength mapping.
+    """
+
+    r1: float
+    r2: float
+    a: float
+    fsr_nm: float
+
+    def __post_init__(self) -> None:
+        _validate_ring_coefficients(self.a, self.r1, self.r2)
+        validate_positive(self.fsr_nm, "fsr_nm")
+
+    # -- spectral responses -------------------------------------------------
+
+    def through(self, signal_nm: ArrayLike, resonance_nm: ArrayLike) -> ArrayLike:
+        """Eq. 2 evaluated at *signal_nm* for a ring resonant at *resonance_nm*."""
+        theta = round_trip_phase(signal_nm, resonance_nm, self.fsr_nm)
+        return through_transmission(theta, self.a, self.r1, self.r2)
+
+    def drop(self, signal_nm: ArrayLike, resonance_nm: ArrayLike) -> ArrayLike:
+        """Eq. 3 evaluated at *signal_nm* for a ring resonant at *resonance_nm*."""
+        theta = round_trip_phase(signal_nm, resonance_nm, self.fsr_nm)
+        return drop_transmission(theta, self.a, self.r1, self.r2)
+
+    # -- derived figures of merit -------------------------------------------
+
+    @property
+    def loss_coupling_product(self) -> float:
+        """The product ``x = a*r1*r2`` governing the resonance linewidth."""
+        return self.a * self.r1 * self.r2
+
+    @property
+    def through_floor(self) -> float:
+        """On-resonance through transmission (modulator OFF-state leakage)."""
+        x = self.loss_coupling_product
+        return ((self.a * self.r2 - self.r1) / (1.0 - x)) ** 2
+
+    @property
+    def through_ceiling(self) -> float:
+        """Anti-resonant through transmission (maximum of Eq. 2)."""
+        x = self.loss_coupling_product
+        return ((self.a * self.r2 + self.r1) / (1.0 + x)) ** 2
+
+    @property
+    def drop_peak(self) -> float:
+        """On-resonance drop transmission (maximum of Eq. 3)."""
+        x = self.loss_coupling_product
+        return (
+            self.a
+            * (1.0 - self.r1**2)
+            * (1.0 - self.r2**2)
+            / (1.0 - x) ** 2
+        )
+
+    @property
+    def fwhm_nm(self) -> float:
+        """Full width at half maximum of the drop resonance (nm)."""
+        return add_drop_fwhm_nm(self.fsr_nm, self.loss_coupling_product)
+
+    @property
+    def finesse(self) -> float:
+        """Finesse ``FSR / FWHM``."""
+        return self.fsr_nm / self.fwhm_nm
+
+    def quality_factor(self, wavelength_nm: float = 1550.0) -> float:
+        """Loaded quality factor ``Q = lambda / FWHM`` at *wavelength_nm*."""
+        validate_positive(wavelength_nm, "wavelength_nm")
+        return wavelength_nm / self.fwhm_nm
+
+    def with_fsr(self, fsr_nm: float) -> "RingParameters":
+        """Copy of these coefficients with a different free spectral range."""
+        return replace(self, fsr_nm=fsr_nm)
+
+
+def add_drop_fwhm_nm(fsr_nm: float, loss_coupling_product: float) -> float:
+    """FWHM of the drop-port Lorentzian: ``FSR*(1-x)/(pi*sqrt(x))``.
+
+    *loss_coupling_product* is ``x = a*r1*r2``.  Derived from Eq. 3: the
+    denominator doubles relative to resonance when the single-pass phase
+    equals ``(1-x)/sqrt(x)``.
+    """
+    validate_positive(fsr_nm, "fsr_nm")
+    if not 0.0 < loss_coupling_product < 1.0:
+        raise ConfigurationError(
+            "loss_coupling_product must be in (0, 1), got "
+            f"{loss_coupling_product!r}"
+        )
+    x = loss_coupling_product
+    return fsr_nm * (1.0 - x) / (math.pi * math.sqrt(x))
+
+
+def loss_coupling_product_for_fwhm(fsr_nm: float, fwhm_nm: float) -> float:
+    """Invert :func:`add_drop_fwhm_nm`: the ``x = a*r1*r2`` giving *fwhm_nm*.
+
+    Solves ``(1-x)/sqrt(x) = pi*FWHM/FSR`` for the physical root ``x < 1``.
+    """
+    validate_positive(fsr_nm, "fsr_nm")
+    validate_positive(fwhm_nm, "fwhm_nm")
+    if fwhm_nm >= fsr_nm:
+        raise DesignInfeasibleError(
+            f"FWHM ({fwhm_nm} nm) must be well below the FSR ({fsr_nm} nm)"
+        )
+    f = math.pi * fwhm_nm / fsr_nm
+    # x^2 - (2 + f^2) x + 1 = 0, take the root below 1.
+    b = 2.0 + f**2
+    x = (b - math.sqrt(b**2 - 4.0)) / 2.0
+    return x
+
+
+def design_modulator_ring(
+    fsr_nm: float,
+    fwhm_nm: float,
+    through_floor: float,
+    a: float = 0.998,
+) -> RingParameters:
+    """Solve for modulator coupling coefficients from spectral targets.
+
+    Given the resonance linewidth *fwhm_nm* and the on-resonance leakage
+    *through_floor* (the paper's OFF-state "small fraction of signal power
+    transmitted"), and a fixed single-pass amplitude *a*, returns the
+    :class:`RingParameters` of an (under-coupled) ring satisfying both:
+
+    * ``FWHM(x) = fwhm_nm`` with ``x = a*r1*r2``,
+    * ``((a*r2 - r1)/(1-x))^2 = through_floor``.
+    """
+    if not 0.0 <= through_floor < 1.0:
+        raise ConfigurationError("through_floor must be in [0, 1)")
+    if not 0.0 < a <= 1.0:
+        raise ConfigurationError("a must be in (0, 1]")
+    x = loss_coupling_product_for_fwhm(fsr_nm, fwhm_nm)
+    # |a*r2 - r1| = s with s = sqrt(floor)*(1-x) and r1*r2 = x/a.
+    # Substituting u = a*r2: u - x/u = +/-s  =>  u^2 -/+ s*u - x = 0.
+    s = math.sqrt(through_floor) * (1.0 - x)
+    candidates = []
+    for sign in (+1.0, -1.0):
+        u = (sign * s + math.sqrt(s**2 + 4.0 * x)) / 2.0
+        r2 = u / a
+        r1 = x / u
+        if 0.0 < r1 <= 1.0 and 0.0 < r2 <= 1.0:
+            candidates.append((r1, r2))
+    if not candidates:
+        raise DesignInfeasibleError(
+            f"no physical coupling for FWHM={fwhm_nm} nm, "
+            f"floor={through_floor}, a={a}"
+        )
+    r1, r2 = candidates[0]
+    return RingParameters(r1=r1, r2=r2, a=a, fsr_nm=fsr_nm)
+
+
+def design_add_drop_ring(
+    fsr_nm: float,
+    fwhm_nm: float,
+    drop_peak: float,
+) -> RingParameters:
+    """Solve for symmetric add-drop filter parameters from spectral targets.
+
+    Given the drop linewidth *fwhm_nm* and the on-resonance drop
+    transmission *drop_peak*, returns a symmetric (``r1 = r2``) ring.  The
+    linewidth fixes ``x = a*r^2``; the peak then determines the single-pass
+    loss ``a`` via ``drop_peak = a*(1 - x/a)^2/(1-x)^2`` (solved in closed
+    form as a quadratic in ``sqrt(a)``).
+    """
+    if not 0.0 < drop_peak < 1.0:
+        raise ConfigurationError("drop_peak must be in (0, 1)")
+    x = loss_coupling_product_for_fwhm(fsr_nm, fwhm_nm)
+    # drop_peak = a * (1 - x/a)^2 / (1-x)^2.  Let g = sqrt(drop_peak)*(1-x):
+    # sqrt(a) * (1 - x/a) = g  =>  a - g*sqrt(a) - x = 0 in sqrt(a).
+    g = math.sqrt(drop_peak) * (1.0 - x)
+    sqrt_a = (g + math.sqrt(g**2 + 4.0 * x)) / 2.0
+    a = sqrt_a**2
+    if not x < a <= 1.0:
+        raise DesignInfeasibleError(
+            f"no physical loss for FWHM={fwhm_nm} nm and drop_peak="
+            f"{drop_peak} at FSR={fsr_nm} nm (needs a={a:.5f})"
+        )
+    r = math.sqrt(x / a)
+    if not 0.0 < r <= 1.0:
+        raise DesignInfeasibleError(
+            f"no physical coupling (r={r:.4f}) for the requested filter"
+        )
+    return RingParameters(r1=r, r2=r, a=a, fsr_nm=fsr_nm)

@@ -1,0 +1,125 @@
+"""Thermal tuning of micro-rings — the calibration actuator.
+
+The paper's future work (Section VI item i) calls for "monitoring and
+voltage/thermal tuning for device calibration" and notes the design of
+such a circuit "relies on energy-area tradeoff".  This module models the
+actuator: an integrated micro-heater that red-shifts a ring resonance
+with a standard efficiency of a few tens of pm/mW, plus the
+first-order thermal low-pass dynamics that limit the calibration loop's
+bandwidth.  Combined with :class:`repro.simulation.controller
+.CalibrationController` it closes the paper's monitoring loop and prices
+its energy overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import ArrayLike, validate_non_negative, validate_positive
+
+__all__ = ["ThermalTuner"]
+
+
+@dataclass(frozen=True)
+class ThermalTuner:
+    """Integrated micro-heater tuning model.
+
+    Parameters
+    ----------
+    efficiency_nm_per_mw:
+        Resonance red-shift per heater milliwatt.  Typical silicon
+        micro-heaters achieve 0.02-0.25 nm/mW; 0.1 nm/mW is a common
+        mid-range figure.
+    max_power_mw:
+        Heater power ceiling (thermal budget / reliability).
+    time_constant_s:
+        First-order thermal time constant (microseconds scale), limiting
+        how fast the calibration loop can slew.
+    """
+
+    efficiency_nm_per_mw: float = 0.1
+    max_power_mw: float = 20.0
+    time_constant_s: float = 4e-6
+
+    def __post_init__(self) -> None:
+        validate_positive(self.efficiency_nm_per_mw, "efficiency_nm_per_mw")
+        validate_positive(self.max_power_mw, "max_power_mw")
+        validate_positive(self.time_constant_s, "time_constant_s")
+
+    @property
+    def max_shift_nm(self) -> float:
+        """Largest correctable red-shift (nm)."""
+        return self.efficiency_nm_per_mw * self.max_power_mw
+
+    def power_for_shift_mw(self, shift_nm: float) -> float:
+        """Heater power for a desired red-shift (nm -> mW).
+
+        Heaters only shift one way (red); negative corrections must be
+        realized by biasing the rest point, so negative requests raise.
+        """
+        validate_non_negative(shift_nm, "shift_nm")
+        power = shift_nm / self.efficiency_nm_per_mw
+        if power > self.max_power_mw:
+            raise ConfigurationError(
+                f"shift {shift_nm} nm needs {power:.1f} mW, beyond the "
+                f"{self.max_power_mw} mW heater budget"
+            )
+        return power
+
+    def holding_energy_j(self, shift_nm: float, duration_s: float) -> float:
+        """Energy to *hold* a correction for *duration_s* seconds (J).
+
+        This is the steady-state cost of calibration the paper's
+        energy-area tradeoff discussion refers to: a held 0.1 nm
+        correction at 0.1 nm/mW costs 1 mW continuously.
+        """
+        validate_non_negative(duration_s, "duration_s")
+        return self.power_for_shift_mw(shift_nm) * 1e-3 * duration_s
+
+    def settling_time_s(self, tolerance: float = 0.01) -> float:
+        """Time for a step correction to settle within *tolerance*.
+
+        First-order response: ``t = tau * ln(1/tolerance)``.
+        """
+        if not 0.0 < tolerance < 1.0:
+            raise ConfigurationError(
+                f"tolerance must be in (0, 1), got {tolerance!r}"
+            )
+        return self.time_constant_s * float(np.log(1.0 / tolerance))
+
+    def step_response_nm(
+        self, target_shift_nm: float, time_s: ArrayLike
+    ) -> ArrayLike:
+        """Resonance shift trajectory for a heater power step at t = 0."""
+        validate_non_negative(target_shift_nm, "target_shift_nm")
+        self.power_for_shift_mw(target_shift_nm)  # validates the budget
+        time = np.asarray(time_s, dtype=float)
+        if np.any(time < 0.0):
+            raise ConfigurationError("time samples must be >= 0")
+        response = target_shift_nm * (
+            1.0 - np.exp(-time / self.time_constant_s)
+        )
+        if response.ndim == 0:
+            return float(response)
+        return response
+
+    def calibration_energy_budget_j(
+        self,
+        shift_nm: float,
+        ring_count: int,
+        duration_s: float,
+    ) -> float:
+        """Total holding energy for *ring_count* rings over *duration_s*.
+
+        The generic order-n circuit has n+2 rings (n+1 modulators plus
+        the filter); worst-case common-mode drift requires correcting
+        all of them.
+        """
+        if ring_count < 1:
+            raise ConfigurationError(
+                f"ring_count must be >= 1, got {ring_count!r}"
+            )
+        return ring_count * self.holding_energy_j(shift_nm, duration_s)

@@ -1,0 +1,174 @@
+"""Passive optical components: splitters, couplers, waveguides, BPF.
+
+These implement the distribution network of the generic architecture
+(Fig. 4(a)): the pump power is divided over the ``n`` MZIs by a 1-to-n
+splitter and recombined by an n-to-1 combiner, the probe channels join the
+coefficient bus through a coupler, and a band-pass filter absorbs the pump
+before the photodetector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import ArrayLike, db_loss_to_transmission, validate_non_negative, validate_positive
+
+__all__ = ["Splitter", "Coupler", "Waveguide", "BandPassFilter"]
+
+
+@dataclass(frozen=True)
+class Splitter:
+    """Symmetric 1-to-n power splitter (also usable as an n-to-1 combiner).
+
+    Ideal splitting (paper assumption: pump "equally distributed") divides
+    the input power by *port_count*; *excess_loss_db* models implementation
+    loss on top of the fundamental split.
+    """
+
+    port_count: int
+    excess_loss_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.port_count < 1:
+            raise ConfigurationError(
+                f"port_count must be >= 1, got {self.port_count!r}"
+            )
+        validate_non_negative(self.excess_loss_db, "excess_loss_db")
+
+    @property
+    def per_port_transmission(self) -> float:
+        """Fraction of input power reaching each output port."""
+        excess = float(db_loss_to_transmission(self.excess_loss_db))
+        return excess / self.port_count
+
+    def split(self, power_mw: float) -> np.ndarray:
+        """Per-port output powers (mW) for *power_mw* at the input."""
+        validate_non_negative(power_mw, "power_mw")
+        return np.full(self.port_count, power_mw * self.per_port_transmission)
+
+    def combine(self, powers_mw: ArrayLike) -> float:
+        """Incoherent power sum of the input ports into the single output."""
+        powers = np.asarray(powers_mw, dtype=float)
+        if powers.shape != (self.port_count,):
+            raise ConfigurationError(
+                f"expected {self.port_count} port powers, got shape {powers.shape}"
+            )
+        if np.any(powers < 0.0):
+            raise ConfigurationError("port powers must be >= 0")
+        excess = float(db_loss_to_transmission(self.excess_loss_db))
+        return float(np.sum(powers) * excess)
+
+
+@dataclass(frozen=True)
+class Coupler:
+    """Directional coupler merging the probe comb onto the coefficient bus."""
+
+    insertion_loss_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        validate_non_negative(self.insertion_loss_db, "insertion_loss_db")
+
+    @property
+    def transmission(self) -> float:
+        """Power transmission through the coupler."""
+        return float(db_loss_to_transmission(self.insertion_loss_db))
+
+    def couple(self, power_mw: ArrayLike) -> ArrayLike:
+        """Output power(s) after the coupler (mW)."""
+        power = np.asarray(power_mw, dtype=float)
+        if np.any(power < 0.0):
+            raise ConfigurationError("power must be >= 0")
+        out = power * self.transmission
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+
+@dataclass(frozen=True)
+class Waveguide:
+    """Straight waveguide section with distributed propagation loss."""
+
+    length_cm: float
+    loss_db_per_cm: float = 2.0
+
+    def __post_init__(self) -> None:
+        validate_non_negative(self.length_cm, "length_cm")
+        validate_non_negative(self.loss_db_per_cm, "loss_db_per_cm")
+
+    @property
+    def loss_db(self) -> float:
+        """Total propagation loss (dB)."""
+        return self.length_cm * self.loss_db_per_cm
+
+    @property
+    def transmission(self) -> float:
+        """Power transmission over the full length."""
+        return float(db_loss_to_transmission(self.loss_db))
+
+    def propagate(self, power_mw: ArrayLike) -> ArrayLike:
+        """Output power(s) after propagation (mW)."""
+        power = np.asarray(power_mw, dtype=float)
+        if np.any(power < 0.0):
+            raise ConfigurationError("power must be >= 0")
+        out = power * self.transmission
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+
+@dataclass(frozen=True)
+class BandPassFilter:
+    """Ideal-edge band-pass filter absorbing the pump before the detector.
+
+    The paper neglects the BPF's effect on the probe band ("the pump signal
+    absorption induced by the BPF is neglected in our model"); this model
+    keeps that default (0 dB in-band insertion loss) but exposes both the
+    in-band loss and the out-of-band rejection so the assumption can be
+    relaxed in sensitivity studies.
+    """
+
+    pass_low_nm: float
+    pass_high_nm: float
+    insertion_loss_db: float = 0.0
+    rejection_db: float = 60.0
+
+    def __post_init__(self) -> None:
+        validate_positive(self.pass_low_nm, "pass_low_nm")
+        validate_positive(self.pass_high_nm, "pass_high_nm")
+        if self.pass_low_nm >= self.pass_high_nm:
+            raise ConfigurationError(
+                "pass_low_nm must be below pass_high_nm "
+                f"(got {self.pass_low_nm} >= {self.pass_high_nm})"
+            )
+        validate_non_negative(self.insertion_loss_db, "insertion_loss_db")
+        validate_non_negative(self.rejection_db, "rejection_db")
+
+    def transmission(self, wavelength_nm: ArrayLike) -> ArrayLike:
+        """Power transmission at *wavelength_nm* (in-band vs rejected)."""
+        wavelength = np.asarray(wavelength_nm, dtype=float)
+        if np.any(wavelength <= 0.0):
+            raise ConfigurationError("wavelength must be positive")
+        in_band = (wavelength >= self.pass_low_nm) & (
+            wavelength <= self.pass_high_nm
+        )
+        in_band_t = float(db_loss_to_transmission(self.insertion_loss_db))
+        out_band_t = float(db_loss_to_transmission(self.rejection_db))
+        out = np.where(in_band, in_band_t, out_band_t)
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    def filter_power(
+        self, power_mw: ArrayLike, wavelength_nm: ArrayLike
+    ) -> ArrayLike:
+        """Apply the filter to per-channel powers (mW)."""
+        power = np.asarray(power_mw, dtype=float)
+        if np.any(power < 0.0):
+            raise ConfigurationError("power must be >= 0")
+        out = power * self.transmission(wavelength_nm)
+        if out.ndim == 0:
+            return float(out)
+        return out

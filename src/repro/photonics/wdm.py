@@ -1,0 +1,122 @@
+"""WDM channel plan for the coefficient probe signals.
+
+The generic architecture (Fig. 4(a)) places the ``n + 1`` coefficient
+probes on an equally spaced wavelength grid (Eq. 5):
+
+``WLspacing = lambda_{i+1} - lambda_i``
+
+with the untuned filter resonance ``lambda_ref`` a guard band above the
+right-most channel ``lambda_n`` (0.1 nm in the paper, after [14]).  The
+grid must fit inside one free spectral range of the filter so the pump
+resonance (one FSR below, Fig. 3) does not alias onto a probe channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, DesignInfeasibleError
+from ..units import validate_positive
+
+__all__ = ["WDMGrid"]
+
+
+@dataclass(frozen=True)
+class WDMGrid:
+    """Equally spaced probe grid anchored at the right-most channel.
+
+    Parameters
+    ----------
+    channel_count:
+        Number of probe channels (``n + 1`` for a degree-``n`` polynomial).
+    spacing_nm:
+        ``WLspacing`` between consecutive channels (Eq. 5).
+    anchor_nm:
+        Wavelength of the *right-most* channel ``lambda_n``.  The paper
+        anchors the grid from the right (``lambda_2 = 1550 nm``) because the
+        filter guard band sits above it.
+    guard_nm:
+        Guard band ``lambda_ref - lambda_n`` (> 0).
+    """
+
+    channel_count: int
+    spacing_nm: float
+    anchor_nm: float = 1550.0
+    guard_nm: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.channel_count < 1:
+            raise ConfigurationError(
+                f"channel_count must be >= 1, got {self.channel_count!r}"
+            )
+        validate_positive(self.spacing_nm, "spacing_nm")
+        validate_positive(self.anchor_nm, "anchor_nm")
+        validate_positive(self.guard_nm, "guard_nm")
+
+    @property
+    def polynomial_degree(self) -> int:
+        """Bernstein degree ``n`` served by this grid (``channels - 1``)."""
+        return self.channel_count - 1
+
+    @property
+    def wavelengths_nm(self) -> np.ndarray:
+        """Channel wavelengths ``lambda_0 .. lambda_n``, ascending (nm)."""
+        index = np.arange(self.channel_count)
+        degree = self.channel_count - 1
+        return self.anchor_nm - (degree - index) * self.spacing_nm
+
+    @property
+    def reference_nm(self) -> float:
+        """Untuned filter resonance ``lambda_ref = lambda_n + guard`` (nm)."""
+        return self.anchor_nm + self.guard_nm
+
+    @property
+    def span_nm(self) -> float:
+        """Full tuning span ``lambda_ref - lambda_0`` the filter must cover."""
+        return self.polynomial_degree * self.spacing_nm + self.guard_nm
+
+    def wavelength_nm(self, channel: int) -> float:
+        """Wavelength of channel *channel* (0-based, ``lambda_0`` left-most)."""
+        if not 0 <= channel < self.channel_count:
+            raise ConfigurationError(
+                f"channel must be in [0, {self.channel_count}), got {channel!r}"
+            )
+        return float(self.wavelengths_nm[channel])
+
+    def detuning_for_level_nm(self, ones_count: int) -> float:
+        """Filter detuning that selects channel ``z_k`` for ``k`` input ones.
+
+        In the ReSC multiplexing scheme, ``k`` ones among the ``n`` data
+        bits must select coefficient ``z_k``; the filter must therefore be
+        tuned from ``lambda_ref`` down to ``lambda_k``, a detuning of
+        ``span - k*spacing``.
+        """
+        degree = self.polynomial_degree
+        if not 0 <= ones_count <= degree:
+            raise ConfigurationError(
+                f"ones_count must be in [0, {degree}], got {ones_count!r}"
+            )
+        return self.span_nm - ones_count * self.spacing_nm
+
+    def validate_against_fsr(self, fsr_nm: float) -> None:
+        """Check the grid plus pump resonance fit inside one filter FSR."""
+        validate_positive(fsr_nm, "fsr_nm")
+        if self.span_nm >= fsr_nm:
+            raise DesignInfeasibleError(
+                f"WDM span {self.span_nm:.3f} nm does not fit inside the "
+                f"filter FSR {fsr_nm:.3f} nm; increase the FSR or reduce "
+                "the order/spacing"
+            )
+
+    def channel_of(self, wavelength_nm: float, tolerance_nm: float = 1e-6) -> int:
+        """Index of the channel at *wavelength_nm* (within *tolerance_nm*)."""
+        distances = np.abs(self.wavelengths_nm - wavelength_nm)
+        best = int(np.argmin(distances))
+        if distances[best] > tolerance_nm:
+            raise ConfigurationError(
+                f"{wavelength_nm} nm is not on the grid (nearest channel "
+                f"{best} at {self.wavelengths_nm[best]:.4f} nm)"
+            )
+        return best

@@ -1,0 +1,6 @@
+"""Result rendering: text tables and CSV output."""
+
+from .tables import format_table
+from .csvio import write_csv
+
+__all__ = ["format_table", "write_csv"]

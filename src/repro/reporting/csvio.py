@@ -1,0 +1,36 @@
+"""CSV output for experiment results (plotting-tool friendly)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Union
+
+from ..errors import ConfigurationError
+
+__all__ = ["write_csv"]
+
+
+def write_csv(
+    path: Union[str, Path],
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> Path:
+    """Write dict *rows* to *path* as CSV; returns the resolved path.
+
+    Parent directories are created as needed.  Column order defaults to
+    the keys of the first row.
+    """
+    rows = list(rows)
+    if not rows:
+        raise ConfigurationError("cannot write an empty CSV")
+    if columns is None:
+        columns = list(rows[0].keys())
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k, "") for k in columns})
+    return path.resolve()

@@ -1,0 +1,82 @@
+"""Plain-text table rendering for experiment outputs.
+
+The experiment harness prints the same rows the paper's tables and
+figures report; this module renders lists of dict rows as aligned ASCII
+tables without third-party dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value, precision: int = 4) -> str:
+    """Human-friendly scalar formatting (floats trimmed, rest via str)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render *rows* (dicts) as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        One mapping per table row; missing keys render empty.
+    columns:
+        Column order (defaults to the keys of the first row).
+    title:
+        Optional heading printed above the table.
+    precision:
+        Significant digits for floats.
+    """
+    rows = list(rows)
+    if not rows:
+        raise ConfigurationError("cannot format an empty table")
+    if columns is None:
+        columns = list(rows[0].keys())
+    columns = list(columns)
+    if not columns:
+        raise ConfigurationError("need at least one column")
+
+    cells = [
+        [format_value(row.get(col, ""), precision) for col in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(col)), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    header = " | ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    rule = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in cells
+    )
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(header))
+    lines.extend([header, rule, body])
+    return "\n".join(lines)

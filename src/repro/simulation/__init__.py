@@ -1,0 +1,53 @@
+"""Bit-level and time-domain simulation of the optical SC circuit.
+
+While :mod:`repro.core` evaluates the paper's *analytical* models, this
+subpackage runs the circuit: stochastic bit-streams drive the MZI and MRR
+states clock by clock, the transmission model produces received powers,
+and a noisy receiver recovers the output stream — closing the loop from
+Bernstein program to de-randomized probability (paper Fig. 3).
+
+It also implements the paper's future-work items: transient (time-domain)
+simulation with pump-pulse synchronization (Section VI item ii) and the
+monitoring/calibration feedback controller (item i), plus fault-injection
+utilities for the robustness studies.
+"""
+
+from .receiver import OpticalReceiver, ReceiverDecision
+from .functional import OpticalEvaluation, simulate_evaluation, simulate_sweep
+from .noise import apply_ber_flips, effective_probability_after_flips
+from .faults import (
+    FaultInjector,
+    with_coefficient_ring_drift,
+    with_filter_drift,
+    with_stuck_mzi,
+)
+from .transient import TransientResult, TransientSimulator
+from .controller import CalibrationController, ControllerTrace
+from .montecarlo import (
+    MonteCarloResult,
+    VariationModel,
+    run_monte_carlo,
+    yield_vs_sigma,
+)
+
+__all__ = [
+    "OpticalReceiver",
+    "ReceiverDecision",
+    "OpticalEvaluation",
+    "simulate_evaluation",
+    "simulate_sweep",
+    "apply_ber_flips",
+    "effective_probability_after_flips",
+    "FaultInjector",
+    "with_stuck_mzi",
+    "with_filter_drift",
+    "with_coefficient_ring_drift",
+    "TransientSimulator",
+    "TransientResult",
+    "CalibrationController",
+    "ControllerTrace",
+    "VariationModel",
+    "MonteCarloResult",
+    "run_monte_carlo",
+    "yield_vs_sigma",
+]

@@ -1,0 +1,162 @@
+"""Monitoring/calibration feedback controller — paper future work item (i).
+
+Section V-D calls for a "feedback loop-based control circuit involving
+monitoring and voltage/thermal tuning for device calibration".  This
+module implements that loop: a pilot measurement estimates the filter's
+tuning error from the received power of a known coefficient pattern, and
+an integral controller drives a thermal tuner until the error is nulled.
+
+The observable: with the pilot pattern "selected coefficient = 1, all
+others = 0" at a known level, the received power is maximal when the
+filter resonance sits exactly on the selected channel and falls off with
+misalignment (the Lorentzian of Eq. 3).  A dithered (two-point) gradient
+estimate turns this into a signed error signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .faults import with_filter_drift
+
+__all__ = ["ControllerTrace", "CalibrationController"]
+
+
+@dataclass(frozen=True)
+class ControllerTrace:
+    """Convergence record of a calibration run."""
+
+    residual_drift_nm: np.ndarray
+    correction_nm: np.ndarray
+    pilot_power_mw: np.ndarray
+    tolerance_nm: float
+
+    @property
+    def converged(self) -> bool:
+        """True when the final residual is inside the tolerance band."""
+        return bool(abs(self.residual_drift_nm[-1]) <= self.tolerance_nm)
+
+    @property
+    def settling_iterations(self) -> int:
+        """First iteration with the residual inside the tolerance band."""
+        inside = np.abs(self.residual_drift_nm) <= self.tolerance_nm
+        indices = np.nonzero(inside)[0]
+        return int(indices[0]) if indices.size else len(self.residual_drift_nm)
+
+
+class CalibrationController:
+    """Integral controller locking the filter onto the channel grid.
+
+    Parameters
+    ----------
+    circuit:
+        The healthy circuit whose filter may drift.
+    gain:
+        Integral gain applied to the dither-estimated power gradient.
+    dither_nm:
+        Probe step used for the two-point gradient estimate.
+    tolerance_nm:
+        Residual drift considered "locked".
+    """
+
+    def __init__(
+        self,
+        circuit,
+        gain: float = 0.005,
+        gain_decay: float = 0.98,
+        dither_nm: float = 0.005,
+        tolerance_nm: float = 1e-3,
+    ):
+        from ..core.circuit import OpticalStochasticCircuit
+
+        if not isinstance(circuit, OpticalStochasticCircuit):
+            raise ConfigurationError(
+                "circuit must be an OpticalStochasticCircuit"
+            )
+        if gain <= 0.0:
+            raise ConfigurationError("gain must be positive")
+        if not 0.0 < gain_decay <= 1.0:
+            raise ConfigurationError("gain_decay must be in (0, 1]")
+        if dither_nm <= 0.0:
+            raise ConfigurationError("dither_nm must be positive")
+        if tolerance_nm <= 0.0:
+            raise ConfigurationError("tolerance_nm must be positive")
+        self.circuit = circuit
+        self.gain = float(gain)
+        self.gain_decay = float(gain_decay)
+        self.dither_nm = float(dither_nm)
+        self.tolerance_nm = float(tolerance_nm)
+
+    # -- plant + sensor -------------------------------------------------------------
+
+    def _pilot_power_mw(self, drift_nm: float) -> float:
+        """Received pilot power with the filter drifted by *drift_nm*.
+
+        Pilot: level 0 (all data zeros) with only ``z_0 = 1`` — maximal
+        sensitivity because channel 0 needs the full tuning swing.
+        """
+        from ..core.transmission import TransmissionModel
+
+        params = with_filter_drift(self.circuit.params, drift_nm)
+        model = TransmissionModel(params)
+        z = np.zeros(params.channel_count, dtype=np.uint8)
+        z[0] = 1
+        return float(model.received_power_mw(z, 0))
+
+    def _error_signal(self, drift_nm: float) -> float:
+        """Dithered gradient of the pilot power w.r.t. the correction."""
+        plus = self._pilot_power_mw(drift_nm + self.dither_nm)
+        minus = self._pilot_power_mw(drift_nm - self.dither_nm)
+        return (plus - minus) / (2.0 * self.dither_nm)
+
+    # -- closed loop ------------------------------------------------------------------
+
+    def calibrate(
+        self,
+        initial_drift_nm: float,
+        iterations: int = 60,
+        sensor_noise_mw: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ControllerTrace:
+        """Run the loop from an initial thermal drift.
+
+        Each iteration measures the dithered gradient (optionally with
+        additive sensor noise) and integrates a correction; the residual
+        drift is ``initial - correction``.
+        """
+        if iterations <= 0:
+            raise ConfigurationError("iterations must be positive")
+        if sensor_noise_mw < 0.0:
+            raise ConfigurationError("sensor_noise_mw must be >= 0")
+        rng = rng or np.random.default_rng(0xCA11)
+        residuals = np.empty(iterations)
+        corrections = np.empty(iterations)
+        powers = np.empty(iterations)
+        correction = 0.0
+        gain = self.gain
+        for step in range(iterations):
+            residual = initial_drift_nm - correction
+            gradient = self._error_signal(residual)
+            if sensor_noise_mw > 0.0:
+                gradient += rng.normal(0.0, sensor_noise_mw) / self.dither_nm
+            # Gradient ascent on pilot power in residual space: the
+            # residual moves by +gain*gradient, so the correction (which
+            # subtracts from the residual) moves by -gain*gradient.  The
+            # decaying gain kills the limit cycle a fixed step would
+            # settle into around the peak.
+            correction -= gain * gradient
+            gain *= self.gain_decay
+            correction = float(np.clip(correction, -0.5, 0.5))
+            residuals[step] = initial_drift_nm - correction
+            corrections[step] = correction
+            powers[step] = self._pilot_power_mw(residuals[step])
+        return ControllerTrace(
+            residual_drift_nm=residuals,
+            correction_nm=corrections,
+            pilot_power_mw=powers,
+            tolerance_nm=self.tolerance_nm,
+        )

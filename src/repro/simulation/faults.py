@@ -1,0 +1,166 @@
+"""Fault injection: stuck devices and resonance drift.
+
+Process variations and thermal drift are first-order concerns for
+resonant photonics; the paper motivates SC exactly because it degrades
+gracefully under such faults.  These helpers build *faulty* variants of a
+circuit so the degradation can be measured with the functional simulator:
+
+* a **stuck MZI** no longer responds to its data bit (stuck constructive
+  or destructive), skewing the select distribution;
+* **filter drift** misaligns every level from its channel;
+* **coefficient-ring drift** detunes one modulator, changing its ON/OFF
+  contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..photonics.devices import RingProfile
+from ..photonics.wdm import WDMGrid
+
+__all__ = [
+    "with_stuck_mzi",
+    "with_filter_drift",
+    "with_coefficient_ring_drift",
+    "FaultInjector",
+]
+
+
+def with_stuck_mzi(levels: np.ndarray, order: int, stuck_value: int) -> np.ndarray:
+    """Select levels as if one MZI were stuck at *stuck_value*.
+
+    Operates on the adder output: a stuck-at-0 MZI can never contribute a
+    one (levels are clamped to ``[0, n-1]`` scaled appropriately); a
+    stuck-at-1 always contributes one.  The transformation assumes the
+    faulty MZI's intended bits were Bernoulli like the others, so its
+    contribution is replaced rather than re-simulated.
+    """
+    levels = np.asarray(levels)
+    if stuck_value not in (0, 1):
+        raise ConfigurationError("stuck_value must be 0 or 1")
+    if order < 1:
+        raise ConfigurationError("order must be >= 1")
+    # Remove one statistically expected contribution and pin it.
+    adjusted = levels.copy()
+    if stuck_value == 0:
+        adjusted = np.minimum(adjusted, order - 1) if order > 1 else np.zeros_like(adjusted)
+        # Pinning low: a previous '1' from the faulty MZI is lost.
+    else:
+        adjusted = np.minimum(adjusted + (levels < order), order)
+    return adjusted
+
+
+def with_filter_drift(params, drift_nm: float):
+    """Parameters with the filter's rest resonance drifted by *drift_nm*.
+
+    Positive drift moves ``lambda_ref`` red-ward; every level then lands
+    ``drift_nm`` away from its channel — the miscalibration the
+    feedback controller of :mod:`repro.simulation.controller` corrects.
+    """
+    from ..core.params import OpticalSCParameters
+
+    if not isinstance(params, OpticalSCParameters):
+        raise ConfigurationError("params must be OpticalSCParameters")
+    grid = params.grid
+    drifted_grid = WDMGrid(
+        channel_count=grid.channel_count,
+        spacing_nm=grid.spacing_nm,
+        anchor_nm=grid.anchor_nm,
+        guard_nm=grid.guard_nm + drift_nm,
+    )
+    if drifted_grid.guard_nm <= 0:
+        raise ConfigurationError(
+            "drift would move lambda_ref onto/below the last channel"
+        )
+    return replace(params, grid=drifted_grid)
+
+
+def with_coefficient_ring_drift(params, drift_nm: float):
+    """Parameters with every modulator's OFF resonance drifted.
+
+    Models a common-mode fabrication offset of the coefficient MRRs: the
+    ON/OFF contrast at the (unchanged) probe wavelengths degrades.
+    Implemented by shifting the modulation shift budget: the OFF state
+    sits ``drift_nm`` off the channel, the ON state at
+    ``drift + modulation_shift``.
+    """
+    from ..core.params import OpticalSCParameters
+
+    if not isinstance(params, OpticalSCParameters):
+        raise ConfigurationError("params must be OpticalSCParameters")
+    profile = params.ring_profile
+    if abs(drift_nm) >= profile.modulation_shift_nm:
+        raise ConfigurationError(
+            "drift beyond the modulation shift inverts the modulator logic"
+        )
+    # Encode the drift by moving the probe grid relative to the rings:
+    # equivalent, and it keeps RingProfile immutable.
+    grid = params.grid
+    drifted_grid = WDMGrid(
+        channel_count=grid.channel_count,
+        spacing_nm=grid.spacing_nm,
+        anchor_nm=grid.anchor_nm + drift_nm,
+        guard_nm=max(grid.guard_nm - drift_nm, 1e-6),
+    )
+    return replace(params, grid=drifted_grid)
+
+
+class FaultInjector:
+    """Convenience wrapper running accuracy studies under faults.
+
+    Parameters
+    ----------
+    circuit:
+        The healthy :class:`~repro.core.circuit.OpticalStochasticCircuit`.
+    """
+
+    def __init__(self, circuit):
+        from ..core.circuit import OpticalStochasticCircuit
+
+        if not isinstance(circuit, OpticalStochasticCircuit):
+            raise ConfigurationError(
+                "circuit must be an OpticalStochasticCircuit"
+            )
+        self.circuit = circuit
+
+    def _rebuild(self, params):
+        from ..core.circuit import OpticalStochasticCircuit
+
+        return OpticalStochasticCircuit(params, self.circuit.polynomial)
+
+    def filter_drift_study(
+        self,
+        drifts_nm,
+        x: float = 0.5,
+        length: int = 2048,
+        rng: Optional[np.random.Generator] = None,
+    ) -> dict:
+        """Output error vs filter drift (graceful-degradation curve)."""
+        from .functional import simulate_evaluation
+
+        rng = rng or np.random.default_rng(7)
+        errors = []
+        bers = []
+        for drift in drifts_nm:
+            try:
+                faulty = self._rebuild(
+                    with_filter_drift(self.circuit.params, float(drift))
+                )
+                result = simulate_evaluation(
+                    faulty, x=x, length=length, rng=rng
+                )
+                errors.append(result.absolute_error)
+                bers.append(result.transmission_ber)
+            except Exception:
+                errors.append(np.nan)
+                bers.append(np.nan)
+        return {
+            "drift_nm": np.asarray(list(drifts_nm), dtype=float),
+            "absolute_error": np.asarray(errors),
+            "transmission_ber": np.asarray(bers),
+        }

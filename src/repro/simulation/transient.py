@@ -1,0 +1,214 @@
+"""Time-domain (transient) simulation — paper future work item (ii).
+
+Section V-D notes that pulse-based pump operation "requires
+synchronization on the detector side to read the received signals only
+during the short light emission", and announces a SPICE-style transient
+model to study the resulting throughput-accuracy tradeoff.  This module
+implements a discrete-time equivalent:
+
+* each bit slot (1 ns at 1 Gb/s) is sampled on a fine time grid;
+* MZI/MRR drive signals follow first-order (RC-style) exponential
+  transitions between bits;
+* the pump emits a rectangular 26 ps pulse at a configurable position in
+  the slot; the received power is only valid while the pump is high and
+  the drives have settled;
+* the receiver samples once per slot at a configurable instant — sampling
+  offset errors translate into decision errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..stochastic.bitstream import Bitstream
+
+__all__ = ["TransientResult", "TransientSimulator"]
+
+
+@dataclass(frozen=True)
+class TransientResult:
+    """Waveforms and sampled decisions of a transient run."""
+
+    time_s: np.ndarray
+    received_power_mw: np.ndarray
+    pump_envelope: np.ndarray
+    sample_times_s: np.ndarray
+    sampled_power_mw: np.ndarray
+    decided_bits: Bitstream
+
+
+class TransientSimulator:
+    """Discrete-time transient model of the optical SC data path.
+
+    Parameters
+    ----------
+    circuit:
+        The :class:`~repro.core.circuit.OpticalStochasticCircuit` to run.
+    samples_per_bit:
+        Time resolution of the waveform grid.
+    rise_time_s:
+        10-90 %-style time constant of the modulator drives; transitions
+        follow ``1 - exp(-t/tau)`` with ``tau = rise_time / 2.2``.
+    pulse_position:
+        Center of the 26 ps pump pulse within the bit slot, as a fraction
+        of the bit period (default 0.5 = mid-slot).
+    """
+
+    def __init__(
+        self,
+        circuit,
+        samples_per_bit: int = 64,
+        rise_time_s: float = 100e-12,
+        pulse_position: float = 0.5,
+    ):
+        from ..core.circuit import OpticalStochasticCircuit
+
+        if not isinstance(circuit, OpticalStochasticCircuit):
+            raise ConfigurationError(
+                "circuit must be an OpticalStochasticCircuit"
+            )
+        if samples_per_bit < 8:
+            raise ConfigurationError("samples_per_bit must be >= 8")
+        if rise_time_s <= 0.0:
+            raise ConfigurationError("rise_time_s must be positive")
+        if not 0.0 < pulse_position < 1.0:
+            raise ConfigurationError("pulse_position must be in (0, 1)")
+        self.circuit = circuit
+        self.samples_per_bit = int(samples_per_bit)
+        self.rise_time_s = float(rise_time_s)
+        self.pulse_position = float(pulse_position)
+
+    # -- drive waveform construction ----------------------------------------------
+
+    def _settled_powers(self, levels: np.ndarray, patterns: np.ndarray) -> np.ndarray:
+        table = self.circuit.model.received_power_table_mw()
+        return table[patterns, levels]
+
+    def _interpolate(self, settled: np.ndarray) -> np.ndarray:
+        """First-order exponential settling between per-bit target powers.
+
+        Approximates the continuous device response: within each bit the
+        received power relaxes from the previous bit's settled value
+        toward the current target with time constant ``tau``.
+        """
+        bit_period = 1.0 / self.circuit.params.bit_rate_hz
+        tau = self.rise_time_s / 2.2
+        offsets = (np.arange(self.samples_per_bit) + 0.5) / self.samples_per_bit
+        relax = 1.0 - np.exp(-offsets * bit_period / tau)
+        previous = np.concatenate(([settled[0]], settled[:-1]))
+        # waveform[bit, sample] = prev + (target - prev) * relax(sample)
+        waveform = previous[:, None] + (
+            settled[:, None] - previous[:, None]
+        ) * relax[None, :]
+        return waveform.reshape(-1)
+
+    def _pump_envelope(self, bit_count: int) -> np.ndarray:
+        bit_period = 1.0 / self.circuit.params.bit_rate_hz
+        pulse_width = self.circuit.params.pump_pulse_width_s
+        offsets = (np.arange(self.samples_per_bit) + 0.5) / self.samples_per_bit
+        center = self.pulse_position
+        half = pulse_width / bit_period / 2.0
+        single = ((offsets >= center - half) & (offsets <= center + half)).astype(
+            float
+        )
+        if not single.any():
+            # Pulse narrower than one grid step: light the nearest sample.
+            single[np.argmin(np.abs(offsets - center))] = 1.0
+        return np.tile(single, bit_count)
+
+    # -- runs ---------------------------------------------------------------------
+
+    def run(
+        self,
+        x: float,
+        length: int = 256,
+        sampling_offset: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> TransientResult:
+        """Simulate *length* bit slots and sample once per slot.
+
+        *sampling_offset* shifts the sampling instant away from the pump
+        pulse center (fraction of the bit period); non-zero offsets model
+        synchronization error and degrade the decisions.
+        """
+        from ..stochastic.elements import adder_select
+        from ..stochastic.sng import make_independent_sngs
+        from .receiver import OpticalReceiver
+
+        if not 0.0 <= x <= 1.0:
+            raise ConfigurationError(f"x must be in [0, 1], got {x!r}")
+        if length <= 0:
+            raise ConfigurationError("length must be positive")
+        rng = rng or np.random.default_rng(0x7143)
+        params = self.circuit.params
+        order = params.order
+
+        data_sngs = make_independent_sngs(order, base_seed=0xACE1)
+        coeff_sngs = make_independent_sngs(order + 1, base_seed=0xC0FE)
+        data = [sng.generate(x, length) for sng in data_sngs]
+        coeffs = [
+            sng.generate(float(b), length)
+            for sng, b in zip(coeff_sngs, self.circuit.polynomial.coefficients)
+        ]
+        levels = adder_select(data)
+        patterns = np.zeros(length, dtype=np.int64)
+        for channel, stream in enumerate(coeffs):
+            patterns |= stream.bits.astype(np.int64) << channel
+
+        settled = self._settled_powers(levels, patterns)
+        waveform = self._interpolate(settled)
+        pump = self._pump_envelope(length)
+        gated = waveform * pump  # power only present during the pulse
+
+        bit_period = 1.0 / params.bit_rate_hz
+        dt = bit_period / self.samples_per_bit
+        time = (np.arange(length * self.samples_per_bit) + 0.5) * dt
+
+        sample_fraction = self.pulse_position + sampling_offset
+        sample_index = np.clip(
+            (np.arange(length) + sample_fraction) * self.samples_per_bit,
+            0,
+            length * self.samples_per_bit - 1,
+        ).astype(int)
+        sampled = gated[sample_index]
+
+        budget = self.circuit.link_budget()
+        receiver = OpticalReceiver.from_power_bands(
+            params.detector,
+            zero_level_mw=budget.zero_band_mw[1],
+            one_level_mw=budget.one_band_mw[0],
+        )
+        decision = receiver.decide(sampled, rng=rng)
+        return TransientResult(
+            time_s=time,
+            received_power_mw=gated,
+            pump_envelope=pump,
+            sample_times_s=time[sample_index],
+            sampled_power_mw=sampled,
+            decided_bits=decision.bits,
+        )
+
+    def synchronization_study(
+        self,
+        offsets,
+        x: float = 0.5,
+        length: int = 512,
+    ) -> dict:
+        """Output error vs sampling offset (the paper's sync concern).
+
+        Sampling inside the pump pulse recovers the computation; sampling
+        outside it sees no light and the stream collapses to zeros.
+        """
+        errors = []
+        expected = self.circuit.expected_value(x)
+        for offset in offsets:
+            result = self.run(x, length=length, sampling_offset=float(offset))
+            errors.append(abs(result.decided_bits.probability - expected))
+        return {
+            "offset_fraction": np.asarray(list(offsets), dtype=float),
+            "absolute_error": np.asarray(errors),
+        }

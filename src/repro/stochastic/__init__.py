@@ -1,0 +1,75 @@
+"""Electronic stochastic-computing substrate.
+
+Implements the SC background of the paper's Section II-A: stochastic
+bit-streams, number generators (SNG), elementary stochastic logic,
+Bernstein polynomial machinery, and the ReSC architecture of Qian et
+al. [9] that the optical circuit transposes.  This subpackage is pure
+numpy and independent of the photonics stack.
+"""
+
+from .bitstream import Bitstream
+from .lfsr import LFSR, MAXIMAL_TAPS
+from .sng import (
+    ChaoticLaserBitSource,
+    ComparatorSNG,
+    CounterSNG,
+    SobolLikeSNG,
+    StochasticNumberGenerator,
+)
+from .elements import (
+    scaled_add,
+    stochastic_and,
+    stochastic_mux,
+    stochastic_not,
+    stochastic_or,
+    stochastic_xor,
+)
+from .polynomial import PowerPolynomial
+from .bernstein import (
+    BernsteinPolynomial,
+    bernstein_basis,
+    degree_elevation,
+    power_to_bernstein,
+)
+from .resc import ReSCUnit, ReSCResult
+from .derandomizer import Derandomizer, SaturatingCounter
+from .accuracy import (
+    binomial_confidence_interval,
+    mean_absolute_error,
+    mean_squared_error,
+    required_stream_length,
+)
+from . import correlation, functions, image
+
+__all__ = [
+    "Bitstream",
+    "LFSR",
+    "MAXIMAL_TAPS",
+    "StochasticNumberGenerator",
+    "ComparatorSNG",
+    "CounterSNG",
+    "SobolLikeSNG",
+    "ChaoticLaserBitSource",
+    "stochastic_and",
+    "stochastic_or",
+    "stochastic_xor",
+    "stochastic_not",
+    "stochastic_mux",
+    "scaled_add",
+    "PowerPolynomial",
+    "BernsteinPolynomial",
+    "bernstein_basis",
+    "power_to_bernstein",
+    "degree_elevation",
+    "ReSCUnit",
+    "ReSCResult",
+    "Derandomizer",
+    "SaturatingCounter",
+    "mean_squared_error",
+    "mean_absolute_error",
+    "binomial_confidence_interval",
+    "required_stream_length",
+    "functions",
+    "correlation",
+    "image",
+]

@@ -1,0 +1,168 @@
+"""Stochastic bit-streams: the data representation of SC.
+
+In stochastic computing a number ``p`` in ``[0, 1]`` is represented by a
+random bit-stream whose fraction of ones equals ``p`` (unipolar coding,
+the coding used throughout the paper).  The :class:`Bitstream` value class
+wraps a numpy array of 0/1 values with the SC-specific operations:
+probability estimation, stream algebra and format conversion.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["Bitstream"]
+
+
+class Bitstream:
+    """An immutable unipolar stochastic bit-stream.
+
+    Parameters
+    ----------
+    bits:
+        Iterable of 0/1 values (ints, bools, or a numpy array).
+
+    Examples
+    --------
+    >>> stream = Bitstream([0, 1, 1, 0, 1, 0, 0, 0])
+    >>> stream.probability
+    0.375
+    """
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: Union[Iterable[int], np.ndarray]):
+        array = np.asarray(list(bits) if not isinstance(bits, np.ndarray) else bits)
+        if array.ndim != 1:
+            raise ConfigurationError("a bit-stream must be one-dimensional")
+        if array.size == 0:
+            raise ConfigurationError("a bit-stream must contain at least one bit")
+        if not np.all((array == 0) | (array == 1)):
+            raise ConfigurationError("bit-stream values must be 0 or 1")
+        self._bits = array.astype(np.uint8)
+        self._bits.setflags(write=False)
+
+    # -- basic protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._bits.size)
+
+    def __iter__(self):
+        return iter(self._bits.tolist())
+
+    def __getitem__(self, index):
+        result = self._bits[index]
+        if isinstance(index, slice):
+            return Bitstream(result)
+        return int(result)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Bitstream):
+            return NotImplemented
+        return self._bits.shape == other._bits.shape and bool(
+            np.all(self._bits == other._bits)
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._bits.tobytes())
+
+    def __repr__(self) -> str:
+        preview = "".join(str(b) for b in self._bits[:16].tolist())
+        ellipsis = "..." if len(self) > 16 else ""
+        return (
+            f"Bitstream({preview}{ellipsis}, len={len(self)}, "
+            f"p={self.probability:.4f})"
+        )
+
+    # -- SC semantics ----------------------------------------------------------
+
+    @property
+    def bits(self) -> np.ndarray:
+        """The underlying read-only uint8 array."""
+        return self._bits
+
+    @property
+    def ones_count(self) -> int:
+        """Number of ones in the stream (the de-randomizer's counter value)."""
+        return int(self._bits.sum())
+
+    @property
+    def probability(self) -> float:
+        """Estimated value: fraction of ones (unipolar decoding)."""
+        return self.ones_count / len(self)
+
+    # -- algebra ----------------------------------------------------------------
+
+    def __and__(self, other: "Bitstream") -> "Bitstream":
+        """Bit-wise AND — stochastic multiplication for independent streams."""
+        self._check_compatible(other)
+        return Bitstream(self._bits & other._bits)
+
+    def __or__(self, other: "Bitstream") -> "Bitstream":
+        self._check_compatible(other)
+        return Bitstream(self._bits | other._bits)
+
+    def __xor__(self, other: "Bitstream") -> "Bitstream":
+        self._check_compatible(other)
+        return Bitstream(self._bits ^ other._bits)
+
+    def __invert__(self) -> "Bitstream":
+        """Bit-wise NOT — computes ``1 - p``."""
+        return Bitstream(1 - self._bits)
+
+    def _check_compatible(self, other: "Bitstream") -> None:
+        if not isinstance(other, Bitstream):
+            raise ConfigurationError("operand must be a Bitstream")
+        if len(other) != len(self):
+            raise ConfigurationError(
+                f"stream lengths differ: {len(self)} vs {len(other)}"
+            )
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def from_probability(
+        cls,
+        probability: float,
+        length: int,
+        rng: np.random.Generator,
+    ) -> "Bitstream":
+        """Bernoulli stream of given *probability* (ideal randomizer)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {probability!r}"
+            )
+        if length <= 0:
+            raise ConfigurationError(f"length must be positive, got {length!r}")
+        return cls((rng.random(length) < probability).astype(np.uint8))
+
+    @classmethod
+    def exact(cls, probability: float, length: int) -> "Bitstream":
+        """Deterministic stream whose ones count is ``round(p * length)``.
+
+        The ones are spread evenly (low-discrepancy unary coding), which is
+        useful for exact-value tests and the counter-based SNG baseline.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {probability!r}"
+            )
+        if length <= 0:
+            raise ConfigurationError(f"length must be positive, got {length!r}")
+        ones = int(round(probability * length))
+        positions = (np.arange(length) * ones) // length
+        bits = np.diff(positions, prepend=-1 if ones else 0) > 0
+        # `positions` increments exactly `ones` times across the stream.
+        stream = bits.astype(np.uint8)
+        if int(stream.sum()) != ones:  # pragma: no cover - defensive
+            stream = np.zeros(length, dtype=np.uint8)
+            stream[:ones] = 1
+        return cls(stream)
+
+    def resampled(self, length: int, rng: np.random.Generator) -> "Bitstream":
+        """New Bernoulli stream with this stream's probability."""
+        return Bitstream.from_probability(self.probability, length, rng)

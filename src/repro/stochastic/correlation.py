@@ -1,0 +1,88 @@
+"""Stream correlation metrics for stochastic computing.
+
+SC arithmetic is exact only for *independent* streams: an AND gate
+multiplies probabilities when its inputs are uncorrelated and computes
+``min`` when they are maximally positively correlated.  The standard
+metric is the stochastic computing correlation (SCC) of Alaghi & Hayes
+(cited as [2] in the paper): 0 for independence, +1/-1 for maximal
+positive/negative correlation.  The randomizer choices in
+:mod:`repro.stochastic.sng` (seed/offset decorrelation) are validated
+with these metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .bitstream import Bitstream
+
+__all__ = ["scc", "overlap_probability", "autocorrelation", "and_gate_error"]
+
+
+def overlap_probability(a: Bitstream, b: Bitstream) -> float:
+    """Empirical ``P(a = 1 and b = 1)`` of two equal-length streams."""
+    if not isinstance(a, Bitstream) or not isinstance(b, Bitstream):
+        raise ConfigurationError("operands must be Bitstreams")
+    if len(a) != len(b):
+        raise ConfigurationError(
+            f"stream lengths differ: {len(a)} vs {len(b)}"
+        )
+    return float(np.mean((a.bits & b.bits).astype(float)))
+
+
+def scc(a: Bitstream, b: Bitstream) -> float:
+    """Stochastic computing correlation in ``[-1, +1]``.
+
+    ``SCC = (p11 - pa*pb) / (min(pa, pb) - pa*pb)`` when the numerator
+    is positive, and ``(p11 - pa*pb) / (pa*pb - max(pa + pb - 1, 0))``
+    when negative.  Returns 0 for degenerate (constant) streams, where
+    correlation is undefined but harmless.
+    """
+    p11 = overlap_probability(a, b)
+    pa, pb = a.probability, b.probability
+    delta = p11 - pa * pb
+    if delta > 0:
+        denominator = min(pa, pb) - pa * pb
+    else:
+        denominator = pa * pb - max(pa + pb - 1.0, 0.0)
+    if denominator <= 1e-15:
+        return 0.0
+    return float(np.clip(delta / denominator, -1.0, 1.0))
+
+
+def autocorrelation(stream: Bitstream, max_lag: int = 16) -> np.ndarray:
+    """Normalized autocorrelation of a stream for lags ``1..max_lag``.
+
+    Near-zero values indicate white (memoryless) bit generation — the
+    property a good SNG must have for the ReSC adder statistics to be
+    binomial.
+    """
+    if not isinstance(stream, Bitstream):
+        raise ConfigurationError("stream must be a Bitstream")
+    if max_lag < 1 or max_lag >= len(stream):
+        raise ConfigurationError(
+            f"max_lag must be in [1, {len(stream) - 1}], got {max_lag!r}"
+        )
+    bits = stream.bits.astype(float)
+    mean = bits.mean()
+    centered = bits - mean
+    variance = float(np.mean(centered**2))
+    if variance <= 1e-15:
+        return np.zeros(max_lag)
+    out = np.empty(max_lag)
+    for lag in range(1, max_lag + 1):
+        out[lag - 1] = float(
+            np.mean(centered[:-lag] * centered[lag:]) / variance
+        )
+    return out
+
+
+def and_gate_error(a: Bitstream, b: Bitstream) -> float:
+    """|AND output − pa·pb|: the multiplication error caused by correlation.
+
+    Zero for perfectly independent streams; grows toward
+    ``min(pa, pb) - pa*pb`` for maximally correlated ones.
+    """
+    product = a.probability * b.probability
+    return abs(overlap_probability(a, b) - product)

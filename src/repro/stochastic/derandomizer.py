@@ -1,0 +1,107 @@
+"""De-randomizers: stream-to-binary back-conversion (paper Fig. 1(a)).
+
+The receiver side of both the electronic and the optical circuit counts
+the ones in the output stream; the count divided by the stream length is
+the computed probability.  A saturating up/down counter is also provided
+for the feedback/calibration controller study (paper future work (i)).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .bitstream import Bitstream
+
+__all__ = ["Derandomizer", "SaturatingCounter"]
+
+
+class Derandomizer:
+    """Ones-counting de-randomizer with fixed-point output.
+
+    Parameters
+    ----------
+    resolution_bits:
+        Width of the binary output; the probability estimate is quantized
+        to ``2**resolution_bits`` levels (0 disables quantization).
+    """
+
+    def __init__(self, resolution_bits: int = 0):
+        if resolution_bits < 0:
+            raise ConfigurationError(
+                f"resolution_bits must be >= 0, got {resolution_bits!r}"
+            )
+        self.resolution_bits = int(resolution_bits)
+
+    def count(self, stream: Union[Bitstream, Iterable[int]]) -> int:
+        """Counter value: number of ones in the stream."""
+        if isinstance(stream, Bitstream):
+            return stream.ones_count
+        return int(Bitstream(np.asarray(list(stream))).ones_count)
+
+    def probability(self, stream: Union[Bitstream, Iterable[int]]) -> float:
+        """De-randomized probability, quantized to the output resolution."""
+        if not isinstance(stream, Bitstream):
+            stream = Bitstream(np.asarray(list(stream)))
+        estimate = stream.probability
+        if self.resolution_bits == 0:
+            return estimate
+        levels = 1 << self.resolution_bits
+        return round(estimate * levels) / levels
+
+
+class SaturatingCounter:
+    """Saturating up/down counter for monitoring and calibration loops.
+
+    Counts up on 1, down on 0, clamping at ``[0, 2**width - 1]``.  Its
+    normalized value tracks the recent ones-density of a stream, which is
+    the observable a thermal-tuning feedback controller locks on.
+    """
+
+    def __init__(self, width: int = 8, initial: int = 0):
+        if width < 1:
+            raise ConfigurationError(f"width must be >= 1, got {width!r}")
+        self.width = int(width)
+        self.maximum = (1 << width) - 1
+        if not 0 <= initial <= self.maximum:
+            raise ConfigurationError(
+                f"initial must be in [0, {self.maximum}], got {initial!r}"
+            )
+        self._value = int(initial)
+
+    @property
+    def value(self) -> int:
+        """Current counter contents."""
+        return self._value
+
+    @property
+    def normalized(self) -> float:
+        """Counter value scaled to ``[0, 1]``."""
+        return self._value / self.maximum
+
+    def update(self, bit: int) -> int:
+        """Clock the counter with one stream bit; returns the new value."""
+        if bit not in (0, 1):
+            raise ConfigurationError(f"bit must be 0 or 1, got {bit!r}")
+        if bit:
+            self._value = min(self._value + 1, self.maximum)
+        else:
+            self._value = max(self._value - 1, 0)
+        return self._value
+
+    def update_many(self, bits: Union[Bitstream, Iterable[int]]) -> int:
+        """Clock a whole stream through the counter."""
+        iterable = bits.bits if isinstance(bits, Bitstream) else bits
+        for bit in iterable:
+            self.update(int(bit))
+        return self._value
+
+    def reset(self, value: int = 0) -> None:
+        """Force the counter to *value*."""
+        if not 0 <= value <= self.maximum:
+            raise ConfigurationError(
+                f"value must be in [0, {self.maximum}], got {value!r}"
+            )
+        self._value = int(value)

@@ -1,0 +1,80 @@
+"""Elementary stochastic logic (paper Section II-A).
+
+With unipolar coding and independent streams, ordinary gates compute
+arithmetic: AND multiplies, a multiplexer computes scaled addition, NOT
+computes ``1 - p``.  These are the primitives from which the ReSC unit
+(and its optical transposition) is built.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .bitstream import Bitstream
+
+__all__ = [
+    "stochastic_and",
+    "stochastic_or",
+    "stochastic_xor",
+    "stochastic_not",
+    "stochastic_mux",
+    "scaled_add",
+    "adder_select",
+]
+
+
+def stochastic_and(a: Bitstream, b: Bitstream) -> Bitstream:
+    """Multiplication: ``P(a AND b) = P(a) * P(b)`` for independent streams."""
+    return a & b
+
+
+def stochastic_or(a: Bitstream, b: Bitstream) -> Bitstream:
+    """``P(a OR b) = P(a) + P(b) - P(a) P(b)`` for independent streams."""
+    return a | b
+
+
+def stochastic_xor(a: Bitstream, b: Bitstream) -> Bitstream:
+    """``P(a XOR b) = P(a) + P(b) - 2 P(a) P(b)`` for independent streams."""
+    return a ^ b
+
+
+def stochastic_not(a: Bitstream) -> Bitstream:
+    """Complement: ``P(NOT a) = 1 - P(a)``."""
+    return ~a
+
+
+def stochastic_mux(select: Bitstream, a: Bitstream, b: Bitstream) -> Bitstream:
+    """2:1 multiplexer: picks ``a`` where select = 0, ``b`` where select = 1.
+
+    Computes the scaled addition ``(1 - s) * P(a) + s * P(b)`` with
+    ``s = P(select)``.
+    """
+    if not (len(select) == len(a) == len(b)):
+        raise ConfigurationError("mux streams must share one length")
+    bits = np.where(select.bits == 0, a.bits, b.bits)
+    return Bitstream(bits)
+
+
+def scaled_add(a: Bitstream, b: Bitstream, select: Bitstream) -> Bitstream:
+    """Scaled addition ``(P(a) + P(b)) / 2`` when ``P(select) = 1/2``."""
+    return stochastic_mux(select, a, b)
+
+
+def adder_select(inputs: Sequence[Bitstream]) -> np.ndarray:
+    """The ReSC select word: per-clock count of ones among the data streams.
+
+    This is the electronic equivalent of the paper's optical adder: the
+    ``n`` MZI data bits are summed into a selector ``k in [0, n]`` that
+    picks coefficient ``z_k`` (Fig. 1(a), the boxed numbers of Fig. 1(b)).
+    """
+    if not inputs:
+        raise ConfigurationError("adder needs at least one input stream")
+    length = len(inputs[0])
+    for stream in inputs:
+        if len(stream) != length:
+            raise ConfigurationError("adder streams must share one length")
+    stacked = np.stack([stream.bits for stream in inputs])
+    return stacked.sum(axis=0).astype(np.int64)

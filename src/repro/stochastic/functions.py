@@ -1,0 +1,127 @@
+"""Target function library for the SC applications the paper motivates.
+
+Section V-C of the paper singles out **gamma correction** — a non-linear
+image-processing kernel implemented with a 6th-order Bernstein
+approximation in Qian et al. [9] — as the workload for the scalability
+discussion.  This module provides that kernel, the paper's Fig. 1(b)
+example polynomial, and a few standard SC benchmark functions, each with
+a ready-to-run Bernstein program.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import PAPER_GAMMA_ORDER
+from ..errors import ConfigurationError
+from ..units import ArrayLike
+from .bernstein import BernsteinPolynomial
+from .polynomial import PAPER_EXAMPLE_F1, PowerPolynomial
+
+__all__ = [
+    "gamma_correction",
+    "gamma_bernstein",
+    "paper_example_bernstein",
+    "sigmoid_like",
+    "smoothstep",
+    "scaled_sine",
+    "FUNCTION_LIBRARY",
+]
+
+
+def gamma_correction(x: ArrayLike, gamma: float = 0.45) -> ArrayLike:
+    """Gamma correction ``x**gamma`` on normalized intensities.
+
+    ``gamma = 0.45`` is the standard encoding gamma (~1/2.2) used in the
+    image-processing literature the paper's application discussion
+    targets.
+    """
+    if gamma <= 0.0:
+        raise ConfigurationError(f"gamma must be positive, got {gamma!r}")
+    x = np.asarray(x, dtype=float)
+    if np.any(x < 0.0) or np.any(x > 1.0):
+        raise ConfigurationError("gamma correction expects x in [0, 1]")
+    value = x**gamma
+    if value.ndim == 0:
+        return float(value)
+    return value
+
+
+def gamma_bernstein(
+    degree: int = PAPER_GAMMA_ORDER, gamma: float = 0.45
+) -> BernsteinPolynomial:
+    """Degree-*degree* Bernstein program for gamma correction.
+
+    Uses the bounded least-squares fit (the approach of Qian et al. [9]),
+    which keeps every coefficient inside ``[0, 1]`` — the property SC
+    hardware requires — while staying accurate away from the singular
+    slope at ``x = 0``.  The paper's scalability study assumes the
+    6th-order version from [9].
+    """
+    return BernsteinPolynomial.from_function(
+        lambda x: gamma_correction(x, gamma), degree, method="least_squares"
+    )
+
+
+def paper_example_bernstein() -> BernsteinPolynomial:
+    """The paper's Fig. 1(b) program: coefficients (2/8, 5/8, 3/8, 6/8)."""
+    return BernsteinPolynomial.from_power(PAPER_EXAMPLE_F1)
+
+
+def sigmoid_like(x: ArrayLike) -> ArrayLike:
+    """A [0,1]->[0,1] logistic kernel: ``1 / (1 + exp(-8(x - 1/2)))``.
+
+    Stand-in for neural activation functions (the neural-computation
+    application class mentioned in Section II-A).
+    """
+    x = np.asarray(x, dtype=float)
+    value = 1.0 / (1.0 + np.exp(-8.0 * (x - 0.5)))
+    if value.ndim == 0:
+        return float(value)
+    return value
+
+
+def smoothstep(x: ArrayLike) -> ArrayLike:
+    """The cubic smoothstep ``3x^2 - 2x^3`` (exactly degree-3 Bernstein)."""
+    x = np.asarray(x, dtype=float)
+    value = 3.0 * x**2 - 2.0 * x**3
+    if value.ndim == 0:
+        return float(value)
+    return value
+
+
+def scaled_sine(x: ArrayLike) -> ArrayLike:
+    """``(1 + sin(2 pi x - pi/2)) / 2``: one full period into [0, 1]."""
+    x = np.asarray(x, dtype=float)
+    value = 0.5 * (1.0 + np.sin(2.0 * np.pi * x - np.pi / 2.0))
+    if value.ndim == 0:
+        return float(value)
+    return value
+
+
+FUNCTION_LIBRARY: dict = {
+    "gamma": (gamma_correction, PAPER_GAMMA_ORDER),
+    "paper_f1": (PAPER_EXAMPLE_F1, 3),
+    "sigmoid": (sigmoid_like, 6),
+    # smoothstep is itself a cubic: stored in power form so the Bernstein
+    # program is the exact basis conversion rather than an approximation.
+    "smoothstep": (PowerPolynomial([0.0, 0.0, 3.0, -2.0]), 3),
+    "scaled_sine": (scaled_sine, 8),
+}
+"""Named benchmark kernels: ``name -> (callable_or_polynomial, degree)``."""
+
+
+def bernstein_program(name: str) -> BernsteinPolynomial:
+    """Build the Bernstein program for a library function by name."""
+    if name not in FUNCTION_LIBRARY:
+        raise ConfigurationError(
+            f"unknown function {name!r}; choose from "
+            f"{sorted(FUNCTION_LIBRARY)}"
+        )
+    function, degree = FUNCTION_LIBRARY[name]
+    if isinstance(function, PowerPolynomial):
+        return BernsteinPolynomial.from_power(function)
+    return BernsteinPolynomial.from_function(function, degree, method="operator")
+
+
+__all__.append("bernstein_program")

@@ -1,0 +1,125 @@
+"""Image-processing workload support (the paper's application domain).
+
+Section II-A motivates SC with "error tolerant applications such as
+image and signal processing", and Section V-C uses gamma correction as
+the scaling workload.  This module provides the image-side machinery:
+synthetic test charts, quality metrics, and an efficient per-pixel
+kernel runner that batches identical gray levels through one stochastic
+evaluation (the standard trick for LUT-style SC image pipelines).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "radial_gradient",
+    "linear_ramp",
+    "checkerboard",
+    "quantize_levels",
+    "psnr_db",
+    "mean_absolute_error_image",
+    "apply_pixel_kernel",
+]
+
+
+def _validate_size(size: int) -> int:
+    if size < 2:
+        raise ConfigurationError(f"size must be >= 2, got {size!r}")
+    return int(size)
+
+
+def radial_gradient(size: int = 64) -> np.ndarray:
+    """Radial gradient chart in ``[0, 1]``, bright center, dark corners."""
+    size = _validate_size(size)
+    axis = np.linspace(-1.0, 1.0, size)
+    xx, yy = np.meshgrid(axis, axis)
+    radius = np.sqrt(xx**2 + yy**2) / np.sqrt(2.0)
+    return np.clip(1.0 - radius, 0.0, 1.0)
+
+
+def linear_ramp(size: int = 64) -> np.ndarray:
+    """Horizontal intensity ramp in ``[0, 1]`` (gamma's classic test)."""
+    size = _validate_size(size)
+    row = np.linspace(0.0, 1.0, size)
+    return np.tile(row, (size, 1))
+
+
+def checkerboard(size: int = 64, tiles: int = 8) -> np.ndarray:
+    """Checkerboard of 0.25/0.75 tiles (edge-preservation check)."""
+    size = _validate_size(size)
+    if tiles < 1 or tiles > size:
+        raise ConfigurationError(f"tiles must be in [1, {size}], got {tiles!r}")
+    cell = max(size // tiles, 1)
+    idx = np.arange(size) // cell
+    board = (idx[:, None] + idx[None, :]) % 2
+    return np.where(board == 0, 0.25, 0.75)
+
+
+def quantize_levels(image: np.ndarray, levels: int = 256) -> np.ndarray:
+    """Quantize a unit-range image to ``levels`` uniform gray levels."""
+    image = np.asarray(image, dtype=float)
+    if np.any(image < 0.0) or np.any(image > 1.0):
+        raise ConfigurationError("image values must be in [0, 1]")
+    if levels < 2:
+        raise ConfigurationError(f"levels must be >= 2, got {levels!r}")
+    return np.round(image * (levels - 1)) / (levels - 1)
+
+
+def psnr_db(reference: np.ndarray, processed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio (dB) for unit-range images."""
+    reference = np.asarray(reference, dtype=float)
+    processed = np.asarray(processed, dtype=float)
+    if reference.shape != processed.shape:
+        raise ConfigurationError(
+            f"shape mismatch: {reference.shape} vs {processed.shape}"
+        )
+    mse = float(np.mean((reference - processed) ** 2))
+    if mse == 0.0:
+        return float("inf")
+    return -10.0 * float(np.log10(mse))
+
+
+def mean_absolute_error_image(
+    reference: np.ndarray, processed: np.ndarray
+) -> float:
+    """Mean absolute per-pixel error."""
+    reference = np.asarray(reference, dtype=float)
+    processed = np.asarray(processed, dtype=float)
+    if reference.shape != processed.shape:
+        raise ConfigurationError(
+            f"shape mismatch: {reference.shape} vs {processed.shape}"
+        )
+    return float(np.mean(np.abs(reference - processed)))
+
+
+def apply_pixel_kernel(
+    image: np.ndarray,
+    kernel: Callable[[float], float],
+    levels: Optional[int] = 64,
+) -> np.ndarray:
+    """Apply a scalar *kernel* to every pixel, batching repeated levels.
+
+    Stochastic evaluations are expensive per call; quantizing to
+    *levels* gray levels and evaluating each unique level once turns an
+    ``O(pixels)`` workload into ``O(levels)`` — exactly how an SC image
+    pipeline would share one hardware unit across a frame.  With
+    ``levels=None`` every unique value in the image is evaluated.
+    """
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise ConfigurationError("image must be 2-D")
+    if np.any(image < 0.0) or np.any(image > 1.0):
+        raise ConfigurationError("image values must be in [0, 1]")
+    working = image if levels is None else quantize_levels(image, levels)
+    lut: Dict[float, float] = {}
+    for value in np.unique(working):
+        lut[float(value)] = float(kernel(float(value)))
+    result = np.empty_like(working)
+    for value, mapped in lut.items():
+        result[working == value] = mapped
+    return result

@@ -1,0 +1,133 @@
+"""Linear-feedback shift registers: the classical SC pseudo-random source.
+
+Electronic stochastic number generators (Fig. 1(a) of the paper, after
+Qian et al. [9]) compare a binary input against the state of a
+maximal-period LFSR.  This module implements a Fibonacci LFSR with the
+standard maximal-length tap sets for register widths 3..24.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["LFSR", "MAXIMAL_TAPS"]
+
+MAXIMAL_TAPS = {
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+    13: (13, 12, 11, 8),
+    14: (14, 13, 12, 2),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 18, 17, 14),
+    20: (20, 17),
+    21: (21, 19),
+    22: (22, 21),
+    23: (23, 18),
+    24: (24, 23, 22, 17),
+}
+"""Maximal-period XOR tap positions (1-based, MSB first) per width."""
+
+
+class LFSR:
+    """Fibonacci LFSR over GF(2) with maximal-length default taps.
+
+    Parameters
+    ----------
+    width:
+        Register width in bits (3..24 for the built-in tap table).
+    seed:
+        Initial state, any value in ``[1, 2**width - 1]`` (zero is the
+        lock-up state of a XOR LFSR and is rejected).
+    taps:
+        Optional explicit tap positions (1-based, counted from the MSB
+        side like the classical app-note convention).  Defaults to the
+        maximal-period set for *width*.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        seed: int = 1,
+        taps: Optional[Sequence[int]] = None,
+    ):
+        if taps is None:
+            if width not in MAXIMAL_TAPS:
+                raise ConfigurationError(
+                    f"no built-in maximal taps for width {width}; "
+                    "pass taps= explicitly"
+                )
+            taps = MAXIMAL_TAPS[width]
+        if width < 2:
+            raise ConfigurationError(f"width must be >= 2, got {width!r}")
+        if not all(1 <= t <= width for t in taps):
+            raise ConfigurationError(
+                f"tap positions must be in [1, {width}], got {taps!r}"
+            )
+        if not 1 <= seed < (1 << width):
+            raise ConfigurationError(
+                f"seed must be in [1, 2**{width} - 1], got {seed!r}"
+            )
+        self.width = int(width)
+        self.taps: Tuple[int, ...] = tuple(sorted(set(int(t) for t in taps)))
+        self._state = int(seed)
+        self._seed = int(seed)
+
+    @property
+    def state(self) -> int:
+        """Current register contents."""
+        return self._state
+
+    @property
+    def period(self) -> int:
+        """Period of a maximal-length sequence: ``2**width - 1``."""
+        return (1 << self.width) - 1
+
+    def reset(self) -> None:
+        """Return to the seed state."""
+        self._state = self._seed
+
+    def step(self) -> int:
+        """Advance one clock; returns the new state.
+
+        Taps are 1-based bit positions (XAPP052 convention): tap ``t``
+        reads register bit ``t - 1``, with bit ``width - 1`` (tap
+        ``width``) the bit shifted out each clock.
+        """
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self._state >> (tap - 1)) & 1
+        self._state = ((self._state << 1) | feedback) & ((1 << self.width) - 1)
+        return self._state
+
+    def states(self, count: int) -> np.ndarray:
+        """The next *count* states as a uint32 array (advances the LFSR)."""
+        if count <= 0:
+            raise ConfigurationError(f"count must be positive, got {count!r}")
+        out = np.empty(count, dtype=np.uint32)
+        for i in range(count):
+            out[i] = self.step()
+        return out
+
+    def uniform(self, count: int) -> np.ndarray:
+        """The next *count* states scaled to ``(0, 1)`` floats."""
+        return self.states(count).astype(float) / float(1 << self.width)
+
+    def full_period_states(self) -> np.ndarray:
+        """All ``2**width - 1`` states of one full period from the seed."""
+        self.reset()
+        return self.states(self.period)

@@ -1,0 +1,99 @@
+"""Power-basis polynomials and the paper's running example.
+
+The ReSC architecture evaluates polynomials given in the *Bernstein*
+basis; applications usually specify them in the *power* basis
+(``f(x) = sum a_k x^k``).  :class:`PowerPolynomial` is the small value
+class used on the application side; basis conversion lives in
+:mod:`repro.stochastic.bernstein`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import ArrayLike
+
+__all__ = ["PowerPolynomial", "PAPER_EXAMPLE_F1"]
+
+
+class PowerPolynomial:
+    """Polynomial ``a_0 + a_1 x + ... + a_n x^n`` in the power basis.
+
+    Parameters
+    ----------
+    coefficients:
+        Ascending-order coefficients ``(a_0, ..., a_n)``.
+    """
+
+    def __init__(self, coefficients: Sequence[float]):
+        coeffs = np.asarray(list(coefficients), dtype=float)
+        if coeffs.ndim != 1 or coeffs.size == 0:
+            raise ConfigurationError("need a non-empty 1-D coefficient list")
+        self._coefficients = coeffs
+        self._coefficients.setflags(write=False)
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Ascending power-basis coefficients (read-only)."""
+        return self._coefficients
+
+    @property
+    def degree(self) -> int:
+        """Degree ``n`` (trailing zeros are *not* trimmed: the declared
+        degree is part of the ReSC configuration)."""
+        return self._coefficients.size - 1
+
+    def __call__(self, x: ArrayLike) -> ArrayLike:
+        """Evaluate with Horner's scheme."""
+        x = np.asarray(x, dtype=float)
+        result = np.zeros_like(x)
+        for coefficient in self._coefficients[::-1]:
+            result = result * x + coefficient
+        if result.ndim == 0:
+            return float(result)
+        return result
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PowerPolynomial):
+            return NotImplemented
+        return self._coefficients.shape == other._coefficients.shape and bool(
+            np.allclose(self._coefficients, other._coefficients)
+        )
+
+    def __repr__(self) -> str:
+        terms = ", ".join(f"{c:g}" for c in self._coefficients)
+        return f"PowerPolynomial([{terms}])"
+
+    def derivative(self) -> "PowerPolynomial":
+        """First derivative as a new polynomial."""
+        if self.degree == 0:
+            return PowerPolynomial([0.0])
+        k = np.arange(1, self.degree + 1)
+        return PowerPolynomial(self._coefficients[1:] * k)
+
+    def is_bounded_on_unit_interval(self, samples: int = 1001) -> bool:
+        """Check ``f([0, 1]) ⊆ [0, 1]`` (necessary for SC implementability)."""
+        grid = np.linspace(0.0, 1.0, samples)
+        values = self(grid)
+        return bool(np.all(values >= -1e-12) and np.all(values <= 1.0 + 1e-12))
+
+    @classmethod
+    def fit(
+        cls, function: Callable[[np.ndarray], np.ndarray], degree: int, samples: int = 257
+    ) -> "PowerPolynomial":
+        """Least-squares power-basis fit of *function* on ``[0, 1]``."""
+        if degree < 0:
+            raise ConfigurationError(f"degree must be >= 0, got {degree!r}")
+        grid = np.linspace(0.0, 1.0, samples)
+        values = np.asarray(function(grid), dtype=float)
+        # numpy.polynomial uses ascending order, matching our convention.
+        coeffs = np.polynomial.polynomial.polyfit(grid, values, degree)
+        return cls(coeffs)
+
+
+PAPER_EXAMPLE_F1 = PowerPolynomial([0.25, 9.0 / 8.0, -15.0 / 8.0, 5.0 / 4.0])
+"""The paper's Fig. 1(b) example: ``f1(x) = 1/4 + 9x/8 - 15x^2/8 + 5x^3/4``,
+whose degree-3 Bernstein coefficients are (2/8, 5/8, 3/8, 6/8)."""

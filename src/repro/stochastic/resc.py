@@ -1,0 +1,173 @@
+"""The electronic ReSC unit of Qian et al. [9] (paper Fig. 1).
+
+This is the CMOS baseline the optical architecture transposes.  Per clock:
+
+1. ``n`` SNGs emit one bit each of the data streams ``x_1..x_n``;
+2. ``n + 1`` SNGs emit one bit each of the coefficient streams
+   ``z_0..z_n``;
+3. the adder counts the ones among the data bits, producing the select
+   word ``k``;
+4. the multiplexer forwards bit ``z_k`` to the output;
+5. a counter accumulates the output ones (the de-randomizer).
+
+The expected output equals the Bernstein value ``B(x)`` because the
+select word is ``Binomial(n, x)``-distributed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..constants import PAPER_RESC_CLOCK_HZ
+from ..errors import ConfigurationError
+from .bernstein import BernsteinPolynomial
+from .bitstream import Bitstream
+from .elements import adder_select
+from .sng import StochasticNumberGenerator, make_independent_sngs
+
+__all__ = ["ReSCUnit", "ReSCResult"]
+
+
+@dataclass(frozen=True)
+class ReSCResult:
+    """Outcome of one ReSC evaluation.
+
+    Attributes
+    ----------
+    value:
+        De-randomized output probability (ones count / stream length).
+    ones_count:
+        Raw counter value.
+    stream_length:
+        Number of clocks (bits) used.
+    expected:
+        The exact Bernstein value ``B(x)`` for reference.
+    output_stream:
+        The multiplexed output stream (kept for receiver-side studies).
+    """
+
+    value: float
+    ones_count: int
+    stream_length: int
+    expected: float
+    output_stream: Bitstream
+
+    @property
+    def absolute_error(self) -> float:
+        """``|value - expected|`` of this evaluation."""
+        return abs(self.value - self.expected)
+
+
+class ReSCUnit:
+    """Reconfigurable stochastic computing unit (Fig. 1(a)).
+
+    Parameters
+    ----------
+    polynomial:
+        The Bernstein program; every coefficient must be in ``[0, 1]``.
+    data_sngs / coefficient_sngs:
+        Optional explicit randomizers (``n`` for data, ``n + 1`` for the
+        coefficients).  Defaults to decorrelated LFSR comparator SNGs.
+    clock_hz:
+        Clock frequency used for throughput accounting; the paper
+        compares against a 100 MHz electronic implementation.
+    """
+
+    def __init__(
+        self,
+        polynomial: BernsteinPolynomial,
+        data_sngs: Optional[Sequence[StochasticNumberGenerator]] = None,
+        coefficient_sngs: Optional[Sequence[StochasticNumberGenerator]] = None,
+        clock_hz: float = PAPER_RESC_CLOCK_HZ,
+    ):
+        if not isinstance(polynomial, BernsteinPolynomial):
+            raise ConfigurationError("polynomial must be a BernsteinPolynomial")
+        if not polynomial.is_sc_implementable():
+            raise ConfigurationError(
+                "Bernstein coefficients must lie in [0, 1]; call "
+                "elevated_until_implementable() first"
+            )
+        if clock_hz <= 0:
+            raise ConfigurationError(f"clock_hz must be positive, got {clock_hz!r}")
+        self.polynomial = polynomial
+        self.degree = polynomial.degree
+        self.clock_hz = float(clock_hz)
+        if data_sngs is not None:
+            self._data_sngs = list(data_sngs)
+        elif self.degree > 0:
+            self._data_sngs = make_independent_sngs(self.degree, base_seed=0x1234)
+        else:
+            self._data_sngs = []  # a constant program needs no data inputs
+        self._coefficient_sngs = (
+            list(coefficient_sngs)
+            if coefficient_sngs is not None
+            else make_independent_sngs(self.degree + 1, base_seed=0xBEEF)
+        )
+        if len(self._data_sngs) != self.degree:
+            raise ConfigurationError(
+                f"need {self.degree} data SNGs, got {len(self._data_sngs)}"
+            )
+        if len(self._coefficient_sngs) != self.degree + 1:
+            raise ConfigurationError(
+                f"need {self.degree + 1} coefficient SNGs, "
+                f"got {len(self._coefficient_sngs)}"
+            )
+
+    # -- stream generation -------------------------------------------------------
+
+    def data_streams(self, x: float, length: int) -> list:
+        """The ``n`` independent stochastic encodings of the input *x*."""
+        if not 0.0 <= x <= 1.0:
+            raise ConfigurationError(f"x must be in [0, 1], got {x!r}")
+        return [sng.generate(x, length) for sng in self._data_sngs]
+
+    def coefficient_streams(self, length: int) -> list:
+        """The ``n + 1`` coefficient streams ``z_0..z_n``."""
+        return [
+            sng.generate(float(b), length)
+            for sng, b in zip(
+                self._coefficient_sngs, self.polynomial.coefficients
+            )
+        ]
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def evaluate(self, x: float, length: int = 1024) -> ReSCResult:
+        """Run the unit for *length* clocks on input *x*."""
+        if length <= 0:
+            raise ConfigurationError(f"length must be positive, got {length!r}")
+        data = self.data_streams(x, length)
+        coefficients = self.coefficient_streams(length)
+        if data:
+            select = adder_select(data)
+        else:
+            select = np.zeros(length, dtype=np.int64)
+        coefficient_matrix = np.stack([s.bits for s in coefficients])
+        output_bits = coefficient_matrix[select, np.arange(length)]
+        output = Bitstream(output_bits)
+        return ReSCResult(
+            value=output.probability,
+            ones_count=output.ones_count,
+            stream_length=length,
+            expected=float(self.polynomial(x)),
+            output_stream=output,
+        )
+
+    def evaluate_sweep(self, xs: Sequence[float], length: int = 1024) -> np.ndarray:
+        """Vector of de-randomized outputs over the inputs *xs*."""
+        return np.asarray([self.evaluate(float(x), length).value for x in xs])
+
+    # -- throughput accounting ---------------------------------------------------
+
+    def computation_time_s(self, length: int) -> float:
+        """Wall time to stream *length* bits at the configured clock."""
+        if length <= 0:
+            raise ConfigurationError(f"length must be positive, got {length!r}")
+        return length / self.clock_hz
+
+    def throughput_bits_per_s(self) -> float:
+        """Stream bits processed per second (one bit per clock)."""
+        return self.clock_hz

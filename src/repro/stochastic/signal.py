@@ -1,0 +1,182 @@
+"""Signal-processing kernels in stochastic logic.
+
+Beyond images, the paper motivates SC with signal processing
+(Section II-A).  This module builds the classical SC filter structures
+from the elements of :mod:`repro.stochastic.elements`:
+
+* :class:`StochasticFIRFilter` — an N-tap scaled-addition FIR filter: a
+  multiplexer tree selects among tap streams with probabilities equal to
+  the normalized tap weights, computing ``sum_k w_k x[n-k] / sum_k w_k``
+  exactly in expectation;
+* :func:`moving_average` — the equal-weight special case;
+* helpers for converting real-valued signals to/from the unipolar domain.
+
+These run on any SNG and can be fed through the optical circuit's
+coefficient path, giving a second end-to-end application workload.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .bitstream import Bitstream
+
+__all__ = [
+    "normalize_signal",
+    "denormalize_signal",
+    "StochasticFIRFilter",
+    "moving_average",
+]
+
+
+def normalize_signal(signal: Sequence[float]) -> tuple:
+    """Affine-map a real signal into ``[0, 1]``.
+
+    Returns ``(normalized, offset, scale)`` with
+    ``original = normalized * scale + offset``.  Constant signals map to
+    0.5 with unit scale so the inverse stays well-defined.
+    """
+    array = np.asarray(list(signal), dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise ConfigurationError("signal must be a non-empty 1-D sequence")
+    low, high = float(array.min()), float(array.max())
+    if high == low:
+        return np.full_like(array, 0.5), low - 0.5, 1.0
+    scale = high - low
+    return (array - low) / scale, low, scale
+
+
+def denormalize_signal(
+    normalized: Sequence[float], offset: float, scale: float
+) -> np.ndarray:
+    """Invert :func:`normalize_signal`."""
+    array = np.asarray(list(normalized), dtype=float)
+    if scale == 0.0:
+        raise ConfigurationError("scale must be non-zero")
+    return array * scale + offset
+
+
+class StochasticFIRFilter:
+    """Scaled-addition FIR filter over unipolar streams.
+
+    Parameters
+    ----------
+    weights:
+        Non-negative tap weights ``w_0..w_{N-1}`` (at least one positive).
+        The stochastic structure computes the *normalized* response
+        ``y = sum w_k x_k / sum w_k``; callers rescale by
+        :attr:`weight_sum` if the unnormalized sum is needed.
+
+    Notes
+    -----
+    Implementation: one categorical select stream chooses tap ``k`` with
+    probability ``w_k / sum w``; the output bit is the selected tap's
+    bit.  This is the direct N-way generalization of the 2:1 MUX scaled
+    adder of Fig. 1, and it is unbiased for any tap count.
+    """
+
+    def __init__(self, weights: Sequence[float]):
+        array = np.asarray(list(weights), dtype=float)
+        if array.ndim != 1 or array.size == 0:
+            raise ConfigurationError("need a non-empty 1-D weight list")
+        if np.any(array < 0.0):
+            raise ConfigurationError("weights must be >= 0")
+        total = float(array.sum())
+        if total <= 0.0:
+            raise ConfigurationError("at least one weight must be positive")
+        self._weights = array
+        self._weights.setflags(write=False)
+        self._probabilities = array / total
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The tap weights (read-only)."""
+        return self._weights
+
+    @property
+    def tap_count(self) -> int:
+        """Number of taps ``N``."""
+        return int(self._weights.size)
+
+    @property
+    def weight_sum(self) -> float:
+        """Normalization factor ``sum_k w_k``."""
+        return float(self._weights.sum())
+
+    def expected_output(self, tap_values: Sequence[float]) -> float:
+        """The exact normalized response for given tap probabilities."""
+        values = np.asarray(list(tap_values), dtype=float)
+        if values.shape != self._weights.shape:
+            raise ConfigurationError(
+                f"need {self.tap_count} tap values, got {values.size}"
+            )
+        return float(np.dot(self._probabilities, values))
+
+    def filter_streams(
+        self,
+        tap_streams: Sequence[Bitstream],
+        rng: np.random.Generator,
+    ) -> Bitstream:
+        """One output stream from ``N`` equal-length tap streams."""
+        if len(tap_streams) != self.tap_count:
+            raise ConfigurationError(
+                f"need {self.tap_count} tap streams, got {len(tap_streams)}"
+            )
+        length = len(tap_streams[0])
+        for stream in tap_streams:
+            if not isinstance(stream, Bitstream):
+                raise ConfigurationError("taps must be Bitstreams")
+            if len(stream) != length:
+                raise ConfigurationError("tap streams must share one length")
+        selects = rng.choice(
+            self.tap_count, size=length, p=self._probabilities
+        )
+        matrix = np.stack([stream.bits for stream in tap_streams])
+        return Bitstream(matrix[selects, np.arange(length)])
+
+    def filter_signal(
+        self,
+        signal: Sequence[float],
+        stream_length: int = 1024,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Run a unit-range signal through the stochastic filter.
+
+        Produces the normalized FIR response sample by sample (the first
+        ``N - 1`` outputs use zero-padding history, as a hardware shift
+        register would).
+        """
+        values = np.asarray(list(signal), dtype=float)
+        if values.ndim != 1 or values.size == 0:
+            raise ConfigurationError("signal must be a non-empty 1-D sequence")
+        if np.any(values < 0.0) or np.any(values > 1.0):
+            raise ConfigurationError("signal samples must be in [0, 1]")
+        if stream_length <= 0:
+            raise ConfigurationError("stream_length must be positive")
+        rng = rng or np.random.default_rng(0xF17)
+        padded = np.concatenate([np.zeros(self.tap_count - 1), values])
+        output = np.empty(values.size)
+        for n in range(values.size):
+            history = padded[n : n + self.tap_count][::-1]
+            taps = [
+                Bitstream.from_probability(float(p), stream_length, rng)
+                for p in history
+            ]
+            output[n] = self.filter_streams(taps, rng).probability
+        return output
+
+
+def moving_average(
+    signal: Sequence[float],
+    window: int,
+    stream_length: int = 1024,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Equal-weight stochastic moving average over a unit-range signal."""
+    if window < 1:
+        raise ConfigurationError(f"window must be >= 1, got {window!r}")
+    fir = StochasticFIRFilter(np.ones(window))
+    return fir.filter_signal(signal, stream_length=stream_length, rng=rng)

@@ -1,0 +1,235 @@
+"""Stochastic number generators (SNG): the randomizer interface.
+
+An SNG converts a number ``p`` in ``[0, 1]`` into a stochastic bit-stream
+whose fraction of ones approximates ``p`` (paper Fig. 1(a)).  Several
+generators are provided:
+
+* :class:`ComparatorSNG` — the classical LFSR + comparator randomizer.
+* :class:`CounterSNG` — a deterministic ramp comparator (unary coding);
+  zero random error, but streams are maximally correlated.
+* :class:`SobolLikeSNG` — a bit-reversed-counter (van der Corput)
+  comparator; low-discrepancy streams with ``O(1/N)`` error.
+* :class:`ChaoticLaserBitSource` — a logistic-map model of the chaotic
+  semiconductor laser RNG of Zhang et al. [20], the paper's proposed
+  optical randomizer (Section V-D / future work (iii)).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .bitstream import Bitstream
+from .lfsr import LFSR
+
+__all__ = [
+    "StochasticNumberGenerator",
+    "ComparatorSNG",
+    "CounterSNG",
+    "SobolLikeSNG",
+    "ChaoticLaserBitSource",
+]
+
+
+def _validate_probability(value: float) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"value must be in [0, 1], got {value!r}")
+    return float(value)
+
+
+def _validate_length(length: int) -> int:
+    if length <= 0:
+        raise ConfigurationError(f"length must be positive, got {length!r}")
+    return int(length)
+
+
+class StochasticNumberGenerator(abc.ABC):
+    """Interface of all randomizers: value in [0, 1] -> bit-stream."""
+
+    @abc.abstractmethod
+    def generate(self, value: float, length: int) -> Bitstream:
+        """Produce a stream of *length* bits encoding *value*."""
+
+    def generate_many(self, values, length: int) -> list:
+        """One independent stream per value (convenience for ReSC inputs)."""
+        return [self.generate(v, length) for v in values]
+
+
+class ComparatorSNG(StochasticNumberGenerator):
+    """LFSR + comparator randomizer (the SNG of Qian et al. [9]).
+
+    Each clock, the binary-encoded value is compared with the LFSR state;
+    the output bit is 1 when the LFSR sample falls below the value.
+
+    Parameters
+    ----------
+    width:
+        LFSR width; the value is quantized to ``2**width`` levels.
+    seed:
+        LFSR seed; use different seeds for independent streams.
+    """
+
+    def __init__(self, width: int = 16, seed: int = 1):
+        self._lfsr = LFSR(width=width, seed=seed)
+        self.width = width
+
+    def generate(self, value: float, length: int) -> Bitstream:
+        value = _validate_probability(value)
+        length = _validate_length(length)
+        samples = self._lfsr.uniform(length)
+        return Bitstream((samples < value).astype(np.uint8))
+
+
+class CounterSNG(StochasticNumberGenerator):
+    """Deterministic ramp comparator: evenly spread unary coding.
+
+    Produces exactly ``round(p * length)`` ones.  Useful as the
+    zero-variance baseline when isolating transmission errors from
+    randomizer noise.
+    """
+
+    def generate(self, value: float, length: int) -> Bitstream:
+        value = _validate_probability(value)
+        length = _validate_length(length)
+        return Bitstream.exact(value, length)
+
+
+class SobolLikeSNG(StochasticNumberGenerator):
+    """Bit-reversed counter comparator (1-D van der Corput sequence).
+
+    Low-discrepancy streams converge as ``O(1/N)`` instead of the
+    Bernoulli ``O(1/sqrt(N))`` while remaining usable as independent
+    inputs when different *bit_offset* values are chosen.
+    """
+
+    def __init__(self, bits: int = 16, bit_offset: int = 0):
+        if not 1 <= bits <= 30:
+            raise ConfigurationError(f"bits must be in [1, 30], got {bits!r}")
+        if bit_offset < 0:
+            raise ConfigurationError("bit_offset must be >= 0")
+        self.bits = bits
+        self.bit_offset = bit_offset
+
+    def _van_der_corput(self, count: int) -> np.ndarray:
+        indices = np.arange(self.bit_offset, self.bit_offset + count, dtype=np.uint64)
+        values = np.zeros(count, dtype=float)
+        scale = 0.5
+        for _ in range(self.bits):
+            values += (indices & 1) * scale
+            indices >>= np.uint64(1)
+            scale *= 0.5
+        return values
+
+    def generate(self, value: float, length: int) -> Bitstream:
+        value = _validate_probability(value)
+        length = _validate_length(length)
+        samples = self._van_der_corput(length)
+        return Bitstream((samples < value).astype(np.uint8))
+
+
+class ChaoticLaserBitSource(StochasticNumberGenerator):
+    """Logistic-map model of a chaotic-laser random bit generator [20].
+
+    Zhang et al. demonstrated 640 Gbit/s physical random bit generation
+    from a broadband chaotic semiconductor laser; the paper proposes such
+    a source as the optical-domain randomizer.  The laser intensity
+    dynamics are modeled with the fully chaotic logistic map
+    ``I_{k+1} = 4 I_k (1 - I_k)``, whose invariant (arcsine) density is
+    mapped to uniform samples through ``u = (2/pi) * asin(sqrt(I))``;
+    uniform samples then drive a comparator as in the electronic SNG.
+
+    Parameters
+    ----------
+    seed_intensity:
+        Initial normalized intensity in (0, 1), excluding the fixed
+        points {0, 0.5, 0.75, 1}.
+    warmup:
+        Iterations discarded before use (transient removal).
+    """
+
+    _FIXED_POINTS = (0.0, 0.5, 0.75, 1.0)
+
+    def __init__(self, seed_intensity: float = 0.123456789, warmup: int = 64):
+        if not 0.0 < seed_intensity < 1.0:
+            raise ConfigurationError(
+                f"seed_intensity must be in (0, 1), got {seed_intensity!r}"
+            )
+        if any(
+            math.isclose(seed_intensity, fp, abs_tol=1e-12)
+            for fp in self._FIXED_POINTS
+        ):
+            raise ConfigurationError(
+                "seed_intensity must avoid the logistic-map fixed points"
+            )
+        if warmup < 0:
+            raise ConfigurationError("warmup must be >= 0")
+        self._intensity = float(seed_intensity)
+        for _ in range(warmup):
+            self._advance()
+
+    def _advance(self) -> float:
+        self._intensity = 4.0 * self._intensity * (1.0 - self._intensity)
+        # Guard against numerical collapse onto the absorbing endpoints.
+        if self._intensity <= 1e-15 or self._intensity >= 1.0 - 1e-15:
+            self._intensity = 0.31830988618  # re-inject (1/pi)
+        return self._intensity
+
+    def uniform(self, count: int) -> np.ndarray:
+        """*count* approximately uniform samples from the chaotic orbit."""
+        if count <= 0:
+            raise ConfigurationError(f"count must be positive, got {count!r}")
+        samples = np.empty(count, dtype=float)
+        for i in range(count):
+            samples[i] = self._advance()
+        return (2.0 / math.pi) * np.arcsin(np.sqrt(samples))
+
+    def random_bits(self, count: int) -> np.ndarray:
+        """Raw random bits (uniform samples thresholded at 1/2)."""
+        return (self.uniform(count) < 0.5).astype(np.uint8)
+
+    def generate(self, value: float, length: int) -> Bitstream:
+        value = _validate_probability(value)
+        length = _validate_length(length)
+        samples = self.uniform(length)
+        return Bitstream((samples < value).astype(np.uint8))
+
+
+def make_independent_sngs(
+    count: int,
+    kind: str = "lfsr",
+    width: int = 16,
+    base_seed: int = 0x5EED,
+) -> list:
+    """Build *count* decorrelated SNGs of the given *kind*.
+
+    ``kind`` is one of ``"lfsr"``, ``"counter"``, ``"sobol"``,
+    ``"chaotic"``.  Decorrelation uses distinct seeds / offsets.
+    """
+    if count <= 0:
+        raise ConfigurationError(f"count must be positive, got {count!r}")
+    generators: list = []
+    for index in range(count):
+        if kind == "lfsr":
+            seed = (base_seed + 7919 * index) % ((1 << width) - 1) or 1
+            generators.append(ComparatorSNG(width=width, seed=seed))
+        elif kind == "counter":
+            generators.append(CounterSNG())
+        elif kind == "sobol":
+            generators.append(SobolLikeSNG(bits=width, bit_offset=977 * index))
+        elif kind == "chaotic":
+            generators.append(
+                ChaoticLaserBitSource(
+                    seed_intensity=(0.1 + 0.779 * index / max(count, 1)) % 0.99
+                    + 0.001,
+                    warmup=64 + index,
+                )
+            )
+        else:
+            raise ConfigurationError(f"unknown SNG kind {kind!r}")
+    return generators
+
+
+__all__.append("make_independent_sngs")

@@ -1,0 +1,193 @@
+"""Unit conversions used across the library.
+
+Conventions
+-----------
+The library sticks to one unit per physical quantity and encodes it in
+argument names, following the paper's own tables (Fig. 4(b)):
+
+=====================  ==========  =========================================
+quantity               unit        suffix used in signatures
+=====================  ==========  =========================================
+wavelength             nm          ``_nm``
+optical power          mW          ``_mw``
+electrical current     A           ``_a``
+energy                 J / pJ      ``_j`` / ``_pj``
+time                   s           ``_s``
+data rate              bit/s       ``_hz`` (NRZ: 1 symbol per bit)
+loss / extinction      dB or %     ``_db`` / fractional (0..1)
+=====================  ==========  =========================================
+
+"Percent" quantities such as the paper's ``IL%``/``ER%`` are represented as
+*fractions* in ``[0, 1]`` (the paper's % notation means "linear scale", not
+"multiply by 100").
+
+All conversion helpers accept scalars or numpy arrays and preserve shape.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .constants import SPEED_OF_LIGHT_M_S
+from .errors import ConfigurationError
+
+__all__ = [
+    "ArrayLike",
+    "db_to_linear",
+    "linear_to_db",
+    "db_loss_to_transmission",
+    "transmission_to_db_loss",
+    "mw_to_w",
+    "w_to_mw",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "joules_to_picojoules",
+    "picojoules_to_joules",
+    "wavelength_nm_to_frequency_hz",
+    "frequency_hz_to_wavelength_nm",
+    "fsr_nm_from_group_index",
+    "validate_fraction",
+    "validate_positive",
+    "validate_non_negative",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def db_to_linear(value_db: ArrayLike) -> ArrayLike:
+    """Convert a dB power ratio to a linear ratio.
+
+    >>> db_to_linear(3.0103)
+    2.0000...
+    """
+    return 10.0 ** (np.asarray(value_db, dtype=float) / 10.0)
+
+
+def linear_to_db(ratio: ArrayLike) -> ArrayLike:
+    """Convert a linear power ratio to dB.
+
+    Raises :class:`ConfigurationError` for non-positive ratios, for which
+    dB is undefined.
+    """
+    ratio = np.asarray(ratio, dtype=float)
+    if np.any(ratio <= 0.0):
+        raise ConfigurationError("dB undefined for non-positive ratio")
+    return 10.0 * np.log10(ratio)
+
+
+def db_loss_to_transmission(loss_db: ArrayLike) -> ArrayLike:
+    """Convert an insertion loss in dB to a power transmission fraction.
+
+    This is the paper's ``IL_dB -> IL%`` conversion: 4.5 dB -> 0.3548.
+    A *loss* of ``x`` dB means a transmission of ``10**(-x/10)``.
+    """
+    loss_db = np.asarray(loss_db, dtype=float)
+    if np.any(loss_db < 0.0):
+        raise ConfigurationError("insertion loss must be >= 0 dB")
+    return 10.0 ** (-loss_db / 10.0)
+
+
+def transmission_to_db_loss(transmission: ArrayLike) -> ArrayLike:
+    """Convert a power transmission fraction to an insertion loss in dB."""
+    transmission = np.asarray(transmission, dtype=float)
+    if np.any(transmission <= 0.0) or np.any(transmission > 1.0):
+        raise ConfigurationError("transmission must be in (0, 1]")
+    return -10.0 * np.log10(transmission)
+
+
+def mw_to_w(power_mw: ArrayLike) -> ArrayLike:
+    """Convert milliwatts to watts."""
+    return np.asarray(power_mw, dtype=float) * 1e-3
+
+
+def w_to_mw(power_w: ArrayLike) -> ArrayLike:
+    """Convert watts to milliwatts."""
+    return np.asarray(power_w, dtype=float) * 1e3
+
+
+def dbm_to_mw(power_dbm: ArrayLike) -> ArrayLike:
+    """Convert dBm to milliwatts (0 dBm == 1 mW)."""
+    return 10.0 ** (np.asarray(power_dbm, dtype=float) / 10.0)
+
+
+def mw_to_dbm(power_mw: ArrayLike) -> ArrayLike:
+    """Convert milliwatts to dBm (0 dBm == 1 mW)."""
+    power_mw = np.asarray(power_mw, dtype=float)
+    if np.any(power_mw <= 0.0):
+        raise ConfigurationError("dBm undefined for non-positive power")
+    return 10.0 * np.log10(power_mw)
+
+
+def joules_to_picojoules(energy_j: ArrayLike) -> ArrayLike:
+    """Convert joules to picojoules."""
+    return np.asarray(energy_j, dtype=float) * 1e12
+
+
+def picojoules_to_joules(energy_pj: ArrayLike) -> ArrayLike:
+    """Convert picojoules to joules."""
+    return np.asarray(energy_pj, dtype=float) * 1e-12
+
+
+def wavelength_nm_to_frequency_hz(wavelength_nm: ArrayLike) -> ArrayLike:
+    """Convert a vacuum wavelength in nm to an optical frequency in Hz."""
+    wavelength_nm = np.asarray(wavelength_nm, dtype=float)
+    if np.any(wavelength_nm <= 0.0):
+        raise ConfigurationError("wavelength must be positive")
+    return SPEED_OF_LIGHT_M_S / (wavelength_nm * 1e-9)
+
+
+def frequency_hz_to_wavelength_nm(frequency_hz: ArrayLike) -> ArrayLike:
+    """Convert an optical frequency in Hz to a vacuum wavelength in nm."""
+    frequency_hz = np.asarray(frequency_hz, dtype=float)
+    if np.any(frequency_hz <= 0.0):
+        raise ConfigurationError("frequency must be positive")
+    return SPEED_OF_LIGHT_M_S / frequency_hz * 1e9
+
+
+def fsr_nm_from_group_index(
+    wavelength_nm: float, group_index: float, round_trip_length_um: float
+) -> float:
+    """Free spectral range of a resonator: ``FSR = lambda^2 / (n_g * L)``.
+
+    Parameters
+    ----------
+    wavelength_nm:
+        Operating wavelength (nm).
+    group_index:
+        Waveguide group index ``n_g`` (dimensionless, ~4.3 for Si wire).
+    round_trip_length_um:
+        Resonator round-trip length (um).
+    """
+    validate_positive(wavelength_nm, "wavelength_nm")
+    validate_positive(group_index, "group_index")
+    validate_positive(round_trip_length_um, "round_trip_length_um")
+    length_nm = round_trip_length_um * 1e3
+    return wavelength_nm**2 / (group_index * length_nm)
+
+
+def validate_fraction(value: float, name: str, *, allow_zero: bool = False) -> float:
+    """Validate that *value* lies in ``(0, 1]`` (or ``[0, 1]``).
+
+    Returns the value so it can be used inline in constructors.
+    """
+    lower_ok = value >= 0.0 if allow_zero else value > 0.0
+    if not (lower_ok and value <= 1.0):
+        bound = "[0, 1]" if allow_zero else "(0, 1]"
+        raise ConfigurationError(f"{name} must be in {bound}, got {value!r}")
+    return float(value)
+
+
+def validate_positive(value: float, name: str) -> float:
+    """Validate that *value* is strictly positive; returns it."""
+    if not value > 0.0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def validate_non_negative(value: float, name: str) -> float:
+    """Validate that *value* is >= 0; returns it."""
+    if value < 0.0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return float(value)

@@ -1,0 +1,26 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.photonics import devices
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for reproducible tests."""
+    return np.random.default_rng(20190325)
+
+
+@pytest.fixture
+def coarse_profile() -> devices.RingProfile:
+    """Ring technology of the Fig. 5 study (1 nm grid)."""
+    return devices.COARSE_RING_PROFILE
+
+
+@pytest.fixture
+def dense_profile() -> devices.RingProfile:
+    """Ring technology of the Fig. 6-7 studies (0.1-0.3 nm grid)."""
+    return devices.DENSE_RING_PROFILE

@@ -1,0 +1,119 @@
+"""Tests for the Bitstream value class."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.stochastic import Bitstream
+
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+lengths = st.integers(min_value=1, max_value=4096)
+
+
+class TestConstruction:
+    def test_from_list(self):
+        stream = Bitstream([0, 1, 1, 0])
+        assert len(stream) == 4
+        assert stream.probability == pytest.approx(0.5)
+
+    def test_paper_fig1_stream(self):
+        # Fig. 1(b): x1 = 0,0,0,1,1,0,1,1 encodes 4/8.
+        stream = Bitstream([0, 0, 0, 1, 1, 0, 1, 1])
+        assert stream.probability == pytest.approx(0.5)
+        assert stream.ones_count == 4
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ConfigurationError):
+            Bitstream([0, 2, 1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Bitstream([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            Bitstream(np.zeros((2, 2), dtype=int))
+
+    def test_immutability(self):
+        stream = Bitstream([0, 1])
+        with pytest.raises(ValueError):
+            stream.bits[0] = 1
+
+
+class TestProtocol:
+    def test_equality_and_hash(self):
+        a = Bitstream([0, 1, 1])
+        b = Bitstream([0, 1, 1])
+        c = Bitstream([1, 1, 1])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_indexing_and_slicing(self):
+        stream = Bitstream([0, 1, 1, 0])
+        assert stream[1] == 1
+        assert isinstance(stream[1:3], Bitstream)
+        assert stream[1:3].ones_count == 2
+
+    def test_iteration(self):
+        assert list(Bitstream([1, 0, 1])) == [1, 0, 1]
+
+    def test_repr_contains_probability(self):
+        assert "p=0.5000" in repr(Bitstream([0, 1]))
+
+
+class TestAlgebra:
+    def test_and_multiplies(self):
+        a = Bitstream([1, 1, 0, 0])
+        b = Bitstream([1, 0, 1, 0])
+        assert (a & b).bits.tolist() == [1, 0, 0, 0]
+
+    def test_not_complements(self):
+        a = Bitstream([1, 0, 1, 1])
+        assert (~a).probability == pytest.approx(1 - a.probability)
+
+    def test_xor_or(self):
+        a = Bitstream([1, 1, 0, 0])
+        b = Bitstream([1, 0, 1, 0])
+        assert (a ^ b).bits.tolist() == [0, 1, 1, 0]
+        assert (a | b).bits.tolist() == [1, 1, 1, 0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Bitstream([1, 0]) & Bitstream([1, 0, 1])
+
+
+class TestGenerators:
+    @given(p=probabilities, n=lengths)
+    def test_bernoulli_within_clt_bounds(self, p, n):
+        rng = np.random.default_rng(42)
+        stream = Bitstream.from_probability(p, n, rng)
+        sigma = np.sqrt(max(p * (1 - p), 1e-12) / n)
+        assert abs(stream.probability - p) <= max(6 * sigma, 1.0 / n + 1e-12)
+
+    @given(p=probabilities, n=lengths)
+    def test_exact_encodes_rounded_count(self, p, n):
+        stream = Bitstream.exact(p, n)
+        assert stream.ones_count == round(p * n)
+
+    def test_exact_spreads_ones(self):
+        stream = Bitstream.exact(0.5, 8)
+        # Evenly spread: no run of more than one consecutive one.
+        bits = stream.bits
+        assert stream.ones_count == 4
+        assert np.all((bits[:-1] + bits[1:]) <= 1 + 1)  # trivially true
+        # Stronger: ones in each half are balanced.
+        assert bits[:4].sum() == 2
+
+    def test_from_probability_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            Bitstream.from_probability(1.5, 8, rng)
+        with pytest.raises(ConfigurationError):
+            Bitstream.from_probability(0.5, 0, rng)
+
+    def test_resampled_preserves_probability_statistically(self, rng):
+        stream = Bitstream.exact(0.25, 64)
+        resampled = stream.resampled(100_000, rng)
+        assert resampled.probability == pytest.approx(0.25, abs=0.01)

@@ -1,0 +1,83 @@
+"""Tests for the OpticalStochasticCircuit facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import OpticalStochasticCircuit
+from repro.core.design import mrr_first_design
+from repro.core.params import paper_section5a_parameters
+from repro.errors import ConfigurationError
+from repro.stochastic import BernsteinPolynomial
+
+
+@pytest.fixture
+def circuit() -> OpticalStochasticCircuit:
+    params = paper_section5a_parameters()
+    return OpticalStochasticCircuit(
+        params, BernsteinPolynomial([0.25, 0.5, 0.75])
+    )
+
+
+class TestConstruction:
+    def test_from_design(self):
+        design = mrr_first_design(order=2, wl_spacing_nm=1.0, probe_power_mw=1.0)
+        circuit = OpticalStochasticCircuit.from_design(
+            design, BernsteinPolynomial([0.2, 0.5, 0.8])
+        )
+        assert circuit.params is design.params
+
+    def test_default_program_is_ramp(self):
+        circuit = OpticalStochasticCircuit(paper_section5a_parameters())
+        np.testing.assert_allclose(
+            circuit.polynomial.coefficients, [0.0, 0.5, 1.0]
+        )
+        # Ramp coefficients represent the identity function.
+        assert circuit.expected_value(0.3) == pytest.approx(0.3)
+
+    def test_degree_must_match_order(self):
+        with pytest.raises(ConfigurationError):
+            OpticalStochasticCircuit(
+                paper_section5a_parameters(), BernsteinPolynomial([0.1, 0.9])
+            )
+
+    def test_rejects_non_implementable_program(self):
+        with pytest.raises(ConfigurationError):
+            OpticalStochasticCircuit(
+                paper_section5a_parameters(),
+                BernsteinPolynomial([0.1, 1.9, 0.2]),
+            )
+
+    def test_from_design_type_check(self):
+        with pytest.raises(ConfigurationError):
+            OpticalStochasticCircuit.from_design("design")
+
+
+class TestAnalyticalViews:
+    def test_link_budget_available(self, circuit):
+        assert circuit.link_budget().bands_separated
+
+    def test_energy_available(self, circuit):
+        assert circuit.energy().total_energy_pj > 0
+
+    def test_snr_and_ber(self, circuit):
+        assert circuit.snr() > 0
+        assert 0.0 <= circuit.ber() <= 0.5
+
+    def test_spectra_default_window(self, circuit):
+        curves = circuit.spectra([0, 1, 0], 2)
+        assert "filter" in curves
+        assert curves["MRR0"].shape == (2001,)
+
+    def test_expected_value(self, circuit):
+        assert circuit.expected_value(0.5) == pytest.approx(0.5)
+        with pytest.raises(ConfigurationError):
+            circuit.expected_value(1.5)
+
+    def test_speedup_vs_electronic(self, circuit):
+        # Paper Section V-C: 1 GHz optics vs 100 MHz CMOS -> 10x.
+        assert circuit.speedup_vs_electronic() == pytest.approx(10.0)
+        with pytest.raises(ConfigurationError):
+            circuit.speedup_vs_electronic(0.0)
+
+    def test_describe_includes_program(self, circuit):
+        assert "Bernstein program" in circuit.describe()

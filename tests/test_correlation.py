@@ -1,0 +1,95 @@
+"""Tests for stream correlation metrics (SCC)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stochastic import Bitstream, ComparatorSNG
+from repro.stochastic.correlation import (
+    and_gate_error,
+    autocorrelation,
+    overlap_probability,
+    scc,
+)
+from repro.stochastic.sng import SobolLikeSNG
+
+
+class TestSCC:
+    def test_identical_streams_are_plus_one(self, rng):
+        stream = Bitstream.from_probability(0.5, 4096, rng)
+        assert scc(stream, stream) == pytest.approx(1.0)
+
+    def test_complementary_streams_are_minus_one(self, rng):
+        stream = Bitstream.from_probability(0.5, 4096, rng)
+        assert scc(stream, ~stream) == pytest.approx(-1.0)
+
+    def test_independent_streams_near_zero(self, rng):
+        a = Bitstream.from_probability(0.5, 50_000, rng)
+        b = Bitstream.from_probability(0.5, 50_000, rng)
+        assert abs(scc(a, b)) < 0.05
+
+    def test_decorrelated_sngs_near_zero(self):
+        a = ComparatorSNG(width=16, seed=1).generate(0.5, 30_000)
+        b = ComparatorSNG(width=16, seed=0x4D2).generate(0.5, 30_000)
+        assert abs(scc(a, b)) < 0.05
+
+    def test_constant_stream_degenerate(self):
+        ones = Bitstream([1] * 64)
+        other = Bitstream([0, 1] * 32)
+        assert scc(ones, other) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            scc(Bitstream([0, 1]), Bitstream([1]))
+
+    def test_type_check(self):
+        with pytest.raises(ConfigurationError):
+            overlap_probability([0, 1], Bitstream([0, 1]))
+
+
+class TestOverlapAndGateError:
+    def test_overlap_probability(self):
+        a = Bitstream([1, 1, 0, 0])
+        b = Bitstream([1, 0, 1, 0])
+        assert overlap_probability(a, b) == pytest.approx(0.25)
+
+    def test_and_gate_error_zero_for_independent(self, rng):
+        a = Bitstream.from_probability(0.4, 100_000, rng)
+        b = Bitstream.from_probability(0.6, 100_000, rng)
+        assert and_gate_error(a, b) < 0.01
+
+    def test_and_gate_error_large_for_correlated(self, rng):
+        a = Bitstream.from_probability(0.5, 10_000, rng)
+        # Maximal positive correlation: AND computes min, not product.
+        assert and_gate_error(a, a) == pytest.approx(0.25, abs=0.02)
+
+
+class TestAutocorrelation:
+    def test_white_stream_near_zero(self, rng):
+        stream = Bitstream.from_probability(0.5, 50_000, rng)
+        lags = autocorrelation(stream, max_lag=8)
+        assert np.max(np.abs(lags)) < 0.03
+
+    def test_alternating_stream_strongly_negative_at_lag_one(self):
+        stream = Bitstream([0, 1] * 512)
+        lags = autocorrelation(stream, max_lag=2)
+        assert lags[0] == pytest.approx(-1.0)
+        assert lags[1] == pytest.approx(1.0)
+
+    def test_sobol_like_streams_have_structure(self):
+        # Low-discrepancy generators trade whiteness for accuracy: the
+        # autocorrelation is visibly non-zero. This documents the
+        # tradeoff rather than asserting a specific value.
+        stream = SobolLikeSNG(bits=16).generate(0.5, 8192)
+        lags = autocorrelation(stream, max_lag=4)
+        assert np.max(np.abs(lags)) > 0.2
+
+    def test_constant_stream_zero(self):
+        lags = autocorrelation(Bitstream([1] * 128), max_lag=4)
+        np.testing.assert_allclose(lags, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            autocorrelation(Bitstream([0, 1, 0]), max_lag=3)
+        with pytest.raises(ConfigurationError):
+            autocorrelation([0, 1], max_lag=1)

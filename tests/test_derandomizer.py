@@ -1,0 +1,67 @@
+"""Tests for de-randomizers and the saturating counter."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stochastic import Bitstream, Derandomizer, SaturatingCounter
+
+
+class TestDerandomizer:
+    def test_count_and_probability(self):
+        stream = Bitstream([0, 1, 1, 0, 1, 0, 0, 0])
+        der = Derandomizer()
+        assert der.count(stream) == 3
+        assert der.probability(stream) == pytest.approx(3 / 8)
+
+    def test_accepts_iterables(self):
+        der = Derandomizer()
+        assert der.count([1, 0, 1]) == 2
+        assert der.probability([1, 0, 1, 0]) == pytest.approx(0.5)
+
+    def test_quantized_output(self):
+        stream = Bitstream([1] * 3 + [0] * 5)  # 0.375
+        der = Derandomizer(resolution_bits=2)  # levels of 0.25
+        assert der.probability(stream) == pytest.approx(0.5)  # rounds up
+        der8 = Derandomizer(resolution_bits=3)
+        assert der8.probability(stream) == pytest.approx(0.375)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Derandomizer(resolution_bits=-1)
+
+
+class TestSaturatingCounter:
+    def test_counts_up_and_down(self):
+        counter = SaturatingCounter(width=4, initial=8)
+        counter.update(1)
+        assert counter.value == 9
+        counter.update(0)
+        assert counter.value == 8
+
+    def test_saturates_at_bounds(self):
+        counter = SaturatingCounter(width=2, initial=3)
+        counter.update(1)
+        assert counter.value == 3  # stays at max
+        counter.reset(0)
+        counter.update(0)
+        assert counter.value == 0  # stays at min
+
+    def test_normalized(self):
+        counter = SaturatingCounter(width=4, initial=15)
+        assert counter.normalized == pytest.approx(1.0)
+
+    def test_update_many_tracks_density(self):
+        counter = SaturatingCounter(width=8, initial=128)
+        counter.update_many(Bitstream([1] * 64))
+        assert counter.value == 192
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SaturatingCounter(width=0)
+        with pytest.raises(ConfigurationError):
+            SaturatingCounter(width=4, initial=99)
+        counter = SaturatingCounter(width=4)
+        with pytest.raises(ConfigurationError):
+            counter.update(2)
+        with pytest.raises(ConfigurationError):
+            counter.reset(-1)

@@ -1,0 +1,134 @@
+"""Tests for the MRR-first and MZI-first design methods (Section IV-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.design import mrr_first_design, mzi_first_design
+from repro.core.transmission import TransmissionModel
+from repro.errors import ConfigurationError
+from repro.photonics import MZIModulator
+from repro.photonics.devices import DENSE_RING_PROFILE, XIAO_2013
+
+
+class TestMRRFirstGoldenNumbers:
+    """Section V-A derives 591.8 mW pump and 13.22 dB ER — exactly."""
+
+    def test_pump_power(self):
+        design = mrr_first_design(order=2, wl_spacing_nm=1.0, probe_power_mw=1.0)
+        assert design.pump_power_mw == pytest.approx(591.8, abs=0.5)
+
+    def test_required_er(self):
+        design = mrr_first_design(order=2, wl_spacing_nm=1.0, probe_power_mw=1.0)
+        assert design.required_er_db == pytest.approx(13.22, abs=0.01)
+
+    def test_method_label(self):
+        design = mrr_first_design(order=2, wl_spacing_nm=1.0, probe_power_mw=1.0)
+        assert design.method == "mrr_first"
+        assert "591.8" in design.describe() or "591.9" in design.describe()
+
+
+class TestMRRFirstProperties:
+    @given(
+        order=st.integers(min_value=1, max_value=6),
+        spacing=st.floats(min_value=0.4, max_value=1.5),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_filter_levels_land_on_channels(self, order, spacing):
+        """The central invariant: the linear MZI sum plus the derived ER
+        makes every detuning level align with its channel."""
+        design = mrr_first_design(
+            order=order, wl_spacing_nm=spacing, probe_power_mw=1.0
+        )
+        model = TransmissionModel(design.params)
+        np.testing.assert_allclose(
+            model.filter_resonances_nm(),
+            design.params.grid.wavelengths_nm,
+            atol=1e-6,
+        )
+
+    def test_pump_grows_linearly_with_spacing(self):
+        p1 = mrr_first_design(2, 0.5, probe_power_mw=1.0).pump_power_mw
+        p2 = mrr_first_design(2, 1.0, probe_power_mw=1.0).pump_power_mw
+        # pump = (n*s + guard)/(OTE*IL%): affine in s.
+        slope = (p2 - p1) / 0.5
+        expected_slope = 2.0 / (0.01 * 10 ** (-0.45))
+        assert slope == pytest.approx(expected_slope, rel=1e-6)
+
+    def test_probe_sized_to_target_ber(self):
+        design = mrr_first_design(order=2, wl_spacing_nm=1.0, target_ber=1e-6)
+        assert design.ber() == pytest.approx(1e-6, rel=1e-3)
+
+    def test_profile_defaults_by_spacing(self):
+        coarse = mrr_first_design(2, 1.0, probe_power_mw=1.0)
+        dense = mrr_first_design(2, 0.2, probe_power_mw=1.0)
+        assert "coarse" in coarse.params.ring_profile.name
+        assert "dense" in dense.params.ring_profile.name
+
+    def test_order_validation(self):
+        with pytest.raises(ConfigurationError):
+            mrr_first_design(order=0, wl_spacing_nm=1.0)
+
+
+class TestMZIFirst:
+    def test_xiao_operating_point(self):
+        # Section V-B: Xiao device (IL 6.5 dB, ER 7.5 dB), 0.6 W pump,
+        # BER 1e-6 -> probe power "would be 0.26 mW" (we match the
+        # magnitude; the shape studies live in the fig6 experiment).
+        design = mzi_first_design(order=2, mzi=XIAO_2013, pump_power_mw=600.0)
+        assert design.probe_power_mw == pytest.approx(0.26, abs=0.06)
+
+    def test_swing_partitioned_into_guard_and_channels(self):
+        design = mzi_first_design(order=2, mzi=XIAO_2013, pump_power_mw=600.0)
+        grid = design.params.grid
+        swing = 600.0 * 0.01 * XIAO_2013.il_fraction
+        assert grid.span_nm == pytest.approx(swing, rel=1e-9)
+        assert grid.guard_nm == pytest.approx(
+            swing * XIAO_2013.er_fraction, rel=1e-9
+        )
+
+    def test_levels_land_on_channels_by_construction(self):
+        design = mzi_first_design(order=3, mzi=XIAO_2013, pump_power_mw=600.0)
+        model = TransmissionModel(design.params)
+        np.testing.assert_allclose(
+            model.filter_resonances_nm(),
+            design.params.grid.wavelengths_nm,
+            atol=1e-9,
+        )
+
+    def test_better_mzi_needs_less_probe_power(self):
+        # Lower IL -> wider grid -> less crosstalk; higher ER -> more
+        # margin. Both should reduce the required probe power.
+        good = MZIModulator(insertion_loss_db=3.0, extinction_ratio_db=7.5)
+        bad = MZIModulator(insertion_loss_db=7.4, extinction_ratio_db=4.0)
+        p_good = mzi_first_design(
+            2, good, 600.0, ring_profile=DENSE_RING_PROFILE
+        ).probe_power_mw
+        p_bad = mzi_first_design(
+            2, bad, 600.0, ring_profile=DENSE_RING_PROFILE
+        ).probe_power_mw
+        assert p_good < p_bad
+
+    def test_roundtrip_with_mrr_first(self):
+        """MZI-first fed with MRR-first's derived device reproduces the
+        MRR-first grid."""
+        mrr = mrr_first_design(order=2, wl_spacing_nm=1.0, probe_power_mw=1.0)
+        mzi = mzi_first_design(
+            order=2,
+            mzi=mrr.params.mzi,
+            pump_power_mw=mrr.pump_power_mw,
+            lambda_ref_nm=mrr.params.lambda_ref_nm,
+            probe_power_mw=1.0,
+        )
+        np.testing.assert_allclose(
+            mzi.params.grid.wavelengths_nm,
+            mrr.params.grid.wavelengths_nm,
+            atol=1e-6,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mzi_first_design(order=0, mzi=XIAO_2013, pump_power_mw=600.0)
+        with pytest.raises(ConfigurationError):
+            mzi_first_design(order=2, mzi=XIAO_2013, pump_power_mw=0.0)

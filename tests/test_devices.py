@@ -1,0 +1,69 @@
+"""Tests for literature device presets and calibrated ring profiles."""
+
+import pytest
+
+from repro.photonics import devices
+
+
+class TestMZIPresets:
+    def test_ziebell_matches_paper_quote(self):
+        # Section II-B: 40 Gb/s, 4.5 dB IL, 3.2 dB ER.
+        assert devices.ZIEBELL_2012.insertion_loss_db == 4.5
+        assert devices.ZIEBELL_2012.extinction_ratio_db == 3.2
+        assert devices.ZIEBELL_2012.modulation_speed_gbps == 40.0
+
+    def test_xiao_matches_paper_quote(self):
+        # Section V-B: IL 6.5 dB, ER 7.5 dB; Fig. 6(c): 60 Gb/s, 0.75 mm.
+        assert devices.XIAO_2013.insertion_loss_db == 6.5
+        assert devices.XIAO_2013.extinction_ratio_db == 7.5
+        assert devices.XIAO_2013.modulation_speed_gbps == 60.0
+        assert devices.XIAO_2013.phase_shifter_length_mm == 0.75
+
+    def test_fig6c_lineup_matches_figure_annotations(self):
+        # Fig. 6(c) rows: (speed Gb/s, phase-shifter length mm).
+        lineup = [
+            (d.modulation_speed_gbps, d.phase_shifter_length_mm)
+            for d in devices.FIG6C_DEVICES
+        ]
+        assert lineup == [(50.0, 1.0), (40.0, 1.0), (40.0, 4.0), (60.0, 0.75)]
+
+    def test_assumed_devices_inside_fig6a_ranges(self):
+        # Devices with assumed IL/ER must live inside the explored grid
+        # (IL in [3, 7.4] dB, ER in [4, 7.6] dB).
+        for device in devices.FIG6C_DEVICES:
+            assert 3.0 <= device.insertion_loss_db <= 7.4
+            assert 4.0 <= device.extinction_ratio_db <= 7.6
+
+
+class TestRingProfiles:
+    def test_coarse_profile_figures_of_merit(self):
+        profile = devices.COARSE_RING_PROFILE
+        # OFF-state leakage calibrated to 10 % and drop peak to 91 %
+        # (these two reproduce Fig. 5's 0.091 total transmission).
+        assert profile.modulator.through_floor == pytest.approx(0.10, abs=1e-6)
+        assert profile.filter.drop_peak == pytest.approx(0.91, abs=1e-6)
+        assert profile.modulation_shift_nm == pytest.approx(0.10)
+
+    def test_dense_profile_narrower_than_coarse(self):
+        coarse = devices.COARSE_RING_PROFILE
+        dense = devices.DENSE_RING_PROFILE
+        assert dense.filter.fwhm_nm < coarse.filter.fwhm_nm
+        assert dense.modulator.fwhm_nm < coarse.modulator.fwhm_nm
+
+    def test_profiles_have_physical_quality_factors(self):
+        for profile in (devices.COARSE_RING_PROFILE, devices.DENSE_RING_PROFILE):
+            for params in (profile.modulator, profile.filter):
+                q = params.quality_factor(1550.0)
+                assert 1e3 < q < 1e6  # plausible for silicon/GaAs rings
+
+    def test_van_2002_tuning(self):
+        assert devices.VAN_2002_OTE.shift_nm(10.0) == pytest.approx(0.1)
+        assert devices.VAN_2002_PULSE_WIDTH_S == pytest.approx(26e-12)
+
+
+class TestPhotodetectorPreset:
+    def test_default_detector_ratio(self):
+        det = devices.DEFAULT_PHOTODETECTOR
+        # Only R/i_n matters for Eq. 8; keep the calibrated ratio pinned.
+        ratio = det.responsivity_a_per_w / det.noise_current_a
+        assert ratio == pytest.approx(1.0 / 8.43e-6)

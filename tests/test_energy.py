@@ -1,0 +1,127 @@
+"""Tests for the laser energy model (Section V-C, Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.design import mrr_first_design
+from repro.core.energy import (
+    energy_breakdown,
+    energy_vs_spacing,
+    optimal_wl_spacing_nm,
+)
+from repro.core.params import paper_section5a_parameters
+from repro.errors import ConfigurationError
+
+
+class TestEnergyBreakdown:
+    def test_pump_energy_formula(self):
+        params = paper_section5a_parameters()
+        breakdown = energy_breakdown(params)
+        expected = 591.8e-3 * 26e-12 / 0.2
+        assert breakdown.pump_energy_j == pytest.approx(expected, rel=1e-3)
+
+    def test_probe_energy_formula(self):
+        params = paper_section5a_parameters(probe_power_mw=1.0)
+        breakdown = energy_breakdown(params)
+        expected = 3 * 1.0e-3 * 1e-9 / 0.2  # (n+1) x P x T_bit / eta
+        assert breakdown.probe_energy_j == pytest.approx(expected, rel=1e-9)
+        assert breakdown.probe_laser_count == 3
+
+    def test_total_and_units(self):
+        breakdown = energy_breakdown(paper_section5a_parameters())
+        assert breakdown.total_energy_j == pytest.approx(
+            breakdown.pump_energy_j + breakdown.probe_energy_j
+        )
+        assert breakdown.total_energy_pj == pytest.approx(
+            breakdown.total_energy_j * 1e12
+        )
+
+    def test_dominant_label(self):
+        breakdown = energy_breakdown(paper_section5a_parameters())
+        assert breakdown.dominant in ("pump", "probe")
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ConfigurationError):
+            energy_breakdown(42)
+
+
+class TestFig7aShape:
+    """The Fig. 7(a) structure: opposing trends and an interior optimum."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return energy_vs_spacing(2, np.linspace(0.11, 0.3, 20))
+
+    def test_pump_increases_with_spacing(self, sweep):
+        pump = sweep["pump_pj"]
+        assert np.all(np.diff(pump[np.isfinite(pump)]) > 0)
+
+    def test_probe_decreases_with_spacing(self, sweep):
+        probe = sweep["probe_pj"][np.isfinite(sweep["probe_pj"])]
+        assert np.all(np.diff(probe) < 0)
+
+    def test_interior_optimum(self, sweep):
+        total = sweep["total_pj"]
+        finite = np.isfinite(total)
+        index = int(np.nanargmin(np.where(finite, total, np.nan)))
+        assert 0 < index < len(total) - 1
+
+    def test_curves_cross_once(self, sweep):
+        # Paper: probe lasers dominate at small spacings (crosstalk
+        # compensation), pump at large ones (larger filter swing).  In
+        # our calibration the curves cross slightly below the optimum;
+        # the qualitative crossover is the invariant tested here.
+        spacing = sweep["spacing_nm"]
+        probe, pump = sweep["probe_pj"], sweep["pump_pj"]
+        finite = np.isfinite(probe) & np.isfinite(pump)
+        dominance = probe[finite] > pump[finite]
+        assert dominance[0]  # probe dominates at the smallest open spacing
+        assert not dominance[-1]  # pump dominates at the largest
+        # Single sign change: probe/pump dominance flips exactly once.
+        assert int(np.sum(np.abs(np.diff(dominance.astype(int))))) == 1
+
+
+class TestPaperGoldenEnergies:
+    def test_optimal_spacing_near_paper_value(self):
+        # Fig. 7(a): optimum at ~0.165 nm (calibrated; tolerance 0.01).
+        opt = optimal_wl_spacing_nm(2)
+        assert opt == pytest.approx(0.165, abs=0.01)
+
+    def test_headline_energy(self):
+        # Sections I/VI: 20.1 pJ per computed bit at 1 GHz, order 2.
+        opt = optimal_wl_spacing_nm(2)
+        total = float(energy_vs_spacing(2, [opt])["total_pj"][0])
+        assert total == pytest.approx(20.1, abs=0.5)
+
+    def test_optimum_independent_of_order(self):
+        # The paper's key observation (Fig. 7(a)).
+        optima = [optimal_wl_spacing_nm(n) for n in (2, 4, 6)]
+        assert max(optima) - min(optima) < 0.02
+
+    def test_fig7b_energy_saving(self):
+        # Fig. 7(b): optimal spacing saves ~76.6 % vs 1 nm spacing.
+        n = 12
+        at_1nm = float(energy_vs_spacing(n, [1.0])["total_pj"][0])
+        opt = optimal_wl_spacing_nm(n)
+        at_opt = float(energy_vs_spacing(n, [opt])["total_pj"][0])
+        saving = 1.0 - at_opt / at_1nm
+        assert saving == pytest.approx(0.766, abs=0.03)
+
+    def test_fig7b_axis_scale(self):
+        # Fig. 7(b) tops out near 600 pJ for n=16 at 1 nm spacing.
+        total = float(energy_vs_spacing(16, [1.0])["total_pj"][0])
+        assert total == pytest.approx(600.0, rel=0.05)
+
+
+class TestInfeasibleSpacings:
+    def test_closed_eye_reported_as_inf(self):
+        result = energy_vs_spacing(2, [0.05])
+        assert np.isinf(result["probe_pj"][0])
+
+    def test_empty_spacings_rejected(self):
+        with pytest.raises(ConfigurationError):
+            energy_vs_spacing(2, [])
+
+    def test_optimal_spacing_validation(self):
+        with pytest.raises(ConfigurationError):
+            optimal_wl_spacing_nm(2, lower_nm=0.3, upper_nm=0.1)

@@ -1,0 +1,160 @@
+"""Tests for the experiment harness: every paper artifact regenerates.
+
+These are the acceptance tests of the reproduction: each experiment must
+run, produce rows, and land within the documented tolerance of the
+paper's quoted values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import list_experiments, run_experiment
+from repro.experiments.registry import ExperimentResult
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "fig5a",
+            "fig5b",
+            "fig5c",
+            "pump",
+            "fig6a",
+            "fig6b",
+            "fig6c",
+            "fig7a",
+            "fig7b",
+            "headline",
+            "gamma",
+            "params",
+        }
+        assert expected.issubset(set(list_experiments()))
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99")
+
+    @pytest.mark.parametrize("name", ["fig5a", "fig5b", "fig5c", "pump", "params"])
+    def test_fast_experiments_run_and_render(self, name):
+        result = run_experiment(name)
+        assert isinstance(result, ExperimentResult)
+        assert result.rows
+        text = result.to_text()
+        assert result.title in text
+
+
+class TestFig5Golden:
+    def test_fig5a_values(self):
+        rows = {r["signal"]: r["total_transmission"] for r in run_experiment("fig5a").rows}
+        assert rows["lambda_2"] == pytest.approx(0.091, rel=0.05)
+        assert rows["lambda_1"] == pytest.approx(0.004, rel=0.15)
+        assert rows["lambda_0"] == pytest.approx(0.0002, rel=0.25)
+        assert rows["received (mW)"] == pytest.approx(0.0952, rel=0.05)
+
+    def test_fig5b_values(self):
+        rows = {r["signal"]: r["total_transmission"] for r in run_experiment("fig5b").rows}
+        assert rows["lambda_0"] == pytest.approx(0.476, rel=0.05)
+        assert rows["received (mW)"] == pytest.approx(0.482, rel=0.05)
+
+    def test_fig5c_has_full_table(self):
+        result = run_experiment("fig5c")
+        data_rows = [r for r in result.rows if r["level(x ones)"] != ""]
+        assert len(data_rows) == 24  # 8 patterns x 3 levels
+
+    def test_pump_exact(self):
+        rows = {r["quantity"]: r["model"] for r in run_experiment("pump").rows}
+        assert rows["pump power (mW)"] == pytest.approx(591.8, abs=0.5)
+        assert rows["required MZI ER (dB)"] == pytest.approx(13.22, abs=0.01)
+
+
+class TestFig6:
+    def test_fig6a_monotone_trends(self):
+        result = run_experiment("fig6a")
+        # Drop the appended off-grid Xiao marker row before rebuilding
+        # the rectangular grid.
+        rows = [r for r in result.rows[:-1] if np.isfinite(r["probe_mw"])]
+        by_point = {(r["il_db"], r["er_db"]): r["probe_mw"] for r in rows}
+        ils = sorted({k[0] for k in by_point})
+        ers = sorted({k[1] for k in by_point})
+        # Probe power rises with IL at fixed ER...
+        mid_er = ers[len(ers) // 2]
+        series = [by_point[(il, mid_er)] for il in ils]
+        assert series == sorted(series)
+        # ...and falls with ER at fixed IL.
+        mid_il = ils[len(ils) // 2]
+        series = [by_point[(mid_il, er)] for er in ers]
+        assert series == sorted(series, reverse=True)
+
+    def test_fig6a_xiao_magnitude(self):
+        result = run_experiment("fig6a")
+        xiao = [
+            r for r in result.rows if r["il_db"] == 6.5 and r["er_db"] == 7.5
+        ]
+        assert xiao
+        # Paper: 0.26 mW.  With the receiver constants calibrated to the
+        # Fig. 7 energy targets the model lands at ~0.14 mW — same order
+        # of magnitude, factor <2 (documented in EXPERIMENTS.md).
+        assert 0.26 / 2.5 < xiao[-1]["probe_mw"] < 0.26 * 2.5
+
+    def test_fig6b_half_power(self):
+        result = run_experiment("fig6b")
+        rel = {r["target_ber"]: r["relative_to_1e-6"] for r in result.rows}
+        assert rel[1e-6] == pytest.approx(1.0)
+        assert rel[1e-2] == pytest.approx(0.49, abs=0.03)
+
+    def test_fig6c_lists_four_devices(self):
+        result = run_experiment("fig6c")
+        assert len(result.rows) == 4
+        assert all(np.isfinite(r["probe_mw"]) for r in result.rows)
+        assert all(0.0 < r["probe_mw"] < 0.5 for r in result.rows)
+
+
+class TestFig7AndHeadline:
+    def test_fig7a_optimum_order_independent(self):
+        result = run_experiment("fig7a")
+        assert "order-independent" in result.notes
+        orders = {r["order"] for r in result.rows}
+        assert orders == {2, 4, 6}
+
+    def test_fig7b_saving(self):
+        result = run_experiment("fig7b")
+        savings = [r["saving_%"] for r in result.rows]
+        assert np.mean(savings) == pytest.approx(76.6, abs=3.0)
+        assert [r["order"] for r in result.rows] == [2, 4, 8, 12, 16]
+
+    def test_headline_energy(self):
+        result = run_experiment("headline")
+        total = [
+            r for r in result.rows if r["quantity"] == "total energy (pJ/bit)"
+        ][0]
+        assert total["model"] == pytest.approx(20.1, abs=0.5)
+
+    def test_gamma_speedup(self):
+        result = run_experiment("gamma")
+        speedup = [
+            r for r in result.rows if r["quantity"] == "speedup vs 100 MHz ReSC"
+        ][0]
+        assert speedup["model"] == pytest.approx(10.0)
+
+
+class TestCLI:
+    def test_list_mode(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "fig5a" in out
+
+    def test_run_and_csv(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["pump", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "pump.csv").exists()
+        out = capsys.readouterr().out
+        assert "591" in out
+
+    def test_unknown_experiment_sets_status(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["nope"]) == 1

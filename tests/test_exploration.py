@@ -1,0 +1,166 @@
+"""Tests for the exploration layer: sweeps, Pareto, tradeoffs, scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, DesignInfeasibleError, ReproError
+from repro.exploration import (
+    accuracy_model,
+    gamma_correction_case_study,
+    grid_sweep,
+    order_scaling_table,
+    pareto_front,
+    stream_length_for_accuracy,
+    throughput_accuracy_frontier,
+)
+from repro.exploration.pareto import is_dominated
+
+
+class TestGridSweep:
+    def test_shape_and_values(self):
+        result = grid_sweep(
+            lambda a, b: a * 10 + b, a=[1.0, 2.0], b=[0.1, 0.2, 0.3]
+        )
+        assert result.values.shape == (2, 3)
+        assert result.values[1, 2] == pytest.approx(20.3)
+
+    def test_axis_accessor(self):
+        result = grid_sweep(lambda a: a, a=[1.0, 2.0])
+        np.testing.assert_allclose(result.axis("a"), [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            result.axis("missing")
+
+    def test_failures_become_nan(self):
+        def metric(a):
+            if a > 1.5:
+                raise DesignInfeasibleError("infeasible")
+            return a
+
+        result = grid_sweep(metric, a=[1.0, 2.0])
+        assert np.isnan(result.values[1])
+        assert result.finite_fraction == pytest.approx(0.5)
+
+    def test_argmin_argmax(self):
+        result = grid_sweep(lambda a, b: a - b, a=[1.0, 3.0], b=[0.0, 2.0])
+        low = result.argmin()
+        assert low["a"] == 1.0 and low["b"] == 2.0
+        high = result.argmax()
+        assert high["a"] == 3.0 and high["b"] == 0.0
+
+    def test_all_nan_argmin_raises(self):
+        def metric(a):
+            raise DesignInfeasibleError("never works")
+
+        result = grid_sweep(metric, a=[1.0])
+        with pytest.raises(ReproError):
+            result.argmin()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            grid_sweep(lambda: 0.0)
+        with pytest.raises(ConfigurationError):
+            grid_sweep(lambda a: a, a=[])
+
+
+class TestPareto:
+    def test_docstring_example(self):
+        assert pareto_front([[1, 5], [2, 2], [3, 4], [2, 6]]).tolist() == [0, 1]
+
+    def test_single_point(self):
+        assert pareto_front([[1.0, 1.0]]).tolist() == [0]
+
+    def test_is_dominated(self):
+        assert is_dominated(np.array([2.0, 2.0]), np.array([[1.0, 1.0]]))
+        assert not is_dominated(np.array([1.0, 3.0]), np.array([[2.0, 2.0]]))
+
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=10),
+                st.floats(min_value=0, max_value=10),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_front_members_are_mutually_nondominated(self, points):
+        front = pareto_front(points)
+        array = np.asarray(points, dtype=float)
+        selected = array[front]
+        for i in range(len(front)):
+            others = np.delete(selected, i, axis=0)
+            assert not is_dominated(selected[i], others)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            pareto_front([])
+        with pytest.raises(ConfigurationError):
+            pareto_front([[np.nan, 1.0]])
+
+
+class TestTradeoffs:
+    def test_accuracy_model_reduces_to_clt_at_zero_ber(self):
+        rms = accuracy_model(1024, 0.0, probability=0.5)
+        assert rms == pytest.approx(np.sqrt(0.25 / 1024))
+
+    def test_ber_adds_bias(self):
+        clean = accuracy_model(10**9, 0.0, probability=0.2)
+        dirty = accuracy_model(10**9, 0.01, probability=0.2)
+        assert dirty > clean
+        assert dirty == pytest.approx(0.01 * (1 - 0.4), rel=0.05)
+
+    def test_stream_length_roundtrip(self):
+        n = stream_length_for_accuracy(0.01, ber=0.001, probability=0.5)
+        assert accuracy_model(n, 0.001, probability=0.5) <= 0.01 + 1e-9
+
+    def test_impossible_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stream_length_for_accuracy(0.001, ber=0.01, probability=0.0)
+
+    def test_frontier_monotone(self):
+        frontier = throughput_accuracy_frontier(
+            [1e-6, 1e-4, 1e-2], target_rms_error=0.02, probability=0.25
+        )
+        lengths = frontier["stream_length"]
+        # Looser links need longer streams for the same accuracy.
+        assert lengths[2] >= lengths[1] >= lengths[0]
+        np.testing.assert_allclose(
+            frontier["evaluation_time_s"], lengths / 1e9
+        )
+
+    def test_frontier_validation(self):
+        with pytest.raises(ConfigurationError):
+            throughput_accuracy_frontier([])
+
+
+class TestScaling:
+    def test_order_scaling_matches_fig7b_shape(self):
+        table = order_scaling_table([2, 4], optimal_spacing_nm=0.165)
+        assert table["coarse_total_pj"][1] > table["coarse_total_pj"][0]
+        assert table["optimal_total_pj"][1] > table["optimal_total_pj"][0]
+        assert np.all(table["saving_fraction"] > 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            order_scaling_table([])
+        with pytest.raises(ConfigurationError):
+            order_scaling_table([0])
+
+    def test_gamma_case_study(self):
+        study = gamma_correction_case_study(stream_length=256)
+        assert study["order"] == 6
+        # Section V-C: 1 GHz optics vs 100 MHz electronics -> 10x.
+        assert study["speedup"] == pytest.approx(10.0)
+        assert study["energy_per_pixel_pj"] == pytest.approx(
+            study["energy_per_bit_pj"] * 256
+        )
+        assert 0.1 < study["wl_spacing_nm"] < 0.3
+
+    def test_gamma_case_study_validation(self):
+        with pytest.raises(ConfigurationError):
+            gamma_correction_case_study(bit_rate_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            gamma_correction_case_study(stream_length=0)

@@ -1,0 +1,65 @@
+"""Tests for the extension experiments (yield/controller/sensitivity/parallel)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import list_experiments, run_experiment
+
+
+class TestRegistryIncludesExtras:
+    def test_extras_registered(self):
+        names = set(list_experiments())
+        assert {"yield", "controller", "sensitivity", "parallel"} <= names
+
+
+class TestYieldStudy:
+    def test_eye_degrades_with_sigma(self):
+        result = run_experiment("yield")
+        eyes = [r["mean_eye_mw"] for r in result.rows]
+        assert eyes[0] > eyes[-1]
+        for row in result.rows:
+            assert 0.0 <= row["yield_fraction"] <= 1.0
+
+
+class TestControllerStudy:
+    def test_all_drifts_converge(self):
+        result = run_experiment("controller")
+        assert all(r["converged"] for r in result.rows)
+        assert all(abs(r["final_residual_nm"]) < 1e-3 for r in result.rows)
+
+    def test_larger_drift_takes_longer(self):
+        result = run_experiment("controller")
+        by_drift = {
+            abs(r["initial_drift_nm"]): r["settling_iterations"]
+            for r in result.rows
+        }
+        assert by_drift[0.08] >= by_drift[0.02]
+
+
+class TestSensitivityStudy:
+    def test_efficiency_dominates_and_is_inverse(self):
+        result = run_experiment("sensitivity")
+        table = {r["parameter"]: r["relative_sensitivity"] for r in result.rows}
+        assert table["laser_efficiency"] == pytest.approx(-1.0, abs=0.02)
+        # Rows sorted by magnitude, efficiency first.
+        assert result.rows[0]["parameter"] == "laser_efficiency"
+
+
+class TestParallelStudy:
+    def test_density_constant_and_throughput_linear(self):
+        result = run_experiment("parallel")
+        densities = [r["power_density_mw_mm2"] for r in result.rows]
+        np.testing.assert_allclose(densities, densities[0], rtol=1e-9)
+        throughput = [r["throughput_gbps"] for r in result.rows]
+        instances = [r["instances"] for r in result.rows]
+        np.testing.assert_allclose(
+            np.asarray(throughput) / np.asarray(instances),
+            throughput[0] / instances[0],
+            rtol=1e-9,
+        )
+
+    def test_wall_power_matches_headline_energy(self):
+        result = run_experiment("parallel")
+        single = [r for r in result.rows if r["instances"] == 1][0]
+        # 20.1 pJ/bit x 1 Gb/s = 20.1 mW wall power.
+        assert single["wall_power_mw"] == pytest.approx(20.1, abs=0.5)

@@ -1,0 +1,73 @@
+"""Tests for the target function library."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stochastic import functions
+from repro.stochastic.functions import bernstein_program
+
+
+class TestGammaCorrection:
+    def test_endpoints(self):
+        assert functions.gamma_correction(0.0) == pytest.approx(0.0)
+        assert functions.gamma_correction(1.0) == pytest.approx(1.0)
+
+    def test_brightens_midtones_for_encoding_gamma(self):
+        # gamma < 1 raises mid-range intensities.
+        assert functions.gamma_correction(0.5, gamma=0.45) > 0.5
+
+    def test_identity_gamma(self):
+        xs = np.linspace(0, 1, 11)
+        np.testing.assert_allclose(functions.gamma_correction(xs, 1.0), xs)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            functions.gamma_correction(0.5, gamma=0.0)
+        with pytest.raises(ConfigurationError):
+            functions.gamma_correction(1.5)
+
+
+class TestGammaBernstein:
+    def test_paper_order_is_six(self):
+        poly = functions.gamma_bernstein()
+        assert poly.degree == 6
+
+    def test_implementable(self):
+        assert functions.gamma_bernstein().is_sc_implementable()
+
+    def test_approximation_quality(self):
+        poly = functions.gamma_bernstein(degree=6)
+        xs = np.linspace(0.05, 1.0, 64)
+        error = np.max(np.abs(poly(xs) - functions.gamma_correction(xs)))
+        # Bounded least squares at n=6: ~1 % away from the x->0
+        # singularity, serviceable for 8-bit imaging (paper's realm).
+        assert error < 0.02
+
+
+class TestLibrary:
+    def test_all_programs_are_implementable(self):
+        for name in functions.FUNCTION_LIBRARY:
+            assert bernstein_program(name).is_sc_implementable(), name
+
+    def test_paper_f1_program_matches_figure(self):
+        poly = bernstein_program("paper_f1")
+        np.testing.assert_allclose(
+            poly.coefficients, [2 / 8, 5 / 8, 3 / 8, 6 / 8]
+        )
+
+    def test_smoothstep_is_exact_at_its_degree(self):
+        poly = bernstein_program("smoothstep")
+        xs = np.linspace(0, 1, 33)
+        np.testing.assert_allclose(poly(xs), functions.smoothstep(xs), atol=1e-9)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            bernstein_program("nope")
+
+    def test_unit_interval_ranges(self):
+        xs = np.linspace(0, 1, 257)
+        for fn in (functions.sigmoid_like, functions.smoothstep, functions.scaled_sine):
+            values = fn(xs)
+            assert np.all(values >= -1e-9)
+            assert np.all(values <= 1 + 1e-9)

@@ -1,0 +1,75 @@
+"""Tests for ring geometry and the phase/FSR relationship."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.photonics import RingGeometry
+from repro.photonics.ring import round_trip_phase
+
+
+class TestRingGeometry:
+    def test_round_trip_length(self):
+        geometry = RingGeometry(radius_um=10.0)
+        assert geometry.round_trip_length_um == pytest.approx(20 * math.pi)
+
+    def test_fsr_formula(self):
+        geometry = RingGeometry(radius_um=10.0, group_index=4.3)
+        length_nm = geometry.round_trip_length_um * 1e3
+        assert geometry.fsr_nm(1550.0) == pytest.approx(
+            1550.0**2 / (4.3 * length_nm)
+        )
+
+    def test_for_fsr_roundtrip(self):
+        geometry = RingGeometry.for_fsr(fsr_nm=20.0, wavelength_nm=1550.0)
+        assert geometry.fsr_nm(1550.0) == pytest.approx(20.0, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RingGeometry(radius_um=-1.0)
+        with pytest.raises(ConfigurationError):
+            RingGeometry(radius_um=5.0, effective_index=4.0, group_index=2.0)
+
+    def test_resonance_order_is_integer_phase(self):
+        geometry = RingGeometry(radius_um=10.0)
+        resonances = geometry.resonance_wavelengths_nm(1540.0, 1560.0)
+        for res in resonances:
+            phase = float(geometry.round_trip_phase(res))
+            assert phase / (2 * math.pi) == pytest.approx(
+                round(phase / (2 * math.pi)), abs=1e-6
+            )
+
+    def test_resonance_spacing_matches_fsr(self):
+        geometry = RingGeometry(radius_um=10.0)
+        resonances = geometry.resonance_wavelengths_nm(1530.0, 1570.0)
+        spacings = np.diff(resonances)
+        fsr = geometry.fsr_nm(float(resonances.mean()))
+        # The FSR drifts slowly with wavelength across the band; allow 2 %.
+        np.testing.assert_allclose(spacings, fsr, rtol=2e-2)
+
+    def test_detuning_phase_approximation(self):
+        """The simplified phase 2*pi*(l - l_res)/FSR matches the exact
+        dispersive phase to first order near a resonance."""
+        geometry = RingGeometry(radius_um=10.0)
+        resonances = geometry.resonance_wavelengths_nm(1545.0, 1555.0)
+        res = float(resonances[0])
+        fsr = geometry.fsr_nm(res)
+        for detuning in (-0.2, -0.05, 0.05, 0.2):
+            exact = float(geometry.round_trip_phase(res + detuning))
+            exact_mod = (exact + math.pi) % (2 * math.pi) - math.pi
+            approx = float(round_trip_phase(res + detuning, res, fsr))
+            # The detuning-relative phase decreases with wavelength in the
+            # exact model; compare magnitudes of the detuning phase.
+            assert abs(exact_mod) == pytest.approx(abs(approx), rel=0.05)
+
+    def test_round_trip_phase_rejects_bad_wavelength(self):
+        geometry = RingGeometry(radius_um=10.0)
+        with pytest.raises(ConfigurationError):
+            geometry.round_trip_phase(-5.0)
+
+    def test_resonance_window_validation(self):
+        geometry = RingGeometry(radius_um=10.0)
+        with pytest.raises(ConfigurationError):
+            geometry.resonance_wavelengths_nm(1560.0, 1550.0)

@@ -1,0 +1,90 @@
+"""Tests for the image-processing workload support."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stochastic import image
+from repro.stochastic.functions import gamma_correction
+
+
+class TestCharts:
+    def test_radial_gradient_range_and_center(self):
+        chart = image.radial_gradient(33)
+        assert chart.shape == (33, 33)
+        assert chart.min() >= 0.0 and chart.max() <= 1.0
+        assert chart[16, 16] == pytest.approx(1.0)
+        assert chart[0, 0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_linear_ramp(self):
+        ramp = image.linear_ramp(16)
+        np.testing.assert_allclose(ramp[0], ramp[-1])
+        assert ramp[0, 0] == 0.0
+        assert ramp[0, -1] == 1.0
+
+    def test_checkerboard(self):
+        board = image.checkerboard(16, tiles=4)
+        assert set(np.unique(board)) == {0.25, 0.75}
+        assert board[0, 0] != board[0, 4]
+
+    def test_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            image.radial_gradient(1)
+        with pytest.raises(ConfigurationError):
+            image.checkerboard(16, tiles=0)
+
+
+class TestMetrics:
+    def test_psnr_infinite_for_identical(self):
+        chart = image.linear_ramp(8)
+        assert image.psnr_db(chart, chart) == float("inf")
+
+    def test_psnr_known_value(self):
+        ref = np.zeros((4, 4))
+        noisy = np.full((4, 4), 0.1)
+        assert image.psnr_db(ref, noisy) == pytest.approx(20.0)
+
+    def test_mae(self):
+        ref = np.zeros((2, 2))
+        other = np.array([[0.1, 0.3], [0.0, 0.0]])
+        assert image.mean_absolute_error_image(ref, other) == pytest.approx(0.1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            image.psnr_db(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestQuantizeAndKernel:
+    def test_quantize_levels(self):
+        values = image.quantize_levels(np.array([[0.0, 0.49], [0.51, 1.0]]), 2)
+        np.testing.assert_allclose(values, [[0.0, 0.0], [1.0, 1.0]])
+
+    def test_quantize_validation(self):
+        with pytest.raises(ConfigurationError):
+            image.quantize_levels(np.array([[1.5]]), 4)
+        with pytest.raises(ConfigurationError):
+            image.quantize_levels(np.array([[0.5]]), 1)
+
+    def test_kernel_batches_levels(self):
+        calls = []
+
+        def kernel(x):
+            calls.append(x)
+            return gamma_correction(x)
+
+        chart = image.linear_ramp(32)
+        result = image.apply_pixel_kernel(chart, kernel, levels=8)
+        assert result.shape == chart.shape
+        # Only the unique quantized levels get evaluated, not 1024 pixels.
+        assert len(calls) <= 8
+
+    def test_kernel_exact_levels_none(self):
+        chart = image.checkerboard(8)
+        result = image.apply_pixel_kernel(chart, lambda x: 1.0 - x, levels=None)
+        np.testing.assert_allclose(result, 1.0 - chart)
+
+    def test_kernel_validation(self):
+        with pytest.raises(ConfigurationError):
+            image.apply_pixel_kernel(np.zeros(4), lambda x: x)
+        with pytest.raises(ConfigurationError):
+            image.apply_pixel_kernel(np.full((2, 2), 2.0), lambda x: x)

@@ -1,0 +1,128 @@
+"""Cross-module integration scenarios.
+
+These tests chain the full workflows a user of the library runs:
+design -> program -> simulate -> de-randomize, the reproduction loop
+(experiments vs core models), and the robustness loop (variation ->
+controller -> recovery).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.simulation.faults import with_filter_drift
+from repro.simulation.montecarlo import VariationModel, run_monte_carlo
+from repro.stochastic.functions import bernstein_program
+from repro.stochastic.image import apply_pixel_kernel, linear_ramp, psnr_db
+
+
+class TestDesignToSimulationPipeline:
+    def test_full_workflow_all_orders(self, rng):
+        """Design, program and simulate orders 1..4 in one sweep."""
+        for order in (1, 2, 3, 4):
+            design = repro.mrr_first_design(
+                order=order, wl_spacing_nm=1.0, probe_power_mw=1.0
+            )
+            ramp = repro.BernsteinPolynomial(
+                np.linspace(0.1, 0.9, order + 1)
+            )
+            circuit = repro.OpticalStochasticCircuit.from_design(design, ramp)
+            result = circuit.evaluate(0.5, length=4096, rng=rng)
+            assert result.absolute_error < 0.05, f"order {order}"
+
+    def test_designed_ber_matches_observed_link_errors(self, rng):
+        """Size the probe for a 1e-2 BER and observe roughly that rate in
+        the bit-level simulation — the analytical and simulated layers
+        must agree."""
+        design = repro.mrr_first_design(
+            order=2, wl_spacing_nm=1.0, target_ber=1e-2
+        )
+        circuit = repro.OpticalStochasticCircuit.from_design(
+            design, repro.BernsteinPolynomial([0.25, 0.5, 0.75])
+        )
+        total_bits = 60_000
+        errors = 0
+        for _ in range(4):
+            result = circuit.evaluate(0.5, length=total_bits // 4, rng=rng)
+            errors += result.transmission_bit_errors
+        observed = errors / total_bits
+        assert observed == pytest.approx(1e-2, rel=0.5)
+
+    def test_energy_consistent_between_views(self):
+        design = repro.mrr_first_design(order=2, wl_spacing_nm=0.165)
+        circuit = repro.OpticalStochasticCircuit.from_design(design)
+        via_circuit = circuit.energy().total_energy_pj
+        via_function = repro.energy_breakdown(design.params).total_energy_pj
+        assert via_circuit == pytest.approx(via_function)
+
+
+class TestImagePipelineIntegration:
+    def test_optical_gamma_correction_quality(self, rng):
+        """End-to-end §V-C workload: gamma-correct a ramp image through
+        the optical circuit and check PSNR against exact math."""
+        program = bernstein_program("gamma")
+        design = repro.mrr_first_design(order=6, wl_spacing_nm=0.17)
+        circuit = repro.OpticalStochasticCircuit.from_design(design, program)
+
+        chart = linear_ramp(16)
+        processed = apply_pixel_kernel(
+            chart,
+            lambda x: circuit.evaluate(x, length=2048, rng=rng).value,
+            levels=16,
+        )
+        exact = chart**0.45
+        # Stochastic + approximation error at 2048 bits: well above 20 dB.
+        assert psnr_db(exact, processed) > 20.0
+
+
+class TestRobustnessLoop:
+    def test_variation_then_calibration_recovers_yield(self, rng):
+        """The paper's reliability story end to end: fabrication
+        variation hurts the eye; the controller recovers it."""
+        params = repro.paper_section5a_parameters()
+        nominal_eye = repro.worst_case_eye(params).opening
+
+        # A badly drifted corner (filter off by 80 pm).
+        drifted = with_filter_drift(params, 0.08)
+        hurt_eye = repro.worst_case_eye(drifted).opening
+        assert hurt_eye < nominal_eye
+
+        circuit = repro.OpticalStochasticCircuit(
+            params, repro.BernsteinPolynomial([0.25, 0.5, 0.75])
+        )
+        controller = repro.CalibrationController(circuit)
+        trace = controller.calibrate(initial_drift_nm=0.08, iterations=50)
+        assert trace.converged
+        recovered = with_filter_drift(
+            params, float(trace.residual_drift_nm[-1])
+        )
+        recovered_eye = repro.worst_case_eye(recovered).opening
+        assert recovered_eye == pytest.approx(nominal_eye, rel=0.01)
+
+    def test_monte_carlo_feeds_controller_requirements(self, rng):
+        """Monte Carlo quantifies the drift range the controller (and its
+        thermal tuner) must cover."""
+        from repro.photonics.thermal import ThermalTuner
+
+        params = repro.paper_section5a_parameters()
+        result = run_monte_carlo(
+            params,
+            VariationModel(ring_sigma_nm=0.02, filter_sigma_nm=0.02),
+            samples=50,
+            rng=rng,
+        )
+        # 3-sigma correction requirement must fit the heater budget.
+        tuner = ThermalTuner()
+        worst_correction_nm = 3 * 0.02
+        assert tuner.power_for_shift_mw(worst_correction_nm) < tuner.max_power_mw
+        assert 0.0 <= result.yield_fraction <= 1.0
+
+
+class TestReconfigurableIntegration:
+    def test_same_hardware_runs_multiple_programs(self, rng):
+        hardware = repro.ReconfigurableCircuit(max_order=6, wl_spacing_nm=0.165)
+        for name in ("paper_f1", "smoothstep", "gamma"):
+            program = bernstein_program(name)
+            circuit = hardware.circuit_for(program)
+            result = circuit.evaluate(0.5, length=4096, rng=rng)
+            assert result.absolute_error < 0.06, name

@@ -1,0 +1,87 @@
+"""Tests for laser models (CW probes, pulsed pump, probe banks)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.photonics import CWLaser, LaserBank, PulsedLaser
+
+
+class TestCWLaser:
+    def test_electrical_power(self):
+        laser = CWLaser(power_mw=1.0, efficiency=0.2)
+        assert laser.electrical_power_mw == pytest.approx(5.0)
+
+    def test_energy_per_bit(self):
+        # 1 mW optical at 1 Gb/s, eta = 20 % -> 5 pJ/bit wall-plug.
+        laser = CWLaser(power_mw=1.0, efficiency=0.2)
+        assert laser.energy_per_bit_j(1e9) == pytest.approx(5e-12)
+
+    def test_optical_energy_per_bit(self):
+        laser = CWLaser(power_mw=2.0, efficiency=0.5)
+        assert laser.optical_energy_per_bit_j(1e9) == pytest.approx(2e-12)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CWLaser(power_mw=-1.0)
+        with pytest.raises(ConfigurationError):
+            CWLaser(power_mw=1.0, efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            CWLaser(power_mw=1.0, efficiency=1.5)
+
+
+class TestPulsedLaser:
+    def test_paper_pump_energy(self):
+        # Section V-C check: 591.8 mW peak, 26 ps pulse, eta = 20 %
+        # -> 591.8e-3 * 26e-12 / 0.2 = 76.9 pJ per pulse.
+        laser = PulsedLaser(peak_power_mw=591.8)
+        assert laser.energy_per_pulse_j == pytest.approx(76.93e-12, rel=1e-3)
+
+    def test_duty_cycle(self):
+        laser = PulsedLaser(peak_power_mw=100.0, pulse_width_s=26e-12)
+        assert laser.duty_cycle(1e9) == pytest.approx(0.026)
+
+    def test_pulse_must_fit_bit_period(self):
+        laser = PulsedLaser(peak_power_mw=100.0, pulse_width_s=2e-9)
+        with pytest.raises(ConfigurationError):
+            laser.duty_cycle(1e9)
+
+    def test_average_power(self):
+        laser = PulsedLaser(peak_power_mw=100.0, pulse_width_s=26e-12)
+        assert laser.average_power_mw(1e9) == pytest.approx(2.6)
+
+    def test_energy_per_bit_equals_per_pulse(self):
+        laser = PulsedLaser(peak_power_mw=100.0)
+        assert laser.energy_per_bit_j(1e9) == laser.energy_per_pulse_j
+
+    @given(peak=st.floats(min_value=0.0, max_value=1e4))
+    def test_energy_linear_in_peak_power(self, peak):
+        laser = PulsedLaser(peak_power_mw=peak)
+        assert laser.energy_per_pulse_j == pytest.approx(
+            peak * 1e-3 * 26e-12 / 0.2
+        )
+
+
+class TestLaserBank:
+    def test_uniform_bank(self):
+        bank = LaserBank.uniform(3, 1.0, [1548.0, 1549.0, 1550.0])
+        assert len(bank) == 3
+        assert bank.total_power_mw == pytest.approx(3.0)
+
+    def test_total_electrical_power(self):
+        bank = LaserBank.uniform(2, 1.0, [1549.0, 1550.0], efficiency=0.2)
+        assert bank.total_electrical_power_mw == pytest.approx(10.0)
+
+    def test_energy_per_bit(self):
+        # (n+1) probes: 3 x 1 mW at 1 Gb/s, eta = 0.2 -> 15 pJ/bit.
+        bank = LaserBank.uniform(3, 1.0, [1548.0, 1549.0, 1550.0], efficiency=0.2)
+        assert bank.energy_per_bit_j(1e9) == pytest.approx(15e-12)
+
+    def test_wavelength_count_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            LaserBank.uniform(3, 1.0, [1550.0])
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LaserBank([])

@@ -1,0 +1,79 @@
+"""Tests for the LFSR pseudo-random source."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stochastic import LFSR, MAXIMAL_TAPS
+
+
+class TestPeriod:
+    @pytest.mark.parametrize("width", [3, 4, 5, 6, 7, 8, 9, 10])
+    def test_maximal_period(self, width):
+        lfsr = LFSR(width=width, seed=1)
+        states = lfsr.full_period_states()
+        # A maximal LFSR visits every non-zero state exactly once.
+        assert len(states) == 2**width - 1
+        assert len(set(states.tolist())) == 2**width - 1
+        assert 0 not in states
+
+    def test_sequence_repeats_after_period(self):
+        lfsr = LFSR(width=5, seed=7)
+        first = lfsr.states(lfsr.period).tolist()
+        second = lfsr.states(lfsr.period).tolist()
+        assert first == second
+
+
+class TestInterface:
+    def test_reset(self):
+        lfsr = LFSR(width=8, seed=33)
+        a = lfsr.states(10).tolist()
+        lfsr.reset()
+        b = lfsr.states(10).tolist()
+        assert a == b
+
+    def test_uniform_range(self):
+        lfsr = LFSR(width=10, seed=5)
+        samples = lfsr.uniform(1000)
+        assert np.all(samples > 0.0)
+        assert np.all(samples < 1.0)
+
+    def test_uniform_mean_near_half(self):
+        lfsr = LFSR(width=12, seed=1)
+        samples = lfsr.uniform(lfsr.period)
+        assert samples.mean() == pytest.approx(0.5, abs=0.01)
+
+    def test_different_seeds_different_sequences(self):
+        a = LFSR(width=10, seed=1).states(50).tolist()
+        b = LFSR(width=10, seed=513).states(50).tolist()
+        assert a != b
+
+    def test_custom_taps(self):
+        lfsr = LFSR(width=4, seed=1, taps=(4, 3))
+        assert lfsr.taps == (3, 4)
+        assert len(lfsr.full_period_states()) == 15
+
+
+class TestValidation:
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LFSR(width=8, seed=0)
+
+    def test_oversized_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LFSR(width=4, seed=16)
+
+    def test_unknown_width_without_taps(self):
+        with pytest.raises(ConfigurationError):
+            LFSR(width=40)
+
+    def test_bad_tap_positions(self):
+        with pytest.raises(ConfigurationError):
+            LFSR(width=4, taps=(5,))
+
+    def test_bad_count(self):
+        with pytest.raises(ConfigurationError):
+            LFSR(width=4).states(0)
+
+    def test_tap_table_covers_advertised_widths(self):
+        assert set(MAXIMAL_TAPS) == set(range(3, 25))

@@ -1,0 +1,59 @@
+"""Tests for the link budget (Fig. 5(c))."""
+
+import numpy as np
+import pytest
+
+from repro.core.link_budget import received_power_table
+from repro.core.params import paper_section5a_parameters
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def budget():
+    return received_power_table(paper_section5a_parameters())
+
+
+class TestFig5c:
+    def test_zero_band_matches_paper(self, budget):
+        # Paper: data '0' received in 0.092-0.099 mW.
+        low, high = budget.zero_band_mw
+        assert low == pytest.approx(0.092, abs=0.004)
+        assert high == pytest.approx(0.099, abs=0.004)
+
+    def test_one_band_matches_paper(self, budget):
+        # Paper: data '1' received in 0.477-0.482 mW.
+        low, high = budget.one_band_mw
+        assert low == pytest.approx(0.477, abs=0.006)
+        assert high == pytest.approx(0.482, abs=0.006)
+
+    def test_bands_are_separated(self, budget):
+        # The paper's validation claim: '0' and '1' are distinguishable,
+        # "thus validating the proposed circuit".
+        assert budget.bands_separated
+        assert budget.eye_opening_mw > 0.3
+
+    def test_table_shape(self, budget):
+        assert budget.power_mw.shape == (8, 3)
+        assert budget.patterns.shape == (8, 3)
+
+    def test_threshold_between_bands(self, budget):
+        threshold = budget.decision_threshold_mw
+        assert budget.zero_band_mw[1] < threshold < budget.one_band_mw[0]
+
+    def test_describe(self, budget):
+        assert "separated" in budget.describe()
+
+
+class TestScaling:
+    def test_power_scales_with_probe(self):
+        base = received_power_table(paper_section5a_parameters())
+        double = received_power_table(
+            paper_section5a_parameters(probe_power_mw=2.0)
+        )
+        np.testing.assert_allclose(
+            double.power_mw, 2.0 * base.power_mw, rtol=1e-12
+        )
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ConfigurationError):
+            received_power_table("not params")

@@ -1,0 +1,85 @@
+"""Tests for the Monte Carlo process-variation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import paper_section5a_parameters
+from repro.errors import ConfigurationError
+from repro.simulation.montecarlo import (
+    MonteCarloResult,
+    VariationModel,
+    run_monte_carlo,
+    yield_vs_sigma,
+)
+
+
+class TestRunMonteCarlo:
+    def test_zero_variation_gives_nominal_eye(self, rng):
+        params = paper_section5a_parameters()
+        result = run_monte_carlo(
+            params,
+            VariationModel(ring_sigma_nm=0.0, filter_sigma_nm=0.0),
+            samples=5,
+            rng=rng,
+        )
+        from repro.core.snr import worst_case_eye
+
+        nominal = worst_case_eye(params).opening
+        np.testing.assert_allclose(result.eye_openings_mw, nominal, rtol=1e-9)
+        assert result.yield_fraction == 1.0
+
+    def test_small_variation_high_yield(self, rng):
+        params = paper_section5a_parameters()
+        result = run_monte_carlo(
+            params,
+            VariationModel(ring_sigma_nm=0.01, filter_sigma_nm=0.01),
+            samples=60,
+            rng=rng,
+        )
+        assert result.yield_fraction > 0.9
+        assert result.sample_count == 60
+        assert result.worst_eye_mw <= result.mean_eye_mw
+
+    def test_large_variation_degrades_eye(self, rng):
+        params = paper_section5a_parameters()
+        small = run_monte_carlo(
+            params, VariationModel(0.005, 0.005), samples=40, rng=rng
+        )
+        large = run_monte_carlo(
+            params, VariationModel(0.06, 0.06), samples=40, rng=rng
+        )
+        assert large.mean_eye_mw < small.mean_eye_mw
+
+    def test_validation(self, rng):
+        params = paper_section5a_parameters()
+        with pytest.raises(ConfigurationError):
+            run_monte_carlo("params", samples=2, rng=rng)
+        with pytest.raises(ConfigurationError):
+            run_monte_carlo(params, samples=0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            VariationModel(ring_sigma_nm=-1.0)
+
+
+class TestYieldCurve:
+    def test_monotone_trend(self, rng):
+        params = paper_section5a_parameters()
+        curve = yield_vs_sigma(
+            params, [0.005, 0.08], samples=40, rng=rng
+        )
+        assert curve["mean_eye_mw"][0] > curve["mean_eye_mw"][1]
+        assert curve["yield_fraction"][0] >= curve["yield_fraction"][1]
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            yield_vs_sigma(paper_section5a_parameters(), [], rng=rng)
+
+
+class TestResultContainer:
+    def test_fields(self):
+        result = MonteCarloResult(
+            eye_openings_mw=np.array([0.1, -0.05, 0.2]),
+            yield_fraction=2 / 3,
+            mean_eye_mw=0.0833,
+            worst_eye_mw=-0.05,
+        )
+        assert result.sample_count == 3

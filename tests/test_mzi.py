@@ -1,0 +1,120 @@
+"""Tests for the MZI modulator model (paper Eq. 7b)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.photonics import MZIModulator
+
+
+@pytest.fixture
+def ziebell() -> MZIModulator:
+    return MZIModulator(insertion_loss_db=4.5, extinction_ratio_db=13.22)
+
+
+class TestFractions:
+    def test_paper_il_fraction(self, ziebell):
+        # Section V-A: 4.5 dB -> 35.48 %
+        assert ziebell.il_fraction == pytest.approx(0.3548, abs=2e-4)
+
+    def test_paper_er_fraction(self, ziebell):
+        # Section V-A: 13.22 dB -> 4.76 %
+        assert ziebell.er_fraction == pytest.approx(0.0476, abs=2e-4)
+
+
+class TestEq7b:
+    def test_constructive_state(self, ziebell):
+        assert ziebell.transmission(0) == pytest.approx(ziebell.il_fraction)
+
+    def test_destructive_state(self, ziebell):
+        assert ziebell.transmission(1) == pytest.approx(
+            ziebell.il_fraction * ziebell.er_fraction
+        )
+
+    def test_array_of_bits(self, ziebell):
+        bits = np.array([0, 1, 1, 0])
+        out = ziebell.transmission(bits)
+        expected = np.where(
+            bits == 0,
+            ziebell.il_fraction,
+            ziebell.il_fraction * ziebell.er_fraction,
+        )
+        np.testing.assert_allclose(out, expected)
+
+    def test_rejects_non_binary(self, ziebell):
+        with pytest.raises(ConfigurationError):
+            ziebell.transmission(0.5)
+
+    @given(
+        il=st.floats(min_value=0.0, max_value=10.0),
+        er=st.floats(min_value=0.5, max_value=20.0),
+    )
+    def test_destructive_below_constructive(self, il, er):
+        mzi = MZIModulator(insertion_loss_db=il, extinction_ratio_db=er)
+        assert mzi.transmission(1) < mzi.transmission(0)
+
+
+class TestPhaseTransmission:
+    def test_endpoints_match_eq7b(self, ziebell):
+        assert ziebell.phase_transmission(0.0) == pytest.approx(
+            ziebell.transmission(0)
+        )
+        assert ziebell.phase_transmission(math.pi) == pytest.approx(
+            ziebell.transmission(1)
+        )
+
+    def test_monotone_from_constructive_to_destructive(self, ziebell):
+        phases = np.linspace(0.0, math.pi, 64)
+        values = ziebell.phase_transmission(phases)
+        assert np.all(np.diff(values) < 0)
+
+
+class TestMeanTransmission:
+    def test_extremes(self, ziebell):
+        assert ziebell.mean_transmission(0.0) == pytest.approx(
+            ziebell.transmission(0)
+        )
+        assert ziebell.mean_transmission(1.0) == pytest.approx(
+            ziebell.transmission(1)
+        )
+
+    @given(p=st.floats(min_value=0.0, max_value=1.0))
+    def test_is_expectation_of_eq7b(self, p):
+        mzi = MZIModulator(insertion_loss_db=4.5, extinction_ratio_db=10.0)
+        expected = (1 - p) * mzi.transmission(0) + p * mzi.transmission(1)
+        assert mzi.mean_transmission(p) == pytest.approx(expected)
+
+    def test_rejects_bad_probability(self, ziebell):
+        with pytest.raises(ConfigurationError):
+            ziebell.mean_transmission(1.5)
+
+
+class TestMetadata:
+    def test_bit_period(self):
+        mzi = MZIModulator(
+            insertion_loss_db=6.5,
+            extinction_ratio_db=7.5,
+            modulation_speed_gbps=60.0,
+        )
+        assert mzi.bit_period_s() == pytest.approx(1.0 / 60e9)
+
+    def test_bit_period_requires_speed(self):
+        mzi = MZIModulator(insertion_loss_db=6.5, extinction_ratio_db=7.5)
+        with pytest.raises(ConfigurationError):
+            mzi.bit_period_s()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MZIModulator(insertion_loss_db=-1.0, extinction_ratio_db=3.0)
+        with pytest.raises(ConfigurationError):
+            MZIModulator(insertion_loss_db=1.0, extinction_ratio_db=0.0)
+        with pytest.raises(ConfigurationError):
+            MZIModulator(
+                insertion_loss_db=1.0,
+                extinction_ratio_db=3.0,
+                modulation_speed_gbps=-40.0,
+            )

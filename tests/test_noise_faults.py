@@ -1,0 +1,121 @@
+"""Tests for noise models and fault injection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import OpticalStochasticCircuit
+from repro.core.params import paper_section5a_parameters
+from repro.core.transmission import TransmissionModel
+from repro.errors import ConfigurationError
+from repro.simulation.faults import (
+    FaultInjector,
+    with_coefficient_ring_drift,
+    with_filter_drift,
+)
+from repro.simulation.noise import apply_ber_flips, effective_probability_after_flips
+from repro.stochastic import BernsteinPolynomial, Bitstream
+
+
+class TestBerFlips:
+    def test_zero_ber_is_identity(self, rng):
+        stream = Bitstream.exact(0.3, 256)
+        assert apply_ber_flips(stream, 0.0, rng) == stream
+
+    def test_one_ber_inverts(self, rng):
+        stream = Bitstream.exact(0.3, 256)
+        assert apply_ber_flips(stream, 1.0, rng) == ~stream
+
+    def test_flip_rate_statistics(self, rng):
+        stream = Bitstream.exact(0.5, 50_000)
+        flipped = apply_ber_flips(stream, 0.1, rng)
+        rate = np.mean(stream.bits != flipped.bits)
+        assert rate == pytest.approx(0.1, abs=0.01)
+
+    @given(
+        p=st.floats(min_value=0.0, max_value=1.0),
+        ber=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_effective_probability_formula(self, p, ber):
+        expected = p + ber * (1 - 2 * p)
+        assert effective_probability_after_flips(p, ber) == pytest.approx(
+            expected
+        )
+
+    def test_bias_bounded_by_ber(self):
+        # The error-resilience bound: |bias| <= BER.
+        for p in (0.0, 0.25, 0.5, 0.9, 1.0):
+            bias = abs(effective_probability_after_flips(p, 0.01) - p)
+            assert bias <= 0.01 + 1e-12
+
+    def test_validation(self, rng):
+        stream = Bitstream.exact(0.5, 16)
+        with pytest.raises(ConfigurationError):
+            apply_ber_flips(stream, 1.5, rng)
+        with pytest.raises(ConfigurationError):
+            apply_ber_flips([0, 1], 0.1, rng)
+        with pytest.raises(ConfigurationError):
+            effective_probability_after_flips(2.0, 0.1)
+
+
+class TestFilterDrift:
+    def test_drift_shifts_every_level(self):
+        params = paper_section5a_parameters()
+        drifted = with_filter_drift(params, 0.05)
+        errors = TransmissionModel(drifted).tuning_errors_nm()
+        np.testing.assert_allclose(errors, 0.05, atol=1e-3)
+
+    def test_drift_reduces_eye(self):
+        from repro.core.snr import worst_case_eye
+
+        params = paper_section5a_parameters()
+        healthy = worst_case_eye(params).opening
+        drifted = worst_case_eye(with_filter_drift(params, 0.08)).opening
+        assert drifted < healthy
+
+    def test_excessive_drift_rejected(self):
+        params = paper_section5a_parameters()
+        with pytest.raises(ConfigurationError):
+            with_filter_drift(params, -0.2)  # guard would go negative
+
+    def test_type_check(self):
+        with pytest.raises(ConfigurationError):
+            with_filter_drift("params", 0.1)
+
+
+class TestCoefficientRingDrift:
+    def test_drift_changes_contrast(self):
+        from repro.core.snr import worst_case_eye
+
+        params = paper_section5a_parameters()
+        healthy = worst_case_eye(params).opening
+        drifted = worst_case_eye(
+            with_coefficient_ring_drift(params, 0.05)
+        ).opening
+        assert drifted != pytest.approx(healthy, rel=1e-3)
+
+    def test_drift_beyond_shift_rejected(self):
+        params = paper_section5a_parameters()
+        with pytest.raises(ConfigurationError):
+            with_coefficient_ring_drift(params, 0.15)
+
+
+class TestFaultInjector:
+    def test_filter_drift_study_degrades_gracefully(self, rng):
+        circuit = OpticalStochasticCircuit(
+            paper_section5a_parameters(),
+            BernsteinPolynomial([0.25, 0.625, 0.375]),
+        )
+        study = FaultInjector(circuit).filter_drift_study(
+            [0.0, 0.04, 0.08], x=0.5, length=2048, rng=rng
+        )
+        errors = study["absolute_error"]
+        # Small drift: output error stays bounded (graceful degradation).
+        assert np.isfinite(errors[0])
+        assert errors[0] < 0.05
+
+    def test_type_check(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector("circuit")

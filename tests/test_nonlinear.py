@@ -1,0 +1,87 @@
+"""Tests for the TPA tuning model (paper Eq. 4) and the linearized OTE."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, PhysicalModelError
+from repro.photonics import OpticalTuningEfficiency, effective_index, tpa_wavelength_shift_nm
+
+
+class TestEffectiveIndex:
+    def test_linear_in_power(self):
+        n = effective_index(2.4, 1e-17, np.array([0.0, 1.0, 2.0]), 1e-13)
+        assert n[0] == pytest.approx(2.4)
+        assert n[2] - n[1] == pytest.approx(n[1] - n[0])
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ConfigurationError):
+            effective_index(2.4, 1e-17, -1.0, 1e-13)
+
+    def test_rejects_bad_cross_section(self):
+        with pytest.raises(ConfigurationError):
+            effective_index(2.4, 1e-17, 1.0, 0.0)
+
+
+class TestTpaShift:
+    def test_shift_scales_with_power(self):
+        s1 = float(tpa_wavelength_shift_nm(1550.0, 4.3, 1e-17, 1.0, 1e-13))
+        s2 = float(tpa_wavelength_shift_nm(1550.0, 4.3, 1e-17, 2.0, 1e-13))
+        assert s2 == pytest.approx(2 * s1)
+
+    def test_physical_consistency_with_eq4(self):
+        # d_lambda / lambda = d_n / n_g
+        wavelength, n_g, n2, power, area = 1550.0, 4.3, 1e-17, 5.0, 1e-13
+        delta_n = float(effective_index(2.4, n2, power, area)) - 2.4
+        shift = float(tpa_wavelength_shift_nm(wavelength, n_g, n2, power, area))
+        assert shift / wavelength == pytest.approx(delta_n / n_g)
+
+
+class TestOTE:
+    def test_paper_value(self):
+        # Van et al. [14]: 0.1 nm shift for 10 mW pump.
+        ote = OpticalTuningEfficiency()
+        assert ote.shift_nm(10.0) == pytest.approx(0.1)
+
+    def test_inverse(self):
+        ote = OpticalTuningEfficiency(nm_per_mw=0.01)
+        assert ote.required_power_mw(2.1) == pytest.approx(210.0)
+
+    @given(power=st.floats(min_value=0.0, max_value=1000.0))
+    def test_roundtrip(self, power):
+        ote = OpticalTuningEfficiency(nm_per_mw=0.013)
+        assert ote.required_power_mw(ote.shift_nm(power)) == pytest.approx(
+            power, abs=1e-9
+        )
+
+    def test_array_support(self):
+        ote = OpticalTuningEfficiency(nm_per_mw=0.01)
+        shifts = ote.shift_nm(np.array([0.0, 10.0, 100.0]))
+        np.testing.assert_allclose(shifts, [0.0, 0.1, 1.0])
+
+    def test_saturation_bound(self):
+        ote = OpticalTuningEfficiency(nm_per_mw=0.01, max_shift_nm=1.0)
+        with pytest.raises(PhysicalModelError):
+            ote.shift_nm(200.0)
+        with pytest.raises(PhysicalModelError):
+            ote.required_power_mw(2.0)
+
+    def test_rejects_negative(self):
+        ote = OpticalTuningEfficiency(nm_per_mw=0.01)
+        with pytest.raises(ConfigurationError):
+            ote.shift_nm(-1.0)
+        with pytest.raises(ConfigurationError):
+            ote.required_power_mw(-1.0)
+
+    def test_from_physics_matches_direct_shift(self):
+        ote = OpticalTuningEfficiency.from_physics(
+            wavelength_nm=1550.0,
+            group_index=4.3,
+            n2_m2_per_w=1e-17,
+            cross_section_m2=1e-13,
+        )
+        direct = float(
+            tpa_wavelength_shift_nm(1550.0, 4.3, 1e-17, 10e-3, 1e-13)
+        )
+        assert ote.shift_nm(10.0) == pytest.approx(direct)

@@ -1,0 +1,96 @@
+"""Tests for the OpticalSCParameters bundle (Fig. 4(b))."""
+
+import pytest
+
+from repro.core.params import OpticalSCParameters, paper_section5a_parameters
+from repro.errors import ConfigurationError, DesignInfeasibleError
+from repro.photonics import MZIModulator, WDMGrid
+from repro.photonics.devices import COARSE_RING_PROFILE
+
+
+@pytest.fixture
+def paper_params() -> OpticalSCParameters:
+    return paper_section5a_parameters()
+
+
+class TestPaperParameters:
+    def test_order_and_channels(self, paper_params):
+        assert paper_params.order == 2
+        assert paper_params.channel_count == 3
+
+    def test_grid_quantities(self, paper_params):
+        assert paper_params.wl_spacing_nm == pytest.approx(1.0)
+        assert paper_params.lambda_ref_nm == pytest.approx(1550.1)
+        assert paper_params.full_swing_nm == pytest.approx(2.1)
+
+    def test_paper_pump_default(self, paper_params):
+        assert paper_params.pump_power_mw == pytest.approx(591.8)
+
+    def test_overriding_powers(self, paper_params):
+        changed = paper_params.with_pump_power(300.0).with_probe_power(2.0)
+        assert changed.pump_power_mw == 300.0
+        assert changed.probe_power_mw == 2.0
+        # Original untouched (frozen dataclass semantics).
+        assert paper_params.pump_power_mw == pytest.approx(591.8)
+
+    def test_describe_mentions_key_quantities(self, paper_params):
+        text = paper_params.describe()
+        assert "WLspacing" in text
+        assert "591.8" in text
+
+
+class TestValidation:
+    def _grid(self, channels=3):
+        return WDMGrid(channel_count=channels, spacing_nm=1.0)
+
+    def _mzi(self):
+        return MZIModulator(insertion_loss_db=4.5, extinction_ratio_db=13.22)
+
+    def test_channel_count_must_match_order(self):
+        with pytest.raises(ConfigurationError):
+            OpticalSCParameters(
+                order=3,
+                grid=self._grid(3),
+                ring_profile=COARSE_RING_PROFILE,
+                mzi=self._mzi(),
+            )
+
+    def test_order_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            OpticalSCParameters(
+                order=0,
+                grid=self._grid(1),
+                ring_profile=COARSE_RING_PROFILE,
+                mzi=self._mzi(),
+            )
+
+    def test_grid_must_fit_filter_fsr(self):
+        wide = WDMGrid(channel_count=3, spacing_nm=12.0)  # 24 nm span
+        with pytest.raises(DesignInfeasibleError):
+            OpticalSCParameters(
+                order=2,
+                grid=wide,
+                ring_profile=COARSE_RING_PROFILE,
+                mzi=self._mzi(),
+            )
+
+    def test_rejects_bad_powers(self):
+        with pytest.raises(ConfigurationError):
+            OpticalSCParameters(
+                order=2,
+                grid=self._grid(),
+                ring_profile=COARSE_RING_PROFILE,
+                mzi=self._mzi(),
+                pump_power_mw=-1.0,
+            )
+        with pytest.raises(ConfigurationError):
+            OpticalSCParameters(
+                order=2,
+                grid=self._grid(),
+                ring_profile=COARSE_RING_PROFILE,
+                mzi=self._mzi(),
+                probe_power_mw=0.0,
+            )
+
+    def test_hashable_for_sweeps(self, paper_params):
+        assert hash(paper_params) == hash(paper_section5a_parameters())

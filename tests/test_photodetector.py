@@ -1,0 +1,115 @@
+"""Tests for the photodetector models."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.photonics import AvalanchePhotodetector, Photodetector
+
+
+@pytest.fixture
+def detector() -> Photodetector:
+    return Photodetector(responsivity_a_per_w=1.0, noise_current_a=10e-6)
+
+
+class TestPhotocurrent:
+    def test_responsivity_scaling(self, detector):
+        # 1 mW at 1 A/W -> 1 mA.
+        assert detector.photocurrent_a(1.0) == pytest.approx(1e-3)
+
+    def test_array(self, detector):
+        out = detector.photocurrent_a(np.array([0.0, 2.0]))
+        np.testing.assert_allclose(out, [0.0, 2e-3])
+
+    def test_rejects_negative_power(self, detector):
+        with pytest.raises(ConfigurationError):
+            detector.photocurrent_a(-1.0)
+
+
+class TestSNR:
+    def test_eq8_form(self, detector):
+        # SNR = (I1 - I0) / i_n = R * dP / i_n.
+        snr = detector.snr(0.48, 0.095)
+        assert snr == pytest.approx(1.0 * (0.48 - 0.095) * 1e-3 / 10e-6)
+
+    def test_closed_eye_rejected(self, detector):
+        with pytest.raises(ConfigurationError):
+            detector.snr(0.1, 0.1)
+        with pytest.raises(ConfigurationError):
+            detector.snr(0.1, 0.2)
+
+    @given(
+        low=st.floats(min_value=0.0, max_value=0.4),
+        swing=st.floats(min_value=1e-6, max_value=1.0),
+    )
+    def test_snr_depends_only_on_swing(self, low, swing):
+        det = Photodetector(responsivity_a_per_w=0.8, noise_current_a=5e-6)
+        snr = det.snr(low + swing, low)
+        assert snr == pytest.approx(0.8 * swing * 1e-3 / 5e-6, rel=1e-9)
+
+
+class TestSamplingAndDecision:
+    def test_noisy_samples_have_configured_std(self, detector, rng):
+        samples = detector.sample(np.full(20000, 0.2), rng)
+        assert np.std(samples) == pytest.approx(10e-6, rel=0.05)
+        assert np.mean(samples) == pytest.approx(0.2e-3, rel=0.02)
+
+    def test_decision_threshold(self, detector):
+        threshold = detector.midpoint_threshold_a(0.48, 0.095)
+        assert threshold == pytest.approx(0.5 * (0.48 + 0.095) * 1e-3)
+        assert detector.decide(0.48e-3, threshold) == 1
+        assert detector.decide(0.095e-3, threshold) == 0
+
+    def test_decide_array(self, detector):
+        currents = np.array([0.0, 1.0e-3])
+        bits = detector.decide(currents, 0.5e-3)
+        np.testing.assert_array_equal(bits, [0, 1])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Photodetector(responsivity_a_per_w=0.0, noise_current_a=1e-6)
+        with pytest.raises(ConfigurationError):
+            Photodetector(responsivity_a_per_w=1.0, noise_current_a=0.0)
+
+
+class TestAvalanche:
+    def test_gain_multiplies_current(self):
+        apd = AvalanchePhotodetector(
+            responsivity_a_per_w=1.0, noise_current_a=10e-6, gain=10.0
+        )
+        assert apd.photocurrent_a(1.0) == pytest.approx(10e-3)
+
+    def test_excess_noise_factor(self):
+        apd = AvalanchePhotodetector(
+            responsivity_a_per_w=1.0,
+            noise_current_a=10e-6,
+            gain=10.0,
+            ionization_ratio=0.1,
+        )
+        expected = 0.1 * 10 + 0.9 * (2 - 0.1)
+        assert apd.excess_noise_factor == pytest.approx(expected)
+
+    def test_snr_improves_over_pin_at_moderate_gain(self):
+        pin = Photodetector(responsivity_a_per_w=1.0, noise_current_a=10e-6)
+        apd = AvalanchePhotodetector(
+            responsivity_a_per_w=1.0,
+            noise_current_a=10e-6,
+            gain=10.0,
+            ionization_ratio=0.1,
+        )
+        assert apd.snr(0.5, 0.1) > pin.snr(0.5, 0.1)
+
+    def test_gain_validation(self):
+        with pytest.raises(ConfigurationError):
+            AvalanchePhotodetector(
+                responsivity_a_per_w=1.0, noise_current_a=1e-6, gain=0.5
+            )
+        with pytest.raises(ConfigurationError):
+            AvalanchePhotodetector(
+                responsivity_a_per_w=1.0,
+                noise_current_a=1e-6,
+                gain=5.0,
+                ionization_ratio=1.5,
+            )

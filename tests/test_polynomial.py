@@ -1,0 +1,73 @@
+"""Tests for power-basis polynomials."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.stochastic import PowerPolynomial
+from repro.stochastic.polynomial import PAPER_EXAMPLE_F1
+
+
+class TestEvaluation:
+    def test_horner_matches_direct(self):
+        poly = PowerPolynomial([1.0, -2.0, 3.0])
+        x = 0.7
+        assert poly(x) == pytest.approx(1 - 2 * x + 3 * x * x)
+
+    def test_paper_example_value(self):
+        # f1(0.5) = 0.5 (Fig. 1(b) computes 4/8).
+        assert PAPER_EXAMPLE_F1(0.5) == pytest.approx(0.5)
+
+    def test_array_evaluation(self):
+        poly = PowerPolynomial([0.0, 1.0])
+        xs = np.linspace(0, 1, 5)
+        np.testing.assert_allclose(poly(xs), xs)
+
+    @given(x=st.floats(min_value=-2, max_value=2))
+    def test_constant_polynomial(self, x):
+        assert PowerPolynomial([3.5])(x) == pytest.approx(3.5)
+
+
+class TestStructure:
+    def test_degree_counts_declared_coefficients(self):
+        assert PowerPolynomial([1.0, 0.0, 0.0]).degree == 2
+
+    def test_equality(self):
+        assert PowerPolynomial([1, 2]) == PowerPolynomial([1.0, 2.0])
+        assert PowerPolynomial([1, 2]) != PowerPolynomial([1, 2, 0])
+
+    def test_immutability(self):
+        poly = PowerPolynomial([1.0, 2.0])
+        with pytest.raises(ValueError):
+            poly.coefficients[0] = 5.0
+
+    def test_derivative(self):
+        poly = PowerPolynomial([1.0, 2.0, 3.0])  # 1 + 2x + 3x^2
+        deriv = poly.derivative()
+        assert deriv == PowerPolynomial([2.0, 6.0])
+        assert PowerPolynomial([5.0]).derivative() == PowerPolynomial([0.0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerPolynomial([])
+
+
+class TestBoundsAndFit:
+    def test_paper_example_bounded(self):
+        assert PAPER_EXAMPLE_F1.is_bounded_on_unit_interval()
+
+    def test_unbounded_detected(self):
+        assert not PowerPolynomial([0.0, 2.0]).is_bounded_on_unit_interval()
+
+    def test_fit_recovers_polynomial(self):
+        target = PowerPolynomial([0.25, 0.5, -0.25])
+        fitted = PowerPolynomial.fit(lambda x: target(x), degree=2)
+        np.testing.assert_allclose(
+            fitted.coefficients, target.coefficients, atol=1e-8
+        )
+
+    def test_fit_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerPolynomial.fit(lambda x: x, degree=-1)

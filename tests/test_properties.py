@@ -1,0 +1,151 @@
+"""Cross-module property-based tests (hypothesis).
+
+The invariants here span module boundaries — physical conservation laws,
+design-method consistency, model-vs-model agreement — complementing the
+per-module property tests living next to each unit suite.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core.design import mrr_first_design, mzi_first_design
+from repro.core.transmission import TransmissionModel
+from repro.photonics.mzi import MZIModulator
+from repro.photonics.ring import RingParameters
+from repro.simulation.noise import effective_probability_after_flips
+from repro.stochastic import BernsteinPolynomial
+
+spacings = st.floats(min_value=0.4, max_value=1.5)
+orders = st.integers(min_value=1, max_value=5)
+unit = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestPhysicalInvariants:
+    @given(
+        r1=st.floats(min_value=0.7, max_value=0.999),
+        r2=st.floats(min_value=0.7, max_value=0.999),
+        a=st.floats(min_value=0.9, max_value=1.0, exclude_min=True),
+        detune=st.floats(min_value=-10.0, max_value=10.0),
+    )
+    @settings(max_examples=60)
+    def test_ring_passivity(self, r1, r2, a, detune):
+        """No passive ring may emit more power than it receives, at any
+        detuning, on the sum of both ports."""
+        ring = RingParameters(r1=r1, r2=r2, a=a, fsr_nm=20.0)
+        through = float(ring.through(1550.0 + detune, 1550.0))
+        drop = float(ring.drop(1550.0 + detune, 1550.0))
+        assert through + drop <= 1.0 + 1e-9
+
+    @given(order=orders, spacing=spacings)
+    @settings(max_examples=12, deadline=None)
+    def test_transmissions_are_probabilities(self, order, spacing):
+        design = mrr_first_design(
+            order=order, wl_spacing_nm=spacing, probe_power_mw=1.0
+        )
+        model = TransmissionModel(design.params)
+        table = model.received_power_table_mw()
+        # 1 mW per probe channel: each pattern/level receives at most
+        # the total injected power and never a negative amount.
+        assert np.all(table >= 0.0)
+        assert np.all(table <= (order + 1) * 1.0 + 1e-9)
+
+    @given(order=orders, spacing=spacings)
+    @settings(max_examples=10, deadline=None)
+    def test_eye_bounded_by_drop_peak(self, order, spacing):
+        design = mrr_first_design(
+            order=order, wl_spacing_nm=spacing, probe_power_mw=1.0
+        )
+        eye = repro.worst_case_eye(design.params)
+        assert eye.opening <= design.params.ring_profile.filter.drop_peak
+
+
+class TestDesignMethodConsistency:
+    @given(order=orders, spacing=spacings)
+    @settings(max_examples=10, deadline=None)
+    def test_mrr_first_then_mzi_first_closes_the_loop(self, order, spacing):
+        """Feeding MRR-first's outputs into MZI-first must reproduce the
+        same wavelength grid — the two methods are inverse views of the
+        same Eq. 7 constraint."""
+        mrr = mrr_first_design(
+            order=order, wl_spacing_nm=spacing, probe_power_mw=1.0
+        )
+        mzi = mzi_first_design(
+            order=order,
+            mzi=mrr.params.mzi,
+            pump_power_mw=mrr.pump_power_mw,
+            lambda_ref_nm=mrr.params.lambda_ref_nm,
+            probe_power_mw=1.0,
+        )
+        np.testing.assert_allclose(
+            mzi.params.grid.wavelengths_nm,
+            mrr.params.grid.wavelengths_nm,
+            atol=1e-6,
+        )
+
+    @given(order=orders, spacing=spacings)
+    @settings(max_examples=10, deadline=None)
+    def test_levels_always_on_channels(self, order, spacing):
+        design = mrr_first_design(
+            order=order, wl_spacing_nm=spacing, probe_power_mw=1.0
+        )
+        model = TransmissionModel(design.params)
+        np.testing.assert_allclose(
+            model.tuning_errors_nm(), 0.0, atol=1e-6
+        )
+
+    @given(
+        il=st.floats(min_value=3.0, max_value=7.0),
+        er=st.floats(min_value=4.0, max_value=8.0),
+        order=orders,
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_mzi_first_partitions_swing_exactly(self, il, er, order):
+        mzi = MZIModulator(insertion_loss_db=il, extinction_ratio_db=er)
+        design = mzi_first_design(
+            order=order, mzi=mzi, pump_power_mw=600.0, probe_power_mw=1.0
+        )
+        grid = design.params.grid
+        swing = float(design.params.ote.shift_nm(600.0 * mzi.il_fraction))
+        assert grid.guard_nm + order * grid.spacing_nm == pytest.approx(
+            swing, rel=1e-9
+        )
+
+
+class TestModelAgreement:
+    @given(x=unit, ber=st.floats(min_value=0.0, max_value=0.3))
+    @settings(max_examples=30)
+    def test_flip_bias_formula_is_self_consistent(self, x, ber):
+        """The analytical flip bias must stay within [0,1] and be exact
+        at the fixed point p = 1/2."""
+        p = effective_probability_after_flips(x, ber)
+        assert 0.0 <= p <= 1.0
+        assert effective_probability_after_flips(0.5, ber) == pytest.approx(0.5)
+
+    @given(
+        coefficients=st.lists(unit, min_size=2, max_size=6),
+        x=unit,
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_bernstein_value_within_coefficient_hull(self, coefficients, x):
+        """Eq. 1 is a convex combination: B(x) always lies inside the
+        coefficient range — the reason SC hardware can evaluate it with
+        probabilities."""
+        poly = BernsteinPolynomial(coefficients)
+        value = poly(x)
+        assert min(coefficients) - 1e-9 <= value <= max(coefficients) + 1e-9
+
+    @given(ber=st.floats(min_value=1e-9, max_value=0.4))
+    @settings(max_examples=30)
+    def test_probe_power_scales_with_required_snr(self, ber):
+        """Probe sizing is linear in the Eq. 9 SNR requirement."""
+        params = repro.paper_section5a_parameters()
+        probe = repro.minimum_probe_power_mw(params, target_ber=ber)
+        reference = repro.minimum_probe_power_mw(params, target_ber=1e-6)
+        expected = (
+            repro.required_snr_for_ber(ber)
+            / repro.required_snr_for_ber(1e-6)
+        )
+        assert probe / reference == pytest.approx(expected, rel=1e-9)

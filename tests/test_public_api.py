@@ -1,0 +1,43 @@
+"""Tests for the top-level public API surface."""
+
+import pytest
+
+import repro
+
+
+class TestLazyAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_design_method_reachable(self):
+        design = repro.mrr_first_design(
+            order=2, wl_spacing_nm=1.0, probe_power_mw=1.0
+        )
+        assert design.pump_power_mw == pytest.approx(591.8, abs=0.5)
+
+    def test_circuit_workflow(self):
+        design = repro.mrr_first_design(
+            order=2, wl_spacing_nm=1.0, probe_power_mw=1.0
+        )
+        circuit = repro.OpticalStochasticCircuit.from_design(
+            design, repro.BernsteinPolynomial([0.25, 0.625, 0.375])
+        )
+        assert circuit.link_budget().bands_separated
+
+    def test_constants_exposed(self):
+        assert repro.PAPER_OPTIMAL_WL_SPACING_NM == pytest.approx(0.165)
+        assert repro.PAPER_HEADLINE_ENERGY_PJ_PER_BIT == pytest.approx(20.1)
+
+    def test_errors_exposed(self):
+        assert issubclass(repro.ConfigurationError, repro.ReproError)
+        assert issubclass(repro.DesignInfeasibleError, repro.ReproError)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_api_names_all_resolve(self):
+        from repro import _api
+
+        for name in _api.__all__:
+            assert getattr(repro, name) is getattr(_api, name)

@@ -1,0 +1,68 @@
+"""Tests for the optical receiver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.photonics import Photodetector
+from repro.simulation.receiver import OpticalReceiver
+
+
+@pytest.fixture
+def detector() -> Photodetector:
+    return Photodetector(responsivity_a_per_w=1.0, noise_current_a=8.43e-6)
+
+
+class TestConstruction:
+    def test_from_power_bands(self, detector):
+        receiver = OpticalReceiver.from_power_bands(detector, 0.099, 0.477)
+        assert receiver.threshold_a == pytest.approx(
+            0.5 * (0.099 + 0.477) * 1e-3
+        )
+
+    def test_band_ordering_enforced(self, detector):
+        with pytest.raises(ConfigurationError):
+            OpticalReceiver.from_power_bands(detector, 0.5, 0.1)
+
+    def test_threshold_validation(self, detector):
+        with pytest.raises(ConfigurationError):
+            OpticalReceiver(detector, threshold_a=0.0)
+
+    def test_detector_type_check(self):
+        with pytest.raises(ConfigurationError):
+            OpticalReceiver("detector", threshold_a=1e-4)
+
+
+class TestDecision:
+    def test_noiseless_slicing(self, detector):
+        receiver = OpticalReceiver.from_power_bands(detector, 0.099, 0.477)
+        powers = np.array([0.48, 0.095, 0.477, 0.099])
+        decision = receiver.decide(powers)
+        assert decision.bits.bits.tolist() == [1, 0, 1, 0]
+        assert decision.probability == pytest.approx(0.5)
+
+    def test_noisy_slicing_statistics(self, detector, rng):
+        # Paper bands give SNR ~45: essentially error-free at this noise.
+        receiver = OpticalReceiver.from_power_bands(detector, 0.099, 0.477)
+        powers = np.where(rng.random(20000) < 0.3, 0.477, 0.099)
+        decision = receiver.decide(powers, rng=rng)
+        expected = np.mean(powers > 0.2)
+        assert decision.probability == pytest.approx(expected, abs=0.01)
+
+    def test_marginal_snr_produces_errors(self, rng):
+        noisy_detector = Photodetector(
+            responsivity_a_per_w=1.0, noise_current_a=2e-4
+        )
+        receiver = OpticalReceiver.from_power_bands(noisy_detector, 0.099, 0.477)
+        powers = np.full(20000, 0.477)
+        decision = receiver.decide(powers, rng=rng)
+        assert decision.probability < 1.0  # some ones flipped to zero
+
+    def test_input_validation(self, detector):
+        receiver = OpticalReceiver.from_power_bands(detector, 0.099, 0.477)
+        with pytest.raises(ConfigurationError):
+            receiver.decide(np.array([]))
+        with pytest.raises(ConfigurationError):
+            receiver.decide(np.array([-1.0]))
+        with pytest.raises(ConfigurationError):
+            receiver.decide(np.zeros((2, 2)))

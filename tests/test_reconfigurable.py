@@ -1,0 +1,71 @@
+"""Tests for the reconfigurable multi-order circuit (Sections V-C/VI)."""
+
+import pytest
+
+from repro.core.reconfigurable import ReconfigurableCircuit
+from repro.errors import ConfigurationError
+from repro.stochastic import BernsteinPolynomial
+
+
+@pytest.fixture(scope="module")
+def hardware() -> ReconfigurableCircuit:
+    # Fix the spacing explicitly to keep the fixture fast; the optimum
+    # search itself is covered in test_energy.py.
+    return ReconfigurableCircuit(max_order=4, wl_spacing_nm=0.165)
+
+
+class TestConfiguration:
+    def test_supported_orders(self, hardware):
+        assert list(hardware.supported_orders) == [1, 2, 3, 4]
+
+    def test_design_reuses_grid_spacing(self, hardware):
+        for order in (1, 2, 3, 4):
+            design = hardware.design_for(order)
+            assert design.wl_spacing_nm == pytest.approx(0.165)
+            assert design.order == order
+
+    def test_designs_cached(self, hardware):
+        assert hardware.design_for(2) is hardware.design_for(2)
+
+    def test_pump_grows_with_order(self, hardware):
+        pumps = [hardware.design_for(n).pump_power_mw for n in (1, 2, 3, 4)]
+        assert pumps == sorted(pumps)
+
+    def test_order_validation(self, hardware):
+        with pytest.raises(ConfigurationError):
+            hardware.design_for(5)
+        with pytest.raises(ConfigurationError):
+            hardware.design_for(0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReconfigurableCircuit(max_order=0)
+        with pytest.raises(ConfigurationError):
+            ReconfigurableCircuit(max_order=2, wl_spacing_nm=-1.0)
+
+
+class TestProgramming:
+    def test_circuit_for_polynomial(self, hardware):
+        program = BernsteinPolynomial([0.2, 0.5, 0.8])
+        circuit = hardware.circuit_for(program)
+        assert circuit.params.order == 2
+        assert circuit.polynomial is program
+
+    def test_energy_table(self, hardware):
+        table = hardware.energy_table_pj([2, 4])
+        assert table["order"].tolist() == [2, 4]
+        assert table["total_pj"][1] > table["total_pj"][0]
+
+    def test_energy_close_to_headline_for_order_2(self, hardware):
+        assert hardware.energy_per_bit_pj(2) == pytest.approx(20.1, abs=0.6)
+
+
+class TestOrderIndependence:
+    def test_optima_agree_across_orders(self, hardware):
+        result = hardware.verify_order_independence([2, 4], tolerance_nm=0.02)
+        assert result["within_tolerance"]
+        assert result["spread_nm"] < 0.02
+
+    def test_empty_orders_rejected(self, hardware):
+        with pytest.raises(ConfigurationError):
+            hardware.verify_order_independence([])

@@ -1,0 +1,66 @@
+"""Tests for table formatting and CSV output."""
+
+import csv
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting import format_table, write_csv
+from repro.reporting.tables import format_value
+
+
+class TestFormatValue:
+    def test_floats_trimmed(self):
+        assert format_value(0.091) == "0.091"
+        assert format_value(591.85) == "591.9"
+
+    def test_specials(self):
+        assert format_value(float("nan")) == "nan"
+        assert format_value(float("inf")) == "inf"
+        assert format_value(0.0) == "0"
+        assert format_value(True) == "True"
+        assert format_value("text") == "text"
+
+    def test_extreme_magnitudes_use_scientific(self):
+        assert "e" in format_value(1.23e-7)
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(
+            [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "b" in lines[2]
+        assert len(lines) == 6  # title, rule, header, rule, 2 rows
+
+    def test_column_selection_and_missing_keys(self):
+        text = format_table([{"a": 1}], columns=["a", "missing"])
+        assert "missing" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([])
+        with pytest.raises(ConfigurationError):
+            format_table([{"a": 1}], columns=[])
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"x": 1, "y": "a"}, {"x": 2, "y": "b"}]
+        path = write_csv(tmp_path / "out" / "data.csv", rows)
+        with open(path) as handle:
+            back = list(csv.DictReader(handle))
+        assert back == [{"x": "1", "y": "a"}, {"x": "2", "y": "b"}]
+
+    def test_column_order(self, tmp_path):
+        path = write_csv(
+            tmp_path / "data.csv", [{"b": 2, "a": 1}], columns=["a", "b"]
+        )
+        header = open(path).readline().strip()
+        assert header == "a,b"
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_csv(tmp_path / "x.csv", [])

@@ -1,0 +1,103 @@
+"""Tests for the electronic ReSC baseline (Qian et al. [9], Fig. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.stochastic import BernsteinPolynomial, CounterSNG, ReSCUnit
+from repro.stochastic.functions import paper_example_bernstein
+
+unit_floats = st.floats(min_value=0.0, max_value=1.0)
+
+
+@pytest.fixture
+def paper_unit() -> ReSCUnit:
+    return ReSCUnit(paper_example_bernstein())
+
+
+class TestEvaluation:
+    def test_paper_example_at_half(self, paper_unit):
+        # Fig. 1(b): f1(0.5) = 0.5; the 8-bit example returns 4/8.
+        result = paper_unit.evaluate(0.5, length=8192)
+        assert result.expected == pytest.approx(0.5)
+        assert result.value == pytest.approx(0.5, abs=0.03)
+
+    @given(x=unit_floats)
+    @settings(max_examples=15, deadline=None)
+    def test_converges_to_bernstein_value(self, x):
+        unit = ReSCUnit(paper_example_bernstein())
+        result = unit.evaluate(x, length=16384)
+        sigma = np.sqrt(0.25 / 16384)
+        assert abs(result.value - result.expected) < max(8 * sigma, 0.02)
+
+    def test_result_bookkeeping(self, paper_unit):
+        result = paper_unit.evaluate(0.3, length=512)
+        assert result.stream_length == 512
+        assert result.ones_count == result.output_stream.ones_count
+        assert result.value == result.ones_count / 512
+        assert result.absolute_error == abs(result.value - result.expected)
+
+    def test_deterministic_with_counter_sngs(self):
+        poly = BernsteinPolynomial([0.25, 0.5, 0.75])
+        unit = ReSCUnit(
+            poly,
+            data_sngs=[CounterSNG(), CounterSNG()],
+            coefficient_sngs=[CounterSNG(), CounterSNG(), CounterSNG()],
+        )
+        a = unit.evaluate(0.5, length=256)
+        b = unit.evaluate(0.5, length=256)
+        assert a.value == b.value
+
+    def test_sweep(self, paper_unit):
+        values = paper_unit.evaluate_sweep([0.0, 0.5, 1.0], length=4096)
+        assert values.shape == (3,)
+        # Endpoints interpolate the first/last coefficients.
+        assert values[0] == pytest.approx(0.25, abs=0.05)
+        assert values[2] == pytest.approx(0.75, abs=0.05)
+
+    def test_constant_polynomial_degree_zero(self):
+        unit = ReSCUnit(BernsteinPolynomial([0.3]))
+        result = unit.evaluate(0.7, length=8192)
+        assert result.expected == pytest.approx(0.3)
+        assert result.value == pytest.approx(0.3, abs=0.03)
+
+
+class TestValidation:
+    def test_rejects_non_implementable_polynomial(self):
+        with pytest.raises(ConfigurationError):
+            ReSCUnit(BernsteinPolynomial([0.5, 1.5]))
+
+    def test_rejects_wrong_sng_counts(self):
+        poly = BernsteinPolynomial([0.2, 0.8])
+        with pytest.raises(ConfigurationError):
+            ReSCUnit(poly, data_sngs=[CounterSNG(), CounterSNG()])
+        with pytest.raises(ConfigurationError):
+            ReSCUnit(poly, coefficient_sngs=[CounterSNG()])
+
+    def test_rejects_bad_inputs(self, paper_unit):
+        with pytest.raises(ConfigurationError):
+            paper_unit.evaluate(1.5)
+        with pytest.raises(ConfigurationError):
+            paper_unit.evaluate(0.5, length=0)
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ConfigurationError):
+            ReSCUnit(paper_example_bernstein(), clock_hz=0.0)
+
+
+class TestThroughput:
+    def test_paper_clock_default(self, paper_unit):
+        # [9] considers a 100 MHz electronic implementation.
+        assert paper_unit.clock_hz == pytest.approx(100e6)
+        assert paper_unit.computation_time_s(1024) == pytest.approx(
+            1024 / 100e6
+        )
+
+    def test_optical_speedup_is_10x(self):
+        # Section V-C: 1 GHz optical vs 100 MHz electronic -> 10x.
+        electronic = ReSCUnit(paper_example_bernstein(), clock_hz=100e6)
+        optical_rate = 1e9
+        speedup = optical_rate / electronic.throughput_bits_per_s()
+        assert speedup == pytest.approx(10.0)

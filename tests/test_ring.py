@@ -1,0 +1,188 @@
+"""Tests for the MRR transfer functions (paper Eqs. 2-3) and design helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, DesignInfeasibleError
+from repro.photonics import ring
+
+couplings = st.floats(min_value=0.05, max_value=0.999)
+losses = st.floats(min_value=0.5, max_value=1.0, exclude_min=True)
+phases = st.floats(min_value=-50.0, max_value=50.0)
+
+
+class TestThroughTransmission:
+    def test_resonance_floor_formula(self):
+        a, r1, r2 = 0.99, 0.95, 0.97
+        floor = ring.through_transmission(0.0, a, r1, r2)
+        expected = ((a * r2 - r1) / (1 - a * r1 * r2)) ** 2
+        assert floor == pytest.approx(expected)
+
+    def test_antiresonance_ceiling(self):
+        a, r1, r2 = 0.99, 0.95, 0.97
+        ceiling = ring.through_transmission(math.pi, a, r1, r2)
+        expected = ((a * r2 + r1) / (1 + a * r1 * r2)) ** 2
+        assert ceiling == pytest.approx(expected)
+
+    def test_critical_coupling_gives_zero_floor(self):
+        # r1 = a*r2 nulls the through port on resonance.
+        a, r2 = 0.995, 0.98
+        r1 = a * r2
+        assert ring.through_transmission(0.0, a, r1, r2) == pytest.approx(0.0)
+
+    @given(theta=phases, a=losses, r1=couplings, r2=couplings)
+    def test_bounded_in_unit_interval(self, theta, a, r1, r2):
+        value = ring.through_transmission(theta, a, r1, r2)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+    @given(theta=phases, a=losses, r1=couplings, r2=couplings)
+    def test_periodicity(self, theta, a, r1, r2):
+        v1 = ring.through_transmission(theta, a, r1, r2)
+        v2 = ring.through_transmission(theta + 2 * math.pi, a, r1, r2)
+        assert v1 == pytest.approx(v2, abs=1e-12)
+
+    @given(theta=phases, a=losses, r1=couplings, r2=couplings)
+    def test_even_in_detuning(self, theta, a, r1, r2):
+        v1 = ring.through_transmission(theta, a, r1, r2)
+        v2 = ring.through_transmission(-theta, a, r1, r2)
+        assert v1 == pytest.approx(v2, abs=1e-12)
+
+    def test_rejects_invalid_coefficients(self):
+        with pytest.raises(ConfigurationError):
+            ring.through_transmission(0.0, 1.5, 0.9, 0.9)
+        with pytest.raises(ConfigurationError):
+            ring.through_transmission(0.0, 0.9, 0.0, 0.9)
+
+    def test_array_input(self):
+        theta = np.linspace(-math.pi, math.pi, 11)
+        values = ring.through_transmission(theta, 0.99, 0.95, 0.97)
+        assert values.shape == theta.shape
+        assert values.argmin() == 5  # resonance at the center sample
+
+
+class TestDropTransmission:
+    def test_peak_formula(self):
+        a, r1, r2 = 0.999, 0.97, 0.97
+        peak = ring.drop_transmission(0.0, a, r1, r2)
+        x = a * r1 * r2
+        expected = a * (1 - r1**2) * (1 - r2**2) / (1 - x) ** 2
+        assert peak == pytest.approx(expected)
+
+    @given(theta=phases, a=losses, r1=couplings, r2=couplings)
+    def test_bounded_and_positive(self, theta, a, r1, r2):
+        value = ring.drop_transmission(theta, a, r1, r2)
+        assert 0.0 < value <= 1.0 + 1e-12
+
+    @given(a=losses, r1=couplings, r2=couplings, theta=phases)
+    def test_maximal_on_resonance(self, a, r1, r2, theta):
+        on_res = ring.drop_transmission(0.0, a, r1, r2)
+        off_res = ring.drop_transmission(theta, a, r1, r2)
+        assert off_res <= on_res + 1e-12
+
+    @given(theta=phases, a=losses, r1=couplings, r2=couplings)
+    def test_energy_conservation(self, theta, a, r1, r2):
+        # Power out (through + drop) cannot exceed power in.
+        t = ring.through_transmission(theta, a, r1, r2)
+        d = ring.drop_transmission(theta, a, r1, r2)
+        assert t + d <= 1.0 + 1e-9
+
+
+class TestRingParameters:
+    def test_through_and_drop_at_wavelengths(self):
+        params = ring.RingParameters(r1=0.95, r2=0.95, a=0.998, fsr_nm=20.0)
+        # On resonance.
+        assert params.through(1550.0, 1550.0) == pytest.approx(
+            params.through_floor
+        )
+        assert params.drop(1550.0, 1550.0) == pytest.approx(params.drop_peak)
+        # Half an FSR away: anti-resonance.
+        assert params.through(1560.0, 1550.0) == pytest.approx(
+            params.through_ceiling
+        )
+
+    def test_fsr_periodicity_in_wavelength(self):
+        params = ring.RingParameters(r1=0.95, r2=0.95, a=0.998, fsr_nm=15.0)
+        assert params.drop(1550.0 + 15.0, 1550.0) == pytest.approx(
+            params.drop_peak
+        )
+
+    def test_fwhm_matches_numerical_half_maximum(self):
+        params = ring.RingParameters(r1=0.97, r2=0.97, a=0.999, fsr_nm=20.0)
+        half = params.drop_peak / 2.0
+        # At +/- FWHM/2 detuning, the drop should be at half maximum.
+        value = params.drop(1550.0 + params.fwhm_nm / 2.0, 1550.0)
+        assert value == pytest.approx(half, rel=5e-3)
+
+    def test_quality_factor_and_finesse(self):
+        params = ring.RingParameters(r1=0.97, r2=0.97, a=0.999, fsr_nm=20.0)
+        assert params.finesse == pytest.approx(20.0 / params.fwhm_nm)
+        assert params.quality_factor(1550.0) == pytest.approx(
+            1550.0 / params.fwhm_nm
+        )
+
+    def test_with_fsr(self):
+        params = ring.RingParameters(r1=0.97, r2=0.97, a=0.999, fsr_nm=20.0)
+        scaled = params.with_fsr(10.0)
+        assert scaled.fsr_nm == 10.0
+        assert scaled.r1 == params.r1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ring.RingParameters(r1=1.2, r2=0.9, a=0.99, fsr_nm=20.0)
+        with pytest.raises(ConfigurationError):
+            ring.RingParameters(r1=0.9, r2=0.9, a=0.99, fsr_nm=-1.0)
+
+
+class TestLinewidthHelpers:
+    @given(
+        fsr=st.floats(min_value=5.0, max_value=50.0),
+        fwhm=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_fwhm_roundtrip(self, fsr, fwhm):
+        x = ring.loss_coupling_product_for_fwhm(fsr, fwhm)
+        assert ring.add_drop_fwhm_nm(fsr, x) == pytest.approx(fwhm, rel=1e-9)
+
+    def test_fwhm_infeasible(self):
+        with pytest.raises(DesignInfeasibleError):
+            ring.loss_coupling_product_for_fwhm(1.0, 2.0)
+
+    def test_add_drop_fwhm_validates_x(self):
+        with pytest.raises(ConfigurationError):
+            ring.add_drop_fwhm_nm(20.0, 1.5)
+
+
+class TestDesignHelpers:
+    @given(
+        fwhm=st.floats(min_value=0.03, max_value=0.5),
+        floor=st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_modulator_design_meets_targets(self, fwhm, floor):
+        params = ring.design_modulator_ring(
+            fsr_nm=20.0, fwhm_nm=fwhm, through_floor=floor, a=0.999
+        )
+        assert params.fwhm_nm == pytest.approx(fwhm, rel=1e-6)
+        assert params.through_floor == pytest.approx(floor, abs=1e-9)
+
+    @given(
+        fwhm=st.floats(min_value=0.03, max_value=0.5),
+        peak=st.floats(min_value=0.2, max_value=0.98),
+    )
+    def test_add_drop_design_meets_targets(self, fwhm, peak):
+        params = ring.design_add_drop_ring(
+            fsr_nm=20.0, fwhm_nm=fwhm, drop_peak=peak
+        )
+        assert params.fwhm_nm == pytest.approx(fwhm, rel=1e-6)
+        assert params.drop_peak == pytest.approx(peak, rel=1e-9)
+        assert params.r1 == params.r2
+
+    def test_modulator_design_rejects_bad_floor(self):
+        with pytest.raises(ConfigurationError):
+            ring.design_modulator_ring(20.0, 0.2, through_floor=1.2)
+
+    def test_add_drop_design_rejects_bad_peak(self):
+        with pytest.raises(ConfigurationError):
+            ring.design_add_drop_ring(20.0, 0.2, drop_peak=0.0)

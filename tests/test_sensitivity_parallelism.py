@@ -1,0 +1,124 @@
+"""Tests for sensitivity analysis and the parallel-implementation study."""
+
+import numpy as np
+import pytest
+
+from repro.core.design import mrr_first_design
+from repro.errors import ConfigurationError
+from repro.exploration.parallelism import (
+    FootprintModel,
+    max_instances_within_density,
+    parallel_study,
+)
+from repro.exploration.sensitivity import (
+    headline_energy_sensitivities,
+    relative_sensitivity,
+)
+
+
+class TestRelativeSensitivity:
+    def test_linear_metric_gives_one(self):
+        assert relative_sensitivity(lambda p: 3.0 * p, 2.0) == pytest.approx(
+            1.0
+        )
+
+    def test_inverse_metric_gives_minus_one(self):
+        assert relative_sensitivity(lambda p: 1.0 / p, 2.0) == pytest.approx(
+            -1.0, abs=1e-3
+        )
+
+    def test_flat_metric_gives_zero(self):
+        assert relative_sensitivity(lambda p: 7.0, 2.0) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            relative_sensitivity(lambda p: p, 0.0)
+        with pytest.raises(ConfigurationError):
+            relative_sensitivity(lambda p: p, 1.0, step_fraction=0.9)
+        with pytest.raises(ConfigurationError):
+            relative_sensitivity(lambda p: 0.0, 1.0)
+
+
+class TestHeadlineSensitivities:
+    @pytest.fixture(scope="class")
+    def sensitivities(self):
+        return headline_energy_sensitivities()
+
+    def test_efficiency_is_inverse(self, sensitivities):
+        # E ~ 1/eta exactly.
+        assert sensitivities["laser_efficiency"] == pytest.approx(-1.0, abs=0.02)
+
+    def test_better_tuning_saves_energy(self, sensitivities):
+        assert sensitivities["ote_nm_per_mw"] < 0.0
+
+    def test_loss_costs_energy(self, sensitivities):
+        assert sensitivities["insertion_loss_db"] > 0.0
+
+    def test_pulse_width_scales_pump_share_only(self, sensitivities):
+        # Pump is ~78 % of the total at the headline point, so the
+        # sensitivity must sit strictly between 0 and 1.
+        assert 0.0 < sensitivities["pulse_width_s"] < 1.0
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            headline_energy_sensitivities(parameters=["warp_factor"])
+
+
+class TestParallelism:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return mrr_first_design(order=2, wl_spacing_nm=0.165)
+
+    def test_throughput_scales_linearly(self, design):
+        one = parallel_study(design, 1)
+        four = parallel_study(design, 4)
+        assert four.throughput_bits_per_s == pytest.approx(
+            4 * one.throughput_bits_per_s
+        )
+        assert four.total_wall_power_mw == pytest.approx(
+            4 * one.total_wall_power_mw
+        )
+
+    def test_power_density_constant_in_p(self, design):
+        one = parallel_study(design, 1)
+        eight = parallel_study(design, 8)
+        assert one.power_density_mw_per_mm2 == pytest.approx(
+            eight.power_density_mw_per_mm2
+        )
+
+    def test_wall_power_matches_energy_model(self, design):
+        from repro.core.energy import energy_breakdown
+
+        breakdown = energy_breakdown(design.params)
+        study = parallel_study(design, 1)
+        expected_mw = breakdown.total_energy_j * 1e9 * 1e3
+        assert study.total_wall_power_mw == pytest.approx(expected_mw)
+
+    def test_density_budget_enforced(self, design):
+        with pytest.raises(ConfigurationError):
+            parallel_study(design, 2, max_power_density_mw_per_mm2=1.0)
+
+    def test_max_instances(self, design):
+        assert max_instances_within_density(design) > 0
+        assert (
+            max_instances_within_density(
+                design, max_power_density_mw_per_mm2=1.0
+            )
+            == 0
+        )
+
+    def test_footprint_model(self):
+        footprint = FootprintModel()
+        a2 = footprint.instance_area_mm2(2)
+        a4 = footprint.instance_area_mm2(4)
+        assert a4 > a2
+        with pytest.raises(ConfigurationError):
+            footprint.instance_area_mm2(0)
+        with pytest.raises(ConfigurationError):
+            FootprintModel(mzi_area_mm2=-1.0)
+
+    def test_validation(self, design):
+        with pytest.raises(ConfigurationError):
+            parallel_study("design", 1)
+        with pytest.raises(ConfigurationError):
+            parallel_study(design, 0)

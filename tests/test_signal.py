@@ -1,0 +1,112 @@
+"""Tests for the SC signal-processing kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.stochastic import Bitstream
+from repro.stochastic.signal import (
+    StochasticFIRFilter,
+    denormalize_signal,
+    moving_average,
+    normalize_signal,
+)
+
+
+class TestNormalization:
+    def test_roundtrip(self):
+        signal = [3.0, -1.0, 2.5, 0.0]
+        normalized, offset, scale = normalize_signal(signal)
+        np.testing.assert_allclose(
+            denormalize_signal(normalized, offset, scale), signal
+        )
+        assert normalized.min() == 0.0
+        assert normalized.max() == 1.0
+
+    def test_constant_signal(self):
+        normalized, offset, scale = normalize_signal([2.0, 2.0])
+        np.testing.assert_allclose(normalized, 0.5)
+        np.testing.assert_allclose(
+            denormalize_signal(normalized, offset, scale), [2.0, 2.0]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            normalize_signal([])
+        with pytest.raises(ConfigurationError):
+            denormalize_signal([0.5], 0.0, 0.0)
+
+
+class TestFIRFilter:
+    def test_expected_output_is_weighted_mean(self):
+        fir = StochasticFIRFilter([1.0, 2.0, 1.0])
+        assert fir.expected_output([1.0, 0.5, 0.0]) == pytest.approx(
+            (1.0 + 2 * 0.5 + 0.0) / 4.0
+        )
+
+    def test_filter_streams_converges(self, rng):
+        fir = StochasticFIRFilter([1.0, 1.0])
+        a = Bitstream.from_probability(0.8, 50_000, rng)
+        b = Bitstream.from_probability(0.2, 50_000, rng)
+        out = fir.filter_streams([a, b], rng)
+        assert out.probability == pytest.approx(0.5, abs=0.02)
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.1, max_value=4.0), min_size=1, max_size=5
+        ),
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=5, max_size=5
+        ),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_unbiased_for_any_weights(self, weights, values):
+        rng = np.random.default_rng(5)
+        fir = StochasticFIRFilter(weights)
+        taps = [
+            Bitstream.exact(v, 20_000)
+            for v in values[: fir.tap_count]
+        ]
+        while len(taps) < fir.tap_count:
+            taps.append(Bitstream.exact(0.5, 20_000))
+        out = fir.filter_streams(taps, rng)
+        expected = fir.expected_output([t.probability for t in taps])
+        assert out.probability == pytest.approx(expected, abs=0.02)
+
+    def test_filter_signal_tracks_reference(self, rng):
+        fir = StochasticFIRFilter([1.0, 1.0, 1.0, 1.0])
+        signal = 0.5 * (1 + np.sin(np.linspace(0, 4 * np.pi, 40))) * 0.9
+        stochastic = fir.filter_signal(signal, stream_length=4096, rng=rng)
+        padded = np.concatenate([np.zeros(3), signal])
+        reference = np.convolve(padded, np.ones(4) / 4, mode="valid")
+        assert np.max(np.abs(stochastic - reference)) < 0.06
+
+    def test_moving_average_smooths_noise(self, rng):
+        noisy = 0.5 + 0.3 * np.sign(np.sin(np.arange(60)))
+        smooth = moving_average(noisy, window=8, stream_length=2048, rng=rng)
+        assert np.std(smooth[10:]) < np.std(noisy[10:])
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            StochasticFIRFilter([])
+        with pytest.raises(ConfigurationError):
+            StochasticFIRFilter([-1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            StochasticFIRFilter([0.0, 0.0])
+        fir = StochasticFIRFilter([1.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            fir.filter_streams([Bitstream([0, 1])], rng)
+        with pytest.raises(ConfigurationError):
+            fir.filter_streams(
+                [Bitstream([0, 1]), Bitstream([0, 1, 1])], rng
+            )
+        with pytest.raises(ConfigurationError):
+            fir.filter_signal([1.5], rng=rng)
+        with pytest.raises(ConfigurationError):
+            fir.filter_signal([0.5], stream_length=0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            fir.expected_output([0.5])
+        with pytest.raises(ConfigurationError):
+            moving_average([0.5], window=0, rng=rng)

@@ -1,0 +1,127 @@
+"""Tests for stochastic number generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.stochastic import (
+    ChaoticLaserBitSource,
+    ComparatorSNG,
+    CounterSNG,
+    SobolLikeSNG,
+)
+from repro.stochastic.sng import make_independent_sngs
+
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestComparatorSNG:
+    @given(p=probabilities)
+    @settings(max_examples=25)
+    def test_unbiased_over_full_period(self, p):
+        sng = ComparatorSNG(width=10, seed=1)
+        stream = sng.generate(p, 1023)
+        # Over one full LFSR period the comparator makes at most a
+        # quantization error of 1/2**width per bit.
+        assert stream.probability == pytest.approx(p, abs=2.0 / 1023 + 1e-3)
+
+    def test_deterministic_for_same_seed(self):
+        a = ComparatorSNG(width=8, seed=3).generate(0.3, 100)
+        b = ComparatorSNG(width=8, seed=3).generate(0.3, 100)
+        assert a == b
+
+    def test_different_seeds_decorrelate(self):
+        a = ComparatorSNG(width=12, seed=1).generate(0.5, 4095)
+        b = ComparatorSNG(width=12, seed=2222).generate(0.5, 4095)
+        overlap = np.mean(a.bits == b.bits)
+        assert 0.4 < overlap < 0.6  # uncorrelated streams agree ~50 %
+
+    def test_validation(self):
+        sng = ComparatorSNG()
+        with pytest.raises(ConfigurationError):
+            sng.generate(1.5, 10)
+        with pytest.raises(ConfigurationError):
+            sng.generate(0.5, 0)
+
+
+class TestCounterSNG:
+    @given(p=probabilities)
+    @settings(max_examples=25)
+    def test_exact_ones_count(self, p):
+        stream = CounterSNG().generate(p, 256)
+        assert stream.ones_count == round(p * 256)
+
+
+class TestSobolLikeSNG:
+    def test_low_discrepancy_beats_bernoulli_rate(self):
+        sng = SobolLikeSNG(bits=16)
+        stream = sng.generate(0.37, 4096)
+        # O(1/N) error: much tighter than the ~0.0075 Bernoulli sigma.
+        assert abs(stream.probability - 0.37) < 1e-3
+
+    def test_offset_decorrelates(self):
+        a = SobolLikeSNG(bits=16, bit_offset=0).generate(0.5, 512)
+        b = SobolLikeSNG(bits=16, bit_offset=977).generate(0.5, 512)
+        assert a != b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SobolLikeSNG(bits=0)
+        with pytest.raises(ConfigurationError):
+            SobolLikeSNG(bit_offset=-1)
+
+
+class TestChaoticLaserBitSource:
+    def test_uniform_samples_cover_unit_interval(self):
+        source = ChaoticLaserBitSource(seed_intensity=0.2)
+        samples = source.uniform(20_000)
+        assert samples.min() >= 0.0
+        assert samples.max() <= 1.0
+        assert samples.mean() == pytest.approx(0.5, abs=0.02)
+        # Quartiles of a uniform distribution.
+        assert np.quantile(samples, 0.25) == pytest.approx(0.25, abs=0.03)
+        assert np.quantile(samples, 0.75) == pytest.approx(0.75, abs=0.03)
+
+    def test_random_bits_balanced(self):
+        source = ChaoticLaserBitSource(seed_intensity=0.3)
+        bits = source.random_bits(20_000)
+        assert bits.mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_generates_target_probability(self):
+        source = ChaoticLaserBitSource(seed_intensity=0.4)
+        stream = source.generate(0.7, 20_000)
+        assert stream.probability == pytest.approx(0.7, abs=0.02)
+
+    def test_rejects_fixed_points(self):
+        for bad in (0.0, 0.5, 0.75, 1.0):
+            with pytest.raises(ConfigurationError):
+                ChaoticLaserBitSource(seed_intensity=bad)
+
+    def test_rejects_bad_warmup(self):
+        with pytest.raises(ConfigurationError):
+            ChaoticLaserBitSource(warmup=-1)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", ["lfsr", "counter", "sobol", "chaotic"])
+    def test_builds_requested_count(self, kind):
+        sngs = make_independent_sngs(4, kind=kind)
+        assert len(sngs) == 4
+        streams = [sng.generate(0.5, 64) for sng in sngs]
+        assert all(len(s) == 64 for s in streams)
+
+    def test_lfsr_sngs_are_decorrelated(self):
+        sngs = make_independent_sngs(2, kind="lfsr")
+        a = sngs[0].generate(0.5, 1000)
+        b = sngs[1].generate(0.5, 1000)
+        assert a != b
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            make_independent_sngs(2, kind="quantum")
+
+    def test_bad_count(self):
+        with pytest.raises(ConfigurationError):
+            make_independent_sngs(0)

@@ -1,0 +1,51 @@
+"""Tests for the Fig. 5 spectral-curve experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("fig5spec")
+
+
+def _panel(result, label):
+    rows = [r for r in result.rows if r["panel"] == label]
+    wl = np.array([r["wavelength_nm"] for r in rows])
+    return rows, wl
+
+
+class TestFig5Spectra:
+    def test_both_panels_sampled(self, result):
+        panels = {r["panel"] for r in result.rows}
+        assert panels == {"a", "b"}
+
+    def test_panel_a_filter_at_lambda2(self, result):
+        rows, wl = _panel(result, "a")
+        filt = np.array([r["filter"] for r in rows])
+        assert wl[filt.argmax()] == pytest.approx(1550.0, abs=0.05)
+
+    def test_panel_b_filter_at_lambda0(self, result):
+        rows, wl = _panel(result, "b")
+        filt = np.array([r["filter"] for r in rows])
+        assert wl[filt.argmax()] == pytest.approx(1548.0, abs=0.05)
+
+    def test_panel_a_mrr1_detuned(self, result):
+        # z1 = 1 in panel (a): MRR1's dip sits 0.1 nm below lambda_1.
+        rows, wl = _panel(result, "a")
+        mrr1 = np.array([r["MRR1"] for r in rows])
+        assert wl[mrr1.argmin()] == pytest.approx(1548.9, abs=0.05)
+
+    def test_panel_b_mrr0_detuned_mrr2_on_resonance(self, result):
+        rows, wl = _panel(result, "b")
+        mrr0 = np.array([r["MRR0"] for r in rows])
+        mrr2 = np.array([r["MRR2"] for r in rows])
+        assert wl[mrr0.argmin()] == pytest.approx(1547.9, abs=0.05)
+        assert wl[mrr2.argmin()] == pytest.approx(1550.0, abs=0.05)
+
+    def test_all_curves_are_transmissions(self, result):
+        for row in result.rows:
+            for key in ("MRR0", "MRR1", "MRR2", "filter"):
+                assert -1e-9 <= row[key] <= 1.0 + 1e-9

@@ -1,0 +1,80 @@
+"""Tests for the thermal tuner model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.photonics.thermal import ThermalTuner
+
+
+@pytest.fixture
+def tuner() -> ThermalTuner:
+    return ThermalTuner(
+        efficiency_nm_per_mw=0.1, max_power_mw=20.0, time_constant_s=4e-6
+    )
+
+
+class TestStatics:
+    def test_power_for_shift(self, tuner):
+        assert tuner.power_for_shift_mw(0.1) == pytest.approx(1.0)
+        assert tuner.power_for_shift_mw(0.0) == 0.0
+
+    def test_max_shift(self, tuner):
+        assert tuner.max_shift_nm == pytest.approx(2.0)
+
+    def test_budget_enforced(self, tuner):
+        with pytest.raises(ConfigurationError):
+            tuner.power_for_shift_mw(2.5)
+
+    def test_red_shift_only(self, tuner):
+        with pytest.raises(ConfigurationError):
+            tuner.power_for_shift_mw(-0.1)
+
+    def test_holding_energy(self, tuner):
+        # Hold 0.1 nm (1 mW) for 1 ms -> 1 uJ.
+        assert tuner.holding_energy_j(0.1, 1e-3) == pytest.approx(1e-6)
+
+    def test_calibration_budget_counts_rings(self, tuner):
+        # Order-2 circuit: 4 rings (3 modulators + filter).
+        total = tuner.calibration_energy_budget_j(0.1, ring_count=4, duration_s=1e-3)
+        assert total == pytest.approx(4e-6)
+        with pytest.raises(ConfigurationError):
+            tuner.calibration_energy_budget_j(0.1, ring_count=0, duration_s=1.0)
+
+
+class TestDynamics:
+    def test_settling_time(self, tuner):
+        # tau * ln(100) for 1 % tolerance.
+        assert tuner.settling_time_s(0.01) == pytest.approx(
+            4e-6 * np.log(100.0)
+        )
+        with pytest.raises(ConfigurationError):
+            tuner.settling_time_s(0.0)
+
+    def test_step_response_asymptote(self, tuner):
+        t = np.array([0.0, 4e-6, 40e-6])
+        response = tuner.step_response_nm(0.5, t)
+        assert response[0] == pytest.approx(0.0)
+        assert response[1] == pytest.approx(0.5 * (1 - np.exp(-1.0)))
+        assert response[2] == pytest.approx(0.5, abs=1e-4)
+
+    def test_step_response_validates(self, tuner):
+        with pytest.raises(ConfigurationError):
+            tuner.step_response_nm(0.5, np.array([-1e-6]))
+        with pytest.raises(ConfigurationError):
+            tuner.step_response_nm(5.0, np.array([0.0]))  # beyond budget
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThermalTuner(efficiency_nm_per_mw=0.0)
+        with pytest.raises(ConfigurationError):
+            ThermalTuner(max_power_mw=-1.0)
+        with pytest.raises(ConfigurationError):
+            ThermalTuner(time_constant_s=0.0)
+
+    def test_loop_bandwidth_consistency(self, tuner):
+        """The controller's iteration period must exceed the settling
+        time for the dither measurements to be valid — document the
+        numbers that make a ~10 kHz calibration loop feasible."""
+        settle = tuner.settling_time_s(0.05)
+        assert settle < 100e-6  # comfortably inside a 10 kHz loop period

@@ -1,0 +1,114 @@
+"""Tests for the transient simulator and the calibration controller."""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import OpticalStochasticCircuit
+from repro.core.params import paper_section5a_parameters
+from repro.errors import ConfigurationError
+from repro.simulation.controller import CalibrationController
+from repro.simulation.transient import TransientSimulator
+from repro.stochastic import BernsteinPolynomial
+
+
+@pytest.fixture(scope="module")
+def circuit() -> OpticalStochasticCircuit:
+    return OpticalStochasticCircuit(
+        paper_section5a_parameters(), BernsteinPolynomial([0.25, 0.625, 0.375])
+    )
+
+
+class TestTransientSimulator:
+    def test_waveform_shapes(self, circuit):
+        sim = TransientSimulator(circuit, samples_per_bit=32)
+        result = sim.run(0.5, length=64)
+        assert result.time_s.shape == (64 * 32,)
+        assert result.received_power_mw.shape == (64 * 32,)
+        assert result.sample_times_s.shape == (64,)
+        assert len(result.decided_bits) == 64
+
+    def test_pump_duty_cycle(self, circuit):
+        sim = TransientSimulator(circuit, samples_per_bit=128)
+        result = sim.run(0.5, length=16)
+        duty = result.pump_envelope.mean()
+        # 26 ps in a 1 ns slot ~ 2.6 % (grid quantization allows ~1 sample).
+        assert duty == pytest.approx(0.026, abs=0.01)
+
+    def test_centered_sampling_recovers_computation(self, circuit):
+        sim = TransientSimulator(circuit, samples_per_bit=64)
+        result = sim.run(0.5, length=2048)
+        expected = circuit.expected_value(0.5)
+        assert result.decided_bits.probability == pytest.approx(
+            expected, abs=0.05
+        )
+
+    def test_sampling_outside_pulse_sees_darkness(self, circuit):
+        sim = TransientSimulator(circuit, samples_per_bit=64)
+        study = sim.synchronization_study([0.0, 0.4], x=0.5, length=512)
+        # Offset 0.4 of a bit period = 400 ps away from the 26 ps pulse:
+        # the detector integrates darkness and the output collapses.
+        assert study["absolute_error"][1] > 5 * study["absolute_error"][0]
+
+    def test_power_only_during_pulse(self, circuit):
+        sim = TransientSimulator(circuit, samples_per_bit=64)
+        result = sim.run(0.5, length=32)
+        dark = result.received_power_mw[result.pump_envelope == 0.0]
+        assert np.all(dark == 0.0)
+
+    def test_validation(self, circuit):
+        with pytest.raises(ConfigurationError):
+            TransientSimulator(circuit, samples_per_bit=4)
+        with pytest.raises(ConfigurationError):
+            TransientSimulator(circuit, rise_time_s=0.0)
+        with pytest.raises(ConfigurationError):
+            TransientSimulator(circuit, pulse_position=1.5)
+        with pytest.raises(ConfigurationError):
+            TransientSimulator("circuit")
+        sim = TransientSimulator(circuit)
+        with pytest.raises(ConfigurationError):
+            sim.run(1.5)
+        with pytest.raises(ConfigurationError):
+            sim.run(0.5, length=0)
+
+
+class TestCalibrationController:
+    def test_converges_from_positive_drift(self, circuit):
+        controller = CalibrationController(circuit)
+        trace = controller.calibrate(initial_drift_nm=0.05, iterations=60)
+        assert trace.converged
+        assert trace.settling_iterations < 30
+
+    def test_converges_from_negative_drift(self, circuit):
+        controller = CalibrationController(circuit)
+        trace = controller.calibrate(initial_drift_nm=-0.04, iterations=60)
+        assert trace.converged
+
+    def test_pilot_power_recovers(self, circuit):
+        controller = CalibrationController(circuit)
+        trace = controller.calibrate(initial_drift_nm=0.05, iterations=60)
+        assert trace.pilot_power_mw[-1] > trace.pilot_power_mw[0]
+
+    def test_robust_to_sensor_noise(self, circuit, rng):
+        controller = CalibrationController(circuit)
+        trace = controller.calibrate(
+            initial_drift_nm=0.05,
+            iterations=80,
+            sensor_noise_mw=0.001,
+            rng=rng,
+        )
+        assert abs(trace.residual_drift_nm[-1]) < 0.01
+
+    def test_validation(self, circuit):
+        with pytest.raises(ConfigurationError):
+            CalibrationController(circuit, gain=0.0)
+        with pytest.raises(ConfigurationError):
+            CalibrationController(circuit, gain_decay=0.0)
+        with pytest.raises(ConfigurationError):
+            CalibrationController(circuit, dither_nm=-1.0)
+        with pytest.raises(ConfigurationError):
+            CalibrationController("circuit")
+        controller = CalibrationController(circuit)
+        with pytest.raises(ConfigurationError):
+            controller.calibrate(0.05, iterations=0)
+        with pytest.raises(ConfigurationError):
+            controller.calibrate(0.05, sensor_noise_mw=-1.0)

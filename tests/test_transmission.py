@@ -1,0 +1,139 @@
+"""Tests for the transmission model (paper Eqs. 6-7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import paper_section5a_parameters
+from repro.core.transmission import TransmissionModel, all_coefficient_patterns
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def model() -> TransmissionModel:
+    return TransmissionModel(paper_section5a_parameters())
+
+
+class TestEq7:
+    def test_mzi_sum_endpoints(self, model):
+        # All constructive: IL%; all destructive: IL% * ER%.
+        mzi = model.params.mzi
+        assert model.mzi_transmission_sum(0) == pytest.approx(mzi.il_fraction)
+        assert model.mzi_transmission_sum(2) == pytest.approx(
+            mzi.il_fraction * mzi.er_fraction
+        )
+
+    def test_levels_equally_spaced(self, model):
+        # The MZI power sum is linear in the ones count, so the detuning
+        # levels are equally spaced - the fact the grid design relies on.
+        sums = [model.mzi_transmission_sum(k) for k in range(3)]
+        assert sums[0] - sums[1] == pytest.approx(sums[1] - sums[2])
+
+    def test_paper_detunings(self, model):
+        # Section V-A: the filter must reach lambda_0 (2.1 nm detuning)
+        # for x=00 and lambda_2 (0.1 nm) for x=11.
+        assert model.filter_detuning_nm(0) == pytest.approx(2.1, abs=1e-3)
+        assert model.filter_detuning_nm(1) == pytest.approx(1.1, abs=1e-3)
+        assert model.filter_detuning_nm(2) == pytest.approx(0.1, abs=1e-3)
+
+    def test_filter_resonances_align_with_channels(self, model):
+        np.testing.assert_allclose(
+            model.filter_resonances_nm(),
+            model.params.grid.wavelengths_nm,
+            atol=1e-3,
+        )
+
+    def test_tuning_errors_near_zero_for_sized_pump(self, model):
+        assert np.max(np.abs(model.tuning_errors_nm())) < 1e-3
+
+    def test_ones_count_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            model.mzi_transmission_sum(3)
+        with pytest.raises(ConfigurationError):
+            model.filter_detuning_nm(-1)
+
+
+class TestEq6:
+    def test_paper_case_a_transmissions(self, model):
+        # z=(0,1,0), x1=x2=1: paper quotes 0.091 / 0.004 / 0.0002.
+        t = model.total_transmissions([0, 1, 0], 2)
+        assert t[2] == pytest.approx(0.091, rel=0.05)
+        assert t[1] == pytest.approx(0.004, rel=0.15)
+        assert t[0] == pytest.approx(0.0002, rel=0.25)
+
+    def test_paper_case_b_transmission(self, model):
+        # z=(1,1,0), x1=x2=0: paper quotes 0.476 for lambda_0.
+        t = model.total_transmissions([1, 1, 0], 0)
+        assert t[0] == pytest.approx(0.476, rel=0.05)
+
+    def test_received_power_sums_channels(self, model):
+        t = model.total_transmissions([0, 1, 0], 2)
+        assert model.received_power_mw([0, 1, 0], 2) == pytest.approx(
+            float(t.sum())
+        )
+
+    def test_on_state_transmits_more_than_off(self, model):
+        on = model.total_transmissions([0, 0, 1], 2)[2]
+        off = model.total_transmissions([0, 0, 0], 2)[2]
+        assert on > off
+
+    def test_pattern_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            model.total_transmissions([0, 1], 0)
+        with pytest.raises(ConfigurationError):
+            model.total_transmissions([0, 2, 0], 0)
+
+
+class TestPatternTable:
+    def test_all_patterns_shape_and_content(self):
+        patterns = all_coefficient_patterns(3)
+        assert patterns.shape == (8, 3)
+        # Row index is the integer z2 z1 z0.
+        np.testing.assert_array_equal(patterns[5], [1, 0, 1])
+
+    def test_pattern_count_limit(self):
+        with pytest.raises(ConfigurationError):
+            all_coefficient_patterns(21)
+        with pytest.raises(ConfigurationError):
+            all_coefficient_patterns(0)
+
+    def test_table_matches_per_pattern_evaluation(self, model):
+        table = model.received_power_table_mw()
+        assert table.shape == (8, 3)
+        for p in range(8):
+            z = [(p >> w) & 1 for w in range(3)]
+            for level in range(3):
+                assert table[p, level] == pytest.approx(
+                    model.received_power_mw(z, level), rel=1e-12
+                )
+
+    @given(level=st.integers(min_value=0, max_value=2))
+    @settings(max_examples=3, deadline=None)
+    def test_monotone_in_coefficients(self, level):
+        # Adding a '1' anywhere can only add optical power.
+        model = TransmissionModel(paper_section5a_parameters())
+        table = model.received_power_table_mw()
+        for p in range(8):
+            for w in range(3):
+                if not (p >> w) & 1:
+                    q = p | (1 << w)
+                    assert table[q, level] >= table[p, level]
+
+
+class TestSpectrum:
+    def test_curves_present_and_bounded(self, model):
+        wl = np.linspace(1547.0, 1550.6, 500)
+        curves = model.spectrum([0, 1, 0], 2, wl)
+        assert set(curves) == {"MRR0", "MRR1", "MRR2", "filter", "probes"}
+        for key in ("MRR0", "MRR1", "MRR2", "filter"):
+            assert curves[key].shape == wl.shape
+            assert np.all(curves[key] >= 0.0)
+            assert np.all(curves[key] <= 1.0 + 1e-9)
+
+    def test_detuned_modulator_dips_at_shifted_wavelength(self, model):
+        wl = np.linspace(1548.5, 1549.5, 2001)
+        curves = model.spectrum([0, 1, 0], 2, wl)
+        # MRR1 is ON (z1=1): its dip sits at lambda_1 - 0.1 nm.
+        dip = wl[np.argmin(curves["MRR1"])]
+        assert dip == pytest.approx(1549.0 - 0.1, abs=2e-3)

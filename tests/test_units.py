@@ -1,0 +1,118 @@
+"""Tests for repro.units conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+from repro.errors import ConfigurationError
+
+
+class TestDbConversions:
+    def test_db_to_linear_known_values(self):
+        assert units.db_to_linear(0.0) == pytest.approx(1.0)
+        assert units.db_to_linear(10.0) == pytest.approx(10.0)
+        assert units.db_to_linear(3.0) == pytest.approx(1.995, abs=1e-3)
+
+    def test_linear_to_db_known_values(self):
+        assert units.linear_to_db(1.0) == pytest.approx(0.0)
+        assert units.linear_to_db(100.0) == pytest.approx(20.0)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            units.linear_to_db(0.0)
+        with pytest.raises(ConfigurationError):
+            units.linear_to_db(-1.0)
+
+    @given(st.floats(min_value=-60.0, max_value=60.0))
+    def test_roundtrip(self, value_db):
+        assert units.linear_to_db(units.db_to_linear(value_db)) == pytest.approx(
+            value_db, abs=1e-9
+        )
+
+    def test_paper_il_conversion(self):
+        # Section V-A: IL = 4.5 dB -> IL% = 0.3548
+        assert units.db_loss_to_transmission(4.5) == pytest.approx(0.3548, abs=2e-4)
+
+    def test_paper_er_conversion(self):
+        # Section V-A: ER = 13.22 dB -> ER% = 0.0476
+        assert units.db_loss_to_transmission(13.22) == pytest.approx(0.0476, abs=2e-4)
+
+    def test_loss_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            units.db_loss_to_transmission(-1.0)
+
+    def test_transmission_to_db_loss(self):
+        assert units.transmission_to_db_loss(0.5) == pytest.approx(3.0103, abs=1e-3)
+        with pytest.raises(ConfigurationError):
+            units.transmission_to_db_loss(1.5)
+        with pytest.raises(ConfigurationError):
+            units.transmission_to_db_loss(0.0)
+
+    def test_array_support(self):
+        out = units.db_loss_to_transmission(np.array([0.0, 10.0]))
+        np.testing.assert_allclose(out, [1.0, 0.1])
+
+
+class TestPowerConversions:
+    def test_mw_w_roundtrip(self):
+        assert units.w_to_mw(units.mw_to_w(123.4)) == pytest.approx(123.4)
+
+    def test_dbm(self):
+        assert units.dbm_to_mw(0.0) == pytest.approx(1.0)
+        assert units.mw_to_dbm(100.0) == pytest.approx(20.0)
+        with pytest.raises(ConfigurationError):
+            units.mw_to_dbm(0.0)
+
+    def test_energy_conversions(self):
+        assert units.joules_to_picojoules(1e-12) == pytest.approx(1.0)
+        assert units.picojoules_to_joules(20.1) == pytest.approx(20.1e-12)
+
+
+class TestSpectralConversions:
+    def test_c_band_frequency(self):
+        freq = units.wavelength_nm_to_frequency_hz(1550.0)
+        assert freq == pytest.approx(193.4e12, rel=1e-3)
+
+    def test_roundtrip(self):
+        wl = units.frequency_hz_to_wavelength_nm(
+            units.wavelength_nm_to_frequency_hz(1310.0)
+        )
+        assert wl == pytest.approx(1310.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            units.wavelength_nm_to_frequency_hz(0.0)
+        with pytest.raises(ConfigurationError):
+            units.frequency_hz_to_wavelength_nm(-1.0)
+
+    def test_fsr_from_group_index(self):
+        # lambda^2/(n_g * L): 1550 nm, n_g = 4.3, L = 60 um -> ~9.3 nm
+        fsr = units.fsr_nm_from_group_index(1550.0, 4.3, 60.0)
+        assert fsr == pytest.approx(1550.0**2 / (4.3 * 60e3))
+
+
+class TestValidators:
+    def test_validate_fraction(self):
+        assert units.validate_fraction(0.5, "x") == 0.5
+        assert units.validate_fraction(1.0, "x") == 1.0
+        with pytest.raises(ConfigurationError):
+            units.validate_fraction(0.0, "x")
+        assert units.validate_fraction(0.0, "x", allow_zero=True) == 0.0
+        with pytest.raises(ConfigurationError):
+            units.validate_fraction(1.5, "x")
+
+    def test_validate_positive(self):
+        assert units.validate_positive(2.0, "x") == 2.0
+        with pytest.raises(ConfigurationError):
+            units.validate_positive(0.0, "x")
+
+    def test_validate_non_negative(self):
+        assert units.validate_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ConfigurationError):
+            units.validate_non_negative(-0.1, "x")
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ConfigurationError, match="my_param"):
+            units.validate_positive(-1.0, "my_param")

@@ -1,0 +1,96 @@
+"""Tests for passive components: splitter, coupler, waveguide, BPF."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.photonics import BandPassFilter, Coupler, Splitter, Waveguide
+
+
+class TestSplitter:
+    def test_equal_split(self):
+        splitter = Splitter(port_count=2)
+        np.testing.assert_allclose(splitter.split(10.0), [5.0, 5.0])
+
+    def test_excess_loss(self):
+        splitter = Splitter(port_count=2, excess_loss_db=3.0103)
+        np.testing.assert_allclose(splitter.split(10.0), [2.5, 2.5], rtol=1e-4)
+
+    def test_combine(self):
+        splitter = Splitter(port_count=3)
+        assert splitter.combine([1.0, 2.0, 3.0]) == pytest.approx(6.0)
+
+    def test_combine_validates_shape(self):
+        splitter = Splitter(port_count=3)
+        with pytest.raises(ConfigurationError):
+            splitter.combine([1.0, 2.0])
+
+    @given(n=st.integers(min_value=1, max_value=32))
+    def test_split_conserves_power(self, n):
+        splitter = Splitter(port_count=n)
+        assert splitter.split(7.0).sum() == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Splitter(port_count=0)
+        with pytest.raises(ConfigurationError):
+            Splitter(port_count=2, excess_loss_db=-1.0)
+
+
+class TestCoupler:
+    def test_lossless_default(self):
+        assert Coupler().couple(3.0) == pytest.approx(3.0)
+
+    def test_insertion_loss(self):
+        coupler = Coupler(insertion_loss_db=3.0103)
+        assert coupler.couple(2.0) == pytest.approx(1.0, rel=1e-4)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ConfigurationError):
+            Coupler().couple(-1.0)
+
+
+class TestWaveguide:
+    def test_loss_accumulates_with_length(self):
+        waveguide = Waveguide(length_cm=2.0, loss_db_per_cm=2.0)
+        assert waveguide.loss_db == pytest.approx(4.0)
+        assert waveguide.propagate(1.0) == pytest.approx(10 ** (-0.4))
+
+    def test_zero_length_is_transparent(self):
+        assert Waveguide(length_cm=0.0).propagate(5.0) == pytest.approx(5.0)
+
+
+class TestBandPassFilter:
+    def test_passband_and_rejection(self):
+        bpf = BandPassFilter(
+            pass_low_nm=1547.0, pass_high_nm=1551.0, rejection_db=60.0
+        )
+        assert bpf.transmission(1550.0) == pytest.approx(1.0)
+        assert bpf.transmission(1540.0) == pytest.approx(1e-6)
+
+    def test_pump_absorption_scenario(self):
+        # The architecture's BPF passes the probe comb and absorbs the
+        # pump one FSR below (Fig. 3).
+        bpf = BandPassFilter(pass_low_nm=1547.0, pass_high_nm=1551.0)
+        powers = np.array([1.0, 1.0, 1.0, 600.0])
+        wavelengths = np.array([1548.0, 1549.0, 1550.0, 1530.0])
+        filtered = bpf.filter_power(powers, wavelengths)
+        np.testing.assert_allclose(filtered[:3], powers[:3])
+        assert filtered[3] < 1e-3
+
+    def test_in_band_loss(self):
+        bpf = BandPassFilter(
+            pass_low_nm=1547.0, pass_high_nm=1551.0, insertion_loss_db=3.0103
+        )
+        assert bpf.transmission(1550.0) == pytest.approx(0.5, rel=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BandPassFilter(pass_low_nm=1551.0, pass_high_nm=1547.0)
+        bpf = BandPassFilter(pass_low_nm=1547.0, pass_high_nm=1551.0)
+        with pytest.raises(ConfigurationError):
+            bpf.transmission(-1.0)
+        with pytest.raises(ConfigurationError):
+            bpf.filter_power(np.array([-1.0]), np.array([1550.0]))

@@ -1,0 +1,97 @@
+"""Tests for the WDM channel plan (Eq. 5 and Fig. 4(a) grid)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, DesignInfeasibleError
+from repro.photonics import WDMGrid
+
+
+@pytest.fixture
+def paper_grid() -> WDMGrid:
+    """Section V-A grid: n=2, 1 nm spacing, lambda_2 = 1550 nm."""
+    return WDMGrid(channel_count=3, spacing_nm=1.0, anchor_nm=1550.0, guard_nm=0.1)
+
+
+class TestPaperGrid:
+    def test_wavelengths(self, paper_grid):
+        np.testing.assert_allclose(
+            paper_grid.wavelengths_nm, [1548.0, 1549.0, 1550.0]
+        )
+
+    def test_reference(self, paper_grid):
+        assert paper_grid.reference_nm == pytest.approx(1550.1)
+
+    def test_span(self, paper_grid):
+        # lambda_ref - lambda_0 = 2.1 nm (the paper's full tuning swing).
+        assert paper_grid.span_nm == pytest.approx(2.1)
+
+    def test_degree(self, paper_grid):
+        assert paper_grid.polynomial_degree == 2
+
+    def test_detuning_levels(self, paper_grid):
+        # x1=x2=0 -> tune to lambda_0 (2.1 nm); one '1' -> lambda_1
+        # (1.1 nm); x1=x2=1 -> lambda_2 (0.1 nm).
+        assert paper_grid.detuning_for_level_nm(0) == pytest.approx(2.1)
+        assert paper_grid.detuning_for_level_nm(1) == pytest.approx(1.1)
+        assert paper_grid.detuning_for_level_nm(2) == pytest.approx(0.1)
+
+
+class TestGridProperties:
+    @given(
+        count=st.integers(min_value=1, max_value=17),
+        spacing=st.floats(min_value=0.05, max_value=2.0),
+    )
+    def test_spacing_is_eq5(self, count, spacing):
+        grid = WDMGrid(channel_count=count, spacing_nm=spacing)
+        wavelengths = grid.wavelengths_nm
+        if count > 1:
+            np.testing.assert_allclose(np.diff(wavelengths), spacing)
+
+    @given(count=st.integers(min_value=2, max_value=17))
+    def test_anchor_is_rightmost(self, count):
+        grid = WDMGrid(channel_count=count, spacing_nm=0.5, anchor_nm=1550.0)
+        assert grid.wavelengths_nm[-1] == pytest.approx(1550.0)
+        assert np.all(grid.wavelengths_nm[:-1] < 1550.0)
+
+    def test_wavelength_lookup(self, paper_grid):
+        assert paper_grid.wavelength_nm(0) == pytest.approx(1548.0)
+        with pytest.raises(ConfigurationError):
+            paper_grid.wavelength_nm(3)
+
+    def test_channel_of(self, paper_grid):
+        assert paper_grid.channel_of(1549.0) == 1
+        with pytest.raises(ConfigurationError):
+            paper_grid.channel_of(1549.5)
+
+    def test_detuning_validates_ones_count(self, paper_grid):
+        with pytest.raises(ConfigurationError):
+            paper_grid.detuning_for_level_nm(3)
+        with pytest.raises(ConfigurationError):
+            paper_grid.detuning_for_level_nm(-1)
+
+
+class TestFSRConstraint:
+    def test_fits(self, paper_grid):
+        paper_grid.validate_against_fsr(20.0)  # no raise
+
+    def test_does_not_fit(self):
+        grid = WDMGrid(channel_count=17, spacing_nm=1.0)
+        with pytest.raises(DesignInfeasibleError):
+            grid.validate_against_fsr(10.0)
+
+
+class TestValidation:
+    def test_bad_count(self):
+        with pytest.raises(ConfigurationError):
+            WDMGrid(channel_count=0, spacing_nm=1.0)
+
+    def test_bad_spacing(self):
+        with pytest.raises(ConfigurationError):
+            WDMGrid(channel_count=3, spacing_nm=0.0)
+
+    def test_bad_guard(self):
+        with pytest.raises(ConfigurationError):
+            WDMGrid(channel_count=3, spacing_nm=1.0, guard_nm=0.0)
