@@ -47,10 +47,12 @@ from .photonics import (
 )
 from .photonics import devices
 from .simulation import (
+    BatchEvaluation,
     CalibrationController,
     FaultInjector,
     OpticalReceiver,
     TransientSimulator,
+    simulate_batch,
     simulate_evaluation,
     simulate_sweep,
 )
@@ -99,6 +101,8 @@ __all__ = [
     "PulsedLaser",
     "devices",
     "OpticalReceiver",
+    "BatchEvaluation",
+    "simulate_batch",
     "simulate_evaluation",
     "simulate_sweep",
     "TransientSimulator",

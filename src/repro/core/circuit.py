@@ -61,6 +61,7 @@ class OpticalStochasticCircuit:
         self.params = params
         self.polynomial = polynomial
         self.model = TransmissionModel(params)
+        self._link_budget_cache: Optional[LinkBudget] = None
 
     @classmethod
     def from_design(
@@ -76,8 +77,14 @@ class OpticalStochasticCircuit:
     # -- analytical views ---------------------------------------------------------
 
     def link_budget(self) -> LinkBudget:
-        """Received-power table over all (z, x) combinations (Fig. 5(c))."""
-        return received_power_table(self.params)
+        """Received-power table over all (z, x) combinations (Fig. 5(c)).
+
+        Computed once and cached: the parameters are immutable and the
+        batched engine consults the budget on every evaluation pass.
+        """
+        if self._link_budget_cache is None:
+            self._link_budget_cache = received_power_table(self.params)
+        return self._link_budget_cache
 
     def energy(self) -> EnergyBreakdown:
         """Laser energy per computed bit (Section V-C model)."""
@@ -142,6 +149,35 @@ class OpticalStochasticCircuit:
 
         return simulate_evaluation(
             self, x=x, length=length, rng=rng, noisy=noisy
+        )
+
+    def evaluate_batch(
+        self,
+        xs,
+        length: int = 1024,
+        rng: Optional[np.random.Generator] = None,
+        noisy: bool = True,
+        sng_kind: str = "lfsr",
+        base_seed: Optional[int] = None,
+        sng_width: int = 16,
+    ):
+        """Vectorized bit-level simulation of many evaluations at once.
+
+        Delegates to :func:`repro.simulation.engine.simulate_batch`;
+        returns a :class:`~repro.simulation.engine.BatchEvaluation` with
+        one row per input.
+        """
+        from ..simulation.engine import simulate_batch
+
+        return simulate_batch(
+            self,
+            xs,
+            length=length,
+            rng=rng,
+            noisy=noisy,
+            sng_kind=sng_kind,
+            base_seed=base_seed,
+            sng_width=sng_width,
         )
 
     def describe(self) -> str:

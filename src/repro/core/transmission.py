@@ -88,6 +88,7 @@ class TransmissionModel:
                 self._wavelengths[None, :], resonances[:, None]
             )
         )
+        self._power_table_mw: "np.ndarray | None" = None
 
     # -- Eq. 7: pump-controlled filter tuning -------------------------------------
 
@@ -180,9 +181,18 @@ class TransmissionModel:
         ``table[p, m]`` is the photodetector power when the coefficients
         take pattern ``p`` and ``m`` data bits are 1 — the exhaustive
         enumeration plotted in Fig. 5(c) for n = 2.
+
+        The table is computed once and cached (the parameters are
+        immutable); the returned array is marked read-only since the
+        batched engine indexes it on every evaluation.
         """
-        bus = self.pattern_bus_transmissions()
-        return self.params.probe_power_mw * bus @ self._drop.T
+        if self._power_table_mw is None:
+            table = self.params.probe_power_mw * (
+                self.pattern_bus_transmissions() @ self._drop.T
+            )
+            table.setflags(write=False)
+            self._power_table_mw = table
+        return self._power_table_mw
 
     # -- helpers ---------------------------------------------------------------------
 

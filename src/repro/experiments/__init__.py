@@ -22,7 +22,8 @@ experiment   paper artifact
 ``params``   Fig. 4(b) parameter table
 ===========  ====================================================
 
-Extensions beyond the paper's artifacts: ``yield`` (Monte Carlo
+Extensions beyond the paper's artifacts: ``accuracy`` (batched
+input-sweep error study per randomizer family), ``yield`` (Monte Carlo
 process variation), ``controller`` (calibration-loop convergence),
 ``sensitivity`` (headline-energy sensitivities) and ``parallel``
 (power-density scaling).

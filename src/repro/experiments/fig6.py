@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.design import mzi_first_design
-from ..errors import ReproError
+from ..exploration.sweep import grid_sweep
 from ..photonics.devices import DENSE_RING_PROFILE, FIG6C_DEVICES, XIAO_2013
 from ..photonics.mzi import MZIModulator
 from .registry import ExperimentResult, register
@@ -39,20 +39,19 @@ def fig6a() -> ExperimentResult:
     Paper: 0.6 W pump, BER 1e-6; the probe power rises with IL and with
     falling ER; the Xiao et al. point (6.5 dB, 7.5 dB) needs ~0.26 mW.
     """
-    il_grid = np.linspace(3.0, 7.4, 12)
-    er_grid = np.linspace(4.0, 7.6, 10)
+    sweep = grid_sweep(
+        _probe_power,
+        il_db=np.linspace(3.0, 7.4, 12),
+        er_db=np.linspace(4.0, 7.6, 10),
+    )
     rows = []
-    for il in il_grid:
-        for er in er_grid:
-            try:
-                probe = _probe_power(float(il), float(er))
-            except ReproError:
-                probe = float("nan")
+    for i, il in enumerate(sweep.axis("il_db")):
+        for j, er in enumerate(sweep.axis("er_db")):
             rows.append(
                 {
                     "il_db": float(il),
                     "er_db": float(er),
-                    "probe_mw": probe,
+                    "probe_mw": float(sweep.values[i, j]),
                 }
             )
     xiao = _probe_power(6.5, 7.5)

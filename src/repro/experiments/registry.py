@@ -73,7 +73,15 @@ def register(experiment_id: str):
 
 def _ensure_loaded() -> None:
     # Import the experiment modules for their registration side effects.
-    from . import extras, fig5, fig6, fig7, headline, spectra  # noqa: F401
+    from . import (  # noqa: F401
+        accuracy,
+        extras,
+        fig5,
+        fig6,
+        fig7,
+        headline,
+        spectra,
+    )
 
 
 def list_experiments() -> List[str]:

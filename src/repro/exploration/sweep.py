@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -69,10 +69,24 @@ class SweepResult:
 
 
 def grid_sweep(
-    metric: Callable[..., float],
+    metric: Optional[Callable[..., float]] = None,
+    metric_batch: Optional[Callable[..., Sequence[float]]] = None,
     **axes: Sequence[float],
 ) -> SweepResult:
-    """Evaluate ``metric(**point)`` over the grid product of *axes*.
+    """Evaluate a metric over the grid product of *axes*.
+
+    Exactly one of the two callables must be given:
+
+    * ``metric(**point) -> float`` is called once per grid point
+      (failed evaluations record ``nan``);
+    * ``metric_batch(**flat_axes) -> values`` receives every grid point
+      at once — one flat array per axis, Cartesian product order — and
+      returns the matching flat value array.  This is the one-pass hook
+      for vectorized models (e.g. the batched evaluation engine).
+      Infeasible points should come back as ``nan``; a batched metric
+      that raises a :class:`ReproError` outright (no per-point
+      granularity) records ``nan`` for the whole grid instead of
+      aborting the sweep.
 
     Example
     -------
@@ -84,6 +98,10 @@ def grid_sweep(
     >>> result.values.shape
     (2, 2)
     """
+    if (metric is None) == (metric_batch is None):
+        raise ConfigurationError(
+            "pass exactly one of metric= or metric_batch="
+        )
     if not axes:
         raise ConfigurationError("need at least one sweep axis")
     names = tuple(axes.keys())
@@ -92,6 +110,24 @@ def grid_sweep(
         if grid.size == 0:
             raise ConfigurationError(f"axis {name!r} is empty")
     shape = tuple(grids[name].size for name in names)
+    if metric_batch is not None:
+        mesh = np.meshgrid(*(grids[name] for name in names), indexing="ij")
+        flat = {
+            name: m.reshape(-1) for name, m in zip(names, mesh)
+        }
+        try:
+            values = np.asarray(metric_batch(**flat), dtype=float)
+        except ReproError:
+            return SweepResult(
+                axes=names, grids=grids, values=np.full(shape, np.nan)
+            )
+        if values.size != int(np.prod(shape)):
+            raise ConfigurationError(
+                f"metric_batch returned {values.size} values for "
+                f"{int(np.prod(shape))} grid points"
+            )
+        values = values.reshape(shape)
+        return SweepResult(axes=names, grids=grids, values=values)
     values = np.full(shape, np.nan)
     for index in itertools.product(*(range(s) for s in shape)):
         point = {

@@ -49,6 +49,40 @@ def accuracy_model(
     return math.sqrt(variance + bias * bias)
 
 
+_INFEASIBLE_LENGTH = float(np.iinfo(np.int64).max)
+
+
+def _invert_accuracy_model(
+    target_rms_error: float, bers: np.ndarray, probability: float
+) -> tuple:
+    """Vectorized inversion of :func:`accuracy_model`.
+
+    Returns ``(lengths, feasible)``: the stream length restoring the
+    accuracy target per BER, with infeasible points — BER bias alone
+    above the target, or an out-of-range BER/target — saturated to the
+    int64 ceiling and flagged False.  The single shared implementation
+    behind both :func:`stream_length_for_accuracy` and
+    :func:`throughput_accuracy_frontier`.
+    """
+    bias = bers * (1.0 - 2.0 * probability)
+    remaining = target_rms_error**2 - bias * bias
+    p_eff = probability + bias
+    variance_per_bit = p_eff * (1.0 - p_eff)
+    feasible = (
+        (bers >= 0.0)
+        & (bers <= 0.5)
+        & (target_rms_error > 0.0)
+        & (remaining > 0.0)
+    )
+    safe_remaining = np.where(feasible, remaining, 1.0)
+    lengths = np.where(
+        feasible,
+        np.maximum(1.0, np.ceil(variance_per_bit / safe_remaining)),
+        _INFEASIBLE_LENGTH,
+    )
+    return lengths, feasible
+
+
 def stream_length_for_accuracy(
     target_rms_error: float, ber: float, probability: float = 0.5
 ) -> int:
@@ -62,16 +96,16 @@ def stream_length_for_accuracy(
         raise ConfigurationError("target_rms_error must be positive")
     if not 0.0 <= ber <= 0.5:
         raise ConfigurationError(f"ber must be in [0, 0.5], got {ber!r}")
-    bias = ber * (1.0 - 2.0 * probability)
-    remaining = target_rms_error**2 - bias * bias
-    if remaining <= 0.0:
+    lengths, feasible = _invert_accuracy_model(
+        target_rms_error, np.asarray([ber], dtype=float), probability
+    )
+    if not feasible[0]:
+        bias = ber * (1.0 - 2.0 * probability)
         raise ConfigurationError(
             f"BER bias {abs(bias):.2e} alone exceeds the error target "
             f"{target_rms_error:.2e}; lower the BER instead"
         )
-    p_eff = probability + ber * (1.0 - 2.0 * probability)
-    variance_per_bit = p_eff * (1.0 - p_eff)
-    return max(1, math.ceil(variance_per_bit / remaining))
+    return int(lengths[0])
 
 
 def throughput_accuracy_frontier(
@@ -90,17 +124,12 @@ def throughput_accuracy_frontier(
     bers = np.asarray(list(bers), dtype=float)
     if bers.size == 0:
         raise ConfigurationError("need at least one BER")
-    lengths = []
-    for ber in bers:
-        try:
-            lengths.append(
-                stream_length_for_accuracy(
-                    target_rms_error, float(ber), probability
-                )
-            )
-        except ConfigurationError:
-            lengths.append(np.iinfo(np.int64).max)
-    lengths_array = np.asarray(lengths, dtype=float)
+    # One vectorized pass over all candidate BERs; infeasible points
+    # saturate to the int64 ceiling exactly like the scalar
+    # stream_length_for_accuracy signals them.
+    lengths_array, _ = _invert_accuracy_model(
+        target_rms_error, bers, probability
+    )
     return {
         "ber": bers,
         "stream_length": lengths_array,

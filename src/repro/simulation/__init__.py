@@ -13,6 +13,7 @@ utilities for the robustness studies.
 """
 
 from .receiver import OpticalReceiver, ReceiverDecision
+from .engine import BatchEvaluation, simulate_batch
 from .functional import OpticalEvaluation, simulate_evaluation, simulate_sweep
 from .noise import apply_ber_flips, effective_probability_after_flips
 from .faults import (
@@ -34,6 +35,8 @@ __all__ = [
     "OpticalReceiver",
     "ReceiverDecision",
     "OpticalEvaluation",
+    "BatchEvaluation",
+    "simulate_batch",
     "simulate_evaluation",
     "simulate_sweep",
     "apply_ber_flips",

@@ -1,0 +1,273 @@
+"""Batched vectorized evaluation engine: many inputs, one array pass.
+
+The bit-level functional simulation of Fig. 3 is embarrassingly batchable:
+every stage — randomizer sampling, the optical adder, the Eq. 6 pattern
+table, the threshold receiver — is expressible as array operations over a
+``(batch, length)`` bit tensor.  :func:`simulate_batch` evaluates a whole
+vector of inputs in one such pass:
+
+1. per evaluation row, decorrelated SNG seeds are derived from the
+   caller's ``rng`` (or a fixed ``base_seed``);
+2. data and coefficient streams are generated array-first — the LFSR via
+   its cached full-period state table and strided window gathers, the
+   Sobol/counter/chaotic randomizers via their vectorized forms in
+   :mod:`repro.stochastic.sng`;
+3. the per-clock received power is a single ``(B, L)`` fancy-index into
+   the precomputed Eq. 6 pattern table;
+4. the receiver slices the whole batch at once.
+
+The scalar entry points (:func:`repro.simulation.functional.simulate_evaluation`
+and ``simulate_sweep``) are thin wrappers over this engine, and the two
+paths are **bit-for-bit identical** for a fixed seed sequence: looping
+``simulate_evaluation`` over ``xs`` with one ``rng`` consumes the
+generator exactly like one ``simulate_batch(circuit, xs, rng=rng)`` call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError, SimulationError
+from ..stochastic.bitstream import exact_bit_matrix
+from ..stochastic.lfsr import lfsr_uniform_windows
+from ..stochastic.sng import (
+    SNG_KINDS,
+    chaotic_orbit,
+    chaotic_warmup,
+    derive_chaotic_intensities,
+    derive_lfsr_seeds,
+    derive_sobol_offsets,
+    van_der_corput,
+)
+from .receiver import OpticalReceiver
+
+__all__ = ["BatchEvaluation", "simulate_batch", "COEFF_SEED_STRIDE"]
+
+COEFF_SEED_STRIDE = 0x9E3779B9
+"""Offset separating the coefficient-stream seed space from the data one."""
+
+
+@dataclass(frozen=True)
+class BatchEvaluation:
+    """Outcome of one vectorized batch of bit-level evaluations.
+
+    All per-evaluation arrays are stacked along axis 0 (one row per
+    input); per-clock arrays have shape ``(batch, stream_length)``.
+    """
+
+    xs: np.ndarray
+    values: np.ndarray
+    expected: np.ndarray
+    stream_length: int
+    received_power_mw: np.ndarray
+    output_bits: np.ndarray
+    ideal_bits: np.ndarray
+    select_levels: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        """Number of evaluations in the batch."""
+        return int(self.xs.size)
+
+    @property
+    def absolute_errors(self) -> np.ndarray:
+        """Per-row ``|value - expected|``."""
+        return np.abs(self.values - self.expected)
+
+    @property
+    def transmission_bit_errors(self) -> np.ndarray:
+        """Per-row count of bits flipped by the link + receiver noise."""
+        return np.sum(self.output_bits != self.ideal_bits, axis=1)
+
+    @property
+    def transmission_ber(self) -> np.ndarray:
+        """Per-row observed link bit-error rate."""
+        return self.transmission_bit_errors / self.stream_length
+
+    @property
+    def mean_absolute_error(self) -> float:
+        """Batch-mean ``|value - expected|`` (the accuracy-sweep metric)."""
+        return float(np.mean(self.absolute_errors))
+
+
+def _derive_base_seeds(rng: np.random.Generator) -> tuple:
+    """One (data, coefficient) base-seed pair, two draws from *rng*."""
+    data = int(rng.integers(1, 1 << 31))
+    coeff = int(rng.integers(1, 1 << 31))
+    return data, coeff
+
+
+def _batch_uniforms(
+    kind: str,
+    base_seeds: np.ndarray,
+    channel_count: int,
+    length: int,
+    width: int,
+) -> np.ndarray:
+    """Comparator sample tensor ``(B, channel_count, length)`` for *kind*.
+
+    Row ``b``, channel ``c`` holds exactly the uniform samples the
+    scalar path's ``make_independent_sngs(channel_count, kind,
+    base_seed=base_seeds[b])[c]`` would compare against.
+    """
+    if kind == "lfsr":
+        seeds = derive_lfsr_seeds(base_seeds, channel_count, width)
+        return lfsr_uniform_windows(seeds, length, width)
+    if kind == "sobol":
+        offsets = derive_sobol_offsets(base_seeds, channel_count)
+        indices = offsets[:, :, None] + np.arange(length, dtype=np.int64)
+        return van_der_corput(indices, width)
+    if kind == "chaotic":
+        intensities = derive_chaotic_intensities(base_seeds, channel_count)
+        warmups = np.asarray(
+            [chaotic_warmup(c) for c in range(channel_count)], dtype=np.int64
+        )
+        return chaotic_orbit(intensities, warmups[None, :], length)
+    raise ConfigurationError(f"unknown SNG kind {kind!r}")
+
+
+def simulate_batch(
+    circuit,
+    xs,
+    length: int = 1024,
+    rng: Optional[np.random.Generator] = None,
+    noisy: bool = True,
+    sng_kind: str = "lfsr",
+    base_seed: Optional[int] = None,
+    sng_width: int = 16,
+) -> BatchEvaluation:
+    """Run the optical circuit on every input in *xs* in one array pass.
+
+    Parameters
+    ----------
+    circuit:
+        An :class:`repro.core.circuit.OpticalStochasticCircuit`.
+    xs:
+        Input values in ``[0, 1]``; one evaluation row each.
+    length:
+        Stream length (clock count) per evaluation.
+    rng:
+        Random generator for the per-row SNG seeds and the receiver
+        noise (a default seeded generator is created when omitted).
+    noisy:
+        When False the receiver slices noiselessly — isolating the
+        stochastic-computing error from the transmission error.
+    sng_kind:
+        Randomizer family: ``"lfsr"`` (default), ``"counter"``,
+        ``"sobol"`` or ``"chaotic"``.
+    base_seed:
+        Fix the SNG seed space instead of deriving per-row seeds from
+        *rng* — every row then reuses the same randomizer streams
+        (the pre-engine behaviour, useful for exact reproducibility).
+    sng_width:
+        LFSR register width / comparator resolution in bits.
+    """
+    from ..core.circuit import OpticalStochasticCircuit
+
+    if not isinstance(circuit, OpticalStochasticCircuit):
+        raise ConfigurationError(
+            "circuit must be an OpticalStochasticCircuit"
+        )
+    xs = np.atleast_1d(np.asarray(xs, dtype=float))
+    if xs.ndim != 1 or xs.size == 0:
+        raise ConfigurationError("xs must be a non-empty 1-D array")
+    if not np.all((xs >= 0.0) & (xs <= 1.0)):  # also rejects NaN
+        raise ConfigurationError("x must be in [0, 1]")
+    if length <= 0:
+        raise ConfigurationError(f"length must be positive, got {length!r}")
+    if sng_kind not in SNG_KINDS:
+        raise ConfigurationError(
+            f"unknown SNG kind {sng_kind!r}; expected one of {SNG_KINDS}"
+        )
+    rng = rng or np.random.default_rng(0xD47E)
+
+    params = circuit.params
+    order = params.order
+    batch = xs.size
+    coefficients = np.asarray(circuit.polynomial.coefficients, dtype=float)
+    channel_count = order + 1
+    noise_sigma = params.detector.noise_current_a
+
+    # Per-row rng protocol, interleaved exactly like a scalar loop would
+    # consume the generator: (data seed, coefficient seed, noise block)
+    # per evaluation.  Keeping this order is what makes the batched and
+    # per-evaluation paths bit-for-bit identical under a shared rng.
+    seeded = sng_kind != "counter"
+    data_seeds = np.empty(batch, dtype=np.int64)
+    coeff_seeds = np.empty(batch, dtype=np.int64)
+    noise_a = np.empty((batch, length), dtype=float) if noisy else None
+    for row in range(batch):
+        if base_seed is None and seeded:
+            data_seeds[row], coeff_seeds[row] = _derive_base_seeds(rng)
+        if noisy:
+            noise_a[row] = rng.normal(0.0, noise_sigma, length)
+    if base_seed is not None or not seeded:
+        fixed = int(base_seed) if base_seed is not None else 0x5EED
+        data_seeds[:] = fixed
+        coeff_seeds[:] = fixed + COEFF_SEED_STRIDE
+
+    # 1-2. randomizers: data streams for the MZIs, coefficient streams
+    # for the MRRs, as (B, channels, L) bit tensors.
+    if sng_kind == "counter":
+        data_bits = np.broadcast_to(
+            exact_bit_matrix(xs, length)[:, None, :], (batch, order, length)
+        )
+        coeff_bits = np.broadcast_to(
+            exact_bit_matrix(coefficients, length)[None, :, :],
+            (batch, channel_count, length),
+        )
+    else:
+        data_u = _batch_uniforms(sng_kind, data_seeds, order, length, sng_width)
+        coeff_u = _batch_uniforms(
+            sng_kind, coeff_seeds, channel_count, length, sng_width
+        )
+        data_bits = (data_u < xs[:, None, None]).astype(np.uint8)
+        coeff_bits = (coeff_u < coefficients[None, :, None]).astype(np.uint8)
+
+    # 3. per-clock optics: adder level from the MZI ones-count, pattern
+    # from the coefficients; received power via the Eq. 6 table as one
+    # (B, L) fancy-index.
+    levels = data_bits.sum(axis=1, dtype=np.int64)
+    pattern_index = np.zeros((batch, length), dtype=np.int64)
+    for channel in range(channel_count):
+        pattern_index |= coeff_bits[:, channel, :].astype(np.int64) << channel
+    table = circuit.model.received_power_table_mw()  # (patterns, levels)
+    powers = table[pattern_index, levels]
+
+    # 4. receiver: midpoint threshold from the link budget bands, the
+    # whole batch sliced at once.
+    budget = circuit.link_budget()
+    if not budget.bands_separated:
+        raise SimulationError(
+            "link budget bands overlap: the circuit cannot distinguish "
+            "'0' from '1' at this design point"
+        )
+    receiver = OpticalReceiver.from_power_bands(
+        params.detector,
+        zero_level_mw=budget.zero_band_mw[1],
+        one_level_mw=budget.one_band_mw[0],
+    )
+    output_bits, _ = receiver.decide_batch(powers, noise_a=noise_a)
+
+    # Reference: the bits the ideal (electronic) multiplexer would pick.
+    ideal_bits = np.take_along_axis(coeff_bits, levels[:, None, :], axis=1)[
+        :, 0, :
+    ]
+
+    values = output_bits.mean(axis=1)
+    # Vectorized de Casteljau is elementwise: identical floats to calling
+    # circuit.expected_value(x) per row.
+    expected = np.asarray(circuit.polynomial(xs), dtype=float)
+    return BatchEvaluation(
+        xs=xs,
+        values=values,
+        expected=expected,
+        stream_length=int(length),
+        received_power_mw=powers,
+        output_bits=output_bits,
+        ideal_bits=np.ascontiguousarray(ideal_bits),
+        select_levels=levels,
+    )

@@ -13,9 +13,16 @@ Runs the complete Fig. 3 pipeline for one evaluation:
 4. the receiver slices the power against the link-budget midpoint
    threshold (optionally with Gaussian receiver noise) and counts ones.
 
-The result carries both the optics-level observables (power trace,
-transmission errors) and the SC-level outcome (de-randomized value vs the
-exact Bernstein value).
+Both entry points are thin wrappers over the batched engine
+(:func:`repro.simulation.engine.simulate_batch`):
+:func:`simulate_evaluation` is a batch of one, and
+:func:`simulate_sweep` is one vectorized pass over all inputs —
+bit-for-bit identical to looping :func:`simulate_evaluation` under a
+shared ``rng``.
+
+SNG seeds are derived from the caller's ``rng`` by default, so distinct
+evaluations (and distinct sweep points) get decorrelated randomizer
+streams; pass ``base_seed`` to pin the seed space instead.
 """
 
 from __future__ import annotations
@@ -25,11 +32,9 @@ from typing import Optional
 
 import numpy as np
 
-from ..errors import ConfigurationError, SimulationError
+from ..errors import ConfigurationError
 from ..stochastic.bitstream import Bitstream
-from ..stochastic.elements import adder_select
-from ..stochastic.sng import make_independent_sngs
-from .receiver import OpticalReceiver
+from .engine import BatchEvaluation, simulate_batch
 
 __all__ = ["OpticalEvaluation", "simulate_evaluation", "simulate_sweep"]
 
@@ -63,12 +68,29 @@ class OpticalEvaluation:
         return self.transmission_bit_errors / self.stream_length
 
 
+def _evaluation_from_batch(batch: BatchEvaluation, row: int) -> OpticalEvaluation:
+    """One :class:`OpticalEvaluation` view of a batch row."""
+    return OpticalEvaluation(
+        value=float(batch.values[row]),
+        expected=float(batch.expected[row]),
+        x=float(batch.xs[row]),
+        stream_length=batch.stream_length,
+        received_power_mw=batch.received_power_mw[row],
+        output_bits=Bitstream(batch.output_bits[row]),
+        ideal_bits=Bitstream(batch.ideal_bits[row]),
+        select_levels=batch.select_levels[row],
+    )
+
+
 def simulate_evaluation(
     circuit,
     x: float,
     length: int = 1024,
     rng: Optional[np.random.Generator] = None,
     noisy: bool = True,
+    sng_kind: str = "lfsr",
+    base_seed: Optional[int] = None,
+    sng_width: int = 16,
 ) -> OpticalEvaluation:
     """Run the optical circuit for *length* bit slots on input *x*.
 
@@ -81,75 +103,37 @@ def simulate_evaluation(
     length:
         Stream length (clock count).
     rng:
-        Random generator for the receiver noise (a default seeded
-        generator is created when omitted).
+        Random generator for the SNG seed derivation and the receiver
+        noise (a default seeded generator is created when omitted).
     noisy:
         When False the receiver slices noiselessly — isolating the
         stochastic-computing error from the transmission error.
+    sng_kind:
+        Randomizer family: ``"lfsr"`` (default), ``"counter"``,
+        ``"sobol"`` or ``"chaotic"``.
+    base_seed:
+        Pin the SNG seed space instead of deriving it from *rng*
+        (repeat calls then reuse identical randomizer streams).
+    sng_width:
+        LFSR register width / comparator resolution in bits.
     """
-    from ..core.circuit import OpticalStochasticCircuit
-
-    if not isinstance(circuit, OpticalStochasticCircuit):
-        raise ConfigurationError(
-            "circuit must be an OpticalStochasticCircuit"
-        )
+    try:
+        x = float(x)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"x must be a number in [0, 1], got {x!r}")
     if not 0.0 <= x <= 1.0:
         raise ConfigurationError(f"x must be in [0, 1], got {x!r}")
-    if length <= 0:
-        raise ConfigurationError(f"length must be positive, got {length!r}")
-    rng = rng or np.random.default_rng(0xD47E)
-
-    params = circuit.params
-    order = params.order
-    coefficients = circuit.polynomial.coefficients
-
-    # 1-2. randomizers: data streams for the MZIs, coefficient streams
-    # for the MRRs (decorrelated LFSR comparators, as in Fig. 1(a)).
-    data_sngs = make_independent_sngs(order, base_seed=0xACE1)
-    coeff_sngs = make_independent_sngs(order + 1, base_seed=0xC0FE)
-    data_streams = [sng.generate(x, length) for sng in data_sngs]
-    coeff_streams = [
-        sng.generate(float(b), length)
-        for sng, b in zip(coeff_sngs, coefficients)
-    ]
-
-    # 3. per-clock optics: level from the MZI adder, pattern from the
-    # coefficients; received power via the precomputed Eq. 6 table.
-    levels = adder_select(data_streams)
-    coeff_matrix = np.stack([s.bits for s in coeff_streams])  # (C, L)
-    pattern_index = np.zeros(length, dtype=np.int64)
-    for channel in range(order + 1):
-        pattern_index |= coeff_matrix[channel].astype(np.int64) << channel
-    table = circuit.model.received_power_table_mw()  # (patterns, levels)
-    powers = table[pattern_index, levels]
-
-    # 4. receiver: midpoint threshold from the link budget bands.
-    budget = circuit.link_budget()
-    if not budget.bands_separated:
-        raise SimulationError(
-            "link budget bands overlap: the circuit cannot distinguish "
-            "'0' from '1' at this design point"
-        )
-    receiver = OpticalReceiver.from_power_bands(
-        params.detector,
-        zero_level_mw=budget.zero_band_mw[1],
-        one_level_mw=budget.one_band_mw[0],
+    batch = simulate_batch(
+        circuit,
+        [x],
+        length=length,
+        rng=rng,
+        noisy=noisy,
+        sng_kind=sng_kind,
+        base_seed=base_seed,
+        sng_width=sng_width,
     )
-    decision = receiver.decide(powers, rng=rng if noisy else None)
-
-    # Reference: the bits the ideal (electronic) multiplexer would pick.
-    ideal_bits = Bitstream(coeff_matrix[levels, np.arange(length)])
-
-    return OpticalEvaluation(
-        value=decision.probability,
-        expected=circuit.expected_value(x),
-        x=float(x),
-        stream_length=length,
-        received_power_mw=powers,
-        output_bits=decision.bits,
-        ideal_bits=ideal_bits,
-        select_levels=levels,
-    )
+    return _evaluation_from_batch(batch, 0)
 
 
 def simulate_sweep(
@@ -158,14 +142,24 @@ def simulate_sweep(
     length: int = 1024,
     rng: Optional[np.random.Generator] = None,
     noisy: bool = True,
+    sng_kind: str = "lfsr",
+    base_seed: Optional[int] = None,
+    sng_width: int = 16,
 ) -> np.ndarray:
-    """De-randomized outputs across the inputs *xs* (one evaluation each)."""
-    rng = rng or np.random.default_rng(0xD47E)
-    return np.asarray(
-        [
-            simulate_evaluation(
-                circuit, float(x), length=length, rng=rng, noisy=noisy
-            ).value
-            for x in xs
-        ]
-    )
+    """De-randomized outputs across the inputs *xs* (one batched pass).
+
+    Bit-exact with evaluating each input through
+    :func:`simulate_evaluation` under the same ``rng``, but an order of
+    magnitude faster; use :func:`repro.simulation.engine.simulate_batch`
+    directly for the full per-row observables.
+    """
+    return simulate_batch(
+        circuit,
+        xs,
+        length=length,
+        rng=rng,
+        noisy=noisy,
+        sng_kind=sng_kind,
+        base_seed=base_seed,
+        sng_width=sng_width,
+    ).values

@@ -102,15 +102,24 @@ def run_monte_carlo(
     if samples < 1:
         raise ConfigurationError(f"samples must be >= 1, got {samples!r}")
     rng = rng or np.random.default_rng(0x5EED)
+    # One-pass corner sampling: every offset drawn vectorized up front.
+    # Row-major generation keeps the (ring, filter) interleaving — and
+    # hence the seeded results — identical to the old per-sample draws.
+    # Keep the modulation contrast physical: clamp extreme ring offsets
+    # to the modulation shift so ON/OFF do not invert.
+    offsets = rng.normal(
+        0.0,
+        [variation.ring_sigma_nm, variation.filter_sigma_nm],
+        size=(samples, 2),
+    )
+    shift = params.ring_profile.modulation_shift_nm
+    ring_offsets = np.clip(offsets[:, 0], -0.8 * shift, 0.8 * shift)
+    filter_offsets = offsets[:, 1]
     eyes = np.empty(samples)
     for index in range(samples):
-        ring_offset = rng.normal(0.0, variation.ring_sigma_nm)
-        filter_offset = rng.normal(0.0, variation.filter_sigma_nm)
-        # Keep the modulation contrast physical: clamp extreme ring
-        # offsets to the modulation shift so ON/OFF do not invert.
-        shift = params.ring_profile.modulation_shift_nm
-        ring_offset = float(np.clip(ring_offset, -0.8 * shift, 0.8 * shift))
-        corner = _perturbed_params(params, ring_offset, filter_offset)
+        corner = _perturbed_params(
+            params, float(ring_offsets[index]), float(filter_offsets[index])
+        )
         eyes[index] = worst_case_eye(corner).opening
     return MonteCarloResult(
         eye_openings_mw=eyes,

@@ -15,7 +15,35 @@ import numpy as np
 
 from ..errors import ConfigurationError
 
-__all__ = ["Bitstream"]
+__all__ = ["Bitstream", "exact_bit_matrix", "validate_probability_vector"]
+
+
+def validate_probability_vector(values) -> np.ndarray:
+    """A non-empty 1-D float array of probabilities (NaN rejected)."""
+    values = np.atleast_1d(np.asarray(values, dtype=float))
+    if values.ndim != 1 or values.size == 0:
+        raise ConfigurationError("values must be a non-empty 1-D array")
+    if not np.all((values >= 0.0) & (values <= 1.0)):  # also rejects NaN
+        raise ConfigurationError("values must be in [0, 1]")
+    return values
+
+
+def exact_bit_matrix(values, length: int) -> np.ndarray:
+    """Deterministic evenly-spread streams for many values at once.
+
+    Row ``b`` is bit-for-bit :meth:`Bitstream.exact` of ``values[b]``:
+    ``round(p * length)`` ones spread evenly over the stream.  Returns a
+    ``(len(values), length)`` uint8 array — the batched counter/unary
+    randomizer of the evaluation engine.
+    """
+    values = validate_probability_vector(values)
+    if length <= 0:
+        raise ConfigurationError(f"length must be positive, got {length!r}")
+    ones = np.round(values * length).astype(np.int64)
+    positions = (np.arange(length, dtype=np.int64)[None, :] * ones[:, None]) // length
+    prepend = np.where(ones > 0, -1, 0)[:, None]
+    bits = np.diff(positions, axis=1, prepend=prepend) > 0
+    return bits.astype(np.uint8)
 
 
 class Bitstream:
@@ -153,15 +181,9 @@ class Bitstream:
             )
         if length <= 0:
             raise ConfigurationError(f"length must be positive, got {length!r}")
-        ones = int(round(probability * length))
-        positions = (np.arange(length) * ones) // length
-        bits = np.diff(positions, prepend=-1 if ones else 0) > 0
-        # `positions` increments exactly `ones` times across the stream.
-        stream = bits.astype(np.uint8)
-        if int(stream.sum()) != ones:  # pragma: no cover - defensive
-            stream = np.zeros(length, dtype=np.uint8)
-            stream[:ones] = 1
-        return cls(stream)
+        # `positions` in the shared helper increments exactly
+        # ``round(p * length)`` times across the stream.
+        return cls(exact_bit_matrix([probability], length)[0])
 
     def resampled(self, length: int, rng: np.random.Generator) -> "Bitstream":
         """New Bernoulli stream with this stream's probability."""

@@ -10,7 +10,7 @@ evaluation (the standard trick for LUT-style SC image pipelines).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -24,6 +24,7 @@ __all__ = [
     "psnr_db",
     "mean_absolute_error_image",
     "apply_pixel_kernel",
+    "apply_circuit_kernel",
 ]
 
 
@@ -99,27 +100,78 @@ def mean_absolute_error_image(
 
 def apply_pixel_kernel(
     image: np.ndarray,
-    kernel: Callable[[float], float],
+    kernel: Optional[Callable[[float], float]] = None,
     levels: Optional[int] = 64,
+    batch_kernel: Optional[Callable[[np.ndarray], np.ndarray]] = None,
 ) -> np.ndarray:
-    """Apply a scalar *kernel* to every pixel, batching repeated levels.
+    """Apply a pixel *kernel* to every pixel, batching repeated levels.
 
     Stochastic evaluations are expensive per call; quantizing to
     *levels* gray levels and evaluating each unique level once turns an
     ``O(pixels)`` workload into ``O(levels)`` — exactly how an SC image
     pipeline would share one hardware unit across a frame.  With
     ``levels=None`` every unique value in the image is evaluated.
+
+    Pass *batch_kernel* instead of *kernel* to map **all** unique levels
+    in one vectorized call (``values -> mapped values``) — the hook the
+    batched evaluation engine plugs into (see
+    :func:`apply_circuit_kernel`).
     """
     image = np.asarray(image, dtype=float)
     if image.ndim != 2:
         raise ConfigurationError("image must be 2-D")
     if np.any(image < 0.0) or np.any(image > 1.0):
         raise ConfigurationError("image values must be in [0, 1]")
+    if (kernel is None) == (batch_kernel is None):
+        raise ConfigurationError(
+            "pass exactly one of kernel= or batch_kernel="
+        )
     working = image if levels is None else quantize_levels(image, levels)
-    lut: Dict[float, float] = {}
-    for value in np.unique(working):
-        lut[float(value)] = float(kernel(float(value)))
-    result = np.empty_like(working)
-    for value, mapped in lut.items():
-        result[working == value] = mapped
-    return result
+    unique = np.unique(working)
+    if batch_kernel is not None:
+        mapped = np.asarray(batch_kernel(unique), dtype=float)
+        if mapped.shape != unique.shape:
+            raise ConfigurationError(
+                f"batch_kernel must map {unique.shape} values to as many "
+                f"outputs, got {mapped.shape}"
+            )
+    else:
+        mapped = np.asarray(
+            [float(kernel(float(value))) for value in unique], dtype=float
+        )
+    # np.unique returns sorted values, so searchsorted recovers each
+    # pixel's LUT row in one vectorized pass.
+    return mapped[np.searchsorted(unique, working)]
+
+
+def apply_circuit_kernel(
+    image: np.ndarray,
+    circuit,
+    length: int = 1024,
+    rng=None,
+    levels: Optional[int] = 64,
+    noisy: bool = True,
+    sng_kind: str = "lfsr",
+    base_seed: Optional[int] = None,
+) -> np.ndarray:
+    """Run an image through an optical SC circuit in one batched pass.
+
+    The paper's Section V-C workload shape: quantize to *levels* gray
+    levels, evaluate **all** unique levels as one
+    :func:`repro.simulation.engine.simulate_batch` call, and scatter the
+    de-randomized outputs back onto the frame.
+    """
+    from ..simulation.engine import simulate_batch
+
+    def batch_kernel(values: np.ndarray) -> np.ndarray:
+        return simulate_batch(
+            circuit,
+            values,
+            length=length,
+            rng=rng,
+            noisy=noisy,
+            sng_kind=sng_kind,
+            base_seed=base_seed,
+        ).values
+
+    return apply_pixel_kernel(image, levels=levels, batch_kernel=batch_kernel)

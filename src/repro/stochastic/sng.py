@@ -12,6 +12,16 @@ generators are provided:
 * :class:`ChaoticLaserBitSource` — a logistic-map model of the chaotic
   semiconductor laser RNG of Zhang et al. [20], the paper's proposed
   optical randomizer (Section V-D / future work (iii)).
+
+Every generator is **array-first**: besides the scalar
+:meth:`~StochasticNumberGenerator.generate`, each supports
+:meth:`~StochasticNumberGenerator.generate_batch`, producing a
+``(B, L)`` uint8 bit tensor for a whole vector of values in one
+vectorized pass.  The batched evaluation engine
+(:mod:`repro.simulation.engine`) builds on these plus the seed-derivation
+helpers (:func:`derive_lfsr_seeds` and friends), which both the scalar
+factory :func:`make_independent_sngs` and the engine share so the two
+paths stay bit-for-bit identical.
 """
 
 from __future__ import annotations
@@ -22,8 +32,8 @@ import math
 import numpy as np
 
 from ..errors import ConfigurationError
-from .bitstream import Bitstream
-from .lfsr import LFSR
+from .bitstream import Bitstream, exact_bit_matrix, validate_probability_vector
+from .lfsr import LFSR, lfsr_state_windows
 
 __all__ = [
     "StochasticNumberGenerator",
@@ -31,7 +41,18 @@ __all__ = [
     "CounterSNG",
     "SobolLikeSNG",
     "ChaoticLaserBitSource",
+    "SNG_KINDS",
+    "make_independent_sngs",
+    "derive_lfsr_seeds",
+    "derive_sobol_offsets",
+    "derive_chaotic_intensities",
+    "chaotic_warmup",
+    "chaotic_orbit",
+    "van_der_corput",
 ]
+
+SNG_KINDS = ("lfsr", "counter", "sobol", "chaotic")
+"""The randomizer kinds :func:`make_independent_sngs` and the engine accept."""
 
 
 def _validate_probability(value: float) -> float:
@@ -57,6 +78,26 @@ class StochasticNumberGenerator(abc.ABC):
         """One independent stream per value (convenience for ReSC inputs)."""
         return [self.generate(v, length) for v in values]
 
+    def generate_batch(self, values, length: int) -> np.ndarray:
+        """Encode many values at once: a ``(len(values), length)`` uint8 array.
+
+        Stateless: every row is the stream a **freshly constructed** copy
+        of this generator would emit for that value — comparator-style
+        generators share one underlying sample sequence across rows, just
+        as one hardware LFSR feeds many comparators.  Row ``b`` is
+        bit-for-bit ``type(self)(<same config>).generate(values[b], length)``.
+        """
+        values = validate_probability_vector(values)
+        length = _validate_length(length)
+        samples = self._uniform_block(length)
+        return (samples[None, :] < values[:, None]).astype(np.uint8)
+
+    def _uniform_block(self, length: int) -> np.ndarray:
+        """The comparator sample sequence from the generator's initial state."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not provide batched generation"
+        )
+
 
 class ComparatorSNG(StochasticNumberGenerator):
     """LFSR + comparator randomizer (the SNG of Qian et al. [9]).
@@ -75,12 +116,17 @@ class ComparatorSNG(StochasticNumberGenerator):
     def __init__(self, width: int = 16, seed: int = 1):
         self._lfsr = LFSR(width=width, seed=seed)
         self.width = width
+        self.seed = int(seed)
 
     def generate(self, value: float, length: int) -> Bitstream:
         value = _validate_probability(value)
         length = _validate_length(length)
         samples = self._lfsr.uniform(length)
         return Bitstream((samples < value).astype(np.uint8))
+
+    def _uniform_block(self, length: int) -> np.ndarray:
+        # A fresh register from the configured seed: stateless batching.
+        return LFSR(self.width, self.seed, self._lfsr.taps).uniform(length)
 
 
 class CounterSNG(StochasticNumberGenerator):
@@ -95,6 +141,28 @@ class CounterSNG(StochasticNumberGenerator):
         value = _validate_probability(value)
         length = _validate_length(length)
         return Bitstream.exact(value, length)
+
+    def generate_batch(self, values, length: int) -> np.ndarray:
+        values = validate_probability_vector(values)
+        length = _validate_length(length)
+        return exact_bit_matrix(values, length)
+
+
+def van_der_corput(indices: np.ndarray, bits: int) -> np.ndarray:
+    """Base-2 van der Corput samples for an arbitrary-shape index array.
+
+    Bit-reverses each index over *bits* bits into ``[0, 1)``; shared by
+    the scalar and batched Sobol-like randomizer paths (identical
+    accumulation order, hence identical floats).
+    """
+    indices = np.asarray(indices, dtype=np.uint64)
+    values = np.zeros(indices.shape, dtype=float)
+    scale = 0.5
+    for _ in range(bits):
+        values += (indices & np.uint64(1)) * scale
+        indices = indices >> np.uint64(1)
+        scale *= 0.5
+    return values
 
 
 class SobolLikeSNG(StochasticNumberGenerator):
@@ -114,20 +182,56 @@ class SobolLikeSNG(StochasticNumberGenerator):
         self.bit_offset = bit_offset
 
     def _van_der_corput(self, count: int) -> np.ndarray:
-        indices = np.arange(self.bit_offset, self.bit_offset + count, dtype=np.uint64)
-        values = np.zeros(count, dtype=float)
-        scale = 0.5
-        for _ in range(self.bits):
-            values += (indices & 1) * scale
-            indices >>= np.uint64(1)
-            scale *= 0.5
-        return values
+        indices = np.arange(
+            self.bit_offset, self.bit_offset + count, dtype=np.uint64
+        )
+        return van_der_corput(indices, self.bits)
 
     def generate(self, value: float, length: int) -> Bitstream:
         value = _validate_probability(value)
         length = _validate_length(length)
         samples = self._van_der_corput(length)
         return Bitstream((samples < value).astype(np.uint8))
+
+    def _uniform_block(self, length: int) -> np.ndarray:
+        return self._van_der_corput(length)
+
+
+_LOGISTIC_REINJECT = 0.31830988618  # 1/pi, off every fixed point
+
+
+def _logistic_step(intensity: np.ndarray) -> np.ndarray:
+    """One guarded logistic-map iteration, elementwise over any shape."""
+    advanced = 4.0 * intensity * (1.0 - intensity)
+    return np.where(
+        (advanced <= 1e-15) | (advanced >= 1.0 - 1e-15),
+        _LOGISTIC_REINJECT,
+        advanced,
+    )
+
+
+def chaotic_orbit(intensities, warmups, length: int) -> np.ndarray:
+    """Vectorized chaotic-laser sampling over many independent orbits.
+
+    Runs the guarded logistic map for every element of *intensities*
+    (any shape), discarding per-element *warmups* iterations, then maps
+    *length* samples through the arcsine-to-uniform transform.  Returns
+    ``intensities.shape + (length,)``; each slice is bit-for-bit the
+    sequence :meth:`ChaoticLaserBitSource.uniform` produces for the same
+    seed intensity and warmup.
+    """
+    if length <= 0:
+        raise ConfigurationError(f"count must be positive, got {length!r}")
+    intensity = np.asarray(intensities, dtype=float).copy()
+    warmups = np.broadcast_to(np.asarray(warmups, dtype=np.int64), intensity.shape)
+    for iteration in range(int(warmups.max()) if warmups.size else 0):
+        advanced = _logistic_step(intensity)
+        intensity = np.where(iteration < warmups, advanced, intensity)
+    samples = np.empty(intensity.shape + (length,), dtype=float)
+    for slot in range(length):
+        intensity = _logistic_step(intensity)
+        samples[..., slot] = intensity
+    return (2.0 / math.pi) * np.arcsin(np.sqrt(samples))
 
 
 class ChaoticLaserBitSource(StochasticNumberGenerator):
@@ -166,6 +270,8 @@ class ChaoticLaserBitSource(StochasticNumberGenerator):
             )
         if warmup < 0:
             raise ConfigurationError("warmup must be >= 0")
+        self._seed_intensity = float(seed_intensity)
+        self._warmup = int(warmup)
         self._intensity = float(seed_intensity)
         for _ in range(warmup):
             self._advance()
@@ -174,7 +280,7 @@ class ChaoticLaserBitSource(StochasticNumberGenerator):
         self._intensity = 4.0 * self._intensity * (1.0 - self._intensity)
         # Guard against numerical collapse onto the absorbing endpoints.
         if self._intensity <= 1e-15 or self._intensity >= 1.0 - 1e-15:
-            self._intensity = 0.31830988618  # re-inject (1/pi)
+            self._intensity = _LOGISTIC_REINJECT  # re-inject (1/pi)
         return self._intensity
 
     def uniform(self, count: int) -> np.ndarray:
@@ -196,6 +302,73 @@ class ChaoticLaserBitSource(StochasticNumberGenerator):
         samples = self.uniform(length)
         return Bitstream((samples < value).astype(np.uint8))
 
+    def _uniform_block(self, length: int) -> np.ndarray:
+        return chaotic_orbit(self._seed_intensity, self._warmup, length)
+
+
+# -- seed derivation (shared by the factory and the batched engine) -----------
+
+
+def derive_lfsr_seeds(base_seeds, count: int, width: int = 16) -> np.ndarray:
+    """Decorrelated LFSR seeds: ``(len(base_seeds), count)`` int64 array.
+
+    ``seed[b, i] = (base_seeds[b] + 7919 i) mod (2**width - 1)`` with the
+    lock-up state 0 remapped to 1 — the factory's classic stride formula,
+    vectorized over many base seeds.
+    """
+    base = np.atleast_1d(np.asarray(base_seeds, dtype=np.int64))
+    period = (1 << width) - 1
+    seeds = (base[:, None] + 7919 * np.arange(count, dtype=np.int64)) % period
+    seeds[seeds == 0] = 1
+    return seeds
+
+
+def derive_sobol_offsets(base_seeds, count: int) -> np.ndarray:
+    """Decorrelated van der Corput offsets, ``(len(base_seeds), count)``.
+
+    Large per-channel strides plus a base-seed-dependent shift so
+    distinct sweep rows sample distinct low-discrepancy windows.  The
+    full 31-bit seed space is preserved (no modulus) so distinct base
+    seeds never collide onto identical offsets.
+    """
+    base = np.atleast_1d(np.asarray(base_seeds, dtype=np.int64))
+    return base[:, None] * 613 + 977 * np.arange(count, dtype=np.int64)
+
+
+_MIX_MASK = (1 << 64) - 1
+
+
+def _chaotic_seed_intensity(base_seed: int, index: int) -> float:
+    """Deterministic (0, 1) intensity off every logistic fixed point."""
+    mixed = (
+        int(base_seed) * 0x9E3779B97F4A7C15
+        + (int(index) + 1) * 0xD1B54A32D192ED03
+    ) & _MIX_MASK
+    mixed = (mixed ^ (mixed >> 31)) * 0xBF58476D1CE4E5B9 & _MIX_MASK
+    fraction = (mixed >> 11) / float(1 << 53)
+    intensity = 0.05 + 0.9 * fraction
+    for fixed_point in ChaoticLaserBitSource._FIXED_POINTS:
+        if abs(intensity - fixed_point) < 1e-9:
+            intensity += 3e-9
+    return intensity
+
+
+def derive_chaotic_intensities(base_seeds, count: int) -> np.ndarray:
+    """Seed intensities for decorrelated chaotic sources, ``(B, count)``."""
+    base = np.atleast_1d(np.asarray(base_seeds, dtype=np.int64))
+    return np.asarray(
+        [
+            [_chaotic_seed_intensity(int(b), i) for i in range(count)]
+            for b in base
+        ],
+        dtype=float,
+    )
+
+
+def chaotic_warmup(index: int) -> int:
+    """Per-channel warmup of the factory's chaotic sources."""
+    return 64 + int(index)
+
 
 def make_independent_sngs(
     count: int,
@@ -206,30 +379,33 @@ def make_independent_sngs(
     """Build *count* decorrelated SNGs of the given *kind*.
 
     ``kind`` is one of ``"lfsr"``, ``"counter"``, ``"sobol"``,
-    ``"chaotic"``.  Decorrelation uses distinct seeds / offsets.
+    ``"chaotic"``.  Decorrelation uses distinct seeds / offsets derived
+    from *base_seed* with the same :func:`derive_lfsr_seeds`-family
+    helpers the batched engine uses, so scalar and batched evaluation
+    stay bit-for-bit identical.
     """
     if count <= 0:
         raise ConfigurationError(f"count must be positive, got {count!r}")
     generators: list = []
-    for index in range(count):
-        if kind == "lfsr":
-            seed = (base_seed + 7919 * index) % ((1 << width) - 1) or 1
-            generators.append(ComparatorSNG(width=width, seed=seed))
-        elif kind == "counter":
-            generators.append(CounterSNG())
-        elif kind == "sobol":
-            generators.append(SobolLikeSNG(bits=width, bit_offset=977 * index))
-        elif kind == "chaotic":
+    if kind == "lfsr":
+        seeds = derive_lfsr_seeds(base_seed, count, width)[0]
+        for seed in seeds:
+            generators.append(ComparatorSNG(width=width, seed=int(seed)))
+    elif kind == "counter":
+        generators.extend(CounterSNG() for _ in range(count))
+    elif kind == "sobol":
+        offsets = derive_sobol_offsets(base_seed, count)[0]
+        for offset in offsets:
+            generators.append(SobolLikeSNG(bits=width, bit_offset=int(offset)))
+    elif kind == "chaotic":
+        intensities = derive_chaotic_intensities(base_seed, count)[0]
+        for index, intensity in enumerate(intensities):
             generators.append(
                 ChaoticLaserBitSource(
-                    seed_intensity=(0.1 + 0.779 * index / max(count, 1)) % 0.99
-                    + 0.001,
-                    warmup=64 + index,
+                    seed_intensity=float(intensity),
+                    warmup=chaotic_warmup(index),
                 )
             )
-        else:
-            raise ConfigurationError(f"unknown SNG kind {kind!r}")
+    else:
+        raise ConfigurationError(f"unknown SNG kind {kind!r}")
     return generators
-
-
-__all__.append("make_independent_sngs")

@@ -1,0 +1,371 @@
+"""Tests for the batched vectorized evaluation engine.
+
+The engine's contract is *bit-for-bit equivalence*: a
+``simulate_batch`` pass must reproduce exactly what a per-evaluation
+loop produces under a shared rng, for every SNG kind and circuit order —
+and both must match the pre-engine per-bit pipeline for fixed seeds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import OpticalStochasticCircuit
+from repro.core.design import mrr_first_design
+from repro.core.link_budget import received_power_table
+from repro.core.params import paper_section5a_parameters
+from repro.errors import ConfigurationError
+from repro.simulation.engine import BatchEvaluation, simulate_batch
+from repro.simulation.functional import simulate_evaluation, simulate_sweep
+from repro.simulation.receiver import OpticalReceiver
+from repro.stochastic import LFSR
+from repro.stochastic.bernstein import BernsteinPolynomial
+from repro.stochastic.bitstream import Bitstream
+from repro.stochastic.elements import adder_select
+from repro.stochastic.lfsr import lfsr_state_windows, lfsr_uniform_windows
+from repro.stochastic.sng import (
+    SNG_KINDS,
+    ChaoticLaserBitSource,
+    ComparatorSNG,
+    CounterSNG,
+    SobolLikeSNG,
+    make_independent_sngs,
+)
+
+ALL_KINDS = list(SNG_KINDS)
+
+
+def _circuit(order: int) -> OpticalStochasticCircuit:
+    if order == 2:
+        return OpticalStochasticCircuit(
+            paper_section5a_parameters(),
+            BernsteinPolynomial([0.25, 0.625, 0.375]),
+        )
+    design = mrr_first_design(
+        order=order, wl_spacing_nm=1.0, probe_power_mw=1.0
+    )
+    coefficients = np.linspace(0.2, 0.8, order + 1)
+    return OpticalStochasticCircuit.from_design(
+        design, BernsteinPolynomial(coefficients)
+    )
+
+
+class TestBatchScalarEquivalence:
+    """generate_batch / simulate_batch == the scalar paths, bit for bit."""
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    @pytest.mark.parametrize("order", [2, 3, 4])
+    def test_batch_matches_scalar_loop(self, kind, order):
+        circuit = _circuit(order)
+        xs = np.linspace(0.0, 1.0, 7)
+        rng_loop = np.random.default_rng(1234)
+        loop = [
+            simulate_evaluation(
+                circuit, float(x), length=256, rng=rng_loop, sng_kind=kind
+            )
+            for x in xs
+        ]
+        rng_batch = np.random.default_rng(1234)
+        batch = simulate_batch(
+            circuit, xs, length=256, rng=rng_batch, sng_kind=kind
+        )
+        assert np.array_equal(
+            np.asarray([e.value for e in loop]), batch.values
+        )
+        assert np.array_equal(
+            np.stack([e.output_bits.bits for e in loop]), batch.output_bits
+        )
+        assert np.array_equal(
+            np.stack([e.ideal_bits.bits for e in loop]), batch.ideal_bits
+        )
+        assert np.array_equal(
+            np.stack([e.select_levels for e in loop]), batch.select_levels
+        )
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_noiseless_batch_matches_scalar_loop(self, kind):
+        circuit = _circuit(2)
+        xs = [0.0, 0.3, 1.0]
+        loop = [
+            simulate_evaluation(
+                circuit, x, length=128, noisy=False, sng_kind=kind, base_seed=9
+            ).value
+            for x in xs
+        ]
+        batch = simulate_batch(
+            circuit, xs, length=128, noisy=False, sng_kind=kind, base_seed=9
+        )
+        assert np.array_equal(np.asarray(loop), batch.values)
+
+    def test_sweep_is_thin_wrapper(self):
+        circuit = _circuit(2)
+        xs = [0.1, 0.5, 0.9]
+        a = simulate_sweep(circuit, xs, length=256, rng=np.random.default_rng(5))
+        b = simulate_batch(
+            circuit, xs, length=256, rng=np.random.default_rng(5)
+        ).values
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: ComparatorSNG(width=12, seed=77),
+            lambda: CounterSNG(),
+            lambda: SobolLikeSNG(bits=16, bit_offset=123),
+            lambda: ChaoticLaserBitSource(seed_intensity=0.2, warmup=70),
+        ],
+        ids=["lfsr", "counter", "sobol", "chaotic"],
+    )
+    @given(value=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=10, deadline=None)
+    def test_generate_batch_rows_match_fresh_scalar(self, make, value):
+        values = np.asarray([0.0, value, 1.0])
+        batch = make().generate_batch(values, 200)
+        reference = np.stack(
+            [make().generate(float(v), 200).bits for v in values]
+        )
+        assert batch.dtype == np.uint8
+        assert np.array_equal(batch, reference)
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_factory_sngs_match_batch_uniforms(self, kind):
+        """make_independent_sngs and the engine derive identical streams."""
+        sngs = make_independent_sngs(3, kind=kind, base_seed=41)
+        for sng in sngs:
+            scalar = sng.generate(0.37, 150).bits
+            batched = sng.generate_batch([0.37], 150)[0]
+            assert np.array_equal(scalar, batched)
+
+
+class TestLegacyPipelineEquivalence:
+    """The vectorized pass reproduces the pre-engine per-bit pipeline."""
+
+    def test_bit_exact_against_per_bit_reference(self):
+        circuit = _circuit(2)
+        length = 300
+        x = 0.55
+        base_seed = 0xACE1
+        params = circuit.params
+        order = params.order
+
+        # The pre-engine pipeline: scalar SNGs with per-bit LFSR
+        # stepping, per-evaluation pattern/table lookup, scalar receiver.
+        rng = np.random.default_rng(99)
+        data_sngs = make_independent_sngs(order, base_seed=base_seed)
+        coeff_sngs = make_independent_sngs(
+            order + 1, base_seed=base_seed + 0x9E3779B9
+        )
+
+        def stepped_stream(sng, value):
+            register = LFSR(sng.width, sng.seed, sng._lfsr.taps)
+            samples = np.asarray(
+                [register.step() for _ in range(length)], dtype=float
+            ) / float(1 << sng.width)
+            return Bitstream((samples < value).astype(np.uint8))
+
+        data_streams = [stepped_stream(s, x) for s in data_sngs]
+        coeff_streams = [
+            stepped_stream(s, float(b))
+            for s, b in zip(coeff_sngs, circuit.polynomial.coefficients)
+        ]
+        levels = adder_select(data_streams)
+        coeff_matrix = np.stack([s.bits for s in coeff_streams])
+        pattern_index = np.zeros(length, dtype=np.int64)
+        for channel in range(order + 1):
+            pattern_index |= coeff_matrix[channel].astype(np.int64) << channel
+        budget = received_power_table(params)
+        powers = budget.power_mw[pattern_index, levels]
+        receiver = OpticalReceiver.from_power_bands(
+            params.detector,
+            zero_level_mw=budget.zero_band_mw[1],
+            one_level_mw=budget.one_band_mw[0],
+        )
+        legacy_bits = receiver.decide(powers, rng=rng).bits.bits
+
+        batch = simulate_batch(
+            circuit,
+            [x],
+            length=length,
+            rng=np.random.default_rng(99),
+            base_seed=base_seed,
+        )
+        assert np.array_equal(batch.received_power_mw[0], powers)
+        assert np.array_equal(batch.output_bits[0], legacy_bits)
+
+
+class TestLfsrWindows:
+    def test_windows_match_stepping_across_period_wrap(self):
+        width = 8
+        for seed in (1, 33, 200):
+            window = lfsr_state_windows(seed, 300, width)
+            register = LFSR(width=width, seed=seed)
+            stepped = np.asarray(
+                [register.step() for _ in range(300)], dtype=np.uint32
+            )
+            assert np.array_equal(window, stepped)
+
+    def test_uniform_windows_match_uniform(self):
+        seeds = np.asarray([[1, 5], [9, 1023]])
+        windows = lfsr_uniform_windows(seeds, 64, 10)
+        assert windows.shape == (2, 2, 64)
+        for i in range(2):
+            for j in range(2):
+                reference = LFSR(width=10, seed=int(seeds[i, j])).uniform(64)
+                assert np.array_equal(windows[i, j], reference)
+
+    def test_rejects_bad_seeds(self):
+        with pytest.raises(ConfigurationError):
+            lfsr_state_windows([0], 8, 8)
+        with pytest.raises(ConfigurationError):
+            lfsr_state_windows([1 << 8], 8, 8)
+
+    def test_non_injective_taps_fall_back_to_stepping(self):
+        # Tap sets without the width tap make the update map
+        # non-injective: the orbit of state 1 is rho-shaped (a tail into
+        # a loop that never revisits 1) and must NOT be served from a
+        # wrap-around table.  states() has to match pure stepping.
+        fast = LFSR(width=4, seed=3, taps=(2, 1)).states(18)
+        register = LFSR(width=4, seed=3, taps=(2, 1))
+        stepped = np.asarray(
+            [register.step() for _ in range(18)], dtype=np.uint32
+        )
+        assert np.array_equal(fast, stepped)
+        with pytest.raises(ConfigurationError):
+            lfsr_state_windows([3], 18, 4, taps=(2, 1))
+
+    def test_short_cycle_taps_stay_exact_across_wrap(self):
+        # Non-maximal but invertible taps (width tap included) close a
+        # shorter cycle; table-backed windows must still match stepping
+        # past the wrap point, and off-cycle seeds must be refused.
+        taps = (4, 2)
+        fast = LFSR(width=4, seed=1, taps=taps).states(40)
+        register = LFSR(width=4, seed=1, taps=taps)
+        stepped = np.asarray(
+            [register.step() for _ in range(40)], dtype=np.uint32
+        )
+        assert np.array_equal(fast, stepped)
+
+
+class TestSeedDerivation:
+    """Satellite: sweep points no longer share identical streams."""
+
+    def test_rows_decorrelate_under_rng_seeds(self):
+        circuit = _circuit(2)
+        batch = simulate_batch(
+            circuit,
+            [0.5, 0.5, 0.5],
+            length=512,
+            rng=np.random.default_rng(3),
+            noisy=False,
+        )
+        assert not np.array_equal(batch.output_bits[0], batch.output_bits[1])
+        assert not np.array_equal(batch.output_bits[1], batch.output_bits[2])
+
+    def test_fixed_base_seed_restores_identical_streams(self):
+        circuit = _circuit(2)
+        batch = simulate_batch(
+            circuit, [0.5, 0.5], length=512, noisy=False, base_seed=77
+        )
+        assert np.array_equal(batch.output_bits[0], batch.output_bits[1])
+
+    def test_repeatable_for_same_rng_seed(self):
+        circuit = _circuit(2)
+        a = simulate_batch(
+            circuit, [0.25, 0.75], length=256, rng=np.random.default_rng(11)
+        )
+        b = simulate_batch(
+            circuit, [0.25, 0.75], length=256, rng=np.random.default_rng(11)
+        )
+        assert np.array_equal(a.output_bits, b.output_bits)
+
+
+class TestBatchEvaluationContainer:
+    def test_per_row_statistics(self):
+        circuit = _circuit(2)
+        batch = simulate_batch(circuit, np.linspace(0, 1, 5), length=2048)
+        assert isinstance(batch, BatchEvaluation)
+        assert batch.batch_size == 5
+        assert batch.values.shape == (5,)
+        assert batch.output_bits.shape == (5, 2048)
+        assert np.all(batch.absolute_errors >= 0.0)
+        assert np.all((batch.transmission_ber >= 0) & (batch.transmission_ber <= 1))
+        assert batch.mean_absolute_error == pytest.approx(
+            float(np.mean(batch.absolute_errors))
+        )
+
+    def test_converges_to_bernstein_curve(self):
+        circuit = _circuit(2)
+        batch = simulate_batch(
+            circuit,
+            np.linspace(0, 1, 9),
+            length=16384,
+            rng=np.random.default_rng(8),
+        )
+        assert batch.mean_absolute_error < 0.02
+
+    def test_validation(self):
+        circuit = _circuit(2)
+        with pytest.raises(ConfigurationError):
+            simulate_batch(circuit, [])
+        with pytest.raises(ConfigurationError):
+            simulate_batch(circuit, [1.5])
+        with pytest.raises(ConfigurationError):
+            simulate_batch(circuit, [0.5], length=0)
+        with pytest.raises(ConfigurationError):
+            simulate_batch(circuit, [0.5], sng_kind="quantum")
+        with pytest.raises(ConfigurationError):
+            simulate_batch("circuit", [0.5])
+
+    def test_nan_inputs_rejected(self):
+        # NaN survives any()/< checks; the batch path must reject it
+        # just like the scalar path does.
+        circuit = _circuit(2)
+        with pytest.raises(ConfigurationError):
+            simulate_batch(circuit, [0.5, np.nan])
+        with pytest.raises(ConfigurationError):
+            simulate_evaluation(circuit, float("nan"))
+        with pytest.raises(ConfigurationError):
+            ComparatorSNG().generate_batch([np.nan], 16)
+        with pytest.raises(ConfigurationError):
+            CounterSNG().generate_batch([np.nan], 16)
+
+    def test_wide_registers_take_stepping_fallback(self):
+        # Widths beyond the cycle-cache limit (21-24 are in the tap
+        # table) must still evaluate, bit-exact with the scalar loop.
+        circuit = _circuit(2)
+        xs = [0.3, 0.7]
+        loop = [
+            simulate_evaluation(
+                circuit, x, length=64, noisy=False, base_seed=5, sng_width=22
+            ).value
+            for x in xs
+        ]
+        batch = simulate_batch(
+            circuit, xs, length=64, noisy=False, base_seed=5, sng_width=22
+        )
+        assert np.array_equal(np.asarray(loop), batch.values)
+
+
+class TestLfsrValidationOrder:
+    """Satellite: width is validated before the tap-table lookup."""
+
+    def test_width_one_reports_width_error(self):
+        with pytest.raises(ConfigurationError, match="width must be >= 2"):
+            LFSR(width=1)
+
+    def test_unknown_width_still_reports_missing_taps(self):
+        with pytest.raises(ConfigurationError, match="no built-in maximal taps"):
+            LFSR(width=40)
+
+
+class TestCircuitBatchFacade:
+    def test_evaluate_batch_delegates_to_engine(self):
+        circuit = _circuit(2)
+        a = circuit.evaluate_batch(
+            [0.2, 0.8], length=256, rng=np.random.default_rng(2)
+        )
+        b = simulate_batch(
+            circuit, [0.2, 0.8], length=256, rng=np.random.default_rng(2)
+        )
+        assert np.array_equal(a.output_bits, b.output_bits)

@@ -62,6 +62,46 @@ class TestGridSweep:
             grid_sweep(lambda: 0.0)
         with pytest.raises(ConfigurationError):
             grid_sweep(lambda a: a, a=[])
+        with pytest.raises(ConfigurationError):
+            grid_sweep(a=[1.0])
+        with pytest.raises(ConfigurationError):
+            grid_sweep(
+                lambda a: a, metric_batch=lambda a: a, a=[1.0]
+            )
+
+    def test_metric_batch_one_pass(self):
+        calls = []
+
+        def metric_batch(a, b):
+            calls.append((a, b))
+            return a * 10 + b
+
+        result = grid_sweep(
+            metric_batch=metric_batch, a=[1.0, 2.0], b=[0.1, 0.2, 0.3]
+        )
+        assert len(calls) == 1  # the whole grid in one vectorized call
+        assert calls[0][0].shape == (6,)
+        assert result.values.shape == (2, 3)
+        assert result.values[1, 2] == pytest.approx(20.3)
+
+    def test_metric_batch_matches_scalar_metric(self):
+        scalar = grid_sweep(lambda a, b: a - b, a=[1.0, 3.0], b=[0.0, 2.0])
+        batched = grid_sweep(
+            metric_batch=lambda a, b: a - b, a=[1.0, 3.0], b=[0.0, 2.0]
+        )
+        np.testing.assert_array_equal(scalar.values, batched.values)
+
+    def test_metric_batch_size_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_sweep(metric_batch=lambda a: a[:-1], a=[1.0, 2.0])
+
+    def test_metric_batch_repro_error_records_nan(self):
+        def metric_batch(a):
+            raise DesignInfeasibleError("whole batch infeasible")
+
+        result = grid_sweep(metric_batch=metric_batch, a=[1.0, 2.0])
+        assert np.all(np.isnan(result.values))
+        assert result.finite_fraction == 0.0
 
 
 class TestPareto:

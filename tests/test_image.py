@@ -88,3 +88,68 @@ class TestQuantizeAndKernel:
             image.apply_pixel_kernel(np.zeros(4), lambda x: x)
         with pytest.raises(ConfigurationError):
             image.apply_pixel_kernel(np.full((2, 2), 2.0), lambda x: x)
+        with pytest.raises(ConfigurationError):
+            image.apply_pixel_kernel(np.zeros((2, 2)))
+        with pytest.raises(ConfigurationError):
+            image.apply_pixel_kernel(
+                np.zeros((2, 2)), lambda x: x, batch_kernel=lambda v: v
+            )
+
+    def test_batch_kernel_maps_all_levels_at_once(self):
+        chart = image.linear_ramp(16)
+        calls = []
+
+        def batch_kernel(values):
+            calls.append(values)
+            return 1.0 - values
+
+        result = image.apply_pixel_kernel(
+            chart, levels=8, batch_kernel=batch_kernel
+        )
+        assert len(calls) == 1  # one vectorized pass over unique levels
+        np.testing.assert_allclose(
+            result, 1.0 - image.quantize_levels(chart, 8)
+        )
+
+    def test_batch_kernel_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            image.apply_pixel_kernel(
+                image.linear_ramp(8),
+                levels=4,
+                batch_kernel=lambda values: values[:-1],
+            )
+
+    def test_batch_and_scalar_kernels_agree(self):
+        chart = image.radial_gradient(16)
+        scalar = image.apply_pixel_kernel(chart, gamma_correction, levels=8)
+        batched = image.apply_pixel_kernel(
+            chart, levels=8, batch_kernel=lambda v: gamma_correction(v)
+        )
+        np.testing.assert_allclose(scalar, batched)
+
+
+class TestCircuitKernel:
+    def test_one_pass_circuit_mapping(self):
+        from repro.core.circuit import OpticalStochasticCircuit
+        from repro.core.params import paper_section5a_parameters
+        from repro.simulation.engine import simulate_batch
+        from repro.stochastic.bernstein import BernsteinPolynomial
+
+        circuit = OpticalStochasticCircuit(
+            paper_section5a_parameters(),
+            BernsteinPolynomial([0.25, 0.625, 0.375]),
+        )
+        chart = image.linear_ramp(16)
+        result = image.apply_circuit_kernel(
+            chart, circuit, length=256, rng=np.random.default_rng(4), levels=8
+        )
+        assert result.shape == chart.shape
+        assert np.all((result >= 0.0) & (result <= 1.0))
+        # Bit-exact with mapping the unique levels through the engine.
+        unique = np.unique(image.quantize_levels(chart, 8))
+        expected = simulate_batch(
+            circuit, unique, length=256, rng=np.random.default_rng(4)
+        ).values
+        lut = dict(zip(unique, expected))
+        reference = np.vectorize(lut.get)(image.quantize_levels(chart, 8))
+        np.testing.assert_array_equal(result, reference)

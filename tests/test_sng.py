@@ -104,6 +104,42 @@ class TestChaoticLaserBitSource:
             ChaoticLaserBitSource(warmup=-1)
 
 
+class TestGenerateBatch:
+    @pytest.mark.parametrize(
+        "sng",
+        [
+            ComparatorSNG(width=10, seed=5),
+            CounterSNG(),
+            SobolLikeSNG(bits=12, bit_offset=7),
+            ChaoticLaserBitSource(seed_intensity=0.3),
+        ],
+        ids=["lfsr", "counter", "sobol", "chaotic"],
+    )
+    def test_shape_dtype_and_probabilities(self, sng):
+        values = np.asarray([0.0, 0.25, 0.5, 1.0])
+        batch = sng.generate_batch(values, 1024)
+        assert batch.shape == (4, 1024)
+        assert batch.dtype == np.uint8
+        assert batch[0].sum() == 0
+        assert batch[3].sum() == 1024
+        assert abs(batch[2].mean() - 0.5) < 0.1
+
+    def test_batching_is_stateless(self):
+        sng = ComparatorSNG(width=10, seed=5)
+        first = sng.generate_batch([0.5], 128)
+        second = sng.generate_batch([0.5], 128)
+        assert np.array_equal(first, second)
+
+    def test_validation(self):
+        sng = ComparatorSNG()
+        with pytest.raises(ConfigurationError):
+            sng.generate_batch([1.5], 10)
+        with pytest.raises(ConfigurationError):
+            sng.generate_batch([0.5], 0)
+        with pytest.raises(ConfigurationError):
+            sng.generate_batch([], 10)
+
+
 class TestFactory:
     @pytest.mark.parametrize("kind", ["lfsr", "counter", "sobol", "chaotic"])
     def test_builds_requested_count(self, kind):
@@ -111,6 +147,13 @@ class TestFactory:
         assert len(sngs) == 4
         streams = [sng.generate(0.5, 64) for sng in sngs]
         assert all(len(s) == 64 for s in streams)
+
+    def test_sobol_offsets_never_collide_across_base_seeds(self):
+        from repro.stochastic.sng import derive_sobol_offsets
+
+        seeds = np.arange(1, 2000) * 99991 + 7  # congruent mod 99991
+        offsets = derive_sobol_offsets(seeds, 1)[:, 0]
+        assert len(np.unique(offsets)) == len(seeds)
 
     def test_lfsr_sngs_are_decorrelated(self):
         sngs = make_independent_sngs(2, kind="lfsr")
