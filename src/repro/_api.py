@@ -49,10 +49,19 @@ from .photonics import devices
 from .simulation import (
     BatchEvaluation,
     CalibrationController,
+    ChunkedEvaluation,
+    EvaluationCache,
     FaultInjector,
     OpticalReceiver,
+    RuntimeConfig,
+    SeedSchedule,
     TransientSimulator,
+    cached_simulate_batch,
+    derive_seed_schedule,
+    run_batch,
     simulate_batch,
+    simulate_batch_sharded,
+    simulate_chunked,
     simulate_evaluation,
     simulate_sweep,
 )
@@ -102,7 +111,16 @@ __all__ = [
     "devices",
     "OpticalReceiver",
     "BatchEvaluation",
+    "ChunkedEvaluation",
+    "EvaluationCache",
+    "RuntimeConfig",
+    "SeedSchedule",
+    "cached_simulate_batch",
+    "derive_seed_schedule",
+    "run_batch",
     "simulate_batch",
+    "simulate_batch_sharded",
+    "simulate_chunked",
     "simulate_evaluation",
     "simulate_sweep",
     "TransientSimulator",

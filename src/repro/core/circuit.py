@@ -74,6 +74,24 @@ class OpticalStochasticCircuit:
             raise ConfigurationError("design must be a CircuitDesign")
         return cls(design.params, polynomial)
 
+    def fingerprint(self) -> str:
+        """Stable digest of the design point and Bernstein program.
+
+        Two circuits with equal parameters and coefficients evaluate
+        identically under a fixed seed schedule, so this digest (plus
+        the SNG configuration) keys the runtime's evaluation cache
+        (:class:`repro.simulation.runtime.EvaluationCache`).
+        """
+        import hashlib
+
+        payload = "|".join(
+            (
+                repr(self.params),
+                ",".join(repr(float(c)) for c in self.polynomial.coefficients),
+            )
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
     # -- analytical views ---------------------------------------------------------
 
     def link_budget(self) -> LinkBudget:

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..core.circuit import OpticalStochasticCircuit
 from ..core.params import paper_section5a_parameters
-from ..simulation.engine import simulate_batch
+from ..simulation.runtime import RuntimeConfig, run_batch
 from ..stochastic.bernstein import BernsteinPolynomial
 from ..stochastic.sng import SNG_KINDS
 from .registry import ExperimentResult, register
@@ -28,16 +28,24 @@ _STREAM_LENGTH = 1024
 
 @register("accuracy")
 def accuracy_sweep() -> ExperimentResult:
-    """Batched input sweep per SNG kind: stochastic error vs link BER."""
+    """Batched input sweep per SNG kind: stochastic error vs link BER.
+
+    Evaluation goes through the scaling runtime
+    (:func:`repro.simulation.runtime.run_batch`), so setting
+    ``REPRO_RUNTIME_WORKERS`` shards each randomizer family's sweep
+    across worker processes without changing a single output bit.
+    """
     circuit = OpticalStochasticCircuit(
         paper_section5a_parameters(), BernsteinPolynomial([0.25, 0.625, 0.375])
     )
     xs = np.linspace(0.0, 1.0, _SWEEP_POINTS)
+    config = RuntimeConfig()  # workers from REPRO_RUNTIME_WORKERS
     rows = []
     for kind in SNG_KINDS:
         rng = np.random.default_rng(0xBA7C)
-        batch = simulate_batch(
-            circuit, xs, length=_STREAM_LENGTH, rng=rng, sng_kind=kind
+        batch = run_batch(
+            circuit, xs, length=_STREAM_LENGTH, rng=rng, sng_kind=kind,
+            config=config,
         )
         rows.append(
             {

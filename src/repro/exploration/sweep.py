@@ -4,11 +4,13 @@ Evaluates a metric function over the Cartesian product of named parameter
 axes and returns a labeled N-D result — the workhorse behind the
 Fig. 6(a) IL/ER exploration and any custom study a user wants to run.
 Failed evaluations (e.g. infeasible designs) record ``nan`` instead of
-aborting the sweep.
+aborting the sweep.  Point-wise metrics can be fanned out across worker
+processes through the evaluation runtime (``workers=``).
 """
 
 from __future__ import annotations
 
+import functools
 import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
@@ -18,6 +20,30 @@ import numpy as np
 from ..errors import ConfigurationError, ReproError
 
 __all__ = ["SweepResult", "grid_sweep"]
+
+
+def _evaluate_sweep_point(metric: Callable, point: dict) -> float:
+    """One ``metric(**point)`` call (module-level for process pools).
+
+    Mapped as ``functools.partial(_evaluate_sweep_point, metric)`` so
+    the metric — which may close over a whole circuit — is pickled once
+    per pool chunk rather than once per grid point.
+    """
+    try:
+        return float(metric(**point))
+    except ReproError:
+        return float("nan")
+
+
+def _picklable(metric: Callable) -> bool:
+    """Whether *metric* can be shipped to a worker process."""
+    import pickle
+
+    try:
+        pickle.dumps(metric)
+    except Exception:
+        return False
+    return True
 
 
 @dataclass(frozen=True)
@@ -71,6 +97,7 @@ class SweepResult:
 def grid_sweep(
     metric: Optional[Callable[..., float]] = None,
     metric_batch: Optional[Callable[..., Sequence[float]]] = None,
+    workers: Optional[int] = None,
     **axes: Sequence[float],
 ) -> SweepResult:
     """Evaluate a metric over the grid product of *axes*.
@@ -87,6 +114,15 @@ def grid_sweep(
       that raises a :class:`ReproError` outright (no per-point
       granularity) records ``nan`` for the whole grid instead of
       aborting the sweep.
+
+    ``workers`` (point-wise ``metric`` only; default the
+    ``REPRO_RUNTIME_WORKERS`` environment setting) fans the grid points
+    out across the runtime's process pool
+    (:func:`repro.simulation.runtime.parallel_map`); *metric* must be
+    picklable (a module-level function) to actually cross the process
+    boundary — unpicklable metrics (lambdas, closures) quietly run
+    serially instead.  Results are identical to the serial loop; the
+    pool only changes wall-clock.
 
     Example
     -------
@@ -111,6 +147,19 @@ def grid_sweep(
             raise ConfigurationError(f"axis {name!r} is empty")
     shape = tuple(grids[name].size for name in names)
     if metric_batch is not None:
+        if workers is not None and int(workers) > 1:
+            # One vectorized call has nothing to fan out; an explicit
+            # workers= request deserves the same signal as the
+            # unpicklable-metric fallback below.
+            import warnings
+
+            warnings.warn(
+                f"grid_sweep: workers={workers} has no effect with "
+                "metric_batch= (the batch hook is a single vectorized "
+                "call); pass metric= to parallelize point-wise",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         mesh = np.meshgrid(*(grids[name] for name in names), indexing="ij")
         flat = {
             name: m.reshape(-1) for name, m in zip(names, mesh)
@@ -128,13 +177,37 @@ def grid_sweep(
             )
         values = values.reshape(shape)
         return SweepResult(axes=names, grids=grids, values=values)
+    from ..simulation.runtime import default_worker_count, parallel_map
+
+    explicit = workers is not None
+    workers = default_worker_count() if workers is None else int(workers)
+    if workers > 1 and not _picklable(metric):
+        # Lambdas/closures cannot cross a process boundary; run them
+        # serially instead of letting the pool raise — the environment
+        # worker default must never break a previously valid sweep.  An
+        # explicit workers= request deserves a signal, though.
+        if explicit:
+            import warnings
+
+            warnings.warn(
+                f"grid_sweep: metric {metric!r} is not picklable; "
+                f"ignoring workers={workers} and sweeping serially "
+                "(move the metric to module level to parallelize)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        workers = 0
+    indices = list(itertools.product(*(range(s) for s in shape)))
+    points = [
+        {name: float(grids[name][i]) for name, i in zip(names, index)}
+        for index in indices
+    ]
+    flat_values = parallel_map(
+        functools.partial(_evaluate_sweep_point, metric),
+        points,
+        workers=workers,
+    )
     values = np.full(shape, np.nan)
-    for index in itertools.product(*(range(s) for s in shape)):
-        point = {
-            name: float(grids[name][i]) for name, i in zip(names, index)
-        }
-        try:
-            values[index] = float(metric(**point))
-        except ReproError:
-            values[index] = np.nan
+    for index, value in zip(indices, flat_values):
+        values[index] = value
     return SweepResult(axes=names, grids=grids, values=values)

@@ -120,20 +120,28 @@ def throughput_accuracy_frontier(
     accuracy target and the resulting evaluation time at *bit_rate_hz*.
     Combined with Fig. 6(b)'s probe-power-vs-BER curve this exposes the
     full energy/latency/accuracy exchange.
+
+    Points whose BER bias alone exceeds the error target cannot be
+    rescued by any stream length: they come back flagged ``False`` in
+    the ``feasible`` array with ``evaluation_time_s`` set to ``inf``
+    (their ``stream_length`` stays saturated at the int64 ceiling).
     """
     bers = np.asarray(list(bers), dtype=float)
     if bers.size == 0:
         raise ConfigurationError("need at least one BER")
-    # One vectorized pass over all candidate BERs; infeasible points
-    # saturate to the int64 ceiling exactly like the scalar
-    # stream_length_for_accuracy signals them.
-    lengths_array, _ = _invert_accuracy_model(
+    # One vectorized pass over all candidate BERs.  Infeasible points
+    # used to surface as astronomically large but *finite* evaluation
+    # times, indistinguishable from real ones; keep the feasibility mask
+    # and make the times unmistakably infinite instead.
+    lengths_array, feasible = _invert_accuracy_model(
         target_rms_error, bers, probability
     )
+    times = np.where(feasible, lengths_array / bit_rate_hz, np.inf)
     return {
         "ber": bers,
         "stream_length": lengths_array,
-        "evaluation_time_s": lengths_array / bit_rate_hz,
+        "evaluation_time_s": times,
+        "feasible": feasible,
         "baseline_length": float(
             required_stream_length(target_rms_error * 2.0)
         ),

@@ -13,8 +13,25 @@ utilities for the robustness studies.
 """
 
 from .receiver import OpticalReceiver, ReceiverDecision
-from .engine import BatchEvaluation, simulate_batch
+from .engine import (
+    BatchEvaluation,
+    SeedSchedule,
+    derive_seed_schedule,
+    simulate_batch,
+)
 from .functional import OpticalEvaluation, simulate_evaluation, simulate_sweep
+from .runtime import (
+    ChunkedEvaluation,
+    EvaluationCache,
+    RuntimeConfig,
+    cached_simulate_batch,
+    default_evaluation_cache,
+    default_worker_count,
+    parallel_map,
+    run_batch,
+    simulate_batch_sharded,
+    simulate_chunked,
+)
 from .noise import apply_ber_flips, effective_probability_after_flips
 from .faults import (
     FaultInjector,
@@ -36,9 +53,21 @@ __all__ = [
     "ReceiverDecision",
     "OpticalEvaluation",
     "BatchEvaluation",
+    "SeedSchedule",
+    "derive_seed_schedule",
     "simulate_batch",
     "simulate_evaluation",
     "simulate_sweep",
+    "ChunkedEvaluation",
+    "EvaluationCache",
+    "RuntimeConfig",
+    "cached_simulate_batch",
+    "default_evaluation_cache",
+    "default_worker_count",
+    "parallel_map",
+    "run_batch",
+    "simulate_batch_sharded",
+    "simulate_chunked",
     "apply_ber_flips",
     "effective_probability_after_flips",
     "FaultInjector",

@@ -44,10 +44,19 @@ from ..stochastic.sng import (
 )
 from .receiver import OpticalReceiver
 
-__all__ = ["BatchEvaluation", "simulate_batch", "COEFF_SEED_STRIDE"]
+__all__ = [
+    "BatchEvaluation",
+    "SeedSchedule",
+    "derive_seed_schedule",
+    "simulate_batch",
+    "COEFF_SEED_STRIDE",
+]
 
 COEFF_SEED_STRIDE = 0x9E3779B9
 """Offset separating the coefficient-stream seed space from the data one."""
+
+_DEFAULT_FIXED_SEED = 0x5EED
+_NOISE_SEED_SPACE = 1 << 62
 
 
 @dataclass(frozen=True)
@@ -100,33 +109,217 @@ def _derive_base_seeds(rng: np.random.Generator) -> tuple:
     return data, coeff
 
 
+@dataclass(frozen=True)
+class SeedSchedule:
+    """Explicit per-row seed material for one batch of evaluations.
+
+    Every row of a batch is fully determined by its
+    ``(data_seed, coeff_seed, noise_seed)`` triple (plus the input and
+    the circuit), so a schedule makes the evaluation *relocatable*: the
+    scaling runtime (:mod:`repro.simulation.runtime`) pre-derives one
+    schedule from the caller's rng, then evaluates any row subset on any
+    worker — or any chunk of the stream — and still reassembles results
+    bit-for-bit identical to the serial one-shot call.
+
+    ``noise_seeds[b]`` seeds a **fresh, private** generator for row
+    ``b``'s receiver noise (``default_rng(noise_seeds[b])``), which is
+    what lets chunked evaluation draw the same noise stream in tiles:
+    numpy Generators produce identical normals whether drawn in one call
+    or split across consecutive calls.
+    """
+
+    data_seeds: np.ndarray
+    coeff_seeds: np.ndarray
+    noise_seeds: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("data_seeds", "coeff_seeds", "noise_seeds"):
+            array = np.atleast_1d(np.asarray(getattr(self, name), dtype=np.int64))
+            object.__setattr__(self, name, array)
+        if not (
+            self.data_seeds.shape
+            == self.coeff_seeds.shape
+            == self.noise_seeds.shape
+        ) or self.data_seeds.ndim != 1:
+            raise ConfigurationError(
+                "schedule seed arrays must be 1-D and equally sized"
+            )
+
+    @property
+    def batch_size(self) -> int:
+        """Number of rows this schedule covers."""
+        return int(self.data_seeds.size)
+
+    def shard(self, start: int, stop: int) -> "SeedSchedule":
+        """The sub-schedule for rows ``[start, stop)``."""
+        if not 0 <= start < stop <= self.batch_size:
+            raise ConfigurationError(
+                f"invalid shard [{start}, {stop}) for batch of {self.batch_size}"
+            )
+        return SeedSchedule(
+            data_seeds=self.data_seeds[start:stop],
+            coeff_seeds=self.coeff_seeds[start:stop],
+            noise_seeds=self.noise_seeds[start:stop],
+        )
+
+    def row_noise_rng(self, row: int) -> np.random.Generator:
+        """The private receiver-noise generator of one row."""
+        return np.random.default_rng(int(self.noise_seeds[row]))
+
+
+def derive_seed_schedule(
+    batch: int,
+    rng: Optional[np.random.Generator] = None,
+    sng_kind: str = "lfsr",
+    base_seed: Optional[int] = None,
+) -> SeedSchedule:
+    """Pre-draw the per-row seed triples for a *batch*-row evaluation.
+
+    With ``base_seed`` given the schedule is **fully deterministic**
+    (``rng`` is ignored): every row reuses the fixed SNG seed pair, and
+    the noise seeds are derived from ``base_seed`` alone — this is what
+    makes noisy runs cacheable.  Otherwise the per-row protocol consumes
+    *rng* as ``(data seed, coeff seed, noise seed)`` per row.
+    """
+    if batch <= 0:
+        raise ConfigurationError(f"batch must be positive, got {batch!r}")
+    if sng_kind not in SNG_KINDS:
+        raise ConfigurationError(
+            f"unknown SNG kind {sng_kind!r}; expected one of {SNG_KINDS}"
+        )
+    _validate_base_seed(base_seed)
+    seeded = sng_kind != "counter"
+    data_seeds = np.empty(batch, dtype=np.int64)
+    coeff_seeds = np.empty(batch, dtype=np.int64)
+    noise_seeds = np.empty(batch, dtype=np.int64)
+    if base_seed is not None:
+        fixed = int(base_seed)
+        data_seeds[:] = fixed
+        coeff_seeds[:] = fixed + COEFF_SEED_STRIDE
+        noise_seeds[:] = np.random.default_rng(
+            [fixed, _DEFAULT_FIXED_SEED]
+        ).integers(0, _NOISE_SEED_SPACE, batch)
+        return SeedSchedule(data_seeds, coeff_seeds, noise_seeds)
+    rng = rng or np.random.default_rng(0xD47E)
+    for row in range(batch):
+        if seeded:
+            data_seeds[row], coeff_seeds[row] = _derive_base_seeds(rng)
+        else:
+            data_seeds[row] = _DEFAULT_FIXED_SEED
+            coeff_seeds[row] = _DEFAULT_FIXED_SEED + COEFF_SEED_STRIDE
+        noise_seeds[row] = int(rng.integers(0, _NOISE_SEED_SPACE))
+    return SeedSchedule(data_seeds, coeff_seeds, noise_seeds)
+
+
+def _validate_base_seed(base_seed: Optional[int]) -> None:
+    """Reject the negative seeds the scalar factory path refuses.
+
+    A negative ``base_seed`` used to wrap silently through the uint64
+    cast in :func:`van_der_corput` (sobol) and the modulus in
+    :func:`derive_lfsr_seeds`, while ``make_independent_sngs`` raised on
+    the derived negative ``bit_offset`` — the batched and scalar paths
+    must fail identically instead.
+    """
+    if base_seed is not None and int(base_seed) < 0:
+        raise ConfigurationError(
+            f"base_seed must be >= 0, got {base_seed!r}"
+        )
+
+
+def _validate_sng_width(sng_kind: str, sng_width: int) -> None:
+    """Per-kind width validation matching the scalar constructors.
+
+    The sobol batched path feeds ``sng_width`` straight into
+    :func:`van_der_corput`, which accepts any bit count — while the
+    scalar :class:`repro.stochastic.sng.SobolLikeSNG` enforces
+    ``bits in [1, 30]``.  ``sng_width=32`` would silently produce wrong
+    samples batched but raise scalar; validate here so both paths raise
+    the same :class:`ConfigurationError`.  (The lfsr path already fails
+    identically through the shared tap-table validation; counter and
+    chaotic randomizers ignore the width.)
+    """
+    if sng_kind == "sobol" and not 1 <= int(sng_width) <= 30:
+        raise ConfigurationError(
+            f"sng_width must be in [1, 30] for the sobol randomizer, "
+            f"got {sng_width!r}"
+        )
+
+
 def _batch_uniforms(
     kind: str,
     base_seeds: np.ndarray,
     channel_count: int,
     length: int,
     width: int,
+    offset: int = 0,
 ) -> np.ndarray:
     """Comparator sample tensor ``(B, channel_count, length)`` for *kind*.
 
     Row ``b``, channel ``c`` holds exactly the uniform samples the
     scalar path's ``make_independent_sngs(channel_count, kind,
-    base_seed=base_seeds[b])[c]`` would compare against.
+    base_seed=base_seeds[b])[c]`` would compare against.  With *offset*
+    the samples start ``offset`` clocks into each stream (the chunked
+    runtime's resume hook; lfsr and sobol only — chaotic streams resume
+    by carrying raw orbit state instead, see
+    :class:`repro.simulation.runtime._UniformCursor`).
     """
     if kind == "lfsr":
         seeds = derive_lfsr_seeds(base_seeds, channel_count, width)
-        return lfsr_uniform_windows(seeds, length, width)
+        return lfsr_uniform_windows(seeds, length, width, offset=offset)
     if kind == "sobol":
         offsets = derive_sobol_offsets(base_seeds, channel_count)
-        indices = offsets[:, :, None] + np.arange(length, dtype=np.int64)
+        indices = offsets[:, :, None] + (
+            offset + np.arange(length, dtype=np.int64)
+        )
         return van_der_corput(indices, width)
     if kind == "chaotic":
+        if offset != 0:
+            raise ConfigurationError(
+                "chaotic streams cannot be resumed by offset; carry the "
+                "orbit state instead"
+            )
         intensities = derive_chaotic_intensities(base_seeds, channel_count)
         warmups = np.asarray(
             [chaotic_warmup(c) for c in range(channel_count)], dtype=np.int64
         )
         return chaotic_orbit(intensities, warmups[None, :], length)
     raise ConfigurationError(f"unknown SNG kind {kind!r}")
+
+
+def _optical_pass(circuit, data_bits, coeff_bits, noise_a) -> tuple:
+    """Steps 3-4 of the pipeline for one ``(B, C, L)`` bit-tensor tile.
+
+    Returns ``(powers, output_bits, ideal_bits, levels)``; shared by the
+    one-shot batch evaluation and the chunked streaming runtime so the
+    two stay bit-for-bit identical per tile.
+    """
+    batch, _, length = data_bits.shape
+    channel_count = coeff_bits.shape[1]
+    levels = data_bits.sum(axis=1, dtype=np.int64)
+    pattern_index = np.zeros((batch, length), dtype=np.int64)
+    for channel in range(channel_count):
+        pattern_index |= coeff_bits[:, channel, :].astype(np.int64) << channel
+    table = circuit.model.received_power_table_mw()  # (patterns, levels)
+    powers = table[pattern_index, levels]
+
+    budget = circuit.link_budget()
+    if not budget.bands_separated:
+        raise SimulationError(
+            "link budget bands overlap: the circuit cannot distinguish "
+            "'0' from '1' at this design point"
+        )
+    receiver = OpticalReceiver.from_power_bands(
+        circuit.params.detector,
+        zero_level_mw=budget.zero_band_mw[1],
+        one_level_mw=budget.one_band_mw[0],
+    )
+    output_bits, _ = receiver.decide_batch(powers, noise_a=noise_a)
+
+    # Reference: the bits the ideal (electronic) multiplexer would pick.
+    ideal_bits = np.take_along_axis(coeff_bits, levels[:, None, :], axis=1)[
+        :, 0, :
+    ]
+    return powers, output_bits, np.ascontiguousarray(ideal_bits), levels
 
 
 def simulate_batch(
@@ -138,6 +331,7 @@ def simulate_batch(
     sng_kind: str = "lfsr",
     base_seed: Optional[int] = None,
     sng_width: int = 16,
+    schedule: Optional[SeedSchedule] = None,
 ) -> BatchEvaluation:
     """Run the optical circuit on every input in *xs* in one array pass.
 
@@ -164,26 +358,16 @@ def simulate_batch(
         (the pre-engine behaviour, useful for exact reproducibility).
     sng_width:
         LFSR register width / comparator resolution in bits.
+    schedule:
+        Explicit per-row :class:`SeedSchedule` (from
+        :func:`derive_seed_schedule`).  When given, *rng* and
+        *base_seed* are ignored: SNG seeds come from the schedule and
+        each row's receiver noise from its private seeded generator —
+        the relocatable protocol the sharded/chunked runtime relies on.
     """
-    from ..core.circuit import OpticalStochasticCircuit
-
-    if not isinstance(circuit, OpticalStochasticCircuit):
-        raise ConfigurationError(
-            "circuit must be an OpticalStochasticCircuit"
-        )
-    xs = np.atleast_1d(np.asarray(xs, dtype=float))
-    if xs.ndim != 1 or xs.size == 0:
-        raise ConfigurationError("xs must be a non-empty 1-D array")
-    if not np.all((xs >= 0.0) & (xs <= 1.0)):  # also rejects NaN
-        raise ConfigurationError("x must be in [0, 1]")
-    if length <= 0:
-        raise ConfigurationError(f"length must be positive, got {length!r}")
-    if sng_kind not in SNG_KINDS:
-        raise ConfigurationError(
-            f"unknown SNG kind {sng_kind!r}; expected one of {SNG_KINDS}"
-        )
-    rng = rng or np.random.default_rng(0xD47E)
-
+    xs = _validate_batch_inputs(
+        circuit, xs, length, sng_kind, base_seed, sng_width
+    )
     params = circuit.params
     order = params.order
     batch = xs.size
@@ -191,23 +375,41 @@ def simulate_batch(
     channel_count = order + 1
     noise_sigma = params.detector.noise_current_a
 
-    # Per-row rng protocol, interleaved exactly like a scalar loop would
-    # consume the generator: (data seed, coefficient seed, noise block)
-    # per evaluation.  Keeping this order is what makes the batched and
-    # per-evaluation paths bit-for-bit identical under a shared rng.
-    seeded = sng_kind != "counter"
-    data_seeds = np.empty(batch, dtype=np.int64)
-    coeff_seeds = np.empty(batch, dtype=np.int64)
     noise_a = np.empty((batch, length), dtype=float) if noisy else None
-    for row in range(batch):
-        if base_seed is None and seeded:
-            data_seeds[row], coeff_seeds[row] = _derive_base_seeds(rng)
+    if schedule is not None:
+        if schedule.batch_size != batch:
+            raise ConfigurationError(
+                f"schedule covers {schedule.batch_size} rows but xs has "
+                f"{batch}"
+            )
+        data_seeds = schedule.data_seeds
+        coeff_seeds = schedule.coeff_seeds
         if noisy:
-            noise_a[row] = rng.normal(0.0, noise_sigma, length)
-    if base_seed is not None or not seeded:
-        fixed = int(base_seed) if base_seed is not None else 0x5EED
-        data_seeds[:] = fixed
-        coeff_seeds[:] = fixed + COEFF_SEED_STRIDE
+            for row in range(batch):
+                noise_a[row] = schedule.row_noise_rng(row).normal(
+                    0.0, noise_sigma, length
+                )
+    else:
+        # Per-row rng protocol, interleaved exactly like a scalar loop
+        # would consume the generator: (data seed, coefficient seed,
+        # noise block) per evaluation.  Keeping this order is what makes
+        # the batched and per-evaluation paths bit-for-bit identical
+        # under a shared rng.
+        rng = rng or np.random.default_rng(0xD47E)
+        seeded = sng_kind != "counter"
+        data_seeds = np.empty(batch, dtype=np.int64)
+        coeff_seeds = np.empty(batch, dtype=np.int64)
+        for row in range(batch):
+            if base_seed is None and seeded:
+                data_seeds[row], coeff_seeds[row] = _derive_base_seeds(rng)
+            if noisy:
+                noise_a[row] = rng.normal(0.0, noise_sigma, length)
+        if base_seed is not None or not seeded:
+            fixed = (
+                int(base_seed) if base_seed is not None else _DEFAULT_FIXED_SEED
+            )
+            data_seeds[:] = fixed
+            coeff_seeds[:] = fixed + COEFF_SEED_STRIDE
 
     # 1-2. randomizers: data streams for the MZIs, coefficient streams
     # for the MRRs, as (B, channels, L) bit tensors.
@@ -227,35 +429,10 @@ def simulate_batch(
         data_bits = (data_u < xs[:, None, None]).astype(np.uint8)
         coeff_bits = (coeff_u < coefficients[None, :, None]).astype(np.uint8)
 
-    # 3. per-clock optics: adder level from the MZI ones-count, pattern
-    # from the coefficients; received power via the Eq. 6 table as one
-    # (B, L) fancy-index.
-    levels = data_bits.sum(axis=1, dtype=np.int64)
-    pattern_index = np.zeros((batch, length), dtype=np.int64)
-    for channel in range(channel_count):
-        pattern_index |= coeff_bits[:, channel, :].astype(np.int64) << channel
-    table = circuit.model.received_power_table_mw()  # (patterns, levels)
-    powers = table[pattern_index, levels]
-
-    # 4. receiver: midpoint threshold from the link budget bands, the
-    # whole batch sliced at once.
-    budget = circuit.link_budget()
-    if not budget.bands_separated:
-        raise SimulationError(
-            "link budget bands overlap: the circuit cannot distinguish "
-            "'0' from '1' at this design point"
-        )
-    receiver = OpticalReceiver.from_power_bands(
-        params.detector,
-        zero_level_mw=budget.zero_band_mw[1],
-        one_level_mw=budget.one_band_mw[0],
+    # 3-4. per-clock optics + receiver, shared with the chunked runtime.
+    powers, output_bits, ideal_bits, levels = _optical_pass(
+        circuit, data_bits, coeff_bits, noise_a
     )
-    output_bits, _ = receiver.decide_batch(powers, noise_a=noise_a)
-
-    # Reference: the bits the ideal (electronic) multiplexer would pick.
-    ideal_bits = np.take_along_axis(coeff_bits, levels[:, None, :], axis=1)[
-        :, 0, :
-    ]
 
     values = output_bits.mean(axis=1)
     # Vectorized de Casteljau is elementwise: identical floats to calling
@@ -268,6 +445,32 @@ def simulate_batch(
         stream_length=int(length),
         received_power_mw=powers,
         output_bits=output_bits,
-        ideal_bits=np.ascontiguousarray(ideal_bits),
+        ideal_bits=ideal_bits,
         select_levels=levels,
     )
+
+
+def _validate_batch_inputs(
+    circuit, xs, length, sng_kind, base_seed, sng_width
+) -> np.ndarray:
+    """Shared entry validation of the one-shot and runtime batch paths."""
+    from ..core.circuit import OpticalStochasticCircuit
+
+    if not isinstance(circuit, OpticalStochasticCircuit):
+        raise ConfigurationError(
+            "circuit must be an OpticalStochasticCircuit"
+        )
+    xs = np.atleast_1d(np.asarray(xs, dtype=float))
+    if xs.ndim != 1 or xs.size == 0:
+        raise ConfigurationError("xs must be a non-empty 1-D array")
+    if not np.all((xs >= 0.0) & (xs <= 1.0)):  # also rejects NaN
+        raise ConfigurationError("x must be in [0, 1]")
+    if length <= 0:
+        raise ConfigurationError(f"length must be positive, got {length!r}")
+    if sng_kind not in SNG_KINDS:
+        raise ConfigurationError(
+            f"unknown SNG kind {sng_kind!r}; expected one of {SNG_KINDS}"
+        )
+    _validate_base_seed(base_seed)
+    _validate_sng_width(sng_kind, sng_width)
+    return xs

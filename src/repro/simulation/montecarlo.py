@@ -12,6 +12,7 @@ for the calibration controller.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, replace
 from typing import Optional
 
@@ -82,20 +83,41 @@ def _perturbed_params(params, ring_offset_nm: float, filter_offset_nm: float):
     return replace(params, grid=shifted)
 
 
+def _corner_eye_mw(params, offsets_nm: tuple) -> float:
+    """Worst-case eye of one fabrication corner (picklable for pools).
+
+    Mapped as ``functools.partial(_corner_eye_mw, params)`` so the
+    parameter bundle is pickled once per pool chunk and each corner
+    payload is just its two float offsets.
+    """
+    from ..core.snr import worst_case_eye
+
+    ring_offset_nm, filter_offset_nm = offsets_nm
+    corner = _perturbed_params(params, ring_offset_nm, filter_offset_nm)
+    return float(worst_case_eye(corner).opening)
+
+
 def run_monte_carlo(
     params,
     variation: VariationModel = VariationModel(),
     samples: int = 200,
     rng: Optional[np.random.Generator] = None,
+    workers: Optional[int] = None,
 ) -> MonteCarloResult:
     """Sample fabrication corners and evaluate the worst-case eye of each.
 
     A corner *yields* when its '1'/'0' received-power bands stay
     disjoint (eye > 0), i.e. the circuit still executes SC correctly
     without recalibration.
+
+    Corner evaluations are independent, so they fan out across the
+    runtime's process pool when *workers* > 1 (default: the
+    ``REPRO_RUNTIME_WORKERS`` environment setting).  All corner offsets
+    are drawn up front from *rng*, so the sharded and serial runs
+    produce identical eyes for the same seed.
     """
     from ..core.params import OpticalSCParameters
-    from ..core.snr import worst_case_eye
+    from .runtime import parallel_map
 
     if not isinstance(params, OpticalSCParameters):
         raise ConfigurationError("params must be OpticalSCParameters")
@@ -115,12 +137,16 @@ def run_monte_carlo(
     shift = params.ring_profile.modulation_shift_nm
     ring_offsets = np.clip(offsets[:, 0], -0.8 * shift, 0.8 * shift)
     filter_offsets = offsets[:, 1]
-    eyes = np.empty(samples)
-    for index in range(samples):
-        corner = _perturbed_params(
-            params, float(ring_offsets[index]), float(filter_offsets[index])
-        )
-        eyes[index] = worst_case_eye(corner).opening
+    corners = [
+        (float(ring_offsets[index]), float(filter_offsets[index]))
+        for index in range(samples)
+    ]
+    eyes = np.asarray(
+        parallel_map(
+            functools.partial(_corner_eye_mw, params), corners, workers=workers
+        ),
+        dtype=float,
+    )
     return MonteCarloResult(
         eye_openings_mw=eyes,
         yield_fraction=float(np.mean(eyes > 0.0)),

@@ -1,0 +1,944 @@
+"""Scaling runtime over the batched engine: sharding, chunking, caching.
+
+PR 1 made ``(B, L)`` whole-vector evaluation the unit of work, but one
+:func:`~repro.simulation.engine.simulate_batch` call still runs on a
+single core and materializes the full ``(B, L)`` power/bit tensors.
+This module is the scaling layer above the engine:
+
+* **Row-wise sharding** (:func:`simulate_batch_sharded`): per-row
+  ``(data_seed, coeff_seed, noise_seed)`` triples are pre-derived into a
+  :class:`~repro.simulation.engine.SeedSchedule`, shards of rows are
+  shipped to a process (or thread) pool, and the shard results are
+  reassembled into a :class:`~repro.simulation.engine.BatchEvaluation`
+  that is **bit-for-bit identical** to the single-process call under the
+  same schedule — every row is fully determined by its seed triple, so
+  rows are relocatable across workers.
+* **Chunked streaming** (:func:`simulate_chunked`): very long streams
+  (``length >> 2**20``, the ``O(1/N)``-convergence regime that motivates
+  low-discrepancy and chaotic-laser randomizers) are evaluated in
+  ``(B, chunk)`` tiles with running accumulators — ones count, link
+  bit-error count, optional received-power histogram — so memory stays
+  bounded by the tile size while the accumulated statistics stay
+  bit-exact with the one-shot pass.  LFSR/Sobol/counter streams resume
+  by index offset; chaotic orbits resume by carrying raw map state.
+* **Keyed evaluation cache** (:class:`EvaluationCache`,
+  :func:`cached_simulate_batch`): repeated exploration sweeps over the
+  same ``circuit fingerprint x sng_kind x base_seed x sng_width x
+  length x inputs`` skip recomputation entirely.  Cacheable runs derive
+  their receiver-noise seeds from ``base_seed`` so even noisy results
+  are deterministic.
+* **Generic parallel map** (:func:`parallel_map`): the process-pool
+  primitive the exploration grid sweep and the Monte Carlo corner loop
+  share.
+
+:func:`run_batch` bundles the knobs behind one dispatcher
+(:class:`RuntimeConfig`); ``REPRO_RUNTIME_WORKERS`` sets the default
+worker count process-wide (``auto`` = one per CPU).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import multiprocessing
+import os
+import sys
+import threading
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..stochastic.bitstream import exact_bit_window
+from ..stochastic.lfsr import LFSR, _TABLE_MAX_WIDTH
+from ..stochastic.sng import (
+    chaotic_orbit,
+    chaotic_warmup,
+    derive_chaotic_intensities,
+    derive_lfsr_seeds,
+)
+from .engine import (
+    BatchEvaluation,
+    SeedSchedule,
+    _batch_uniforms,
+    _optical_pass,
+    _validate_batch_inputs,
+    derive_seed_schedule,
+    simulate_batch,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ChunkedEvaluation",
+    "EvaluationCache",
+    "RuntimeConfig",
+    "cached_simulate_batch",
+    "default_evaluation_cache",
+    "default_worker_count",
+    "parallel_map",
+    "run_batch",
+    "simulate_batch_sharded",
+    "simulate_chunked",
+]
+
+BACKENDS = ("process", "thread")
+"""Execution backends for sharded evaluation and :func:`parallel_map`."""
+
+_WORKERS_ENV = "REPRO_RUNTIME_WORKERS"
+
+
+def default_worker_count() -> int:
+    """Worker count from ``REPRO_RUNTIME_WORKERS`` (0 = in-process serial).
+
+    ``auto`` maps to one worker per CPU; anything unparsable maps to 0 so
+    a stray environment value can never break an evaluation.
+    """
+    raw = os.environ.get(_WORKERS_ENV, "").strip().lower()
+    if not raw:
+        return 0
+    if raw == "auto":
+        return os.cpu_count() or 1
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return 0
+
+
+def _validate_backend(backend: str) -> str:
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
+def _pool_context():
+    """Prefer fork (cheap workers, inherited caches) where safe.
+
+    Only on Linux — macOS keeps spawn as its default precisely because
+    forking there can crash/deadlock inside system frameworks — and only
+    while no extra Python thread is alive, since forking a
+    multi-threaded process can deadlock the child on locks held by
+    other threads (the reason CPython is moving away from fork as a
+    default).  Everywhere else, honor the platform default.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if (
+        sys.platform.startswith("linux")
+        and "fork" in methods
+        and threading.active_count() <= 1
+    ):
+        return multiprocessing.get_context("fork")
+    # Never fall back to a fork default (Linux <= 3.13) once the fast
+    # path was refused: pick an explicitly fork-free start method.
+    for method in ("forkserver", "spawn"):
+        if method in methods:
+            return multiprocessing.get_context(method)
+    return multiprocessing.get_context()
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    workers: Optional[int] = None,
+    backend: str = "process",
+) -> List:
+    """Ordered ``[fn(item) for item in items]`` over a worker pool.
+
+    The shared fan-out primitive behind sharded evaluation, the
+    exploration grid sweep and the Monte Carlo corner loop.  With
+    ``workers`` at most 1 (or a single item) the map runs in-process —
+    no pool, no pickling, bit-identical results either way.  *fn* and
+    the items must be picklable for the ``process`` backend (module-level
+    functions, plain data).
+    """
+    _validate_backend(backend)
+    items = list(items)
+    workers = default_worker_count() if workers is None else int(workers)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    workers = min(workers, len(items))
+    if backend == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+    chunksize = max(1, math.ceil(len(items) / workers))
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=_pool_context()
+    ) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))
+
+
+# -- row-wise sharding ---------------------------------------------------------
+
+
+def _shard_bounds(batch: int, workers: int) -> List[tuple]:
+    """Contiguous, near-equal row ranges covering ``[0, batch)``."""
+    shard_count = min(workers, batch)
+    size = batch // shard_count
+    remainder = batch % shard_count
+    bounds, start = [], 0
+    for index in range(shard_count):
+        stop = start + size + (1 if index < remainder else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def _map_row_shards(
+    worker: Callable,
+    payload_builder: Callable,
+    xs: np.ndarray,
+    schedule: SeedSchedule,
+    workers: int,
+    backend: str,
+) -> List:
+    """Fan one row-sharded evaluation out over the pool, order preserved.
+
+    ``payload_builder(xs_shard, schedule_shard)`` produces each worker's
+    payload — the single place the shard layout is decided for both the
+    one-shot and the chunked sharded paths.
+    """
+    payloads = [
+        payload_builder(xs[lo:hi], schedule.shard(lo, hi))
+        for lo, hi in _shard_bounds(xs.size, workers)
+    ]
+    return parallel_map(worker, payloads, workers=workers, backend=backend)
+
+
+def _shard_worker(payload: tuple) -> BatchEvaluation:
+    """Evaluate one row shard (module-level so process pools can pickle it)."""
+    circuit, xs, length, noisy, sng_kind, sng_width, schedule = payload
+    return simulate_batch(
+        circuit,
+        xs,
+        length=length,
+        noisy=noisy,
+        sng_kind=sng_kind,
+        sng_width=sng_width,
+        schedule=schedule,
+    )
+
+
+def _concatenate_batches(
+    shards: Sequence[BatchEvaluation], length: int
+) -> BatchEvaluation:
+    """Reassemble shard results into one batch, row order preserved."""
+    return BatchEvaluation(
+        xs=np.concatenate([s.xs for s in shards]),
+        values=np.concatenate([s.values for s in shards]),
+        expected=np.concatenate([s.expected for s in shards]),
+        stream_length=int(length),
+        received_power_mw=np.concatenate(
+            [s.received_power_mw for s in shards], axis=0
+        ),
+        output_bits=np.concatenate([s.output_bits for s in shards], axis=0),
+        ideal_bits=np.concatenate([s.ideal_bits for s in shards], axis=0),
+        select_levels=np.concatenate([s.select_levels for s in shards], axis=0),
+    )
+
+
+def simulate_batch_sharded(
+    circuit,
+    xs,
+    length: int = 1024,
+    rng: Optional[np.random.Generator] = None,
+    noisy: bool = True,
+    sng_kind: str = "lfsr",
+    base_seed: Optional[int] = None,
+    sng_width: int = 16,
+    workers: Optional[int] = None,
+    backend: str = "process",
+    schedule: Optional[SeedSchedule] = None,
+) -> BatchEvaluation:
+    """Row-sharded :func:`~repro.simulation.engine.simulate_batch`.
+
+    Pre-derives the per-row seed schedule from *rng* (or takes an
+    explicit *schedule*), splits the rows into up to *workers* contiguous
+    shards, evaluates them on a worker pool, and reassembles the result.
+    Because every row is fully determined by its seed triple, the
+    reassembled :class:`~repro.simulation.engine.BatchEvaluation` is
+    bit-for-bit identical to ``simulate_batch(..., schedule=schedule)``
+    run serially — sharding is a pure wall-clock optimization.
+
+    ``workers`` defaults to ``REPRO_RUNTIME_WORKERS`` (0 = serial).  The
+    ``thread`` backend avoids inter-process copies and suits workloads
+    dominated by GIL-releasing numpy kernels; ``process`` (default) is
+    immune to the GIL entirely.
+    """
+    _validate_backend(backend)
+    xs = _validate_batch_inputs(
+        circuit, xs, length, sng_kind, base_seed, sng_width
+    )
+    batch = xs.size
+    if schedule is None:
+        schedule = derive_seed_schedule(
+            batch, rng=rng, sng_kind=sng_kind, base_seed=base_seed
+        )
+    elif schedule.batch_size != batch:
+        raise ConfigurationError(
+            f"schedule covers {schedule.batch_size} rows but xs has {batch}"
+        )
+    workers = default_worker_count() if workers is None else int(workers)
+    if workers <= 1 or batch == 1:
+        return simulate_batch(
+            circuit,
+            xs,
+            length=length,
+            noisy=noisy,
+            sng_kind=sng_kind,
+            sng_width=sng_width,
+            schedule=schedule,
+        )
+    shards = _map_row_shards(
+        _shard_worker,
+        lambda xs_shard, schedule_shard: (
+            circuit,
+            xs_shard,
+            length,
+            noisy,
+            sng_kind,
+            sng_width,
+            schedule_shard,
+        ),
+        xs,
+        schedule,
+        workers,
+        backend,
+    )
+    return _concatenate_batches(shards, length)
+
+
+# -- chunked streaming ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChunkedEvaluation:
+    """Accumulated statistics of a tile-streamed evaluation.
+
+    Holds only ``O(batch)`` state (plus the optional fixed-size power
+    histogram) no matter how long the stream was; the per-clock tensors
+    existed one ``(B, chunk)`` tile at a time.  All counters are
+    bit-exact with what the one-shot
+    :class:`~repro.simulation.engine.BatchEvaluation` of the same seed
+    schedule would report.
+    """
+
+    xs: np.ndarray
+    expected: np.ndarray
+    stream_length: int
+    chunk_length: int
+    chunk_count: int
+    ones_count: np.ndarray
+    transmission_bit_errors: np.ndarray
+    power_histogram: Optional[np.ndarray] = None
+    power_bin_edges: Optional[np.ndarray] = None
+
+    @property
+    def batch_size(self) -> int:
+        """Number of evaluations in the batch."""
+        return int(self.xs.size)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Per-row de-randomized outputs (ones fraction)."""
+        return self.ones_count / self.stream_length
+
+    @property
+    def absolute_errors(self) -> np.ndarray:
+        """Per-row ``|value - expected|``."""
+        return np.abs(self.values - self.expected)
+
+    @property
+    def mean_absolute_error(self) -> float:
+        """Batch-mean ``|value - expected|`` (the accuracy-sweep metric)."""
+        return float(np.mean(self.absolute_errors))
+
+    @property
+    def transmission_ber(self) -> np.ndarray:
+        """Per-row observed link bit-error rate."""
+        return self.transmission_bit_errors / self.stream_length
+
+
+class _UniformCursor:
+    """Resumable comparator-sample source for one seeded randomizer bank.
+
+    ``take(offset, count)`` returns the ``(B, channels, count)`` slab of
+    uniforms covering stream clocks ``[offset, offset + count)`` —
+    bit-for-bit the same floats the one-shot engine tensor holds at
+    those columns.  Table-cached LFSRs and Sobol streams are pure index
+    maps, so any offset is a cheap re-aim; chaotic orbits and LFSRs too
+    wide for the cycle table are iterated state machines, so the cursor
+    carries their state forward (raw logistic-map intensities, live
+    registers) and only supports the sequential chunk order the
+    streaming loop issues — re-stepping ``offset`` states per tile would
+    make long streams quadratic.
+    """
+
+    def __init__(self, kind: str, base_seeds, channel_count: int, width: int):
+        self._kind = kind
+        self._seeds = np.asarray(base_seeds, dtype=np.int64)
+        self._channels = int(channel_count)
+        self._width = int(width)
+        self._next_offset = 0
+        self._registers = None
+        if kind == "chaotic":
+            self._state = derive_chaotic_intensities(
+                self._seeds, self._channels
+            )
+            self._warmups = np.asarray(
+                [chaotic_warmup(c) for c in range(self._channels)],
+                dtype=np.int64,
+            )[None, :]
+        elif kind == "lfsr" and self._width > _TABLE_MAX_WIDTH:
+            seeds = derive_lfsr_seeds(
+                self._seeds, self._channels, self._width
+            )
+            self._registers = [
+                [LFSR(self._width, int(seed)) for seed in row]
+                for row in seeds
+            ]
+
+    def _check_sequential(self, offset: int) -> None:
+        if offset != self._next_offset:
+            raise ConfigurationError(
+                "stateful streams resume sequentially: expected offset "
+                f"{self._next_offset}, got {offset}"
+            )
+
+    def take(self, offset: int, count: int) -> np.ndarray:
+        if self._registers is not None:
+            # Wide registers step live state instead of replaying
+            # `offset` states from the seed on every tile.
+            self._check_sequential(offset)
+            out = np.empty(
+                (self._seeds.size, self._channels, count), dtype=float
+            )
+            for b, row in enumerate(self._registers):
+                for c, register in enumerate(row):
+                    out[b, c] = register.uniform(count)
+            self._next_offset = offset + count
+            return out
+        if self._kind != "chaotic":
+            return _batch_uniforms(
+                self._kind,
+                self._seeds,
+                self._channels,
+                count,
+                self._width,
+                offset=offset,
+            )
+        self._check_sequential(offset)
+        warmups = self._warmups if offset == 0 else 0
+        uniforms, self._state = chaotic_orbit(
+            self._state, warmups, count, return_state=True
+        )
+        self._next_offset = offset + count
+        return uniforms
+
+
+def _chunked_shard_worker(payload: tuple) -> ChunkedEvaluation:
+    """Stream one row shard (module-level so process pools can pickle it)."""
+    (
+        circuit,
+        xs,
+        length,
+        chunk_length,
+        noisy,
+        sng_kind,
+        sng_width,
+        schedule,
+        bins,
+    ) = payload
+    return simulate_chunked(
+        circuit,
+        xs,
+        length=length,
+        chunk_length=chunk_length,
+        noisy=noisy,
+        sng_kind=sng_kind,
+        sng_width=sng_width,
+        schedule=schedule,
+        power_histogram_bins=bins,
+        workers=0,
+    )
+
+
+def _concatenate_chunked(
+    shards: Sequence[ChunkedEvaluation],
+) -> ChunkedEvaluation:
+    """Reassemble row-sharded streaming results, row order preserved."""
+    first = shards[0]
+    histogram = first.power_histogram
+    if histogram is not None:
+        histogram = np.sum([s.power_histogram for s in shards], axis=0)
+    return ChunkedEvaluation(
+        xs=np.concatenate([s.xs for s in shards]),
+        expected=np.concatenate([s.expected for s in shards]),
+        stream_length=first.stream_length,
+        chunk_length=first.chunk_length,
+        chunk_count=first.chunk_count,
+        ones_count=np.concatenate([s.ones_count for s in shards]),
+        transmission_bit_errors=np.concatenate(
+            [s.transmission_bit_errors for s in shards]
+        ),
+        power_histogram=histogram,
+        power_bin_edges=first.power_bin_edges,
+    )
+
+
+def simulate_chunked(
+    circuit,
+    xs,
+    length: int = 1 << 21,
+    chunk_length: int = 1 << 16,
+    rng: Optional[np.random.Generator] = None,
+    noisy: bool = True,
+    sng_kind: str = "lfsr",
+    base_seed: Optional[int] = None,
+    sng_width: int = 16,
+    schedule: Optional[SeedSchedule] = None,
+    power_histogram_bins: int = 0,
+    workers: Optional[int] = None,
+    backend: str = "process",
+) -> ChunkedEvaluation:
+    """Stream a long evaluation through ``(B, chunk_length)`` tiles.
+
+    Peak memory is bounded by the tile size instead of the stream
+    length, so ``length >> 2**20`` runs (the regime where the Sobol and
+    chaotic randomizers' ``O(1/N)`` convergence pays off) stay cheap.
+    The accumulated statistics — ones count, link bit-error count, and
+    the optional received-power histogram over *power_histogram_bins*
+    equal-width bins spanning the Eq. 6 table range — are **bit-exact**
+    with a one-shot ``simulate_batch(..., schedule=schedule)`` of the
+    same seed schedule: tiles reuse the engine's own optical pass, and
+    every randomizer resumes exactly (index offsets for LFSR/Sobol/
+    counter, carried orbit state for chaotic; receiver noise continues
+    from per-row seeded generators, which numpy draws identically
+    whether in one call or split across tiles).
+
+    Chunking composes with sharding: ``workers > 1`` (default: the
+    ``REPRO_RUNTIME_WORKERS`` environment setting, like every runtime
+    entry point) streams row shards on a worker pool (each worker
+    bounded by its own tile), and the reassembled accumulators are
+    identical to the serial streaming run — rows are independent under
+    the schedule, and per-shard histograms share the table-derived bin
+    edges so they sum exactly.
+    """
+    _validate_backend(backend)
+    xs = _validate_batch_inputs(
+        circuit, xs, length, sng_kind, base_seed, sng_width
+    )
+    if chunk_length <= 0:
+        raise ConfigurationError(
+            f"chunk_length must be positive, got {chunk_length!r}"
+        )
+    if power_histogram_bins < 0:
+        raise ConfigurationError(
+            f"power_histogram_bins must be >= 0, got {power_histogram_bins!r}"
+        )
+    batch = xs.size
+    if schedule is None:
+        schedule = derive_seed_schedule(
+            batch, rng=rng, sng_kind=sng_kind, base_seed=base_seed
+        )
+    elif schedule.batch_size != batch:
+        raise ConfigurationError(
+            f"schedule covers {schedule.batch_size} rows but xs has {batch}"
+        )
+    workers = default_worker_count() if workers is None else int(workers)
+    if workers > 1 and batch > 1:
+        shards = _map_row_shards(
+            _chunked_shard_worker,
+            lambda xs_shard, schedule_shard: (
+                circuit,
+                xs_shard,
+                length,
+                chunk_length,
+                noisy,
+                sng_kind,
+                sng_width,
+                schedule_shard,
+                power_histogram_bins,
+            ),
+            xs,
+            schedule,
+            workers,
+            backend,
+        )
+        return _concatenate_chunked(shards)
+    params = circuit.params
+    order = params.order
+    channel_count = order + 1
+    coefficients = np.asarray(circuit.polynomial.coefficients, dtype=float)
+    noise_sigma = params.detector.noise_current_a
+
+    if sng_kind != "counter":
+        data_cursor = _UniformCursor(
+            sng_kind, schedule.data_seeds, order, sng_width
+        )
+        coeff_cursor = _UniformCursor(
+            sng_kind, schedule.coeff_seeds, channel_count, sng_width
+        )
+    noise_rngs = (
+        [schedule.row_noise_rng(row) for row in range(batch)] if noisy else None
+    )
+
+    ones_count = np.zeros(batch, dtype=np.int64)
+    error_count = np.zeros(batch, dtype=np.int64)
+    histogram = edges = None
+    if power_histogram_bins:
+        table = circuit.model.received_power_table_mw()
+        edges = np.linspace(
+            float(table.min()), float(table.max()), power_histogram_bins + 1
+        )
+        histogram = np.zeros(power_histogram_bins, dtype=np.int64)
+
+    chunk_count = 0
+    for start in range(0, length, chunk_length):
+        count = min(chunk_length, length - start)
+        if sng_kind == "counter":
+            data_bits = np.broadcast_to(
+                exact_bit_window(xs, length, start, start + count)[:, None, :],
+                (batch, order, count),
+            )
+            coeff_bits = np.broadcast_to(
+                exact_bit_window(coefficients, length, start, start + count)[
+                    None, :, :
+                ],
+                (batch, channel_count, count),
+            )
+        else:
+            data_u = data_cursor.take(start, count)
+            coeff_u = coeff_cursor.take(start, count)
+            data_bits = (data_u < xs[:, None, None]).astype(np.uint8)
+            coeff_bits = (coeff_u < coefficients[None, :, None]).astype(
+                np.uint8
+            )
+        noise_a = (
+            np.stack(
+                [gen.normal(0.0, noise_sigma, count) for gen in noise_rngs]
+            )
+            if noisy
+            else None
+        )
+        powers, output_bits, ideal_bits, _ = _optical_pass(
+            circuit, data_bits, coeff_bits, noise_a
+        )
+        ones_count += output_bits.sum(axis=1, dtype=np.int64)
+        error_count += np.sum(
+            output_bits != ideal_bits, axis=1, dtype=np.int64
+        )
+        if histogram is not None:
+            histogram += np.histogram(powers, bins=edges)[0]
+        chunk_count += 1
+
+    expected = np.asarray(circuit.polynomial(xs), dtype=float)
+    return ChunkedEvaluation(
+        xs=xs,
+        expected=expected,
+        stream_length=int(length),
+        chunk_length=int(min(chunk_length, length)),
+        chunk_count=chunk_count,
+        ones_count=ones_count,
+        transmission_bit_errors=error_count,
+        power_histogram=histogram,
+        power_bin_edges=edges,
+    )
+
+
+# -- keyed evaluation cache ----------------------------------------------------
+
+
+class EvaluationCache:
+    """LRU cache of deterministic batch evaluations.
+
+    Keyed on ``circuit fingerprint x sng_kind x base_seed x sng_width x
+    length x noisy x inputs digest`` — everything that determines a
+    schedule-seeded evaluation.  Exploration sweeps that revisit the
+    same design point skip the engine pass entirely; ``hits`` /
+    ``misses`` expose the effectiveness.
+
+    Each entry retains the full :class:`BatchEvaluation` including its
+    per-clock ``(B, L)`` tensors (roughly ``18 * B * L`` bytes), so size
+    ``max_entries`` to your memory budget — the default is deliberately
+    small.  For streams long enough that one entry is itself a memory
+    problem, use :func:`simulate_chunked` instead of caching.
+    """
+
+    def __init__(self, max_entries: int = 16):
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {max_entries!r}"
+            )
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[tuple, BatchEvaluation]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: tuple) -> Optional[BatchEvaluation]:
+        """The cached evaluation for *key*, refreshing its LRU slot."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key: tuple, result: BatchEvaluation) -> None:
+        """Insert *result*, evicting the least-recently-used overflow.
+
+        The stored arrays are frozen read-only: hits return the stored
+        object by identity, so an in-place mutation by one caller would
+        otherwise silently corrupt every later hit of the same key.
+        """
+        for name in (
+            "xs",
+            "values",
+            "expected",
+            "received_power_mw",
+            "output_bits",
+            "ideal_bits",
+            "select_levels",
+        ):
+            getattr(result, name).setflags(write=False)
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+
+_DEFAULT_CACHE = EvaluationCache(max_entries=16)
+
+
+def default_evaluation_cache() -> EvaluationCache:
+    """The process-wide cache :func:`cached_simulate_batch` defaults to."""
+    return _DEFAULT_CACHE
+
+
+def _evaluation_key(
+    circuit, xs, length, noisy, sng_kind, base_seed, sng_width
+) -> tuple:
+    digest = hashlib.sha1(np.ascontiguousarray(xs).tobytes()).hexdigest()
+    return (
+        circuit.fingerprint(),
+        sng_kind,
+        int(base_seed),
+        int(sng_width),
+        int(length),
+        bool(noisy),
+        int(xs.size),
+        digest,
+    )
+
+
+def cached_simulate_batch(
+    circuit,
+    xs,
+    length: int = 1024,
+    noisy: bool = True,
+    sng_kind: str = "lfsr",
+    base_seed: int = 0x5EED,
+    sng_width: int = 16,
+    cache: Optional[EvaluationCache] = None,
+    workers: Optional[int] = None,
+    backend: str = "process",
+) -> BatchEvaluation:
+    """Keyed, memoized batch evaluation for repeated exploration sweeps.
+
+    Requires a fixed *base_seed*: the whole evaluation (including the
+    receiver noise, whose per-row seeds are derived from *base_seed* via
+    the deterministic schedule) is then a pure function of the key, so a
+    hit can return the stored result unchanged.  A miss computes through
+    :func:`simulate_batch_sharded` (serial when ``workers <= 1``) and
+    stores the result in *cache* (the process-wide default when
+    omitted).
+    """
+    if base_seed is None:
+        raise ConfigurationError(
+            "the evaluation cache needs a fixed base_seed; rng-derived "
+            "seeds make every call unique"
+        )
+    xs = _validate_batch_inputs(
+        circuit, xs, length, sng_kind, base_seed, sng_width
+    )
+    # Private copy: the stored result's arrays are frozen read-only on
+    # store, and np.asarray may have returned the caller's own float
+    # array by identity — freezing that would break callers who reuse
+    # or mutate their input buffer after the call.
+    xs = xs.copy()
+    cache = _DEFAULT_CACHE if cache is None else cache
+    key = _evaluation_key(
+        circuit, xs, length, noisy, sng_kind, base_seed, sng_width
+    )
+    hit = cache.lookup(key)
+    if hit is not None:
+        return hit
+    schedule = derive_seed_schedule(
+        xs.size, sng_kind=sng_kind, base_seed=base_seed
+    )
+    result = simulate_batch_sharded(
+        circuit,
+        xs,
+        length=length,
+        noisy=noisy,
+        sng_kind=sng_kind,
+        sng_width=sng_width,
+        workers=workers,
+        backend=backend,
+        schedule=schedule,
+    )
+    cache.store(key, result)
+    return result
+
+
+# -- one-stop dispatcher -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Scaling knobs for :func:`run_batch`.
+
+    ``workers`` > 1 enables row sharding (``None`` defers to the
+    ``REPRO_RUNTIME_WORKERS`` environment default); ``chunk_length``
+    enables tile streaming for streams longer than one tile (the result
+    is then a :class:`ChunkedEvaluation`); ``use_cache``/``cache``
+    enable memoization for fixed-``base_seed`` calls.
+    """
+
+    workers: Optional[int] = None
+    backend: str = "process"
+    chunk_length: Optional[int] = None
+    use_cache: bool = False
+    cache: Optional[EvaluationCache] = None
+
+    def __post_init__(self) -> None:
+        _validate_backend(self.backend)
+        if self.chunk_length is not None and self.chunk_length <= 0:
+            raise ConfigurationError(
+                f"chunk_length must be positive, got {self.chunk_length!r}"
+            )
+
+    @property
+    def resolved_workers(self) -> int:
+        """The effective worker count (environment default applied)."""
+        return (
+            default_worker_count() if self.workers is None else int(self.workers)
+        )
+
+
+def run_batch(
+    circuit,
+    xs,
+    length: int = 1024,
+    rng: Optional[np.random.Generator] = None,
+    noisy: bool = True,
+    sng_kind: str = "lfsr",
+    base_seed: Optional[int] = None,
+    sng_width: int = 16,
+    config: Optional[RuntimeConfig] = None,
+):
+    """Evaluate through the runtime, picking the scaling strategy.
+
+    Dispatch order: chunked streaming first (when ``config.chunk_length``
+    is set and the stream exceeds one tile — returns a
+    :class:`ChunkedEvaluation`, row-sharded across ``config.workers``;
+    chunking wins over the cache because a stream long enough to chunk
+    is exactly one whose ``(B, L)`` tensors must never be materialized,
+    let alone pinned in a cache), then the cache (when enabled; a cache
+    without a fixed *base_seed* is a misconfiguration and raises), then
+    sharding (``workers > 1``), else the serial engine call.  Consumers that only need ``.values`` / error
+    statistics work with either result type unchanged.
+
+    Every strategy runs over the **same** pre-derived seed schedule, so
+    the worker count and chunk size are pure wall-clock/memory knobs:
+    changing them never changes a single output bit or accumulated
+    statistic for a given *rng* seed (or *base_seed*).  (This schedule
+    protocol consumes *rng* differently than a bare ``simulate_batch``
+    call — run_batch results are reproducible against run_batch, not
+    against the engine's legacy per-row noise-block protocol.)
+    """
+    config = config or RuntimeConfig()
+    workers = config.resolved_workers
+    cache_requested = config.use_cache or config.cache is not None
+    if cache_requested and base_seed is None and (
+        config.chunk_length is None or length <= config.chunk_length
+    ):
+        # Silently recomputing while the caller believes memoization is
+        # on would defeat the config; fail like cached_simulate_batch.
+        raise ConfigurationError(
+            "RuntimeConfig enables the evaluation cache but base_seed is "
+            "None; rng-derived seeds make every call unique — pass a "
+            "fixed base_seed or disable the cache"
+        )
+    if config.chunk_length is not None and length > config.chunk_length:
+        xs = _validate_batch_inputs(
+            circuit, xs, length, sng_kind, base_seed, sng_width
+        )
+        schedule = derive_seed_schedule(
+            xs.size, rng=rng, sng_kind=sng_kind, base_seed=base_seed
+        )
+        return simulate_chunked(
+            circuit,
+            xs,
+            length=length,
+            chunk_length=config.chunk_length,
+            noisy=noisy,
+            sng_kind=sng_kind,
+            sng_width=sng_width,
+            schedule=schedule,
+            workers=workers,
+            backend=config.backend,
+        )
+    if cache_requested:  # base_seed is fixed: validated above
+        return cached_simulate_batch(
+            circuit,
+            xs,
+            length=length,
+            noisy=noisy,
+            sng_kind=sng_kind,
+            base_seed=base_seed,
+            sng_width=sng_width,
+            cache=config.cache,
+            workers=workers,
+            backend=config.backend,
+        )
+    xs = _validate_batch_inputs(
+        circuit, xs, length, sng_kind, base_seed, sng_width
+    )
+    schedule = derive_seed_schedule(
+        xs.size, rng=rng, sng_kind=sng_kind, base_seed=base_seed
+    )
+    if workers > 1:
+        return simulate_batch_sharded(
+            circuit,
+            xs,
+            length=length,
+            noisy=noisy,
+            sng_kind=sng_kind,
+            sng_width=sng_width,
+            workers=workers,
+            backend=config.backend,
+            schedule=schedule,
+        )
+    return simulate_batch(
+        circuit,
+        xs,
+        length=length,
+        noisy=noisy,
+        sng_kind=sng_kind,
+        sng_width=sng_width,
+        schedule=schedule,
+    )

@@ -15,7 +15,12 @@ import numpy as np
 
 from ..errors import ConfigurationError
 
-__all__ = ["Bitstream", "exact_bit_matrix", "validate_probability_vector"]
+__all__ = [
+    "Bitstream",
+    "exact_bit_matrix",
+    "exact_bit_window",
+    "validate_probability_vector",
+]
 
 
 def validate_probability_vector(values) -> np.ndarray:
@@ -42,6 +47,32 @@ def exact_bit_matrix(values, length: int) -> np.ndarray:
     ones = np.round(values * length).astype(np.int64)
     positions = (np.arange(length, dtype=np.int64)[None, :] * ones[:, None]) // length
     prepend = np.where(ones > 0, -1, 0)[:, None]
+    bits = np.diff(positions, axis=1, prepend=prepend) > 0
+    return bits.astype(np.uint8)
+
+
+def exact_bit_window(values, length: int, start: int, stop: int) -> np.ndarray:
+    """Columns ``[start, stop)`` of :func:`exact_bit_matrix`, tile-sized.
+
+    The evenly-spread stream's bit at clock ``i`` depends only on the
+    integer positions at ``i - 1`` and ``i``, so any window can be
+    produced without materializing the full ``(len(values), length)``
+    matrix — the counter randomizer's hook for the chunked streaming
+    runtime (bounded memory for ``length >> 2**20``).
+    """
+    values = validate_probability_vector(values)
+    if length <= 0:
+        raise ConfigurationError(f"length must be positive, got {length!r}")
+    if not 0 <= start < stop <= length:
+        raise ConfigurationError(
+            f"window [{start}, {stop}) must lie inside [0, {length})"
+        )
+    ones = np.round(values * length).astype(np.int64)
+    indices = np.arange(start, stop, dtype=np.int64)
+    positions = (indices[None, :] * ones[:, None]) // length
+    # At start == 0 this floor-divides to -1 whenever ones > 0 (and 0
+    # when ones == 0), reproducing exact_bit_matrix's first-bit prepend.
+    prepend = ((start - 1) * ones[:, None]) // length
     bits = np.diff(positions, axis=1, prepend=prepend) > 0
     return bits.astype(np.uint8)
 

@@ -153,18 +153,26 @@ def apply_circuit_kernel(
     noisy: bool = True,
     sng_kind: str = "lfsr",
     base_seed: Optional[int] = None,
+    runtime=None,
 ) -> np.ndarray:
     """Run an image through an optical SC circuit in one batched pass.
 
     The paper's Section V-C workload shape: quantize to *levels* gray
-    levels, evaluate **all** unique levels as one
-    :func:`repro.simulation.engine.simulate_batch` call, and scatter the
-    de-randomized outputs back onto the frame.
+    levels, evaluate **all** unique levels as one batched engine call,
+    and scatter the de-randomized outputs back onto the frame.
+
+    The evaluation goes through the scaling runtime
+    (:func:`repro.simulation.runtime.run_batch`): pass a
+    :class:`repro.simulation.runtime.RuntimeConfig` as *runtime* to
+    shard the unique-level batch across worker processes, stream very
+    long stimulus lengths in bounded-memory tiles, or memoize repeated
+    frames of the same gray-level set (fixed *base_seed* required for
+    caching) — identical pixels either way.
     """
-    from ..simulation.engine import simulate_batch
+    from ..simulation.runtime import run_batch
 
     def batch_kernel(values: np.ndarray) -> np.ndarray:
-        return simulate_batch(
+        return run_batch(
             circuit,
             values,
             length=length,
@@ -172,6 +180,7 @@ def apply_circuit_kernel(
             noisy=noisy,
             sng_kind=sng_kind,
             base_seed=base_seed,
+            config=runtime,
         ).values
 
     return apply_pixel_kernel(image, levels=levels, batch_kernel=batch_kernel)

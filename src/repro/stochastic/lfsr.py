@@ -109,10 +109,13 @@ def _window_indices(
     count: int,
     width: int,
     taps: Optional[Sequence[int]],
+    offset: int = 0,
 ) -> tuple:
     """``(indices, cycle, uniform)`` for per-seed windows of the cycle."""
     if count <= 0:
         raise ConfigurationError(f"count must be positive, got {count!r}")
+    if offset < 0:
+        raise ConfigurationError(f"offset must be >= 0, got {offset!r}")
     taps = _resolve_taps(width, taps)
     seeds = np.asarray(seeds, dtype=np.int64)
     if np.any(seeds < 1) or np.any(seeds >= (1 << width)):
@@ -128,7 +131,7 @@ def _window_indices(
         )
     # int64 offsets + take(mode="wrap") beat an explicit modulo on the
     # large (batch, channels, length) index tensors of the engine.
-    indices = starts[..., None] + 1 + np.arange(count, dtype=np.int64)
+    indices = starts[..., None] + 1 + offset + np.arange(count, dtype=np.int64)
     return indices, cycle, uniform
 
 
@@ -137,14 +140,20 @@ def _stepped_windows(
     count: int,
     width: int,
     taps: Optional[Sequence[int]],
+    offset: int = 0,
 ) -> np.ndarray:
     """Per-seed stepping fallback for registers too wide to cache."""
     if count <= 0:
         raise ConfigurationError(f"count must be positive, got {count!r}")
+    if offset < 0:
+        raise ConfigurationError(f"offset must be >= 0, got {offset!r}")
     seeds = np.asarray(seeds, dtype=np.int64)
     out = np.empty(seeds.shape + (count,), dtype=np.uint32)
     for index in np.ndindex(seeds.shape):
-        out[index] = LFSR(width, int(seeds[index]), taps).states(count)
+        register = LFSR(width, int(seeds[index]), taps)
+        if offset:
+            register.states(offset)
+        out[index] = register.states(count)
     return out
 
 
@@ -153,18 +162,22 @@ def lfsr_state_windows(
     count: int,
     width: int,
     taps: Optional[Sequence[int]] = None,
+    offset: int = 0,
 ) -> np.ndarray:
     """The next *count* states after each seed, as a ``seeds.shape + (count,)`` array.
 
     Vectorized across any number of seeds via the cached full-period
     cycle: each output row is bit-for-bit the sequence
-    ``LFSR(width, seed).states(count)`` would produce.  Registers wider
+    ``LFSR(width, seed).states(count)`` would produce.  With *offset*
+    the window starts ``offset`` clocks after the seed — the resume hook
+    of the chunked streaming runtime (``offset=k`` returns elements
+    ``[k, k + count)`` of the ``offset=0`` stream).  Registers wider
     than the cache limit take a per-seed stepping fallback (correct but
     slow).  The workhorse behind the batched evaluation engine.
     """
     if width > _TABLE_MAX_WIDTH:
-        return _stepped_windows(seeds, count, width, taps)
-    indices, cycle, _ = _window_indices(seeds, count, width, taps)
+        return _stepped_windows(seeds, count, width, taps, offset=offset)
+    indices, cycle, _ = _window_indices(seeds, count, width, taps, offset=offset)
     return cycle.take(indices, mode="wrap")
 
 
@@ -173,17 +186,19 @@ def lfsr_uniform_windows(
     count: int,
     width: int,
     taps: Optional[Sequence[int]] = None,
+    offset: int = 0,
 ) -> np.ndarray:
     """Comparator samples in ``(0, 1)`` for each seed's window.
 
     Bit-for-bit ``LFSR(width, seed).uniform(count)`` per row, gathered
     from the pre-scaled float cycle in one pass (stepping fallback for
-    registers wider than the cache limit).
+    registers wider than the cache limit).  *offset* selects a later
+    window of the same stream, exactly like :func:`lfsr_state_windows`.
     """
     if width > _TABLE_MAX_WIDTH:
-        states = _stepped_windows(seeds, count, width, taps)
+        states = _stepped_windows(seeds, count, width, taps, offset=offset)
         return states.astype(float) / float(1 << width)
-    indices, _, uniform = _window_indices(seeds, count, width, taps)
+    indices, _, uniform = _window_indices(seeds, count, width, taps, offset=offset)
     return uniform.take(indices, mode="wrap")
 
 

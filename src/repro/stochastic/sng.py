@@ -210,7 +210,7 @@ def _logistic_step(intensity: np.ndarray) -> np.ndarray:
     )
 
 
-def chaotic_orbit(intensities, warmups, length: int) -> np.ndarray:
+def chaotic_orbit(intensities, warmups, length: int, return_state: bool = False):
     """Vectorized chaotic-laser sampling over many independent orbits.
 
     Runs the guarded logistic map for every element of *intensities*
@@ -219,6 +219,13 @@ def chaotic_orbit(intensities, warmups, length: int) -> np.ndarray:
     ``intensities.shape + (length,)``; each slice is bit-for-bit the
     sequence :meth:`ChaoticLaserBitSource.uniform` produces for the same
     seed intensity and warmup.
+
+    With ``return_state=True`` the result is ``(samples, state)`` where
+    *state* holds the raw orbit intensities **after** the last sampled
+    step: calling ``chaotic_orbit(state, 0, more)`` continues each orbit
+    exactly where it left off — the chunked streaming runtime's resume
+    hook (chaotic orbits, unlike the counter-indexed randomizers, can
+    only be resumed by carrying state).
     """
     if length <= 0:
         raise ConfigurationError(f"count must be positive, got {length!r}")
@@ -231,7 +238,10 @@ def chaotic_orbit(intensities, warmups, length: int) -> np.ndarray:
     for slot in range(length):
         intensity = _logistic_step(intensity)
         samples[..., slot] = intensity
-    return (2.0 / math.pi) * np.arcsin(np.sqrt(samples))
+    uniforms = (2.0 / math.pi) * np.arcsin(np.sqrt(samples))
+    if return_state:
+        return uniforms, intensity
+    return uniforms
 
 
 class ChaoticLaserBitSource(StochasticNumberGenerator):

@@ -132,7 +132,7 @@ class TestCircuitKernel:
     def test_one_pass_circuit_mapping(self):
         from repro.core.circuit import OpticalStochasticCircuit
         from repro.core.params import paper_section5a_parameters
-        from repro.simulation.engine import simulate_batch
+        from repro.simulation.runtime import run_batch
         from repro.stochastic.bernstein import BernsteinPolynomial
 
         circuit = OpticalStochasticCircuit(
@@ -145,11 +145,36 @@ class TestCircuitKernel:
         )
         assert result.shape == chart.shape
         assert np.all((result >= 0.0) & (result <= 1.0))
-        # Bit-exact with mapping the unique levels through the engine.
+        # Bit-exact with mapping the unique levels through the runtime
+        # (the kernel evaluates every unique gray level in one pass).
         unique = np.unique(image.quantize_levels(chart, 8))
-        expected = simulate_batch(
+        expected = run_batch(
             circuit, unique, length=256, rng=np.random.default_rng(4)
         ).values
         lut = dict(zip(unique, expected))
         reference = np.vectorize(lut.get)(image.quantize_levels(chart, 8))
         np.testing.assert_array_equal(result, reference)
+
+    def test_circuit_kernel_runtime_knobs_do_not_change_pixels(self):
+        from repro.core.circuit import OpticalStochasticCircuit
+        from repro.core.params import paper_section5a_parameters
+        from repro.simulation.runtime import RuntimeConfig
+        from repro.stochastic.bernstein import BernsteinPolynomial
+
+        circuit = OpticalStochasticCircuit(
+            paper_section5a_parameters(),
+            BernsteinPolynomial([0.25, 0.625, 0.375]),
+        )
+        chart = image.radial_gradient(12)
+        plain = image.apply_circuit_kernel(
+            chart, circuit, length=128, rng=np.random.default_rng(9), levels=6
+        )
+        sharded = image.apply_circuit_kernel(
+            chart,
+            circuit,
+            length=128,
+            rng=np.random.default_rng(9),
+            levels=6,
+            runtime=RuntimeConfig(workers=2),
+        )
+        np.testing.assert_array_equal(plain, sharded)
