@@ -21,12 +21,25 @@ Part 2 benchmarks the scaling runtime on top of the engine:
   evaluated in bounded-memory ``(B, chunk)`` tiles; the accumulated
   ones/bit-error counts must equal the one-shot statistics (exit gate).
 
+Part 3 (``--serving``) benchmarks the async service facade
+(:class:`repro.serving.BatchServer` over a row-independent
+:class:`repro.session.Evaluator`):
+
+* **per-request serial** — each client awaits its answer before the
+  next submits, forcing micro-batches of one;
+* **coalesced** — all clients submit concurrently and the micro-batcher
+  folds them into a handful of engine calls.
+
+The exit gate is per-request bit-exactness: serial, coalesced and a
+direct ``Evaluator.evaluate`` of the same inputs must agree exactly —
+coalescing must never change an answer.
+
 All bit-exactness checks are the pass/fail gates.  Wall-clock speedups
 are recorded in the ``BENCH_*.json`` artifact for CI trend tracking but,
 being machine-dependent, never fail the run.
 
 Run:  PYTHONPATH=src python benchmarks/bench_batched.py \
-          [--out FILE] [--workers N] [--long-length BITS]
+          [--out FILE] [--workers N] [--long-length BITS] [--serving]
 """
 
 from __future__ import annotations
@@ -65,6 +78,10 @@ SHARD_TARGET_MIN_CORES = 4
 CHUNK_BATCH = 4
 LONG_LENGTH = 1 << 21
 CHUNK_LENGTH = 1 << 17
+
+SERVING_REQUESTS = 128
+SERVING_LENGTH = 1024
+SERVING_TARGET_SPEEDUP = 4.0
 
 
 def _stepped_uniform(lfsr, count: int) -> np.ndarray:
@@ -229,6 +246,77 @@ def bench_chunked(circuit, long_length: int, chunk_length: int) -> dict:
     }
 
 
+def bench_serving(circuit) -> dict:
+    """Per-request serial vs coalesced micro-batched serving.
+
+    A row-independent session (pinned seed space, noiseless receiver)
+    guarantees each request's answer is a pure function of its input,
+    so serial and coalesced serving must return identical floats —
+    that identity (plus agreement with a direct ``Evaluator.evaluate``)
+    is the exit gate.
+    """
+    import asyncio
+
+    from repro.serving import BatchServer
+    from repro.session import EvalSpec, Evaluator
+
+    evaluator = Evaluator(
+        circuit,
+        EvalSpec(length=SERVING_LENGTH, noisy=False, base_seed=SEED),
+    )
+    xs = np.linspace(0.0, 1.0, SERVING_REQUESTS)
+    direct = np.asarray(evaluator.evaluate(xs).values, dtype=float)
+
+    async def serial_clients() -> tuple:
+        async with BatchServer(
+            evaluator, max_batch_delay_s=0.0
+        ) as server:
+            values = [await server.submit(float(x)) for x in xs]
+            return values, server.stats
+
+    async def coalesced_clients() -> tuple:
+        async with BatchServer(
+            evaluator,
+            max_batch_size=SERVING_REQUESTS,
+            max_batch_delay_s=0.005,
+        ) as server:
+            values = await server.submit_many(xs)
+            return values, server.stats
+
+    t0 = time.perf_counter()
+    serial_values, serial_stats = asyncio.run(serial_clients())
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    coalesced_values, coalesced_stats = asyncio.run(coalesced_clients())
+    coalesced_s = time.perf_counter() - t0
+
+    serial_values = np.asarray(serial_values, dtype=float)
+    coalesced_values = np.asarray(coalesced_values, dtype=float)
+    bit_exact = bool(
+        np.array_equal(serial_values, direct)
+        and np.array_equal(coalesced_values, direct)
+    )
+    speedup = serial_s / coalesced_s
+    return {
+        "requests": SERVING_REQUESTS,
+        "length": SERVING_LENGTH,
+        "serial_seconds": round(serial_s, 6),
+        "coalesced_seconds": round(coalesced_s, 6),
+        "serial_engine_calls": serial_stats.batches,
+        "coalesced_engine_calls": coalesced_stats.batches,
+        "largest_micro_batch": coalesced_stats.largest_batch,
+        "serial_requests_per_second": round(SERVING_REQUESTS / serial_s, 1),
+        "coalesced_requests_per_second": round(
+            SERVING_REQUESTS / coalesced_s, 1
+        ),
+        "coalescing_speedup": round(speedup, 2),
+        "target_speedup": SERVING_TARGET_SPEEDUP,
+        "meets_target_speedup": bool(speedup >= SERVING_TARGET_SPEEDUP),
+        "bit_exact": bit_exact,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -256,6 +344,11 @@ def main(argv=None) -> int:
         type=int,
         default=CHUNK_LENGTH,
         help="chunked-benchmark tile length (default 2**17)",
+    )
+    parser.add_argument(
+        "--serving",
+        action="store_true",
+        help="also benchmark BatchServer coalescing vs per-request calls",
     )
     args = parser.parse_args(argv)
     workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
@@ -306,9 +399,13 @@ def main(argv=None) -> int:
 
     sharded = bench_sharded(circuit, workers)
     chunked = bench_chunked(circuit, args.long_length, args.chunk_length)
+    serving = bench_serving(circuit) if args.serving else None
 
     passed = bool(
-        bit_exact and sharded["bit_exact"] and chunked["statistics_exact"]
+        bit_exact
+        and sharded["bit_exact"]
+        and chunked["statistics_exact"]
+        and (serving is None or serving["bit_exact"])
     )
     result = {
         "benchmark": "bench_batched",
@@ -326,6 +423,7 @@ def main(argv=None) -> int:
         "meets_target_speedup": speedup_legacy >= TARGET_SPEEDUP,
         "sharded": sharded,
         "chunked": chunked,
+        "serving": serving,
         # Correctness is the gate; wall-clock speedups are recorded for
         # trend tracking but machine-dependent, so they never fail CI.
         "passed": passed,
@@ -366,6 +464,25 @@ def main(argv=None) -> int:
         f"{chunked['one_shot_bytes'] / 1e6:.0f} MB one-shot; "
         f"statistics exact: {chunked['statistics_exact']}"
     )
+    if serving is not None:
+        print(
+            f"serving facade: {serving['requests']} requests x "
+            f"{serving['length']}-bit streams"
+        )
+        print(
+            f"  per-request serial         : {serving['serial_seconds'] * 1e3:9.1f} ms "
+            f"({serving['serial_engine_calls']} engine calls)"
+        )
+        print(
+            f"  coalesced micro-batching   : {serving['coalesced_seconds'] * 1e3:9.1f} ms "
+            f"({serving['coalesced_engine_calls']} engine calls, largest "
+            f"batch {serving['largest_micro_batch']})"
+        )
+        print(
+            f"  speedup: {serving['coalescing_speedup']:.2f}x "
+            f"(target >= {SERVING_TARGET_SPEEDUP:.0f}x), "
+            f"bit-exact: {serving['bit_exact']}"
+        )
     print(f"  artifact written to {args.out}")
     if not bit_exact:
         print("FAILED: batched output diverges from the legacy path", file=sys.stderr)
@@ -376,6 +493,12 @@ def main(argv=None) -> int:
     if not chunked["statistics_exact"]:
         print(
             "FAILED: chunked statistics diverge from the one-shot pass",
+            file=sys.stderr,
+        )
+        return 1
+    if serving is not None and not serving["bit_exact"]:
+        print(
+            "FAILED: served values diverge from the direct session call",
             file=sys.stderr,
         )
         return 1

@@ -60,17 +60,15 @@ def main() -> None:
     rng = np.random.default_rng(7)
     # Quantize to a small set of gray levels so each unique level is
     # evaluated once (dramatically faster, same accuracy behavior); the
-    # optical circuit runs every unique level as ONE batched engine pass.
+    # session evaluates every unique level as ONE batched engine pass.
     levels = np.round(image * 32) / 32
     unique = np.unique(levels)
 
+    evaluator = repro.Evaluator(
+        circuit, repro.EvalSpec(length=stream_length)
+    )
     optical_lut = dict(
-        zip(
-            unique,
-            circuit.evaluate_batch(
-                unique, length=stream_length, rng=rng
-            ).values,
-        )
+        zip(unique, evaluator.evaluate(unique, rng=rng).values)
     )
     electronic_lut = {
         value: electronic_unit.evaluate(float(value), length=stream_length).value

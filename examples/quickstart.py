@@ -53,16 +53,19 @@ def main() -> None:
           f"{circuit.speedup_vs_electronic():.0f}x")
     print()
 
-    # 4. Run it: stochastic streams in, de-randomized probability out.
-    rng = np.random.default_rng(42)
-    print("=== functional simulation ===")
+    # 4. Run it through a session: bind the evaluation spec (stream
+    #    length, randomizer, seed policy) once, then evaluate any
+    #    workload.  The runtime knobs (workers, chunking, cache) are a
+    #    separate RuntimeConfig and never change a single output bit.
+    evaluator = repro.Evaluator(circuit, repro.EvalSpec(length=8192))
+    xs = np.asarray([0.0, 0.25, 0.5, 0.75, 1.0])
+    batch = evaluator.evaluate(xs, rng=np.random.default_rng(42))
+    print("=== functional simulation (one batched session pass) ===")
     print(f"{'x':>5} | {'optical':>8} | {'exact B(x)':>10} | {'error':>7}")
-    for x in (0.0, 0.25, 0.5, 0.75, 1.0):
-        result = circuit.evaluate(x, length=8192, rng=rng)
-        print(
-            f"{x:5.2f} | {result.value:8.4f} | {result.expected:10.4f} | "
-            f"{result.absolute_error:7.4f}"
-        )
+    for x, value, expected, error in zip(
+        xs, batch.values, batch.expected, batch.absolute_errors
+    ):
+        print(f"{x:5.2f} | {value:8.4f} | {expected:10.4f} | {error:7.4f}")
     print()
     print("The optical circuit reproduces the Bernstein values within the")
     print("stochastic-computing tolerance of a 8192-bit stream.")

@@ -14,6 +14,11 @@ Quickstart
 >>> design = mrr_first_design(order=2, wl_spacing_nm=1.0)
 >>> round(design.pump_power_mw, 1)
 591.8
+
+Evaluation workloads bind their configuration once through the session
+API (``repro.EvalSpec`` + ``repro.Evaluator``; see ``repro.session``),
+and concurrent traffic is served by the async micro-batcher
+``repro.BatchServer`` (see ``repro.serving``).
 """
 
 from __future__ import annotations

@@ -6,7 +6,8 @@ Everything a downstream user needs for the common workflows:
 >>> design = repro.mrr_first_design(order=2, wl_spacing_nm=1.0)
 >>> circuit = repro.OpticalStochasticCircuit.from_design(
 ...     design, repro.BernsteinPolynomial([0.25, 0.625, 0.375]))
->>> result = circuit.evaluate(0.5, length=4096)
+>>> evaluator = repro.Evaluator(circuit, repro.EvalSpec(length=4096))
+>>> batch = evaluator.evaluate([0.25, 0.5, 0.75])
 """
 
 from .core.circuit import OpticalStochasticCircuit
@@ -32,11 +33,13 @@ from .core.transmission import TransmissionModel
 from .exploration import (
     gamma_correction_case_study,
     grid_sweep,
+    measured_accuracy_frontier,
     order_scaling_table,
     pareto_front,
     throughput_accuracy_frontier,
 )
 from .experiments import list_experiments, run_experiment
+from .experiments.registry import experiment_config_parameters
 from .photonics import (
     CWLaser,
     MZIModulator,
@@ -65,6 +68,8 @@ from .simulation import (
     simulate_evaluation,
     simulate_sweep,
 )
+from .serving import BatchServer, ServingStats
+from .session import EvalSpec, Evaluator
 from .stochastic import (
     BernsteinPolynomial,
     Bitstream,
@@ -99,9 +104,15 @@ __all__ = [
     "pareto_front",
     "order_scaling_table",
     "gamma_correction_case_study",
+    "measured_accuracy_frontier",
     "throughput_accuracy_frontier",
     "list_experiments",
     "run_experiment",
+    "experiment_config_parameters",
+    "EvalSpec",
+    "Evaluator",
+    "BatchServer",
+    "ServingStats",
     "MZIModulator",
     "RingParameters",
     "WDMGrid",

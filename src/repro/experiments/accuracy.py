@@ -3,7 +3,7 @@
 The paper's accuracy discussion rests on sweeping the circuit across its
 input range and comparing the de-randomized outputs against the exact
 Bernstein values.  This experiment regenerates that study with one
-batched engine pass per randomizer family, reporting the stochastic
+batched session pass per randomizer family, reporting the stochastic
 error (mean/max absolute) and the observed link BER side by side — the
 quantitative backdrop for the throughput-accuracy tradeoff of
 Sections V-B/V-D.
@@ -11,11 +11,15 @@ Sections V-B/V-D.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from ..core.circuit import OpticalStochasticCircuit
 from ..core.params import paper_section5a_parameters
-from ..simulation.runtime import RuntimeConfig, run_batch
+from ..errors import ConfigurationError
+from ..session import EvalSpec, Evaluator
+from ..simulation.runtime import RuntimeConfig
 from ..stochastic.bernstein import BernsteinPolynomial
 from ..stochastic.sng import SNG_KINDS
 from .registry import ExperimentResult, register
@@ -27,34 +31,55 @@ _STREAM_LENGTH = 1024
 
 
 @register("accuracy")
-def accuracy_sweep() -> ExperimentResult:
+def accuracy_sweep(
+    spec: Optional[EvalSpec] = None,
+    runtime: Optional[RuntimeConfig] = None,
+    sng_kinds=None,
+) -> ExperimentResult:
     """Batched input sweep per SNG kind: stochastic error vs link BER.
 
-    Evaluation goes through the scaling runtime
-    (:func:`repro.simulation.runtime.run_batch`), so setting
-    ``REPRO_RUNTIME_WORKERS`` shards each randomizer family's sweep
-    across worker processes without changing a single output bit.
+    Each randomizer family is one :class:`repro.session.Evaluator`
+    session, so setting ``REPRO_RUNTIME_WORKERS`` (or passing a
+    *runtime* with ``workers``) shards each family's sweep across
+    worker processes without changing a single output bit.  A *spec* is
+    the study's template (``length``/``noisy``/``sng_width``/seed
+    policy; its own ``sng_kind`` is replaced per family) — so
+    ``--length 4096`` alone still compares all four families, the
+    study's whole point.  *sng_kinds* explicitly restricts the families
+    (the ``python -m repro.experiments accuracy --sng-kind sobol``
+    hook — and the only way to focus, so ``--sng-kind lfsr`` focuses
+    too, default family or not).
     """
     circuit = OpticalStochasticCircuit(
         paper_section5a_parameters(), BernsteinPolynomial([0.25, 0.625, 0.375])
     )
     xs = np.linspace(0.0, 1.0, _SWEEP_POINTS)
-    config = RuntimeConfig()  # workers from REPRO_RUNTIME_WORKERS
+    template = EvalSpec(length=_STREAM_LENGTH) if spec is None else spec
+    if sng_kinds is None:
+        kinds = SNG_KINDS
+    else:
+        kinds = tuple(sng_kinds)
+        unknown = [kind for kind in kinds if kind not in SNG_KINDS]
+        if not kinds or unknown:
+            raise ConfigurationError(
+                f"sng_kinds must be a non-empty subset of {SNG_KINDS}, "
+                f"got {sng_kinds!r}"
+            )
     rows = []
-    for kind in SNG_KINDS:
-        rng = np.random.default_rng(0xBA7C)
-        batch = run_batch(
-            circuit, xs, length=_STREAM_LENGTH, rng=rng, sng_kind=kind,
-            config=config,
+    for kind in kinds:
+        evaluator = Evaluator(
+            circuit, template.replace(sng_kind=kind), runtime
         )
+        rng = np.random.default_rng(0xBA7C)
+        batch = evaluator.evaluate(xs, rng=rng)
         rows.append(
             {
                 "sng_kind": kind,
                 "sweep_points": _SWEEP_POINTS,
-                "stream_length": _STREAM_LENGTH,
+                "stream_length": template.length,
                 "mean_abs_error": batch.mean_absolute_error,
-                "max_abs_error": float(batch.absolute_errors.max()),
-                "mean_link_ber": float(batch.transmission_ber.mean()),
+                "max_abs_error": float(np.max(batch.absolute_errors)),
+                "mean_link_ber": float(np.mean(batch.transmission_ber)),
             }
         )
     return ExperimentResult(
@@ -69,7 +94,7 @@ def accuracy_sweep() -> ExperimentResult:
             "expected_scaling": "stochastic error ~ sqrt(p(1-p)/N) for LFSR",
         },
         notes=(
-            "One simulate_batch pass per SNG kind (identical rng seed). "
+            "One Evaluator session per SNG kind (identical rng seed). "
             "Decorrelated LFSR comparators and the chaotic-laser model "
             "track the Bernstein value at the sqrt(p(1-p)/N) rate; the "
             "deterministic counter/sobol comparators expose the "

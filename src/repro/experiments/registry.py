@@ -2,19 +2,23 @@
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence
 
 from ..errors import ConfigurationError
 from ..reporting.tables import format_table
 
 __all__ = [
     "ExperimentResult",
+    "experiment_config_parameters",
     "register",
     "get_experiment",
     "list_experiments",
     "run_experiment",
 ]
+
+_CONFIG_PARAMETERS = ("spec", "runtime", "sng_kinds")
 
 
 @dataclass(frozen=True)
@@ -101,6 +105,49 @@ def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
     return _REGISTRY[experiment_id]
 
 
-def run_experiment(experiment_id: str) -> ExperimentResult:
-    """Run one experiment and return its result."""
-    return get_experiment(experiment_id)()
+def experiment_config_parameters(experiment_id: str) -> FrozenSet[str]:
+    """Which configuration parameters an experiment takes.
+
+    Drawn from the recognized set (``spec``/``runtime``/``sng_kinds``).
+    Analytical experiments (Fig. 5 transmissions, energy tables, ...)
+    have no evaluation loop to configure and accept none; simulation
+    experiments like ``accuracy`` accept all three.
+    """
+    parameters = inspect.signature(get_experiment(experiment_id)).parameters
+    return frozenset(
+        name for name in _CONFIG_PARAMETERS if name in parameters
+    )
+
+
+def run_experiment(
+    experiment_id: str,
+    spec=None,
+    runtime=None,
+    **config,
+) -> ExperimentResult:
+    """Run one experiment, threading session configuration through.
+
+    *spec* (an :class:`repro.session.EvalSpec`), *runtime* (a
+    :class:`repro.simulation.runtime.RuntimeConfig`) and any further
+    recognized configuration keyword (e.g. the ``accuracy``
+    experiment's ``sng_kinds``) are forwarded to experiments that
+    declare the matching parameter; passing one to an experiment that
+    does not take it raises a
+    :class:`~repro.errors.ConfigurationError` instead of silently
+    ignoring the configuration (the pre-session ``run_experiment``
+    accepted no parameters at all).
+    """
+    function = get_experiment(experiment_id)
+    supported = experiment_config_parameters(experiment_id)
+    kwargs = {}
+    for name, value in (("spec", spec), ("runtime", runtime), *config.items()):
+        if value is None:
+            continue
+        if name not in supported:
+            raise ConfigurationError(
+                f"experiment {experiment_id!r} does not accept {name}=; "
+                f"configurable experiments: "
+                f"{[e for e in list_experiments() if experiment_config_parameters(e)]}"
+            )
+        kwargs[name] = value
+    return function(**kwargs)

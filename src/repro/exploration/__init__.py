@@ -10,6 +10,7 @@ from .sweep import SweepResult, grid_sweep
 from .pareto import pareto_front
 from .tradeoffs import (
     accuracy_model,
+    measured_accuracy_frontier,
     stream_length_for_accuracy,
     throughput_accuracy_frontier,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "grid_sweep",
     "pareto_front",
     "accuracy_model",
+    "measured_accuracy_frontier",
     "stream_length_for_accuracy",
     "throughput_accuracy_frontier",
     "order_scaling_table",

@@ -98,6 +98,7 @@ def grid_sweep(
     metric: Optional[Callable[..., float]] = None,
     metric_batch: Optional[Callable[..., Sequence[float]]] = None,
     workers: Optional[int] = None,
+    runtime=None,
     **axes: Sequence[float],
 ) -> SweepResult:
     """Evaluate a metric over the grid product of *axes*.
@@ -109,7 +110,9 @@ def grid_sweep(
     * ``metric_batch(**flat_axes) -> values`` receives every grid point
       at once — one flat array per axis, Cartesian product order — and
       returns the matching flat value array.  This is the one-pass hook
-      for vectorized models (e.g. the batched evaluation engine).
+      for vectorized models — the batched evaluation engine, or an
+      :class:`repro.session.Evaluator` session
+      (:meth:`~repro.session.Evaluator.sweep` routes through here).
       Infeasible points should come back as ``nan``; a batched metric
       that raises a :class:`ReproError` outright (no per-point
       granularity) records ``nan`` for the whole grid instead of
@@ -122,7 +125,10 @@ def grid_sweep(
     picklable (a module-level function) to actually cross the process
     boundary — unpicklable metrics (lambdas, closures) quietly run
     serially instead.  Results are identical to the serial loop; the
-    pool only changes wall-clock.
+    pool only changes wall-clock.  Alternatively pass a
+    :class:`repro.simulation.runtime.RuntimeConfig` as *runtime* to take
+    the worker count and pool backend from a bound session config (an
+    explicit ``workers=`` wins over the config's).
 
     Example
     -------
@@ -138,6 +144,9 @@ def grid_sweep(
         raise ConfigurationError(
             "pass exactly one of metric= or metric_batch="
         )
+    from ..simulation.runtime import resolve_pool
+
+    workers, backend = resolve_pool(runtime, workers)
     if not axes:
         raise ConfigurationError("need at least one sweep axis")
     names = tuple(axes.keys())
@@ -206,6 +215,7 @@ def grid_sweep(
         functools.partial(_evaluate_sweep_point, metric),
         points,
         workers=workers,
+        backend=backend,
     )
     values = np.full(shape, np.nan)
     for index, value in zip(indices, flat_values):

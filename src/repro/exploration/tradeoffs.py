@@ -24,6 +24,7 @@ from ..stochastic.accuracy import required_stream_length
 
 __all__ = [
     "accuracy_model",
+    "measured_accuracy_frontier",
     "stream_length_for_accuracy",
     "throughput_accuracy_frontier",
 ]
@@ -145,4 +146,56 @@ def throughput_accuracy_frontier(
         "baseline_length": float(
             required_stream_length(target_rms_error * 2.0)
         ),
+    }
+
+
+def measured_accuracy_frontier(
+    evaluator,
+    lengths: Sequence[int],
+    xs=None,
+    seed: int = 0xF50,
+) -> dict:
+    """Validate the analytic accuracy model against a simulated session.
+
+    The frontier above is *analytic* — ``sqrt(p(1-p)/N)`` plus BER bias.
+    This helper measures the same exchange empirically: for each stream
+    length, one :class:`repro.session.Evaluator` batch pass over *xs*
+    (the bound spec with its ``length`` replaced per point, the same rng
+    *seed* per point so the lengths differ only in stream budget),
+    reporting the measured mean absolute error, the observed link BER,
+    and the model's prediction side by side.
+    """
+    from ..session import Evaluator
+
+    if not isinstance(evaluator, Evaluator):
+        raise ConfigurationError(
+            f"evaluator must be a repro.session.Evaluator, got {evaluator!r}"
+        )
+    lengths = [int(length) for length in lengths]
+    if not lengths or any(length <= 0 for length in lengths):
+        raise ConfigurationError("lengths must be positive integers")
+    xs = (
+        np.linspace(0.05, 0.95, 16)
+        if xs is None
+        else np.asarray(list(xs), dtype=float)
+    )
+    measured = np.empty(len(lengths))
+    predicted = np.empty(len(lengths))
+    observed_ber = np.empty(len(lengths))
+    for index, length in enumerate(lengths):
+        batch = evaluator.with_options(length=length).evaluate(
+            xs, rng=np.random.default_rng(seed)
+        )
+        measured[index] = float(np.mean(batch.absolute_errors))
+        ber = float(np.mean(batch.transmission_ber))
+        observed_ber[index] = ber
+        probability = float(np.clip(np.mean(batch.expected), 0.0, 1.0))
+        predicted[index] = accuracy_model(
+            length, ber=min(ber, 0.5), probability=probability
+        )
+    return {
+        "stream_length": np.asarray(lengths, dtype=int),
+        "measured_mae": measured,
+        "predicted_rms_error": predicted,
+        "observed_ber": observed_ber,
     }

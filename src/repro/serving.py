@@ -1,0 +1,262 @@
+"""Async micro-batched serving on top of an :class:`~repro.session.Evaluator`.
+
+The ROADMAP's north star is production-scale serving: many concurrent
+clients, each asking for one circuit evaluation.  Per-request engine
+calls would waste the whole point of the batched engine — a batch of one
+costs almost as much as a batch of hundreds.  :class:`BatchServer` is
+the first concrete step toward that north star: an asyncio queue plus a
+micro-batcher that **coalesces** concurrent ``submit(x)`` requests into
+one sharded :meth:`~repro.session.Evaluator.evaluate` call.
+
+Determinism contract
+--------------------
+Coalescing must never change an answer.  The server therefore requires a
+**row-independent** session (``Evaluator.row_independent``: pinned seed
+space, noiseless receiver) by default — each request's result is then a
+pure function of its input, bit-identical whether it was served alone or
+inside any micro-batch (the benchmark's exit gate).  Sessions whose
+per-row noise seeds depend on batch position can still be served with
+``allow_row_dependent=True``; each micro-batch then equals a direct
+``evaluate`` call on the coalesced inputs, but per-request values depend
+on how requests happened to coalesce.
+
+>>> async def client(server, x):
+...     return await server.submit(x)
+>>> async def main(evaluator):
+...     async with BatchServer(evaluator) as server:
+...         return await asyncio.gather(*(client(server, x) for x in xs))
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .errors import ConfigurationError
+from .session import Evaluator
+
+__all__ = ["BatchServer", "ServingStats"]
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """Snapshot of a server's coalescing behaviour."""
+
+    requests: int
+    batches: int
+    largest_batch: int
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average number of requests coalesced per engine call."""
+        return self.requests / self.batches if self.batches else 0.0
+
+
+class _Request:
+    __slots__ = ("x", "future")
+
+    def __init__(self, x: float, future: "asyncio.Future"):
+        self.x = x
+        self.future = future
+
+
+class BatchServer:
+    """Coalesce concurrent evaluation requests into micro-batched engine calls.
+
+    Parameters
+    ----------
+    evaluator:
+        The bound :class:`~repro.session.Evaluator` session to serve.
+        Must be row-independent (see module docstring) unless
+        *allow_row_dependent* is set.
+    max_batch_size:
+        Upper bound on requests coalesced into one engine call.
+    max_batch_delay_s:
+        How long the batcher waits for stragglers after the first
+        request of a batch arrives.  Zero still coalesces everything
+        already queued (pure opportunistic batching).
+    allow_row_dependent:
+        Serve sessions whose per-request results depend on batch
+        composition (see the determinism contract above).
+
+    Use as an async context manager, or call :meth:`start` /
+    :meth:`stop` explicitly.  The evaluation itself runs on a thread
+    executor so the event loop stays responsive while numpy (or the
+    runtime's process pool) does the heavy lifting.
+    """
+
+    def __init__(
+        self,
+        evaluator: Evaluator,
+        max_batch_size: int = 256,
+        max_batch_delay_s: float = 0.002,
+        allow_row_dependent: bool = False,
+    ):
+        if not isinstance(evaluator, Evaluator):
+            raise ConfigurationError(
+                f"evaluator must be a repro.session.Evaluator, got "
+                f"{evaluator!r}"
+            )
+        if int(max_batch_size) < 1:
+            raise ConfigurationError(
+                f"max_batch_size must be >= 1, got {max_batch_size!r}"
+            )
+        if float(max_batch_delay_s) < 0.0:
+            raise ConfigurationError(
+                f"max_batch_delay_s must be >= 0, got {max_batch_delay_s!r}"
+            )
+        if not evaluator.row_independent and not allow_row_dependent:
+            raise ConfigurationError(
+                "BatchServer requires a row-independent session (fixed "
+                "base_seed or counter randomizer, noisy=False) so that "
+                "coalescing never changes a result; pass "
+                "allow_row_dependent=True to serve this session anyway"
+            )
+        self._evaluator = evaluator
+        self._max_batch_size = int(max_batch_size)
+        self._max_batch_delay_s = float(max_batch_delay_s)
+        self._queue: Optional[asyncio.Queue] = None
+        self._worker: Optional[asyncio.Task] = None
+        self._stopping = False
+        self._requests = 0
+        self._batches = 0
+        self._largest_batch = 0
+
+    @property
+    def evaluator(self) -> Evaluator:
+        """The served session."""
+        return self._evaluator
+
+    @property
+    def stats(self) -> ServingStats:
+        """Requests served, engine calls issued, largest micro-batch."""
+        return ServingStats(
+            requests=self._requests,
+            batches=self._batches,
+            largest_batch=self._largest_batch,
+        )
+
+    @property
+    def running(self) -> bool:
+        """Whether the batcher task is accepting requests."""
+        return self._worker is not None and not self._worker.done()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> "BatchServer":
+        """Start the batcher task on the running event loop."""
+        if self.running:
+            raise ConfigurationError("server is already running")
+        self._queue = asyncio.Queue()
+        self._stopping = False
+        self._worker = asyncio.create_task(self._serve())
+        return self
+
+    async def stop(self) -> None:
+        """Drain pending requests, then stop the batcher task."""
+        if self._worker is None:
+            return
+        self._stopping = True
+        await self._queue.put(None)  # wake the batcher
+        await self._worker
+        self._worker = None
+        self._queue = None
+
+    async def __aenter__(self) -> "BatchServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # -- client API ------------------------------------------------------------
+
+    async def submit(self, x: float) -> float:
+        """Submit one input; resolves to its de-randomized output.
+
+        Validation is per-request and eager, so a malformed input fails
+        its own caller instead of poisoning the micro-batch it would
+        have joined.
+        """
+        if not self.running:
+            raise ConfigurationError(
+                "server is not running; use 'async with BatchServer(...)' "
+                "or await server.start() first"
+            )
+        try:
+            x = float(x)
+        except (TypeError, ValueError):
+            raise ConfigurationError(f"x must be a number in [0, 1], got {x!r}")
+        if not 0.0 <= x <= 1.0:
+            raise ConfigurationError(f"x must be in [0, 1], got {x!r}")
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put(_Request(x, future))
+        return await future
+
+    async def submit_many(self, xs: Sequence[float]) -> List[float]:
+        """Submit many inputs concurrently; resolves in input order."""
+        return list(await asyncio.gather(*(self.submit(x) for x in xs)))
+
+    # -- batcher ---------------------------------------------------------------
+
+    async def _serve(self) -> None:
+        while True:
+            request = await self._queue.get()
+            if request is None:
+                if self._queue.empty():
+                    return
+                continue  # shutdown sentinel raced ahead of late requests
+            batch = await self._collect(request)
+            await self._evaluate_batch(batch)
+            if self._stopping and self._queue.empty():
+                return
+
+    async def _collect(self, first: _Request) -> List[_Request]:
+        """Coalesce requests behind *first* until size or deadline."""
+        loop = asyncio.get_running_loop()
+        batch = [first]
+        deadline = loop.time() + self._max_batch_delay_s
+        while len(batch) < self._max_batch_size:
+            remaining = deadline - loop.time()
+            if remaining <= 0 or self._stopping:
+                # Deadline passed: take only what is already queued.
+                try:
+                    request = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+            else:
+                try:
+                    request = await asyncio.wait_for(
+                        self._queue.get(), remaining
+                    )
+                except asyncio.TimeoutError:
+                    break
+            if request is None:
+                # Shutdown sentinel: finish this batch, then let the
+                # serve loop drain whatever raced in behind it.
+                self._stopping = True
+                break
+            batch.append(request)
+        return batch
+
+    async def _evaluate_batch(self, batch: List[_Request]) -> None:
+        xs = np.asarray([request.x for request in batch], dtype=float)
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                None, self._evaluator.evaluate, xs
+            )
+            values = np.asarray(result.values, dtype=float)
+        except Exception as error:  # deliver the failure to every caller
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(error)
+            return
+        self._requests += len(batch)
+        self._batches += 1
+        self._largest_batch = max(self._largest_batch, len(batch))
+        for request, value in zip(batch, values):
+            if not request.future.done():
+                request.future.set_result(float(value))

@@ -1,0 +1,406 @@
+"""Evaluator sessions: one declarative spec for every workload.
+
+The paper's experiments — the accuracy sweeps of Section V-B, the
+gamma-correction workload of Section V-C, the Monte Carlo yield study —
+are all "run this circuit under these SNG/stream/runtime settings".
+Before this module every entry point re-threaded the same knobs
+(``length``, ``sng_kind``, ``base_seed``, ``sng_width``, ``noisy``,
+``workers``, ``chunk_length``, cache, backend) through its own
+signature.  Here they become two frozen objects bound once:
+
+* :class:`EvalSpec` — *what* to evaluate: the randomizer family and
+  width, the stream length, the seed policy (fixed ``base_seed`` or
+  rng-derived per call) and the noisy flag.  This is the paper's notion
+  of a design point: SNG choice x stream length x architecture.
+* :class:`~repro.simulation.runtime.RuntimeConfig` — *how fast* to
+  evaluate it: workers, chunk size, cache.  Pure wall-clock/memory
+  levers; never changes an output bit.
+
+:class:`Evaluator` binds a circuit to one spec/runtime pair and exposes
+every workload shape as a method — :meth:`~Evaluator.evaluate`
+(batched), :meth:`~Evaluator.sweep` (labeled input grid),
+:meth:`~Evaluator.stream` (bounded-memory chunked),
+:meth:`~Evaluator.apply_kernel` (whole image),
+:meth:`~Evaluator.monte_carlo` (fabrication corners).  All stream
+evaluation dispatches through :func:`~repro.simulation.runtime.run_batch`,
+so results are **bit-for-bit identical** to the equivalent free-function
+calls under the same seeds, whatever the runtime knobs.
+
+>>> import numpy as np, repro
+>>> circuit = repro.OpticalStochasticCircuit(
+...     repro.paper_section5a_parameters(),
+...     repro.BernsteinPolynomial([0.25, 0.625, 0.375]))
+>>> ev = repro.Evaluator(circuit, repro.EvalSpec(length=2048, base_seed=7))
+>>> batch = ev.evaluate(np.linspace(0, 1, 64))
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import operator
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .errors import ConfigurationError
+from .simulation.engine import (
+    _validate_base_seed,
+    _validate_sng_width,
+)
+from .simulation.runtime import RuntimeConfig, run_batch
+from .stochastic.sng import SNG_KINDS
+
+__all__ = [
+    "DEFAULT_STREAM_CHUNK",
+    "DEPRECATED_WRAPPERS",
+    "EvalSpec",
+    "Evaluator",
+]
+
+DEFAULT_STREAM_CHUNK = 1 << 16
+"""Tile size :meth:`Evaluator.stream` falls back to when none is bound."""
+
+DEPRECATED_WRAPPERS = {
+    "repro.stochastic.image.apply_circuit_kernel": (
+        "Evaluator(circuit, spec, runtime).apply_kernel(image)"
+    ),
+    "repro.simulation.runtime.cached_simulate_batch": (
+        "Evaluator(circuit, EvalSpec(base_seed=...), "
+        "RuntimeConfig(use_cache=True)).evaluate(xs)"
+    ),
+}
+"""Free functions kept as bit-exact wrappers over the session API.
+
+Each maps the dotted legacy entry point to its session-method
+replacement; calling the legacy function emits a
+:class:`DeprecationWarning` and delegates, so results stay bit-for-bit
+identical to the new path (enforced by ``tests/test_session.py``).
+"""
+
+
+@dataclass(frozen=True)
+class EvalSpec:
+    """Declarative description of one stochastic-evaluation design point.
+
+    Captures everything that determines *which bits* an evaluation
+    produces — as opposed to :class:`~repro.simulation.runtime.RuntimeConfig`,
+    which only decides how fast they are produced.
+
+    Parameters
+    ----------
+    length:
+        Stream length (clock count) per evaluation.
+    sng_kind:
+        Randomizer family: ``"lfsr"`` (default), ``"counter"``,
+        ``"sobol"`` or ``"chaotic"``.
+    sng_width:
+        LFSR register width / comparator resolution in bits.
+    noisy:
+        When False the receiver slices noiselessly — isolating the
+        stochastic-computing error from the transmission error.
+    base_seed:
+        Seed policy.  ``None`` (default) derives decorrelated per-row
+        seeds from the ``rng`` passed to each call; a fixed integer
+        pins the whole seed space, making every evaluation (including
+        receiver noise) a deterministic — and cacheable — function of
+        the inputs.
+    """
+
+    length: int = 1024
+    sng_kind: str = "lfsr"
+    sng_width: int = 16
+    noisy: bool = True
+    base_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        # Normalize to plain ints (accepting numpy integers), rejecting
+        # floats and other non-integral values outright — the whole
+        # point of the spec is that misconfiguration fails here, not as
+        # an opaque TypeError deep inside the engine.
+        for name in ("length", "sng_width", "base_seed"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            try:
+                object.__setattr__(self, name, operator.index(value))
+            except TypeError:
+                raise ConfigurationError(
+                    f"{name} must be an integer, got {value!r}"
+                ) from None
+        if self.length <= 0:
+            raise ConfigurationError(
+                f"length must be positive, got {self.length!r}"
+            )
+        if self.sng_kind not in SNG_KINDS:
+            raise ConfigurationError(
+                f"unknown SNG kind {self.sng_kind!r}; expected one of "
+                f"{SNG_KINDS}"
+            )
+        if self.sng_width < 1:
+            raise ConfigurationError(
+                f"sng_width must be >= 1, got {self.sng_width!r}"
+            )
+        _validate_base_seed(self.base_seed)
+        _validate_sng_width(self.sng_kind, self.sng_width)
+
+    def replace(self, **changes) -> "EvalSpec":
+        """A copy of the spec with *changes* applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def deterministic(self) -> bool:
+        """Whether results are a pure function of the inputs.
+
+        True when the seed space is pinned (fixed ``base_seed``, which
+        also derives the receiver-noise seeds) or the randomizer is the
+        deterministic counter *and* the receiver is noiseless — a noisy
+        unpinned counter spec still draws its noise seeds from the
+        caller's rng.  The precondition for caching and for
+        reproducible serving.
+        """
+        return self.base_seed is not None or (
+            self.sng_kind == "counter" and not self.noisy
+        )
+
+
+_SWEEP_METRICS = {
+    "value": "values",
+    "absolute_error": "absolute_errors",
+    "transmission_ber": "transmission_ber",
+}
+
+
+class Evaluator:
+    """A circuit bound to one :class:`EvalSpec` and one runtime config.
+
+    The session facade of the repo: construct it once, then run any
+    workload shape without re-threading configuration.  Every
+    stream-evaluation method dispatches through
+    :func:`~repro.simulation.runtime.run_batch`, so the runtime's
+    worker/chunk/cache knobs stay pure wall-clock levers — outputs are
+    bit-for-bit identical to the serial free-function calls under the
+    same seeds.
+
+    Misconfigurations fail at construction: enabling the evaluation
+    cache without a fixed ``base_seed`` raises here rather than on the
+    first call.
+    """
+
+    def __init__(
+        self,
+        circuit,
+        spec: Optional[EvalSpec] = None,
+        runtime: Optional[RuntimeConfig] = None,
+    ):
+        from .core.circuit import OpticalStochasticCircuit
+
+        if not isinstance(circuit, OpticalStochasticCircuit):
+            raise ConfigurationError(
+                "circuit must be an OpticalStochasticCircuit"
+            )
+        spec = EvalSpec() if spec is None else spec
+        runtime = RuntimeConfig() if runtime is None else runtime
+        if not isinstance(spec, EvalSpec):
+            raise ConfigurationError(f"spec must be an EvalSpec, got {spec!r}")
+        if not isinstance(runtime, RuntimeConfig):
+            raise ConfigurationError(
+                f"runtime must be a RuntimeConfig, got {runtime!r}"
+            )
+        if runtime.cache_requested and spec.base_seed is None:
+            raise ConfigurationError(
+                "the runtime enables the evaluation cache but the spec has "
+                "no fixed base_seed; rng-derived seeds make every call "
+                "unique — pin base_seed in the EvalSpec or disable the cache"
+            )
+        self.circuit = circuit
+        self.spec = spec
+        self.runtime = runtime
+
+    def __repr__(self) -> str:
+        return (
+            f"Evaluator(circuit={self.circuit.fingerprint()[:8]}..., "
+            f"spec={self.spec!r}, runtime={self.runtime!r})"
+        )
+
+    # -- derived sessions ------------------------------------------------------
+
+    def with_options(self, **spec_changes) -> "Evaluator":
+        """A new session on the same circuit/runtime with spec changes."""
+        return Evaluator(
+            self.circuit, self.spec.replace(**spec_changes), self.runtime
+        )
+
+    def with_runtime(self, runtime: RuntimeConfig) -> "Evaluator":
+        """A new session on the same circuit/spec with another runtime."""
+        return Evaluator(self.circuit, self.spec, runtime)
+
+    @property
+    def row_independent(self) -> bool:
+        """Whether each row's result is independent of its batch neighbors.
+
+        True when the seed space is pinned (or the randomizer is the
+        deterministic counter) **and** the receiver is noiseless: every
+        row then depends only on its own input, so evaluating an input
+        alone or inside any coalesced batch produces the same bits —
+        the guarantee :class:`repro.serving.BatchServer` builds on.
+        (With ``noisy=True`` the per-row noise seeds depend on the row's
+        position in the batch, so only whole-batch identity holds.)
+        """
+        return self.spec.deterministic and not self.spec.noisy
+
+    # -- workload methods ------------------------------------------------------
+
+    def evaluate(self, xs, rng: Optional[np.random.Generator] = None):
+        """Evaluate every input in *xs* under the bound spec.
+
+        Dispatches through :func:`~repro.simulation.runtime.run_batch`:
+        returns a :class:`~repro.simulation.engine.BatchEvaluation` (or a
+        :class:`~repro.simulation.runtime.ChunkedEvaluation` when the
+        bound runtime chunks streams longer than one tile).  *rng*
+        drives the per-row seed derivation when the spec has no fixed
+        ``base_seed``; it is ignored otherwise.
+        """
+        return run_batch(
+            self.circuit,
+            xs,
+            length=self.spec.length,
+            rng=rng,
+            noisy=self.spec.noisy,
+            sng_kind=self.spec.sng_kind,
+            base_seed=self.spec.base_seed,
+            sng_width=self.spec.sng_width,
+            config=self.runtime,
+        )
+
+    def evaluate_one(
+        self, x: float, rng: Optional[np.random.Generator] = None
+    ) -> float:
+        """The de-randomized output for a single input."""
+        return float(np.asarray(self.evaluate([float(x)], rng=rng).values)[0])
+
+    def sweep(
+        self,
+        xs,
+        metric: str = "value",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        """Labeled sweep over the input axis, one batched pass.
+
+        Routes through the exploration grid engine
+        (:func:`repro.exploration.sweep.grid_sweep`) with this session
+        as the vectorized ``metric_batch`` hook, returning a
+        :class:`~repro.exploration.sweep.SweepResult` over axis ``x``.
+        *metric* selects the per-input observable: ``"value"`` (the
+        de-randomized output, default), ``"absolute_error"`` or
+        ``"transmission_ber"``.
+        """
+        from .exploration.sweep import grid_sweep
+
+        if metric not in _SWEEP_METRICS:
+            raise ConfigurationError(
+                f"unknown sweep metric {metric!r}; expected one of "
+                f"{sorted(_SWEEP_METRICS)}"
+            )
+        attribute = _SWEEP_METRICS[metric]
+
+        def metric_batch(x: np.ndarray) -> np.ndarray:
+            return np.asarray(getattr(self.evaluate(x, rng=rng), attribute))
+
+        return grid_sweep(metric_batch=metric_batch, x=xs)
+
+    def stream(
+        self,
+        xs,
+        chunk_length: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        """Bounded-memory chunked evaluation of the bound stream length.
+
+        Overrides the runtime's ``chunk_length`` for this call (falling
+        back to the bound one, then to :data:`DEFAULT_STREAM_CHUNK`) and
+        dispatches through ``run_batch`` — so the result is a
+        :class:`~repro.simulation.runtime.ChunkedEvaluation` whenever the
+        spec's stream exceeds one tile, bit-exact with the one-shot
+        statistics and with a direct
+        :func:`~repro.simulation.runtime.simulate_chunked` call under
+        the same *rng*.
+        """
+        resolved = (
+            chunk_length
+            if chunk_length is not None
+            else (self.runtime.chunk_length or DEFAULT_STREAM_CHUNK)
+        )
+        config = dataclasses.replace(
+            self.runtime, chunk_length=int(resolved)
+        )
+        # Delegate so the spec-to-run_batch mapping lives in evaluate()
+        # alone — a new spec field can never diverge between the
+        # batched and streamed paths.
+        return self.with_runtime(config).evaluate(xs, rng=rng)
+
+    def apply_kernel(
+        self,
+        image,
+        levels: Optional[int] = 64,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Run an image through the circuit (Section V-C workload shape).
+
+        Quantizes to *levels* gray levels, evaluates all unique levels
+        as **one** batched session pass, and scatters the de-randomized
+        outputs back onto the frame — identical pixels whatever the
+        bound runtime's worker/chunk/cache knobs.
+        """
+        from .stochastic.image import apply_pixel_kernel
+
+        def batch_kernel(values: np.ndarray) -> np.ndarray:
+            return np.asarray(self.evaluate(values, rng=rng).values)
+
+        return apply_pixel_kernel(
+            image, levels=levels, batch_kernel=batch_kernel
+        )
+
+    def monte_carlo(
+        self,
+        variation=None,
+        samples: int = 200,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        """Fabrication-corner yield study on this session's circuit.
+
+        Runs :func:`repro.simulation.montecarlo.run_monte_carlo` on the
+        bound circuit's parameters, fanning the corners out over the
+        bound runtime's worker pool.  Corner offsets are drawn up front
+        from *rng*, so serial and sharded runs are identical.
+        """
+        from .simulation.montecarlo import VariationModel, run_monte_carlo
+
+        return run_monte_carlo(
+            self.circuit.params,
+            variation=VariationModel() if variation is None else variation,
+            samples=samples,
+            rng=rng,
+            runtime=self.runtime,
+        )
+
+    def throughput_frontier(
+        self,
+        bers,
+        target_rms_error: float = 0.01,
+        probability: float = 0.25,
+    ) -> dict:
+        """The designer's BER-vs-latency frontier at this circuit's clock.
+
+        Wraps :func:`repro.exploration.tradeoffs.throughput_accuracy_frontier`
+        with the session circuit's bit rate, so the evaluation times are
+        the ones this design point would actually see.
+        """
+        from .exploration.tradeoffs import throughput_accuracy_frontier
+
+        return throughput_accuracy_frontier(
+            bers,
+            target_rms_error=target_rms_error,
+            bit_rate_hz=self.circuit.params.bit_rate_hz,
+            probability=probability,
+        )

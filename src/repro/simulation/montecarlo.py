@@ -103,6 +103,7 @@ def run_monte_carlo(
     samples: int = 200,
     rng: Optional[np.random.Generator] = None,
     workers: Optional[int] = None,
+    runtime=None,
 ) -> MonteCarloResult:
     """Sample fabrication corners and evaluate the worst-case eye of each.
 
@@ -112,15 +113,20 @@ def run_monte_carlo(
 
     Corner evaluations are independent, so they fan out across the
     runtime's process pool when *workers* > 1 (default: the
-    ``REPRO_RUNTIME_WORKERS`` environment setting).  All corner offsets
-    are drawn up front from *rng*, so the sharded and serial runs
-    produce identical eyes for the same seed.
+    ``REPRO_RUNTIME_WORKERS`` environment setting).  Pass a
+    :class:`~repro.simulation.runtime.RuntimeConfig` as *runtime* to
+    take the worker count and pool backend from a bound session config
+    instead (an explicit *workers* wins); this is how
+    :meth:`repro.session.Evaluator.monte_carlo` routes through.  All
+    corner offsets are drawn up front from *rng*, so the sharded and
+    serial runs produce identical eyes for the same seed.
     """
     from ..core.params import OpticalSCParameters
-    from .runtime import parallel_map
+    from .runtime import parallel_map, resolve_pool
 
     if not isinstance(params, OpticalSCParameters):
         raise ConfigurationError("params must be OpticalSCParameters")
+    workers, backend = resolve_pool(runtime, workers)
     if samples < 1:
         raise ConfigurationError(f"samples must be >= 1, got {samples!r}")
     rng = rng or np.random.default_rng(0x5EED)
@@ -143,7 +149,10 @@ def run_monte_carlo(
     ]
     eyes = np.asarray(
         parallel_map(
-            functools.partial(_corner_eye_mw, params), corners, workers=workers
+            functools.partial(_corner_eye_mw, params),
+            corners,
+            workers=workers,
+            backend=backend,
         ),
         dtype=float,
     )

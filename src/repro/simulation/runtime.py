@@ -79,6 +79,7 @@ __all__ = [
     "default_evaluation_cache",
     "default_worker_count",
     "parallel_map",
+    "resolve_pool",
     "run_batch",
     "simulate_batch_sharded",
     "simulate_chunked",
@@ -138,6 +139,27 @@ def _pool_context():
         if method in methods:
             return multiprocessing.get_context(method)
     return multiprocessing.get_context()
+
+
+def resolve_pool(runtime, workers: Optional[int] = None) -> tuple:
+    """``(workers, backend)`` for a pooled consumer of a session config.
+
+    The one place the ``runtime=RuntimeConfig(...)`` convenience kwarg
+    is unpacked for :func:`parallel_map`-style fan-outs (grid sweeps,
+    Monte Carlo corners): an explicit *workers* wins over the config's,
+    the config supplies the pool backend, and ``runtime=None`` keeps
+    the historical defaults (environment worker count, process pool).
+    """
+    backend = "process"
+    if runtime is not None:
+        if not isinstance(runtime, RuntimeConfig):
+            raise ConfigurationError(
+                f"runtime must be a RuntimeConfig, got {runtime!r}"
+            )
+        backend = runtime.backend
+        if workers is None:
+            workers = runtime.resolved_workers
+    return workers, backend
 
 
 def parallel_map(
@@ -756,6 +778,49 @@ def cached_simulate_batch(
     workers: Optional[int] = None,
     backend: str = "process",
 ) -> BatchEvaluation:
+    """Deprecated direct entry to the keyed evaluation cache.
+
+    Superseded by the session API: bind the seed policy and cache once —
+    ``Evaluator(circuit, EvalSpec(base_seed=...),
+    RuntimeConfig(use_cache=True)).evaluate(xs)`` — instead of threading
+    them through every call.  This wrapper delegates to the same
+    internal implementation :func:`run_batch` dispatches to, so results
+    (and cache keys) are bit-for-bit identical to the session path.
+    """
+    import warnings
+
+    warnings.warn(
+        "cached_simulate_batch is deprecated; use repro.session.Evaluator "
+        "with EvalSpec(base_seed=...) and RuntimeConfig(use_cache=True)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _cached_simulate_batch(
+        circuit,
+        xs,
+        length=length,
+        noisy=noisy,
+        sng_kind=sng_kind,
+        base_seed=base_seed,
+        sng_width=sng_width,
+        cache=cache,
+        workers=workers,
+        backend=backend,
+    )
+
+
+def _cached_simulate_batch(
+    circuit,
+    xs,
+    length: int = 1024,
+    noisy: bool = True,
+    sng_kind: str = "lfsr",
+    base_seed: int = 0x5EED,
+    sng_width: int = 16,
+    cache: Optional[EvaluationCache] = None,
+    workers: Optional[int] = None,
+    backend: str = "process",
+) -> BatchEvaluation:
     """Keyed, memoized batch evaluation for repeated exploration sweeps.
 
     Requires a fixed *base_seed*: the whole evaluation (including the
@@ -816,6 +881,14 @@ class RuntimeConfig:
     enables tile streaming for streams longer than one tile (the result
     is then a :class:`ChunkedEvaluation`); ``use_cache``/``cache``
     enable memoization for fixed-``base_seed`` calls.
+
+    Every construction-knowable misconfiguration fails in
+    ``__post_init__`` — an invalid backend, chunk size, worker count or
+    cache object never survives to the first evaluation.  The one check
+    that needs the seed policy (cache without a fixed ``base_seed``)
+    fails on **every** :func:`run_batch` path, and at construction when
+    the config is bound to a spec in a
+    :class:`repro.session.Evaluator`.
     """
 
     workers: Optional[int] = None
@@ -830,6 +903,21 @@ class RuntimeConfig:
             raise ConfigurationError(
                 f"chunk_length must be positive, got {self.chunk_length!r}"
             )
+        if self.workers is not None and int(self.workers) < 0:
+            raise ConfigurationError(
+                f"workers must be >= 0, got {self.workers!r}"
+            )
+        if self.cache is not None and not isinstance(
+            self.cache, EvaluationCache
+        ):
+            raise ConfigurationError(
+                f"cache must be an EvaluationCache, got {self.cache!r}"
+            )
+
+    @property
+    def cache_requested(self) -> bool:
+        """Whether this config asks for memoized evaluation."""
+        return self.use_cache or self.cache is not None
 
     @property
     def resolved_workers(self) -> int:
@@ -872,12 +960,11 @@ def run_batch(
     """
     config = config or RuntimeConfig()
     workers = config.resolved_workers
-    cache_requested = config.use_cache or config.cache is not None
-    if cache_requested and base_seed is None and (
-        config.chunk_length is None or length <= config.chunk_length
-    ):
+    if config.cache_requested and base_seed is None:
         # Silently recomputing while the caller believes memoization is
-        # on would defeat the config; fail like cached_simulate_batch.
+        # on would defeat the config; fail on every dispatch path (the
+        # chunked branch used to skip this check and quietly ignore the
+        # cache request).
         raise ConfigurationError(
             "RuntimeConfig enables the evaluation cache but base_seed is "
             "None; rng-derived seeds make every call unique — pass a "
@@ -902,8 +989,8 @@ def run_batch(
             workers=workers,
             backend=config.backend,
         )
-    if cache_requested:  # base_seed is fixed: validated above
-        return cached_simulate_batch(
+    if config.cache_requested:  # base_seed is fixed: validated above
+        return _cached_simulate_batch(
             circuit,
             xs,
             length=length,

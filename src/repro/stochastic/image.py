@@ -155,32 +155,36 @@ def apply_circuit_kernel(
     base_seed: Optional[int] = None,
     runtime=None,
 ) -> np.ndarray:
-    """Run an image through an optical SC circuit in one batched pass.
+    """Deprecated wrapper over :meth:`repro.session.Evaluator.apply_kernel`.
 
     The paper's Section V-C workload shape: quantize to *levels* gray
     levels, evaluate **all** unique levels as one batched engine call,
     and scatter the de-randomized outputs back onto the frame.
 
-    The evaluation goes through the scaling runtime
-    (:func:`repro.simulation.runtime.run_batch`): pass a
-    :class:`repro.simulation.runtime.RuntimeConfig` as *runtime* to
-    shard the unique-level batch across worker processes, stream very
-    long stimulus lengths in bounded-memory tiles, or memoize repeated
-    frames of the same gray-level set (fixed *base_seed* required for
-    caching) — identical pixels either way.
+    Bind the knobs once instead of threading them per call::
+
+        Evaluator(circuit, EvalSpec(length=..., sng_kind=...),
+                  runtime).apply_kernel(image, levels=...)
+
+    This wrapper builds exactly that session, so the pixels are
+    bit-for-bit identical to both the session path and the pre-session
+    ``run_batch``-routed implementation.
     """
-    from ..simulation.runtime import run_batch
+    import warnings
 
-    def batch_kernel(values: np.ndarray) -> np.ndarray:
-        return run_batch(
-            circuit,
-            values,
-            length=length,
-            rng=rng,
-            noisy=noisy,
-            sng_kind=sng_kind,
-            base_seed=base_seed,
-            config=runtime,
-        ).values
+    warnings.warn(
+        "apply_circuit_kernel is deprecated; use "
+        "repro.session.Evaluator.apply_kernel",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..session import EvalSpec, Evaluator
 
-    return apply_pixel_kernel(image, levels=levels, batch_kernel=batch_kernel)
+    evaluator = Evaluator(
+        circuit,
+        EvalSpec(
+            length=length, sng_kind=sng_kind, noisy=noisy, base_seed=base_seed
+        ),
+        runtime,
+    )
+    return evaluator.apply_kernel(image, levels=levels, rng=rng)

@@ -140,9 +140,16 @@ class TestCircuitKernel:
             BernsteinPolynomial([0.25, 0.625, 0.375]),
         )
         chart = image.linear_ramp(16)
-        result = image.apply_circuit_kernel(
-            chart, circuit, length=256, rng=np.random.default_rng(4), levels=8
-        )
+        # The free function is a deprecated wrapper over the Evaluator
+        # session; its routing behavior must survive the deprecation.
+        with pytest.warns(DeprecationWarning):
+            result = image.apply_circuit_kernel(
+                chart,
+                circuit,
+                length=256,
+                rng=np.random.default_rng(4),
+                levels=8,
+            )
         assert result.shape == chart.shape
         assert np.all((result >= 0.0) & (result <= 1.0))
         # Bit-exact with mapping the unique levels through the runtime
@@ -166,15 +173,21 @@ class TestCircuitKernel:
             BernsteinPolynomial([0.25, 0.625, 0.375]),
         )
         chart = image.radial_gradient(12)
-        plain = image.apply_circuit_kernel(
-            chart, circuit, length=128, rng=np.random.default_rng(9), levels=6
-        )
-        sharded = image.apply_circuit_kernel(
-            chart,
-            circuit,
-            length=128,
-            rng=np.random.default_rng(9),
-            levels=6,
-            runtime=RuntimeConfig(workers=2),
-        )
+        with pytest.warns(DeprecationWarning):
+            plain = image.apply_circuit_kernel(
+                chart,
+                circuit,
+                length=128,
+                rng=np.random.default_rng(9),
+                levels=6,
+            )
+        with pytest.warns(DeprecationWarning):
+            sharded = image.apply_circuit_kernel(
+                chart,
+                circuit,
+                length=128,
+                rng=np.random.default_rng(9),
+                levels=6,
+                runtime=RuntimeConfig(workers=2),
+            )
         np.testing.assert_array_equal(plain, sharded)

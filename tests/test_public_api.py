@@ -1,5 +1,8 @@
 """Tests for the top-level public API surface."""
 
+import importlib
+
+import numpy as np
 import pytest
 
 import repro
@@ -41,3 +44,95 @@ class TestLazyAPI:
 
         for name in _api.__all__:
             assert getattr(repro, name) is getattr(_api, name)
+
+
+class TestPublicAPIContract:
+    """The ``__all__``/``_api``/``__getattr__`` surfaces must agree."""
+
+    def test_static_all_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_api_all_has_no_duplicates(self):
+        from repro import _api
+
+        assert len(_api.__all__) == len(set(_api.__all__))
+
+    def test_api_all_matches_module_bindings(self):
+        # Every advertised name is actually bound in _api (and therefore
+        # reachable through the lazy __getattr__), and nothing in
+        # __all__ is a dangling string.
+        from repro import _api
+
+        missing = [n for n in _api.__all__ if not hasattr(_api, n)]
+        assert missing == []
+
+    def test_static_and_lazy_surfaces_disjoint(self):
+        # A name served by both the static __init__ __all__ and _api
+        # would resolve inconsistently depending on import order.
+        from repro import _api
+
+        overlap = set(repro.__all__) & set(_api.__all__)
+        assert overlap == set()
+
+    def test_session_api_exported(self):
+        from repro import _api
+
+        for name in ("EvalSpec", "Evaluator", "BatchServer", "ServingStats"):
+            assert name in _api.__all__
+            assert getattr(repro, name) is getattr(_api, name)
+
+    def test_private_names_not_served(self):
+        with pytest.raises(AttributeError):
+            repro._private_thing
+
+    def test_deprecated_wrappers_registry(self):
+        # Every registered legacy wrapper still resolves, is callable,
+        # and names a real session replacement.
+        from repro.session import DEPRECATED_WRAPPERS, Evaluator
+
+        assert DEPRECATED_WRAPPERS  # the registry is not empty
+        for dotted, replacement in DEPRECATED_WRAPPERS.items():
+            module_name, _, attribute = dotted.rpartition(".")
+            function = getattr(importlib.import_module(module_name), attribute)
+            assert callable(function)
+            assert "Evaluator" in replacement
+
+    def test_deprecated_wrappers_are_bit_exact(self):
+        # The deprecation contract: legacy calls warn but return results
+        # bit-for-bit identical to the session equivalent.
+        circuit = repro.OpticalStochasticCircuit(
+            repro.paper_section5a_parameters(),
+            repro.BernsteinPolynomial([0.25, 0.625, 0.375]),
+        )
+        session = repro.Evaluator(
+            circuit, repro.EvalSpec(length=64, base_seed=3)
+        )
+
+        from repro.stochastic.image import apply_circuit_kernel, linear_ramp
+
+        image = linear_ramp(8)
+        with pytest.warns(DeprecationWarning):
+            legacy_pixels = apply_circuit_kernel(
+                image, circuit, length=64, base_seed=3, levels=8
+            )
+        assert np.array_equal(
+            legacy_pixels, session.apply_kernel(image, levels=8)
+        )
+
+        from repro.simulation.runtime import (
+            EvaluationCache,
+            cached_simulate_batch,
+        )
+
+        cache = EvaluationCache()
+        with pytest.warns(DeprecationWarning):
+            legacy_batch = cached_simulate_batch(
+                circuit, [0.5], length=64, base_seed=3, cache=cache
+            )
+        cached_session = repro.Evaluator(
+            circuit,
+            repro.EvalSpec(length=64, base_seed=3),
+            repro.RuntimeConfig(cache=cache),
+        )
+        assert cached_session.evaluate([0.5]) is legacy_batch

@@ -26,7 +26,10 @@ from repro.simulation.runtime import (
     ChunkedEvaluation,
     EvaluationCache,
     RuntimeConfig,
-    cached_simulate_batch,
+    # The public cached_simulate_batch is a deprecated wrapper over this
+    # impl (covered by tests/test_session.py and test_public_api.py);
+    # the cache-behavior tests below target the runtime itself.
+    _cached_simulate_batch as cached_simulate_batch,
     default_worker_count,
     parallel_map,
     run_batch,

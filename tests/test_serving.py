@@ -1,0 +1,183 @@
+"""Tests for the async micro-batching service facade (``repro.serving``)."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import OpticalStochasticCircuit
+from repro.core.params import paper_section5a_parameters
+from repro.errors import ConfigurationError
+from repro.serving import BatchServer, ServingStats
+from repro.session import EvalSpec, Evaluator
+from repro.stochastic.bernstein import BernsteinPolynomial
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return OpticalStochasticCircuit(
+        paper_section5a_parameters(),
+        BernsteinPolynomial([0.25, 0.625, 0.375]),
+    )
+
+
+@pytest.fixture(scope="module")
+def evaluator(circuit):
+    # Row-independent session: pinned seed space, noiseless receiver —
+    # each request's result is a pure function of its input.
+    return Evaluator(circuit, EvalSpec(length=256, noisy=False, base_seed=7))
+
+
+class TestConstruction:
+    def test_rejects_non_evaluator(self):
+        with pytest.raises(ConfigurationError):
+            BatchServer(object())
+
+    def test_rejects_bad_knobs(self, evaluator):
+        with pytest.raises(ConfigurationError):
+            BatchServer(evaluator, max_batch_size=0)
+        with pytest.raises(ConfigurationError):
+            BatchServer(evaluator, max_batch_delay_s=-0.1)
+
+    def test_rejects_row_dependent_session(self, circuit):
+        noisy = Evaluator(circuit, EvalSpec(length=64, base_seed=7))
+        with pytest.raises(ConfigurationError, match="row-independent"):
+            BatchServer(noisy)
+        # The escape hatch still works for whole-batch workloads.
+        BatchServer(noisy, allow_row_dependent=True)
+
+    def test_submit_requires_running_server(self, evaluator):
+        server = BatchServer(evaluator)
+
+        async def scenario():
+            await server.submit(0.5)
+
+        with pytest.raises(ConfigurationError, match="not running"):
+            asyncio.run(scenario())
+
+
+class TestServing:
+    def test_coalesced_results_bit_identical_to_direct(self, evaluator):
+        xs = np.linspace(0.0, 1.0, 24)
+        direct = np.asarray(evaluator.evaluate(xs).values, dtype=float)
+
+        async def scenario():
+            async with BatchServer(
+                evaluator, max_batch_size=32, max_batch_delay_s=0.005
+            ) as server:
+                values = await server.submit_many(xs)
+                return values, server.stats
+
+        values, stats = asyncio.run(scenario())
+        assert np.array_equal(np.asarray(values, dtype=float), direct)
+        assert stats.requests == xs.size
+        # Concurrent submits must actually coalesce.
+        assert stats.batches < stats.requests
+        assert stats.largest_batch > 1
+        assert stats.mean_batch_size > 1.0
+
+    def test_serial_submits_match_coalesced(self, evaluator):
+        xs = np.linspace(0.1, 0.9, 8)
+        direct = np.asarray(evaluator.evaluate(xs).values, dtype=float)
+
+        async def scenario():
+            async with BatchServer(
+                evaluator, max_batch_delay_s=0.0
+            ) as server:
+                return [await server.submit(float(x)) for x in xs]
+
+        values = asyncio.run(scenario())
+        # One-at-a-time serving (batch size 1 each) returns the same
+        # bits as any coalescing: the row-independence guarantee.
+        assert np.array_equal(np.asarray(values, dtype=float), direct)
+
+    def test_max_batch_size_bounds_coalescing(self, evaluator):
+        xs = np.linspace(0.0, 1.0, 10)
+
+        async def scenario():
+            async with BatchServer(
+                evaluator, max_batch_size=4, max_batch_delay_s=0.005
+            ) as server:
+                await server.submit_many(xs)
+                return server.stats
+
+        stats = asyncio.run(scenario())
+        assert stats.largest_batch <= 4
+        assert stats.batches >= 3
+
+    def test_invalid_input_fails_eagerly_without_poisoning(self, evaluator):
+        async def scenario():
+            async with BatchServer(evaluator) as server:
+                with pytest.raises(ConfigurationError):
+                    await server.submit(1.5)
+                with pytest.raises(ConfigurationError):
+                    await server.submit("not-a-number")
+                return await server.submit(0.5)
+
+        value = asyncio.run(scenario())
+        assert value == pytest.approx(
+            float(evaluator.evaluate([0.5]).values[0])
+        )
+
+    def test_evaluation_failure_propagates_to_callers(self, evaluator):
+        broken = Evaluator(
+            evaluator.circuit, evaluator.spec, evaluator.runtime
+        )
+
+        def explode(xs):
+            raise RuntimeError("engine down")
+
+        broken.evaluate = explode
+
+        async def scenario():
+            async with BatchServer(broken) as server:
+                await server.submit(0.5)
+
+        with pytest.raises(RuntimeError, match="engine down"):
+            asyncio.run(scenario())
+
+    def test_stop_drains_pending_requests(self, evaluator):
+        async def scenario():
+            server = await BatchServer(
+                evaluator, max_batch_delay_s=0.05
+            ).start()
+            tasks = [
+                asyncio.create_task(server.submit(x)) for x in (0.2, 0.8)
+            ]
+            await asyncio.sleep(0)  # let the submits enqueue
+            await server.stop()
+            return await asyncio.gather(*tasks)
+
+        values = asyncio.run(scenario())
+        assert len(values) == 2
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_restart_after_stop(self, evaluator):
+        async def scenario():
+            server = BatchServer(evaluator)
+            await server.start()
+            first = await server.submit(0.5)
+            await server.stop()
+            assert not server.running
+            await server.start()
+            second = await server.submit(0.5)
+            await server.stop()
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first == second  # deterministic session: bit-identical
+
+    def test_double_start_rejected(self, evaluator):
+        async def scenario():
+            async with BatchServer(evaluator) as server:
+                await server.start()
+
+        with pytest.raises(ConfigurationError, match="already running"):
+            asyncio.run(scenario())
+
+
+class TestStats:
+    def test_empty_stats(self, evaluator):
+        stats = BatchServer(evaluator).stats
+        assert stats == ServingStats(requests=0, batches=0, largest_batch=0)
+        assert stats.mean_batch_size == 0.0
