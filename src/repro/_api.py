@@ -18,7 +18,7 @@ from .core.energy import (
     energy_vs_spacing,
     optimal_wl_spacing_nm,
 )
-from .core.link_budget import LinkBudget, received_power_table
+from .core.link_budget import LinkBudget, batch_eye_bands, received_power_table
 from .core.params import OpticalSCParameters, paper_section5a_parameters
 from .core.reconfigurable import ReconfigurableCircuit
 from .core.snr import (
@@ -26,10 +26,18 @@ from .core.snr import (
     circuit_ber,
     circuit_snr,
     minimum_probe_power_mw,
+    probe_power_for_eyes_mw,
     required_snr_for_ber,
     worst_case_eye,
 )
-from .core.transmission import TransmissionModel
+from .core.transmission import StackedTransmissionModel, TransmissionModel
+from .core.vectorized import (
+    energy_vs_spacing_batch,
+    monte_carlo_eye_batch,
+    mrr_first_design_batch,
+    mrr_first_sizing_batch,
+    worst_case_eye_batch,
+)
 from .exploration import (
     gamma_correction_case_study,
     grid_sweep,
@@ -100,6 +108,14 @@ __all__ = [
     "minimum_probe_power_mw",
     "worst_case_eye",
     "TransmissionModel",
+    "StackedTransmissionModel",
+    "batch_eye_bands",
+    "probe_power_for_eyes_mw",
+    "worst_case_eye_batch",
+    "monte_carlo_eye_batch",
+    "mrr_first_sizing_batch",
+    "mrr_first_design_batch",
+    "energy_vs_spacing_batch",
     "grid_sweep",
     "pareto_front",
     "order_scaling_table",

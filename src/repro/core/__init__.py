@@ -7,11 +7,12 @@ paper leaves unstated.
 """
 
 from .params import OpticalSCParameters, paper_section5a_parameters
-from .transmission import TransmissionModel
-from .link_budget import LinkBudget, received_power_table
+from .transmission import StackedTransmissionModel, TransmissionModel
+from .link_budget import LinkBudget, batch_eye_bands, received_power_table
 from .snr import (
     ber_for_snr,
     minimum_probe_power_mw,
+    probe_power_for_eyes_mw,
     required_snr_for_ber,
     worst_case_eye,
     EyeDiagram,
@@ -22,6 +23,13 @@ from .energy import (
     energy_breakdown,
     energy_vs_spacing,
     optimal_wl_spacing_nm,
+)
+from .vectorized import (
+    energy_vs_spacing_batch,
+    monte_carlo_eye_batch,
+    mrr_first_design_batch,
+    mrr_first_sizing_batch,
+    worst_case_eye_batch,
 )
 from .circuit import OpticalStochasticCircuit
 from .reconfigurable import ReconfigurableCircuit
@@ -44,6 +52,14 @@ __all__ = [
     "energy_breakdown",
     "energy_vs_spacing",
     "optimal_wl_spacing_nm",
+    "StackedTransmissionModel",
+    "batch_eye_bands",
+    "probe_power_for_eyes_mw",
+    "worst_case_eye_batch",
+    "monte_carlo_eye_batch",
+    "mrr_first_sizing_batch",
+    "mrr_first_design_batch",
+    "energy_vs_spacing_batch",
     "OpticalStochasticCircuit",
     "ReconfigurableCircuit",
 ]

@@ -30,6 +30,7 @@ __all__ = [
     "EnergyBreakdown",
     "energy_breakdown",
     "energy_vs_spacing",
+    "laser_energies_pj",
     "optimal_wl_spacing_nm",
 ]
 
@@ -84,6 +85,34 @@ def energy_breakdown(params: OpticalSCParameters) -> EnergyBreakdown:
     )
 
 
+def laser_energies_pj(
+    pump_power_mw,
+    probe_power_mw,
+    channel_count: int,
+    bit_rate_hz: float,
+    pump_pulse_width_s,
+    laser_efficiency,
+) -> tuple:
+    """The Section V-C energy model over ``(S,)`` arrays: ``(pump_pj, probe_pj)``.
+
+    The one vectorized form of the per-bit formulas in
+    :func:`energy_breakdown` (same operand order, so results match the
+    scalar path to the last bit); *pump_pulse_width_s* and
+    *laser_efficiency* may themselves be ``(S,)`` arrays (the
+    sensitivity study's per-probe knobs).  ``inf`` probe powers — the
+    closed-eye convention of the batch sizing — propagate to ``inf``
+    probe energies.
+    """
+    pump_mw = np.asarray(pump_power_mw, dtype=float)
+    probe_mw = np.asarray(probe_power_mw, dtype=float)
+    bit_period_s = 1.0 / bit_rate_hz
+    pump_pj = (pump_mw * 1e-3 * pump_pulse_width_s / laser_efficiency) * 1e12
+    probe_pj = (
+        channel_count * probe_mw * 1e-3 * bit_period_s / laser_efficiency
+    ) * 1e12
+    return pump_pj, probe_pj
+
+
 def _default_designer(
     order: int, spacing_nm: float, ring_profile: RingProfile, target_ber: float
 ) -> CircuitDesign:
@@ -101,6 +130,7 @@ def energy_vs_spacing(
     ring_profile: RingProfile = DENSE_RING_PROFILE,
     target_ber: float = 1e-6,
     designer: Optional[Callable[..., CircuitDesign]] = None,
+    vectorized: Optional[bool] = None,
 ) -> dict:
     """The Fig. 7(a) sweep: laser energies across wavelength spacings.
 
@@ -108,9 +138,33 @@ def energy_vs_spacing(
     probe from the BER target) and its energy breakdown recorded.
     Spacings whose worst-case eye is closed yield ``inf`` probe energy.
 
+    With the built-in designer the whole sweep is sized as **one**
+    stacked pass through
+    :func:`repro.core.vectorized.energy_vs_spacing_batch` (the default;
+    point-for-point equal to the scalar loop up to floating-point
+    rounding, including the ``inf``/``nan`` infeasibility rows).  Pass
+    ``vectorized=False`` to force the per-spacing scalar loop; a custom
+    *designer* always uses it.
+
     Returns a dict of numpy arrays keyed ``"spacing_nm"``,
     ``"pump_pj"``, ``"probe_pj"``, ``"total_pj"``.
     """
+    if vectorized is None:
+        vectorized = designer is None
+    if vectorized:
+        if designer is not None:
+            raise ConfigurationError(
+                "vectorized sizing supports only the built-in MRR-first "
+                "designer; pass vectorized=False with a custom designer"
+            )
+        from .vectorized import energy_vs_spacing_batch
+
+        return energy_vs_spacing_batch(
+            order,
+            spacings_nm,
+            ring_profile=ring_profile,
+            target_ber=target_ber,
+        )
     designer = designer or _default_designer
     spacings = np.asarray(list(spacings_nm), dtype=float)
     if spacings.size == 0:

@@ -17,7 +17,7 @@ from ..errors import ConfigurationError
 from .params import OpticalSCParameters
 from .transmission import TransmissionModel, all_coefficient_patterns
 
-__all__ = ["LinkBudget", "received_power_table"]
+__all__ = ["LinkBudget", "received_power_table", "batch_eye_bands"]
 
 
 @dataclass(frozen=True)
@@ -91,3 +91,31 @@ def received_power_table(params: OpticalSCParameters) -> LinkBudget:
         zero_band_mw=(float(zero_values.min()), float(zero_values.max())),
         one_band_mw=(float(one_values.min()), float(one_values.max())),
     )
+
+
+def batch_eye_bands(power_tables_mw: np.ndarray) -> tuple:
+    """Band extrema for a stack of received-power tables: ``(S, P, L)`` in.
+
+    Applies the same '0'/'1' selection rule as
+    :func:`received_power_table` — table entry ``(p, m)`` belongs to the
+    '1' band iff pattern ``p`` has ``z_m = 1`` — to every stacked table
+    at once, returning the ``(one_level_min, zero_level_max)`` arrays
+    (each ``(S,)``) that define the worst-case eye of each geometry.
+    """
+    tables = np.asarray(power_tables_mw, dtype=float)
+    if tables.ndim != 3:
+        raise ConfigurationError(
+            f"power_tables_mw must be (S, P, L), got shape {tables.shape}"
+        )
+    pattern_count, levels = tables.shape[1], tables.shape[2]
+    channel_count = int(np.log2(pattern_count))
+    if (1 << channel_count) != pattern_count or levels > channel_count:
+        raise ConfigurationError(
+            f"table shape {tables.shape} is not a pattern enumeration "
+            "(P must be a power of two covering the level count)"
+        )
+    patterns = all_coefficient_patterns(channel_count)
+    selected = patterns[:, :levels] == 1  # [p, m] = z_m of pattern p
+    one_min = np.where(selected, tables, np.inf).min(axis=(1, 2))
+    zero_max = np.where(selected, -np.inf, tables).max(axis=(1, 2))
+    return one_min, zero_max

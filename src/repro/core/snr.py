@@ -38,6 +38,7 @@ __all__ = [
     "circuit_snr",
     "circuit_ber",
     "minimum_probe_power_mw",
+    "probe_power_for_eyes_mw",
 ]
 
 
@@ -179,3 +180,32 @@ def minimum_probe_power_mw(
         snr_required * detector.noise_current_a / detector.responsivity_a_per_w
     )
     return swing_needed_w / (eye_opening * 1e-3)
+
+
+def probe_power_for_eyes_mw(
+    eye_openings,
+    detector,
+    target_ber: float = 1e-6,
+) -> np.ndarray:
+    """Vectorized :func:`minimum_probe_power_mw` over a stack of eyes.
+
+    *eye_openings* are worst-case eye openings in transmission units
+    (1 mW-normalized, as produced by
+    :class:`repro.core.transmission.StackedTransmissionModel`); the
+    closed-form Eq. 8+9 inversion is applied elementwise.  Where the
+    scalar sizing raises :class:`DesignInfeasibleError` on a closed eye,
+    the batch returns ``inf`` — the feasibility-mask convention of the
+    Fig. 7 sweep (callers that need the hard failure can check
+    ``np.isinf`` themselves).
+    """
+    eyes = np.asarray(eye_openings, dtype=float)
+    snr_required = required_snr_for_ber(target_ber)
+    swing_needed_w = (
+        snr_required
+        * detector.noise_current_a
+        / detector.responsivity_a_per_w
+    )
+    probe = np.full(eyes.shape, np.inf)
+    feasible = eyes > 0.0
+    probe[feasible] = swing_needed_w / (eyes[feasible] * 1e-3)
+    return probe

@@ -23,9 +23,14 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..photonics.ring import drop_matrix, through_matrix
 from .params import OpticalSCParameters
 
-__all__ = ["TransmissionModel", "all_coefficient_patterns"]
+__all__ = [
+    "TransmissionModel",
+    "StackedTransmissionModel",
+    "all_coefficient_patterns",
+]
 
 
 def all_coefficient_patterns(channel_count: int) -> np.ndarray:
@@ -74,19 +79,19 @@ class TransmissionModel:
         modulator = params.ring_profile.modulator
 
         # Through matrices [k, w]: channel k past modulator w (Eq. 6 product).
-        lam_k = self._wavelengths[:, None]
-        res_off = self._wavelengths[None, :]
-        self._phi_off = np.asarray(modulator.through(lam_k, res_off))
-        self._phi_on = np.asarray(modulator.through(lam_k, res_off - shift))
+        self._phi_off = through_matrix(
+            modulator, self._wavelengths, self._wavelengths
+        )
+        self._phi_on = through_matrix(
+            modulator, self._wavelengths, self._wavelengths - shift
+        )
         self._log_phi_off = np.log(np.maximum(self._phi_off, 1e-300))
         self._log_phi_on = np.log(np.maximum(self._phi_on, 1e-300))
 
         # Filter drop matrix [m, k]: level m dropping channel k (Eq. 6 tail).
         resonances = self.filter_resonances_nm()
-        self._drop = np.asarray(
-            params.ring_profile.filter.drop(
-                self._wavelengths[None, :], resonances[:, None]
-            )
+        self._drop = drop_matrix(
+            params.ring_profile.filter, self._wavelengths, resonances
         )
         self._power_table_mw: "np.ndarray | None" = None
 
@@ -235,3 +240,143 @@ class TransmissionModel:
         )
         curves["probes"] = self._wavelengths.copy()
         return curves
+
+
+class StackedTransmissionModel:
+    """Eq. 6 evaluated for a whole stack of perturbed circuit geometries.
+
+    Where :class:`TransmissionModel` computes the through/drop matrices
+    and the exhaustive ``(P, L)`` received-power table for *one*
+    parameter set, this class takes ``S`` geometries at once — each a
+    row of channel wavelengths and per-level filter resonances sharing
+    one ring technology — and evaluates every Eq. 6 product as a single
+    broadcasted pass: through matrices ``(S, K, W)``, drop matrices
+    ``(S, L, K)`` and power tables ``(S, P, L)``.  The ``2^K`` pattern
+    enumeration and the channel/modulator geometry are materialized once
+    per stack instead of once per corner, which is what makes the Monte
+    Carlo yield study and the Fig. 7 design sizing one-pass.
+
+    Parameters
+    ----------
+    ring_profile:
+        The shared ring technology (modulator + filter coefficients and
+        the electro-optic modulation shift).
+    order:
+        Polynomial degree ``n``; every stacked geometry has ``n + 1``
+        channels and ``n + 1`` filter levels.
+    wavelengths_nm:
+        ``(S, n + 1)`` channel wavelengths, one row per geometry.
+    filter_resonances_nm:
+        ``(S, n + 1)`` pump-tuned filter resonances, one row per
+        geometry (level ``m`` in column ``m``).
+    probe_power_mw:
+        Per-channel probe power: a scalar shared by the stack or an
+        ``(S,)`` array of per-geometry candidates (the design sweep
+        case).  Defaults to the 1 mW normalization used by
+        :func:`repro.core.snr.worst_case_eye`.
+    """
+
+    def __init__(
+        self,
+        ring_profile,
+        order: int,
+        wavelengths_nm: np.ndarray,
+        filter_resonances_nm: np.ndarray,
+        probe_power_mw=1.0,
+    ):
+        if order < 1:
+            raise ConfigurationError(f"order must be >= 1, got {order!r}")
+        self.order = int(order)
+        channels = self.order + 1
+        wavelengths = np.atleast_2d(np.asarray(wavelengths_nm, dtype=float))
+        resonances = np.atleast_2d(
+            np.asarray(filter_resonances_nm, dtype=float)
+        )
+        if wavelengths.ndim != 2 or wavelengths.shape[1] != channels:
+            raise ConfigurationError(
+                f"wavelengths_nm must be (S, {channels}), got shape "
+                f"{np.shape(wavelengths_nm)}"
+            )
+        if resonances.shape != wavelengths.shape:
+            raise ConfigurationError(
+                f"filter_resonances_nm must match wavelengths_nm shape "
+                f"{wavelengths.shape}, got {np.shape(filter_resonances_nm)}"
+            )
+        self._wavelengths = wavelengths
+        self._resonances = resonances
+        probe = np.asarray(probe_power_mw, dtype=float)
+        if probe.ndim == 0:
+            probe = np.full(self.stack_size, float(probe))
+        if probe.shape != (self.stack_size,):
+            raise ConfigurationError(
+                f"probe_power_mw must be scalar or ({self.stack_size},), "
+                f"got shape {probe.shape}"
+            )
+        if np.any(probe <= 0.0):
+            raise ConfigurationError("probe_power_mw must be positive")
+        self._probe_mw = probe
+
+        shift = ring_profile.modulation_shift_nm
+        phi_off = through_matrix(
+            ring_profile.modulator, wavelengths, wavelengths
+        )
+        phi_on = through_matrix(
+            ring_profile.modulator, wavelengths, wavelengths - shift
+        )
+        self._log_phi_off = np.log(np.maximum(phi_off, 1e-300))
+        self._log_phi_on = np.log(np.maximum(phi_on, 1e-300))
+        self._drop = drop_matrix(ring_profile.filter, wavelengths, resonances)
+        self._power_tables_mw: "np.ndarray | None" = None
+
+    @property
+    def stack_size(self) -> int:
+        """Number of stacked geometries ``S``."""
+        return int(self._wavelengths.shape[0])
+
+    @property
+    def channel_count(self) -> int:
+        """Number of coefficient channels (``n + 1``)."""
+        return self.order + 1
+
+    def pattern_bus_transmissions(self) -> np.ndarray:
+        """Modulator-bus transmission for all patterns: ``(S, P, K)``."""
+        patterns = all_coefficient_patterns(self.channel_count)
+        z = patterns.astype(float)
+        log_t = np.einsum(
+            "pw,skw->spk", z, self._log_phi_on
+        ) + np.einsum("pw,skw->spk", 1.0 - z, self._log_phi_off)
+        return np.exp(log_t)
+
+    def received_power_tables_mw(self) -> np.ndarray:
+        """Received power for every (geometry, pattern, level): ``(S, P, L)``.
+
+        ``tables[s, p, m]`` is the photodetector power of geometry ``s``
+        under coefficient pattern ``p`` at adder level ``m`` — the
+        Fig. 5(c) table for every stacked corner at once.  Computed once
+        and cached read-only, mirroring the scalar model.
+        """
+        if self._power_tables_mw is None:
+            bus = self.pattern_bus_transmissions()
+            tables = self._probe_mw[:, None, None] * np.einsum(
+                "spk,smk->spm", bus, self._drop
+            )
+            tables.setflags(write=False)
+            self._power_tables_mw = tables
+        return self._power_tables_mw
+
+    def eye_bands(self) -> tuple:
+        """Per-geometry ``(one_level_min, zero_level_max)`` arrays.
+
+        The stacked equivalent of
+        :attr:`repro.core.link_budget.LinkBudget.one_band_mw` /
+        ``zero_band_mw`` extrema — see
+        :func:`repro.core.link_budget.batch_eye_bands`.
+        """
+        from .link_budget import batch_eye_bands
+
+        return batch_eye_bands(self.received_power_tables_mw())
+
+    def eye_openings_mw(self) -> np.ndarray:
+        """Worst-case eye opening per geometry (may be negative)."""
+        one_min, zero_max = self.eye_bands()
+        return one_min - zero_max

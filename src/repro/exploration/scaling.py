@@ -42,23 +42,18 @@ def order_scaling_table(
         optimal_spacing_nm = optimal_wl_spacing_nm(
             min(orders), ring_profile=ring_profile
         )
+    # One stacked sizing pass per order: both grid candidates share the
+    # pattern enumeration and ring geometry work (vectorized designer).
     coarse = []
     optimal = []
     for order in orders:
-        coarse.append(
-            float(
-                energy_vs_spacing(
-                    order, [coarse_spacing_nm], ring_profile=ring_profile
-                )["total_pj"][0]
-            )
+        sweep = energy_vs_spacing(
+            order,
+            [coarse_spacing_nm, optimal_spacing_nm],
+            ring_profile=ring_profile,
         )
-        optimal.append(
-            float(
-                energy_vs_spacing(
-                    order, [optimal_spacing_nm], ring_profile=ring_profile
-                )["total_pj"][0]
-            )
-        )
+        coarse.append(float(sweep["total_pj"][0]))
+        optimal.append(float(sweep["total_pj"][1]))
     coarse_array = np.asarray(coarse)
     optimal_array = np.asarray(optimal)
     return {

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Mapping, Sequence
 
-from ..errors import ConfigurationError
+import numpy as np
+
+from ..errors import ConfigurationError, DesignInfeasibleError
 from ..core.design import mrr_first_design
 from ..core.energy import energy_breakdown
 from ..photonics.devices import DENSE_RING_PROFILE
@@ -71,6 +73,56 @@ def _headline_energy_pj(
     return energy_breakdown(design.params).total_energy_pj
 
 
+def _headline_energy_pj_batch(
+    order: int,
+    spacing_nm: float,
+    points: Sequence[Mapping[str, float]],
+) -> np.ndarray:
+    """Headline energies for many technology-knob points, one sizing pass.
+
+    Each point is a full ``{ote_nm_per_mw, insertion_loss_db, guard_nm,
+    laser_efficiency, pulse_width_s}`` assignment; the whole set is
+    sized through
+    :func:`repro.core.vectorized.mrr_first_sizing_batch` — the
+    expensive worst-case eye is a single stacked evaluation instead of
+    one ``TransmissionModel`` per finite-difference probe.
+    """
+    from ..constants import PAPER_BIT_RATE_HZ
+    from ..core.energy import laser_energies_pj
+    from ..core.vectorized import mrr_first_sizing_batch
+
+    size = len(points)
+    spacings = np.full(size, float(spacing_nm))
+    guard = np.asarray([p["guard_nm"] for p in points], dtype=float)
+    il_db = np.asarray([p["insertion_loss_db"] for p in points], dtype=float)
+    slope = np.asarray([p["ote_nm_per_mw"] for p in points], dtype=float)
+    eta = np.asarray([p["laser_efficiency"] for p in points], dtype=float)
+    pulse = np.asarray([p["pulse_width_s"] for p in points], dtype=float)
+    sizing = mrr_first_sizing_batch(
+        order,
+        spacings,
+        guard_nm=guard,
+        insertion_loss_db=il_db,
+        ring_profile=DENSE_RING_PROFILE,
+        ote_nm_per_mw=slope,
+    )
+    if not np.all(sizing["feasible"]):
+        bad = ~sizing["feasible"]
+        raise DesignInfeasibleError(
+            "headline design infeasible for sensitivity points "
+            f"{np.flatnonzero(bad).tolist()} at spacing {spacing_nm} nm"
+        )
+    pump_pj, probe_pj = laser_energies_pj(
+        sizing["pump_power_mw"],
+        sizing["probe_power_mw"],
+        channel_count=order + 1,
+        bit_rate_hz=PAPER_BIT_RATE_HZ,
+        pump_pulse_width_s=pulse,
+        laser_efficiency=eta,
+    )
+    return pump_pj + probe_pj
+
+
 def headline_energy_sensitivities(
     order: int = 2,
     spacing_nm: float = 0.165,
@@ -84,6 +136,11 @@ def headline_energy_sensitivities(
     step_fraction: float = 0.02,
 ) -> Dict[str, float]:
     """Relative sensitivities of the energy/bit to each technology knob.
+
+    All central-difference probes (one up/down pair per parameter plus
+    the shared nominal point) are sized in **one** stacked batch-eye
+    pass, so the cost no longer scales with three scalar designs per
+    parameter.
 
     Expected structure (and what the tests assert):
 
@@ -104,15 +161,27 @@ def headline_energy_sensitivities(
         raise ConfigurationError(
             f"unknown parameters {unknown}; choose from {sorted(nominals)}"
         )
-    sensitivities: Dict[str, float] = {}
+    if not 0.0 < step_fraction < 0.5:
+        raise ConfigurationError(
+            f"step_fraction must be in (0, 0.5), got {step_fraction!r}"
+        )
+    points = [dict(nominals)]
     for name in parameters:
-
-        def metric(value: float, _name=name) -> float:
-            kwargs = {str(k): float(v) for k, v in nominals.items()}
-            kwargs[_name] = value
-            return _headline_energy_pj(order, spacing_nm, **kwargs)
-
-        sensitivities[name] = relative_sensitivity(
-            metric, nominals[name], step_fraction=step_fraction
+        step = abs(nominals[name]) * step_fraction
+        for value in (nominals[name] + step, nominals[name] - step):
+            point = dict(nominals)
+            point[name] = value
+            points.append(point)
+    energies = _headline_energy_pj_batch(order, spacing_nm, points)
+    center = float(energies[0])
+    if center == 0.0:
+        raise ConfigurationError("metric is zero at the nominal point")
+    sensitivities: Dict[str, float] = {}
+    for slot, name in enumerate(parameters):
+        nominal = nominals[name]
+        step = abs(nominal) * step_fraction
+        up, down = energies[1 + 2 * slot], energies[2 + 2 * slot]
+        sensitivities[name] = float(
+            ((up - down) / (2.0 * step)) * (nominal / center)
         )
     return sensitivities

@@ -37,6 +37,8 @@ __all__ = [
     "round_trip_phase",
     "through_transmission",
     "drop_transmission",
+    "through_matrix",
+    "drop_matrix",
     "add_drop_fwhm_nm",
     "loss_coupling_product_for_fwhm",
     "design_modulator_ring",
@@ -94,6 +96,42 @@ def drop_transmission(theta: ArrayLike, a: float, r1: float, r2: float) -> Array
     numerator = a * (1.0 - r1**2) * (1.0 - r2**2)
     denominator = 1.0 - 2.0 * x * cos_theta + x**2
     return numerator / denominator
+
+
+def through_matrix(
+    ring: "RingParameters", signal_nm: ArrayLike, resonance_nm: ArrayLike
+) -> np.ndarray:
+    """Eq. 2 response matrix ``[..., k, w]``: signal ``k`` past ring ``w``.
+
+    Outer-broadcasts the trailing axes of *signal_nm* and *resonance_nm*
+    (each ``(..., K)`` / ``(..., W)``), so a single call evaluates the
+    modulator-bus geometry of the Eq. 6 product for one circuit — or for
+    a whole stack of perturbed circuits when the inputs carry leading
+    stack dimensions.  The workhorse behind both
+    :class:`repro.core.transmission.TransmissionModel` and its stacked
+    Monte Carlo / design-sizing variant.
+    """
+    signal = np.asarray(signal_nm, dtype=float)
+    resonance = np.asarray(resonance_nm, dtype=float)
+    return np.asarray(
+        ring.through(signal[..., :, None], resonance[..., None, :])
+    )
+
+
+def drop_matrix(
+    ring: "RingParameters", signal_nm: ArrayLike, resonance_nm: ArrayLike
+) -> np.ndarray:
+    """Eq. 3 response matrix ``[..., m, k]``: resonance ``m`` dropping ``k``.
+
+    Same outer-broadcast contract as :func:`through_matrix`, with the
+    resonance (level) axis leading — matching the ``[level, channel]``
+    layout of the filter drop matrix in Eq. 6.
+    """
+    signal = np.asarray(signal_nm, dtype=float)
+    resonance = np.asarray(resonance_nm, dtype=float)
+    return np.asarray(
+        ring.drop(signal[..., None, :], resonance[..., :, None])
+    )
 
 
 def _validate_ring_coefficients(a: float, r1: float, r2: float) -> None:

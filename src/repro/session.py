@@ -62,20 +62,33 @@ DEFAULT_STREAM_CHUNK = 1 << 16
 """Tile size :meth:`Evaluator.stream` falls back to when none is bound."""
 
 DEPRECATED_WRAPPERS = {
-    "repro.stochastic.image.apply_circuit_kernel": (
-        "Evaluator(circuit, spec, runtime).apply_kernel(image)"
-    ),
-    "repro.simulation.runtime.cached_simulate_batch": (
-        "Evaluator(circuit, EvalSpec(base_seed=...), "
-        "RuntimeConfig(use_cache=True)).evaluate(xs)"
-    ),
+    "repro.stochastic.image.apply_circuit_kernel": {
+        "replacement": "Evaluator(circuit, spec, runtime).apply_kernel(image)",
+        "removal_note": (
+            "deprecated in PR 3; kept as a bit-exact wrapper for at least "
+            "two further PRs (removal no earlier than PR 6)"
+        ),
+    },
+    "repro.simulation.runtime.cached_simulate_batch": {
+        "replacement": (
+            "Evaluator(circuit, EvalSpec(base_seed=...), "
+            "RuntimeConfig(use_cache=True)).evaluate(xs)"
+        ),
+        "removal_note": (
+            "deprecated in PR 3; kept as a bit-exact wrapper for at least "
+            "two further PRs (removal no earlier than PR 6)"
+        ),
+    },
 }
 """Free functions kept as bit-exact wrappers over the session API.
 
 Each maps the dotted legacy entry point to its session-method
-replacement; calling the legacy function emits a
-:class:`DeprecationWarning` and delegates, so results stay bit-for-bit
-identical to the new path (enforced by ``tests/test_session.py``).
+``replacement`` plus a ``removal_note`` recording when it was
+deprecated and the earliest PR it may be removed in (the policy:
+wrappers survive at least two PRs past deprecation).  Calling the
+legacy function emits a :class:`DeprecationWarning` and delegates, so
+results stay bit-for-bit identical to the new path (enforced by
+``tests/test_session.py`` and ``tests/test_public_api.py``).
 """
 
 
@@ -372,7 +385,11 @@ class Evaluator:
         Runs :func:`repro.simulation.montecarlo.run_monte_carlo` on the
         bound circuit's parameters, fanning the corners out over the
         bound runtime's worker pool.  Corner offsets are drawn up front
-        from *rng*, so serial and sharded runs are identical.
+        from *rng*, so serial and sharded runs are identical.  Bind
+        ``RuntimeConfig(vectorized=True)`` to evaluate all corners as
+        one stacked :mod:`repro.core.vectorized` pass — an order of
+        magnitude faster, equal to the scalar loop up to floating-point
+        rounding.
         """
         from .simulation.montecarlo import VariationModel, run_monte_carlo
 

@@ -28,6 +28,7 @@ from .runtime import (
     default_evaluation_cache,
     default_worker_count,
     parallel_map,
+    resolve_vectorized,
     run_batch,
     simulate_batch_sharded,
     simulate_chunked,
@@ -65,6 +66,7 @@ __all__ = [
     "default_evaluation_cache",
     "default_worker_count",
     "parallel_map",
+    "resolve_vectorized",
     "run_batch",
     "simulate_batch_sharded",
     "simulate_chunked",

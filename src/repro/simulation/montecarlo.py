@@ -97,6 +97,74 @@ def _corner_eye_mw(params, offsets_nm: tuple) -> float:
     return float(worst_case_eye(corner).opening)
 
 
+def _draw_corner_offsets(
+    params,
+    variation: VariationModel,
+    samples: int,
+    rng: np.random.Generator,
+) -> tuple:
+    """One-pass corner sampling: every offset drawn vectorized up front.
+
+    Row-major generation keeps the (ring, filter) interleaving — and
+    hence the seeded results — identical to the historical per-sample
+    draws.  Extreme ring offsets are clamped to the modulation shift so
+    the ON/OFF contrast stays physical.
+    """
+    offsets = rng.normal(
+        0.0,
+        [variation.ring_sigma_nm, variation.filter_sigma_nm],
+        size=(samples, 2),
+    )
+    shift = params.ring_profile.modulation_shift_nm
+    ring_offsets = np.clip(offsets[:, 0], -0.8 * shift, 0.8 * shift)
+    return ring_offsets, offsets[:, 1]
+
+
+def _corner_eyes_mw(
+    params,
+    ring_offsets_nm: np.ndarray,
+    filter_offsets_nm: np.ndarray,
+    workers,
+    backend: str,
+    vectorized: bool,
+) -> np.ndarray:
+    """Eye openings for pre-drawn corners, scalar loop or stacked pass.
+
+    The scalar path maps :func:`_corner_eye_mw` over the runtime pool
+    (one ``TransmissionModel`` rebuild per corner); the vectorized path
+    evaluates all corners as one broadcasted
+    :func:`repro.core.vectorized.monte_carlo_eye_batch` stack (sharded
+    over the same pool for huge corner counts).  Both agree to
+    floating-point rounding, with identical yield decisions for the
+    seeds used in the tests and benchmarks.
+    """
+    if vectorized:
+        from ..core.vectorized import monte_carlo_eye_batch
+
+        return monte_carlo_eye_batch(
+            params,
+            ring_offsets_nm,
+            filter_offsets_nm,
+            workers=workers,
+            backend=backend,
+        )
+    from .runtime import parallel_map
+
+    corners = [
+        (float(ring_offsets_nm[index]), float(filter_offsets_nm[index]))
+        for index in range(ring_offsets_nm.size)
+    ]
+    return np.asarray(
+        parallel_map(
+            functools.partial(_corner_eye_mw, params),
+            corners,
+            workers=workers,
+            backend=backend,
+        ),
+        dtype=float,
+    )
+
+
 def run_monte_carlo(
     params,
     variation: VariationModel = VariationModel(),
@@ -104,6 +172,7 @@ def run_monte_carlo(
     rng: Optional[np.random.Generator] = None,
     workers: Optional[int] = None,
     runtime=None,
+    vectorized: Optional[bool] = None,
 ) -> MonteCarloResult:
     """Sample fabrication corners and evaluate the worst-case eye of each.
 
@@ -115,46 +184,33 @@ def run_monte_carlo(
     runtime's process pool when *workers* > 1 (default: the
     ``REPRO_RUNTIME_WORKERS`` environment setting).  Pass a
     :class:`~repro.simulation.runtime.RuntimeConfig` as *runtime* to
-    take the worker count and pool backend from a bound session config
-    instead (an explicit *workers* wins); this is how
-    :meth:`repro.session.Evaluator.monte_carlo` routes through.  All
-    corner offsets are drawn up front from *rng*, so the sharded and
-    serial runs produce identical eyes for the same seed.
+    take the worker count, pool backend and ``vectorized`` default from
+    a bound session config instead (explicit arguments win); this is
+    how :meth:`repro.session.Evaluator.monte_carlo` routes through.
+    All corner offsets are drawn up front from *rng*, so serial,
+    sharded and vectorized runs evaluate identical corners for the same
+    seed.
+
+    With ``vectorized=True`` every corner is evaluated in one stacked
+    :mod:`repro.core.vectorized` pass instead of rebuilding a
+    ``TransmissionModel`` per corner — an order of magnitude faster,
+    numerically equal to the scalar loop up to floating-point rounding.
     """
     from ..core.params import OpticalSCParameters
-    from .runtime import parallel_map, resolve_pool
+    from .runtime import resolve_pool, resolve_vectorized
 
     if not isinstance(params, OpticalSCParameters):
         raise ConfigurationError("params must be OpticalSCParameters")
     workers, backend = resolve_pool(runtime, workers)
+    vectorized = resolve_vectorized(runtime, vectorized)
     if samples < 1:
         raise ConfigurationError(f"samples must be >= 1, got {samples!r}")
     rng = rng or np.random.default_rng(0x5EED)
-    # One-pass corner sampling: every offset drawn vectorized up front.
-    # Row-major generation keeps the (ring, filter) interleaving — and
-    # hence the seeded results — identical to the old per-sample draws.
-    # Keep the modulation contrast physical: clamp extreme ring offsets
-    # to the modulation shift so ON/OFF do not invert.
-    offsets = rng.normal(
-        0.0,
-        [variation.ring_sigma_nm, variation.filter_sigma_nm],
-        size=(samples, 2),
+    ring_offsets, filter_offsets = _draw_corner_offsets(
+        params, variation, samples, rng
     )
-    shift = params.ring_profile.modulation_shift_nm
-    ring_offsets = np.clip(offsets[:, 0], -0.8 * shift, 0.8 * shift)
-    filter_offsets = offsets[:, 1]
-    corners = [
-        (float(ring_offsets[index]), float(filter_offsets[index]))
-        for index in range(samples)
-    ]
-    eyes = np.asarray(
-        parallel_map(
-            functools.partial(_corner_eye_mw, params),
-            corners,
-            workers=workers,
-            backend=backend,
-        ),
-        dtype=float,
+    eyes = _corner_eyes_mw(
+        params, ring_offsets, filter_offsets, workers, backend, vectorized
     )
     return MonteCarloResult(
         eye_openings_mw=eyes,
@@ -169,27 +225,67 @@ def yield_vs_sigma(
     sigmas_nm,
     samples: int = 100,
     rng: Optional[np.random.Generator] = None,
+    workers: Optional[int] = None,
+    runtime=None,
+    vectorized: Optional[bool] = None,
 ) -> dict:
-    """Yield curve across variation magnitudes (controller motivation)."""
+    """Yield curve across variation magnitudes (controller motivation).
+
+    All sigma blocks draw their corner offsets up front, in the same
+    order the historical serial implementation consumed *rng* — so for
+    a given seed the curve is identical whatever *workers* count (or
+    *runtime* pool config) evaluates it.  With ``vectorized=True`` (or
+    a runtime config enabling it) the whole curve — every corner of
+    every sigma — is evaluated as **one** stacked
+    :mod:`repro.core.vectorized` pass.
+    """
+    from ..core.params import OpticalSCParameters
+    from .runtime import resolve_pool, resolve_vectorized
+
+    if not isinstance(params, OpticalSCParameters):
+        raise ConfigurationError("params must be OpticalSCParameters")
+    workers, backend = resolve_pool(runtime, workers)
+    vectorized = resolve_vectorized(runtime, vectorized)
+    if samples < 1:
+        raise ConfigurationError(f"samples must be >= 1, got {samples!r}")
     rng = rng or np.random.default_rng(0x5EED)
     sigmas = np.asarray(list(sigmas_nm), dtype=float)
     if sigmas.size == 0:
         raise ConfigurationError("need at least one sigma")
-    yields = np.empty_like(sigmas)
-    mean_eyes = np.empty_like(sigmas)
-    for i, sigma in enumerate(sigmas):
-        result = run_monte_carlo(
+    blocks = [
+        _draw_corner_offsets(
             params,
-            VariationModel(ring_sigma_nm=float(sigma), filter_sigma_nm=float(sigma)),
-            samples=samples,
-            rng=rng,
+            VariationModel(
+                ring_sigma_nm=float(sigma), filter_sigma_nm=float(sigma)
+            ),
+            samples,
+            rng,
         )
-        yields[i] = result.yield_fraction
-        mean_eyes[i] = result.mean_eye_mw
+        for sigma in sigmas
+    ]
+    if vectorized:
+        # One stacked evaluation across every (sigma, sample) corner.
+        eyes = _corner_eyes_mw(
+            params,
+            np.concatenate([ring for ring, _ in blocks]),
+            np.concatenate([filt for _, filt in blocks]),
+            workers,
+            backend,
+            vectorized,
+        ).reshape(sigmas.size, samples)
+    else:
+        eyes = np.stack(
+            [
+                _corner_eyes_mw(
+                    params, ring, filt, workers, backend, vectorized
+                )
+                for ring, filt in blocks
+            ]
+        )
     return {
         "sigma_nm": sigmas,
-        "yield_fraction": yields,
-        "mean_eye_mw": mean_eyes,
+        "yield_fraction": np.mean(eyes > 0.0, axis=1),
+        "mean_eye_mw": eyes.mean(axis=1),
     }
 
 

@@ -80,6 +80,7 @@ __all__ = [
     "default_worker_count",
     "parallel_map",
     "resolve_pool",
+    "resolve_vectorized",
     "run_batch",
     "simulate_batch_sharded",
     "simulate_chunked",
@@ -160,6 +161,27 @@ def resolve_pool(runtime, workers: Optional[int] = None) -> tuple:
         if workers is None:
             workers = runtime.resolved_workers
     return workers, backend
+
+
+def resolve_vectorized(runtime, vectorized: Optional[bool] = None) -> bool:
+    """Whether an optics consumer should take the stacked-array fast path.
+
+    The companion of :func:`resolve_pool` for the ``vectorized`` knob of
+    :class:`RuntimeConfig`: an explicit *vectorized* argument wins, a
+    bound session config supplies its default otherwise, and with
+    neither the historical scalar corner loop is kept (batched results
+    match it only to floating-point rounding, so flipping the default
+    silently would perturb seeded reference numbers).
+    """
+    if vectorized is not None:
+        return bool(vectorized)
+    if runtime is not None:
+        if not isinstance(runtime, RuntimeConfig):
+            raise ConfigurationError(
+                f"runtime must be a RuntimeConfig, got {runtime!r}"
+            )
+        return runtime.vectorized
+    return False
 
 
 def parallel_map(
@@ -880,7 +902,12 @@ class RuntimeConfig:
     ``REPRO_RUNTIME_WORKERS`` environment default); ``chunk_length``
     enables tile streaming for streams longer than one tile (the result
     is then a :class:`ChunkedEvaluation`); ``use_cache``/``cache``
-    enable memoization for fixed-``base_seed`` calls.
+    enable memoization for fixed-``base_seed`` calls; ``vectorized``
+    routes the optics analysis consumers (Monte Carlo corners, yield
+    curves) through the stacked-array engine of
+    :mod:`repro.core.vectorized` instead of the per-corner scalar loop
+    — results agree to floating-point rounding, an order of magnitude
+    faster.
 
     Every construction-knowable misconfiguration fails in
     ``__post_init__`` — an invalid backend, chunk size, worker count or
@@ -896,9 +923,14 @@ class RuntimeConfig:
     chunk_length: Optional[int] = None
     use_cache: bool = False
     cache: Optional[EvaluationCache] = None
+    vectorized: bool = False
 
     def __post_init__(self) -> None:
         _validate_backend(self.backend)
+        if not isinstance(self.vectorized, bool):
+            raise ConfigurationError(
+                f"vectorized must be a bool, got {self.vectorized!r}"
+            )
         if self.chunk_length is not None and self.chunk_length <= 0:
             raise ConfigurationError(
                 f"chunk_length must be positive, got {self.chunk_length!r}"

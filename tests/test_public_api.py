@@ -88,15 +88,38 @@ class TestPublicAPIContract:
 
     def test_deprecated_wrappers_registry(self):
         # Every registered legacy wrapper still resolves, is callable,
-        # and names a real session replacement.
-        from repro.session import DEPRECATED_WRAPPERS, Evaluator
+        # names a real session replacement and carries a removal note —
+        # the written-down policy that wrappers survive at least two
+        # PRs past their deprecation.
+        from repro.session import DEPRECATED_WRAPPERS
 
         assert DEPRECATED_WRAPPERS  # the registry is not empty
-        for dotted, replacement in DEPRECATED_WRAPPERS.items():
+        for dotted, entry in DEPRECATED_WRAPPERS.items():
             module_name, _, attribute = dotted.rpartition(".")
             function = getattr(importlib.import_module(module_name), attribute)
             assert callable(function)
-            assert "Evaluator" in replacement
+            assert "Evaluator" in entry["replacement"]
+            note = entry["removal_note"]
+            assert "deprecated in PR" in note
+            assert "removal" in note
+
+    def test_deprecated_wrappers_still_warn(self):
+        # The wrappers must keep emitting DeprecationWarning (and the
+        # warning must point at the session replacement) until the
+        # registry drops them.
+        circuit = repro.OpticalStochasticCircuit(
+            repro.paper_section5a_parameters(),
+            repro.BernsteinPolynomial([0.25, 0.625, 0.375]),
+        )
+        from repro.simulation.runtime import cached_simulate_batch
+        from repro.stochastic.image import apply_circuit_kernel, linear_ramp
+
+        with pytest.warns(DeprecationWarning, match="Evaluator"):
+            cached_simulate_batch(circuit, [0.5], length=32, base_seed=1)
+        with pytest.warns(DeprecationWarning, match="Evaluator"):
+            apply_circuit_kernel(
+                linear_ramp(4), circuit, length=32, base_seed=1, levels=4
+            )
 
     def test_deprecated_wrappers_are_bit_exact(self):
         # The deprecation contract: legacy calls warn but return results

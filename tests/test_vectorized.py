@@ -1,0 +1,513 @@
+"""Parity suite for the stacked-corner vectorized optics engine.
+
+Every batch path in :mod:`repro.core.vectorized` (and its supporting
+pieces in ``transmission``/``link_budget``/``snr``) must agree with the
+scalar per-corner chain it replaces: same received powers, same eyes,
+same yield decisions, same feasibility masks.  The batched arithmetic
+only differs from the scalar one in matrix-product summation order, so
+the tolerances here are tight (1e-10 relative) and the boolean
+decisions are required to be identical.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.design import mrr_first_design
+from repro.core.energy import energy_vs_spacing
+from repro.core.link_budget import batch_eye_bands, received_power_table
+from repro.core.params import paper_section5a_parameters
+from repro.core.snr import probe_power_for_eyes_mw, worst_case_eye
+from repro.core.transmission import StackedTransmissionModel, TransmissionModel
+from repro.core.vectorized import (
+    energy_vs_spacing_batch,
+    monte_carlo_eye_batch,
+    mrr_first_design_batch,
+    mrr_first_sizing_batch,
+    perturbed_geometry,
+    worst_case_eye_batch,
+)
+from repro.errors import ConfigurationError, DesignInfeasibleError
+from repro.photonics.devices import DENSE_RING_PROFILE
+from repro.simulation.montecarlo import (
+    VariationModel,
+    _perturbed_params,
+    run_monte_carlo,
+    yield_vs_sigma,
+)
+from repro.simulation.runtime import RuntimeConfig, resolve_vectorized
+
+TIGHT = dict(rtol=1e-10, atol=1e-14)
+
+
+def _order_params(order: int, spacing_nm: float = 0.165):
+    """A sized parameter bundle for parity checks at a given order."""
+    return mrr_first_design(order, spacing_nm).params
+
+
+def _scalar_eyes(params, ring_offsets, filter_offsets):
+    return np.asarray(
+        [
+            worst_case_eye(_perturbed_params(params, float(r), float(f))).opening
+            for r, f in zip(ring_offsets, filter_offsets)
+        ]
+    )
+
+
+def _offsets(params, rng, count, sigma=0.05):
+    shift = params.ring_profile.modulation_shift_nm
+    ring = np.clip(
+        rng.normal(0.0, sigma, count), -0.8 * shift, 0.8 * shift
+    )
+    return ring, rng.normal(0.0, sigma, count)
+
+
+class TestEyeBatchParity:
+    @pytest.mark.parametrize("order", [2, 3, 4, 5, 6])
+    def test_matches_scalar_chain_across_orders(self, order, rng):
+        params = _order_params(order)
+        ring, filt = _offsets(params, rng, 40)
+        batch = worst_case_eye_batch(params, ring, filt)
+        scalar = _scalar_eyes(params, ring, filt)
+        np.testing.assert_allclose(batch, scalar, **TIGHT)
+        # Yield decisions must be *identical*, not merely close.
+        assert np.array_equal(batch > 0.0, scalar > 0.0)
+
+    def test_single_corner_degenerate(self):
+        params = paper_section5a_parameters()
+        batch = worst_case_eye_batch(params, [0.01], [-0.02])
+        scalar = _scalar_eyes(params, [0.01], [-0.02])
+        assert batch.shape == (1,)
+        np.testing.assert_allclose(batch, scalar, **TIGHT)
+
+    def test_collapsed_guard_band_clamp(self):
+        # A large negative filter offset collapses the guard band; both
+        # paths must clamp it at 1e-6 nm (the worst case) identically.
+        params = paper_section5a_parameters()
+        guard = params.grid.guard_nm
+        filt = np.asarray([-guard - 0.05, -guard, -guard + 1e-7, 0.0])
+        ring = np.zeros_like(filt)
+        batch = worst_case_eye_batch(params, ring, filt)
+        scalar = _scalar_eyes(params, ring, filt)
+        np.testing.assert_allclose(batch, scalar, **TIGHT)
+        assert np.array_equal(batch > 0.0, scalar > 0.0)
+
+    def test_closed_eye_corners(self, rng):
+        # A cramped dense grid closes the worst-case eye; the batch must
+        # report the same negative openings as the scalar chain.
+        params = mrr_first_design(
+            2, 0.05, ring_profile=DENSE_RING_PROFILE, probe_power_mw=1.0
+        ).params
+        ring, filt = _offsets(params, rng, 12, sigma=0.02)
+        batch = worst_case_eye_batch(params, ring, filt)
+        scalar = _scalar_eyes(params, ring, filt)
+        np.testing.assert_allclose(batch, scalar, **TIGHT)
+        assert np.all(batch <= 0.0)
+
+    def test_offset_broadcasting_and_validation(self):
+        params = paper_section5a_parameters()
+        one = worst_case_eye_batch(params, 0.01, [0.0, 0.01, 0.02])
+        assert one.shape == (3,)
+        with pytest.raises(ConfigurationError):
+            worst_case_eye_batch(params, [0.0, 0.1], [0.0, 0.1, 0.2])
+        with pytest.raises(ConfigurationError):
+            worst_case_eye_batch("params", [0.0], [0.0])
+
+
+class TestStackedReceivedPower:
+    @pytest.mark.parametrize("order", [2, 4, 6])
+    def test_tables_match_per_corner_models(self, order, rng):
+        params = _order_params(order)
+        ring, filt = _offsets(params, rng, 6)
+        wavelengths, resonances = perturbed_geometry(params, ring, filt)
+        stacked = StackedTransmissionModel(
+            params.ring_profile,
+            params.order,
+            wavelengths,
+            resonances,
+            probe_power_mw=params.probe_power_mw,
+        )
+        tables = stacked.received_power_tables_mw()
+        assert tables.shape == (
+            ring.size,
+            1 << params.channel_count,
+            params.channel_count,
+        )
+        for s in range(ring.size):
+            corner = _perturbed_params(params, float(ring[s]), float(filt[s]))
+            scalar_table = TransmissionModel(corner).received_power_table_mw()
+            np.testing.assert_allclose(tables[s], scalar_table, **TIGHT)
+
+    def test_eye_bands_match_link_budget(self, rng):
+        params = paper_section5a_parameters()
+        ring, filt = _offsets(params, rng, 5)
+        wavelengths, resonances = perturbed_geometry(params, ring, filt)
+        stacked = StackedTransmissionModel(
+            params.ring_profile, params.order, wavelengths, resonances
+        )
+        one_min, zero_max = stacked.eye_bands()
+        for s in range(ring.size):
+            corner = _perturbed_params(params, float(ring[s]), float(filt[s]))
+            budget = received_power_table(corner.with_probe_power(1.0))
+            assert one_min[s] == pytest.approx(budget.one_band_mw[0], rel=1e-10)
+            assert zero_max[s] == pytest.approx(
+                budget.zero_band_mw[1], rel=1e-10
+            )
+
+    def test_batch_eye_bands_validation(self):
+        with pytest.raises(ConfigurationError):
+            batch_eye_bands(np.zeros((4, 8)))
+        with pytest.raises(ConfigurationError):
+            batch_eye_bands(np.zeros((2, 6, 3)))  # P not a power of two
+
+    def test_stacked_model_validation(self):
+        profile = paper_section5a_parameters().ring_profile
+        good = np.full((2, 3), 1550.0)
+        with pytest.raises(ConfigurationError):
+            StackedTransmissionModel(profile, 2, good[:, :2], good[:, :2])
+        with pytest.raises(ConfigurationError):
+            StackedTransmissionModel(profile, 2, good, good[:1])
+        with pytest.raises(ConfigurationError):
+            StackedTransmissionModel(
+                profile, 2, good, good, probe_power_mw=[1.0, -1.0]
+            )
+
+
+class TestMonteCarloVectorized:
+    def test_vectorized_matches_scalar_run(self):
+        params = paper_section5a_parameters()
+        kwargs = dict(
+            variation=VariationModel(0.04, 0.04), samples=150, workers=0
+        )
+        scalar = run_monte_carlo(
+            params, rng=np.random.default_rng(11), vectorized=False, **kwargs
+        )
+        batch = run_monte_carlo(
+            params, rng=np.random.default_rng(11), vectorized=True, **kwargs
+        )
+        assert batch.yield_fraction == scalar.yield_fraction
+        np.testing.assert_allclose(
+            batch.eye_openings_mw, scalar.eye_openings_mw, **TIGHT
+        )
+        assert batch.mean_eye_mw == pytest.approx(scalar.mean_eye_mw, rel=1e-10)
+        assert batch.worst_eye_mw == pytest.approx(
+            scalar.worst_eye_mw, rel=1e-10
+        )
+
+    def test_vectorized_worker_invariance(self):
+        params = paper_section5a_parameters()
+        serial = run_monte_carlo(
+            params,
+            samples=24,
+            rng=np.random.default_rng(5),
+            workers=0,
+            vectorized=True,
+        )
+        sharded = run_monte_carlo(
+            params,
+            samples=24,
+            rng=np.random.default_rng(5),
+            workers=2,
+            vectorized=True,
+        )
+        np.testing.assert_array_equal(
+            serial.eye_openings_mw, sharded.eye_openings_mw
+        )
+
+    def test_monte_carlo_eye_batch_sharding_is_exact(self, rng):
+        params = paper_section5a_parameters()
+        ring, filt = _offsets(params, rng, 23)
+        one = monte_carlo_eye_batch(params, ring, filt, workers=0)
+        threaded = monte_carlo_eye_batch(
+            params, ring, filt, workers=3, backend="thread"
+        )
+        np.testing.assert_array_equal(one, threaded)
+
+    def test_runtime_config_carries_the_knob(self):
+        params = paper_section5a_parameters()
+        explicit = run_monte_carlo(
+            params, samples=20, rng=np.random.default_rng(9), vectorized=True
+        )
+        via_runtime = run_monte_carlo(
+            params,
+            samples=20,
+            rng=np.random.default_rng(9),
+            runtime=RuntimeConfig(workers=0, vectorized=True),
+        )
+        np.testing.assert_array_equal(
+            explicit.eye_openings_mw, via_runtime.eye_openings_mw
+        )
+
+    def test_session_monte_carlo_uses_runtime_knob(self):
+        import repro
+
+        circuit = repro.OpticalStochasticCircuit(
+            paper_section5a_parameters(),
+            repro.BernsteinPolynomial([0.25, 0.625, 0.375]),
+        )
+        session = repro.Evaluator(
+            circuit,
+            runtime=RuntimeConfig(workers=0, vectorized=True),
+        )
+        via_session = session.monte_carlo(
+            samples=16, rng=np.random.default_rng(3)
+        )
+        direct = run_monte_carlo(
+            circuit.params,
+            samples=16,
+            rng=np.random.default_rng(3),
+            workers=0,
+            vectorized=True,
+        )
+        np.testing.assert_array_equal(
+            via_session.eye_openings_mw, direct.eye_openings_mw
+        )
+
+    def test_runtime_config_validates_vectorized(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(vectorized="yes")
+        assert RuntimeConfig(vectorized=True).vectorized is True
+        assert resolve_vectorized(None, None) is False
+        assert resolve_vectorized(RuntimeConfig(vectorized=True), None) is True
+        assert resolve_vectorized(RuntimeConfig(vectorized=True), False) is False
+
+
+class TestYieldVsSigma:
+    def test_vectorized_matches_scalar_curve(self):
+        params = paper_section5a_parameters()
+        sigmas = [0.01, 0.03, 0.06]
+        scalar = yield_vs_sigma(
+            params,
+            sigmas,
+            samples=40,
+            rng=np.random.default_rng(21),
+            vectorized=False,
+        )
+        batch = yield_vs_sigma(
+            params,
+            sigmas,
+            samples=40,
+            rng=np.random.default_rng(21),
+            vectorized=True,
+        )
+        np.testing.assert_array_equal(
+            scalar["yield_fraction"], batch["yield_fraction"]
+        )
+        np.testing.assert_allclose(
+            scalar["mean_eye_mw"], batch["mean_eye_mw"], **TIGHT
+        )
+
+    def test_seed_stable_across_worker_counts(self):
+        # Offsets are drawn up front per sigma block, so the curve is a
+        # pure function of the seed whatever pool evaluates it.
+        params = paper_section5a_parameters()
+        serial = yield_vs_sigma(
+            params, [0.02, 0.05], samples=16, rng=np.random.default_rng(8),
+            workers=0,
+        )
+        pooled = yield_vs_sigma(
+            params, [0.02, 0.05], samples=16, rng=np.random.default_rng(8),
+            runtime=RuntimeConfig(workers=2, backend="thread"),
+        )
+        np.testing.assert_array_equal(
+            serial["yield_fraction"], pooled["yield_fraction"]
+        )
+        np.testing.assert_array_equal(
+            serial["mean_eye_mw"], pooled["mean_eye_mw"]
+        )
+
+    def test_validation(self):
+        params = paper_section5a_parameters()
+        with pytest.raises(ConfigurationError):
+            yield_vs_sigma(params, [])
+        with pytest.raises(ConfigurationError):
+            yield_vs_sigma(params, [0.01], samples=0)
+        with pytest.raises(ConfigurationError):
+            yield_vs_sigma("params", [0.01])
+
+
+class TestVectorizedSizing:
+    def test_design_batch_matches_scalar_designs(self):
+        spacings = [0.13, 0.165, 0.22]
+        batch = mrr_first_design_batch(2, spacings)
+        for design, spacing in zip(batch, spacings):
+            scalar = mrr_first_design(2, spacing)
+            assert design.method == scalar.method
+            assert design.pump_power_mw == pytest.approx(
+                scalar.pump_power_mw, rel=1e-12
+            )
+            assert design.required_er_db == pytest.approx(
+                scalar.required_er_db, rel=1e-12
+            )
+            assert design.probe_power_mw == pytest.approx(
+                scalar.probe_power_mw, rel=1e-10
+            )
+            assert design.params.grid == scalar.params.grid
+
+    def test_design_batch_rejects_infeasible(self):
+        with pytest.raises(DesignInfeasibleError):
+            mrr_first_design_batch(2, [0.165, 0.01])
+
+    def test_design_batch_mixed_default_profiles(self):
+        # Spacings straddling the dense/coarse threshold pick the same
+        # per-spacing default profile as the scalar designer.
+        batch = mrr_first_design_batch(2, [0.165, 1.0], probe_power_mw=1.0)
+        for design, spacing in zip(batch, [0.165, 1.0]):
+            scalar = mrr_first_design(2, spacing, probe_power_mw=1.0)
+            assert design.params.ring_profile == scalar.params.ring_profile
+            assert design.pump_power_mw == pytest.approx(
+                scalar.pump_power_mw, rel=1e-12
+            )
+
+    def test_sizing_batch_feasibility_masks(self):
+        sizing = mrr_first_sizing_batch(
+            2, np.asarray([0.01, 0.165, 25.0]), ring_profile=DENSE_RING_PROFILE
+        )
+        assert sizing["fits_fsr"].tolist() == [True, True, False]
+        assert sizing["eye_open"].tolist() == [False, True, False]
+        assert sizing["feasible"].tolist() == [False, True, False]
+        assert np.isinf(sizing["probe_power_mw"][0])
+        assert np.isnan(sizing["eye_opening"][2])
+
+    def test_size_probe_false_skips_eye_but_keeps_pump_er(self):
+        spacings = np.asarray([0.165, 25.0])
+        lean = mrr_first_sizing_batch(
+            2, spacings, ring_profile=DENSE_RING_PROFILE, size_probe=False
+        )
+        assert np.all(np.isnan(lean["eye_opening"]))
+        assert np.all(np.isinf(lean["probe_power_mw"]))
+        assert not lean["feasible"].any()
+        assert lean["fits_fsr"].tolist() == [True, False]
+        full = mrr_first_sizing_batch(
+            2, spacings, ring_profile=DENSE_RING_PROFILE
+        )
+        np.testing.assert_array_equal(
+            lean["pump_power_mw"], full["pump_power_mw"]
+        )
+        np.testing.assert_array_equal(lean["er_db"], full["er_db"])
+
+    def test_sizing_batch_validation(self):
+        with pytest.raises(ConfigurationError):
+            mrr_first_sizing_batch(0, [0.165])
+        with pytest.raises(ConfigurationError):
+            mrr_first_sizing_batch(2, [])
+        with pytest.raises(ConfigurationError):
+            mrr_first_sizing_batch(2, [-0.1])
+        with pytest.raises(ConfigurationError):
+            mrr_first_sizing_batch(2, [0.1, 0.2], guard_nm=[0.1, 0.1, 0.1])
+
+    def test_probe_power_for_eyes(self):
+        params = paper_section5a_parameters()
+        eye = worst_case_eye(params).opening
+        from repro.core.snr import minimum_probe_power_mw
+
+        batch = probe_power_for_eyes_mw(
+            [eye, -0.1, 0.0], params.detector, target_ber=1e-6
+        )
+        assert batch[0] == pytest.approx(
+            minimum_probe_power_mw(params, target_ber=1e-6), rel=1e-12
+        )
+        assert np.isinf(batch[1]) and np.isinf(batch[2])
+
+
+class TestEnergySweepParity:
+    def _assert_sweeps_equal(self, scalar, batch):
+        np.testing.assert_array_equal(scalar["spacing_nm"], batch["spacing_nm"])
+        for key in ("pump_pj", "probe_pj", "total_pj"):
+            s, b = scalar[key], batch[key]
+            np.testing.assert_array_equal(np.isnan(s), np.isnan(b))
+            np.testing.assert_array_equal(np.isinf(s), np.isinf(b))
+            finite = np.isfinite(s)
+            np.testing.assert_allclose(s[finite], b[finite], **TIGHT)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        order=st.integers(min_value=2, max_value=6),
+        spacings=st.lists(
+            st.floats(min_value=0.02, max_value=8.0),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    def test_property_matches_scalar_point_for_point(self, order, spacings):
+        scalar = energy_vs_spacing(order, spacings, vectorized=False)
+        batch = energy_vs_spacing(order, spacings, vectorized=True)
+        self._assert_sweeps_equal(scalar, batch)
+
+    def test_inf_rows_match(self):
+        # Small spacings close the eye (inf probe energy, nan total);
+        # huge spacings overflow the filter FSR.  Both conventions must
+        # match the scalar sweep exactly.
+        spacings = [0.02, 0.05, 0.165, 0.3, 15.0]
+        scalar = energy_vs_spacing(2, spacings, vectorized=False)
+        batch = energy_vs_spacing_batch(2, spacings)
+        self._assert_sweeps_equal(scalar, batch)
+        assert np.isinf(batch["probe_pj"][0])
+        assert np.isnan(batch["total_pj"][0])
+
+    def test_custom_designer_keeps_scalar_loop(self):
+        calls = []
+
+        def designer(order, spacing_nm, ring_profile, target_ber):
+            calls.append(spacing_nm)
+            return mrr_first_design(
+                order, spacing_nm, ring_profile=ring_profile,
+                target_ber=target_ber,
+            )
+
+        sweep = energy_vs_spacing(2, [0.15, 0.2], designer=designer)
+        assert calls == [0.15, 0.2]
+        assert np.all(np.isfinite(sweep["total_pj"]))
+        with pytest.raises(ConfigurationError):
+            energy_vs_spacing(
+                2, [0.15], designer=designer, vectorized=True
+            )
+
+    def test_default_is_vectorized_and_agrees(self):
+        spacings = np.round(np.linspace(0.11, 0.3, 10), 4)
+        default = energy_vs_spacing(4, spacings)
+        batch = energy_vs_spacing_batch(4, spacings)
+        for key in ("pump_pj", "probe_pj", "total_pj"):
+            np.testing.assert_array_equal(default[key], batch[key])
+
+
+class TestSensitivityBatchEye:
+    def test_structure_preserved(self):
+        from repro.exploration.sensitivity import (
+            headline_energy_sensitivities,
+        )
+
+        sens = headline_energy_sensitivities()
+        assert sens["laser_efficiency"] == pytest.approx(-1.0, abs=0.05)
+        assert sens["ote_nm_per_mw"] < 0.0
+        assert sens["insertion_loss_db"] > 0.0
+        assert 0.0 < sens["pulse_width_s"] < 1.0
+
+    def test_matches_scalar_finite_differences(self):
+        # The batched probes must reproduce the scalar closure-based
+        # central differences (same formulas, stacked evaluation).
+        from repro.exploration.sensitivity import (
+            _headline_energy_pj,
+            headline_energy_sensitivities,
+            relative_sensitivity,
+        )
+
+        names = ("ote_nm_per_mw", "laser_efficiency")
+        batch = headline_energy_sensitivities(parameters=names)
+        nominals = {
+            "ote_nm_per_mw": 0.01,
+            "insertion_loss_db": 4.5,
+            "guard_nm": 0.1,
+            "laser_efficiency": 0.2,
+            "pulse_width_s": 26e-12,
+        }
+        for name in names:
+
+            def metric(value, _name=name):
+                kwargs = dict(nominals)
+                kwargs[_name] = value
+                return _headline_energy_pj(2, 0.165, **kwargs)
+
+            scalar = relative_sensitivity(metric, nominals[name])
+            assert batch[name] == pytest.approx(scalar, rel=1e-6)
