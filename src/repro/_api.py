@@ -58,6 +58,7 @@ from .photonics import (
 )
 from .photonics import devices
 from .simulation import (
+    KERNELS,
     BatchEvaluation,
     CalibrationController,
     ChunkedEvaluation,
@@ -67,8 +68,10 @@ from .simulation import (
     RuntimeConfig,
     SeedSchedule,
     TransientSimulator,
+    available_kernels,
     cached_simulate_batch,
     derive_seed_schedule,
+    kernel_capabilities,
     run_batch,
     simulate_batch,
     simulate_batch_sharded,
@@ -142,6 +145,9 @@ __all__ = [
     "EvaluationCache",
     "RuntimeConfig",
     "SeedSchedule",
+    "KERNELS",
+    "available_kernels",
+    "kernel_capabilities",
     "cached_simulate_batch",
     "derive_seed_schedule",
     "run_batch",

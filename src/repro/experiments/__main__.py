@@ -10,7 +10,8 @@ Usage::
         --workers 4                        # configure the session
 
 The ``--sng-kind``/``--length``/``--noiseless`` flags build an
-:class:`repro.session.EvalSpec` and ``--workers``/``--chunk-length`` a
+:class:`repro.session.EvalSpec` and
+``--workers``/``--chunk-length``/``--kernel`` a
 :class:`repro.simulation.runtime.RuntimeConfig`; both are forwarded to
 the experiments that declare them (currently the simulation-backed
 ones, e.g. ``accuracy``).  Experiments that take no configuration are
@@ -26,6 +27,7 @@ from pathlib import Path
 from ..errors import ConfigurationError
 from ..reporting.csvio import write_csv
 from ..session import EvalSpec
+from ..simulation.kernels import KERNELS
 from ..simulation.runtime import RuntimeConfig
 from ..stochastic.sng import SNG_KINDS
 from .registry import (
@@ -56,10 +58,18 @@ def _build_config(args) -> tuple:
         spec_kwargs["noisy"] = False
     spec = EvalSpec(**spec_kwargs) if spec_kwargs else None
     runtime = None
-    if args.workers is not None or args.chunk_length is not None:
-        runtime = RuntimeConfig(
-            workers=args.workers, chunk_length=args.chunk_length
-        )
+    if (
+        args.workers is not None
+        or args.chunk_length is not None
+        or args.kernel is not None
+    ):
+        runtime_kwargs = {
+            "workers": args.workers,
+            "chunk_length": args.chunk_length,
+        }
+        if args.kernel is not None:
+            runtime_kwargs["kernel"] = args.kernel
+        runtime = RuntimeConfig(**runtime_kwargs)
     return spec, runtime
 
 
@@ -120,6 +130,15 @@ def main(argv=None) -> int:
         type=int,
         default=None,
         help="stream long evaluations in bounded-memory tiles of this size",
+    )
+    runtime_group.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default=None,
+        help=(
+            "engine compute kernel: numpy (reference), packed (uint64 "
+            "bit-plane), numba (packed + JIT; needs the numba package)"
+        ),
     )
     args = parser.parse_args(argv)
     try:

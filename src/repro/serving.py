@@ -8,6 +8,13 @@ the first concrete step toward that north star: an asyncio queue plus a
 micro-batcher that **coalesces** concurrent ``submit(x)`` requests into
 one sharded :meth:`~repro.session.Evaluator.evaluate` call.
 
+The served session's :class:`~repro.simulation.runtime.RuntimeConfig`
+knobs — workers, chunking, and the engine's compute ``kernel``
+(``"numpy"``/``"packed"``/``"numba"``) — flow straight through
+:meth:`~repro.session.Evaluator.evaluate`, so a server can be pointed
+at the packed bit-plane kernel for throughput without any serving-side
+change, and serves the same bits.
+
 Determinism contract
 --------------------
 Coalescing must never change an answer.  The server therefore requires a

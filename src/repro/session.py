@@ -13,8 +13,10 @@ signature.  Here they become two frozen objects bound once:
   rng-derived per call) and the noisy flag.  This is the paper's notion
   of a design point: SNG choice x stream length x architecture.
 * :class:`~repro.simulation.runtime.RuntimeConfig` — *how fast* to
-  evaluate it: workers, chunk size, cache.  Pure wall-clock/memory
-  levers; never changes an output bit.
+  evaluate it: workers, chunk size, cache, and the engine's compute
+  ``kernel`` (``"numpy"``/``"packed"``/``"numba"``, see
+  :mod:`repro.simulation.kernels`).  Pure wall-clock/memory levers;
+  never changes an output bit.
 
 :class:`Evaluator` binds a circuit to one spec/runtime pair and exposes
 every workload shape as a method — :meth:`~Evaluator.evaluate`
@@ -247,6 +249,24 @@ class Evaluator:
     def with_runtime(self, runtime: RuntimeConfig) -> "Evaluator":
         """A new session on the same circuit/spec with another runtime."""
         return Evaluator(self.circuit, self.spec, runtime)
+
+    def with_kernel(self, kernel: str) -> "Evaluator":
+        """A new session running on another compute kernel.
+
+        Kernels (:data:`repro.simulation.kernels.KERNELS`) are pure
+        wall-clock/memory levers — the derived session returns
+        bit-for-bit identical results.  Unknown or unavailable kernels
+        raise :class:`~repro.errors.ConfigurationError` here, not on
+        the first evaluation.
+        """
+        return self.with_runtime(
+            dataclasses.replace(self.runtime, kernel=kernel)
+        )
+
+    @property
+    def kernel(self) -> str:
+        """The bound runtime's compute kernel."""
+        return self.runtime.kernel
 
     @property
     def row_independent(self) -> bool:

@@ -13,6 +13,16 @@ utilities for the robustness studies.
 """
 
 from .receiver import OpticalReceiver, ReceiverDecision
+from .kernels import (
+    KERNELS,
+    available_kernels,
+    kernel_capabilities,
+    numba_available,
+    pack_bits,
+    popcount,
+    resolve_kernel,
+    unpack_bits,
+)
 from .engine import (
     BatchEvaluation,
     SeedSchedule,
@@ -52,6 +62,14 @@ from .montecarlo import (
 __all__ = [
     "OpticalReceiver",
     "ReceiverDecision",
+    "KERNELS",
+    "available_kernels",
+    "kernel_capabilities",
+    "numba_available",
+    "pack_bits",
+    "popcount",
+    "resolve_kernel",
+    "unpack_bits",
     "OpticalEvaluation",
     "BatchEvaluation",
     "SeedSchedule",

@@ -30,7 +30,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..errors import ConfigurationError, SimulationError
+from ..errors import ConfigurationError
 from ..stochastic.bitstream import exact_bit_matrix
 from ..stochastic.lfsr import lfsr_uniform_windows
 from ..stochastic.sng import (
@@ -42,7 +42,13 @@ from ..stochastic.sng import (
     derive_sobol_offsets,
     van_der_corput,
 )
-from .receiver import OpticalReceiver
+from .kernels import (
+    optical_pass,
+    pack_bits,
+    packed_lfsr_comparator_bits,
+    packed_optical_pass,
+    resolve_kernel,
+)
 
 __all__ = [
     "BatchEvaluation",
@@ -286,40 +292,92 @@ def _batch_uniforms(
     raise ConfigurationError(f"unknown SNG kind {kind!r}")
 
 
-def _optical_pass(circuit, data_bits, coeff_bits, noise_a) -> tuple:
+def _optical_pass(circuit, data_bits, coeff_bits, noise_a, kernel="numpy") -> tuple:
     """Steps 3-4 of the pipeline for one ``(B, C, L)`` bit-tensor tile.
 
     Returns ``(powers, output_bits, ideal_bits, levels)``; shared by the
     one-shot batch evaluation and the chunked streaming runtime so the
-    two stay bit-for-bit identical per tile.
+    two stay bit-for-bit identical per tile.  Delegates to the pluggable
+    compute-kernel layer (:mod:`repro.simulation.kernels`), which also
+    memoizes the link budget / Eq. 6 table / threshold receiver per
+    circuit fingerprint instead of rebuilding them per call.
     """
-    batch, _, length = data_bits.shape
-    channel_count = coeff_bits.shape[1]
-    levels = data_bits.sum(axis=1, dtype=np.int64)
-    pattern_index = np.zeros((batch, length), dtype=np.int64)
-    for channel in range(channel_count):
-        pattern_index |= coeff_bits[:, channel, :].astype(np.int64) << channel
-    table = circuit.model.received_power_table_mw()  # (patterns, levels)
-    powers = table[pattern_index, levels]
+    return optical_pass(circuit, data_bits, coeff_bits, noise_a, kernel=kernel)
 
-    budget = circuit.link_budget()
-    if not budget.bands_separated:
-        raise SimulationError(
-            "link budget bands overlap: the circuit cannot distinguish "
-            "'0' from '1' at this design point"
+
+def _generate_streams(
+    sng_kind: str,
+    kernel: str,
+    xs: np.ndarray,
+    coefficients: np.ndarray,
+    data_seeds: np.ndarray,
+    coeff_seeds: np.ndarray,
+    length: int,
+    sng_width: int,
+) -> tuple:
+    """Data/coefficient streams for one batch: ``(form, data, coeff)``.
+
+    ``form`` is ``"bits"`` (``(B, C, L)`` uint8 tensors, the numpy
+    kernel's layout) or ``"words"`` (``(B, C, L // 64)`` packed uint64,
+    the packed kernels').  The packed kernels generate LFSR comparator
+    streams directly in word form from the cached cycle — never
+    materializing the ``(B, C, L)`` float64 uniforms — and pack the
+    counter randomizer's deterministic matrix once per distinct stream;
+    the remaining randomizers (and wide registers) are generated
+    unpacked and packed afterwards.  Either way the resulting streams
+    are bit-for-bit the comparator decisions of the numpy layout.
+    """
+    batch = xs.size
+    order = coefficients.size - 1
+    channel_count = order + 1
+    if sng_kind == "counter":
+        data_matrix = exact_bit_matrix(xs, length)
+        coeff_matrix = exact_bit_matrix(coefficients, length)
+        if kernel == "numpy":
+            return (
+                "bits",
+                np.broadcast_to(
+                    data_matrix[:, None, :], (batch, order, length)
+                ),
+                np.broadcast_to(
+                    coeff_matrix[None, :, :], (batch, channel_count, length)
+                ),
+            )
+        words = (length + 63) // 64
+        return (
+            "words",
+            np.broadcast_to(
+                pack_bits(data_matrix)[:, None, :], (batch, order, words)
+            ),
+            np.broadcast_to(
+                pack_bits(coeff_matrix)[None, :, :],
+                (batch, channel_count, words),
+            ),
         )
-    receiver = OpticalReceiver.from_power_bands(
-        circuit.params.detector,
-        zero_level_mw=budget.zero_band_mw[1],
-        one_level_mw=budget.one_band_mw[0],
+    if kernel != "numpy" and sng_kind == "lfsr":
+        data_words = packed_lfsr_comparator_bits(
+            derive_lfsr_seeds(data_seeds, order, sng_width),
+            xs[:, None],
+            length,
+            sng_width,
+        )
+        coeff_words = packed_lfsr_comparator_bits(
+            derive_lfsr_seeds(coeff_seeds, channel_count, sng_width),
+            coefficients[None, :],
+            length,
+            sng_width,
+        )
+        if data_words is not None and coeff_words is not None:
+            return "words", data_words, coeff_words
+    data_u = _batch_uniforms(sng_kind, data_seeds, order, length, sng_width)
+    coeff_u = _batch_uniforms(
+        sng_kind, coeff_seeds, channel_count, length, sng_width
     )
-    output_bits, _ = receiver.decide_batch(powers, noise_a=noise_a)
-
-    # Reference: the bits the ideal (electronic) multiplexer would pick.
-    ideal_bits = np.take_along_axis(coeff_bits, levels[:, None, :], axis=1)[
-        :, 0, :
-    ]
-    return powers, output_bits, np.ascontiguousarray(ideal_bits), levels
+    data_bits = (data_u < xs[:, None, None]).astype(np.uint8)
+    coeff_bits = (coeff_u < coefficients[None, :, None]).astype(np.uint8)
+    if kernel == "numpy":
+        return "bits", data_bits, coeff_bits
+    return "words", pack_bits(data_bits), pack_bits(coeff_bits)
 
 
 def simulate_batch(
@@ -332,6 +390,7 @@ def simulate_batch(
     base_seed: Optional[int] = None,
     sng_width: int = 16,
     schedule: Optional[SeedSchedule] = None,
+    kernel: str = "numpy",
 ) -> BatchEvaluation:
     """Run the optical circuit on every input in *xs* in one array pass.
 
@@ -364,7 +423,15 @@ def simulate_batch(
         *base_seed* are ignored: SNG seeds come from the schedule and
         each row's receiver noise from its private seeded generator —
         the relocatable protocol the sharded/chunked runtime relies on.
+    kernel:
+        Compute kernel (:data:`repro.simulation.kernels.KERNELS`):
+        ``"numpy"`` (reference, default), ``"packed"`` (dependency-free
+        uint64 bit-plane engine) or ``"numba"`` (packed with a JIT word
+        loop; requires the optional numba package).  A pure wall-clock/
+        memory lever: every kernel returns bit-for-bit identical
+        results.
     """
+    kernel = resolve_kernel(kernel)
     xs = _validate_batch_inputs(
         circuit, xs, length, sng_kind, base_seed, sng_width
     )
@@ -412,27 +479,28 @@ def simulate_batch(
             coeff_seeds[:] = fixed + COEFF_SEED_STRIDE
 
     # 1-2. randomizers: data streams for the MZIs, coefficient streams
-    # for the MRRs, as (B, channels, L) bit tensors.
-    if sng_kind == "counter":
-        data_bits = np.broadcast_to(
-            exact_bit_matrix(xs, length)[:, None, :], (batch, order, length)
-        )
-        coeff_bits = np.broadcast_to(
-            exact_bit_matrix(coefficients, length)[None, :, :],
-            (batch, channel_count, length),
-        )
-    else:
-        data_u = _batch_uniforms(sng_kind, data_seeds, order, length, sng_width)
-        coeff_u = _batch_uniforms(
-            sng_kind, coeff_seeds, channel_count, length, sng_width
-        )
-        data_bits = (data_u < xs[:, None, None]).astype(np.uint8)
-        coeff_bits = (coeff_u < coefficients[None, :, None]).astype(np.uint8)
+    # for the MRRs — (B, channels, L) bit tensors for the numpy kernel,
+    # packed (B, channels, L // 64) uint64 words for the packed ones.
+    form, data_streams, coeff_streams = _generate_streams(
+        sng_kind,
+        kernel,
+        xs,
+        coefficients,
+        data_seeds,
+        coeff_seeds,
+        length,
+        sng_width,
+    )
 
     # 3-4. per-clock optics + receiver, shared with the chunked runtime.
-    powers, output_bits, ideal_bits, levels = _optical_pass(
-        circuit, data_bits, coeff_bits, noise_a
-    )
+    if form == "words":
+        powers, output_bits, ideal_bits, levels = packed_optical_pass(
+            circuit, data_streams, coeff_streams, noise_a, length, kernel=kernel
+        )
+    else:
+        powers, output_bits, ideal_bits, levels = _optical_pass(
+            circuit, data_streams, coeff_streams, noise_a, kernel=kernel
+        )
 
     values = output_bits.mean(axis=1)
     # Vectorized de Casteljau is elementwise: identical floats to calling

@@ -69,6 +69,12 @@ from .engine import (
     derive_seed_schedule,
     simulate_batch,
 )
+from .kernels import (
+    PackedLfsrSource,
+    pack_bits,
+    packed_tile_statistics,
+    resolve_kernel,
+)
 
 __all__ = [
     "BACKENDS",
@@ -254,7 +260,7 @@ def _map_row_shards(
 
 def _shard_worker(payload: tuple) -> BatchEvaluation:
     """Evaluate one row shard (module-level so process pools can pickle it)."""
-    circuit, xs, length, noisy, sng_kind, sng_width, schedule = payload
+    circuit, xs, length, noisy, sng_kind, sng_width, schedule, kernel = payload
     return simulate_batch(
         circuit,
         xs,
@@ -263,6 +269,7 @@ def _shard_worker(payload: tuple) -> BatchEvaluation:
         sng_kind=sng_kind,
         sng_width=sng_width,
         schedule=schedule,
+        kernel=kernel,
     )
 
 
@@ -296,6 +303,7 @@ def simulate_batch_sharded(
     workers: Optional[int] = None,
     backend: str = "process",
     schedule: Optional[SeedSchedule] = None,
+    kernel: str = "numpy",
 ) -> BatchEvaluation:
     """Row-sharded :func:`~repro.simulation.engine.simulate_batch`.
 
@@ -310,9 +318,12 @@ def simulate_batch_sharded(
     ``workers`` defaults to ``REPRO_RUNTIME_WORKERS`` (0 = serial).  The
     ``thread`` backend avoids inter-process copies and suits workloads
     dominated by GIL-releasing numpy kernels; ``process`` (default) is
-    immune to the GIL entirely.
+    immune to the GIL entirely.  *kernel* selects the compute kernel
+    every shard evaluates with (:data:`repro.simulation.kernels.KERNELS`)
+    — like the pool knobs it never changes an output bit.
     """
     _validate_backend(backend)
+    kernel = resolve_kernel(kernel)
     xs = _validate_batch_inputs(
         circuit, xs, length, sng_kind, base_seed, sng_width
     )
@@ -335,6 +346,7 @@ def simulate_batch_sharded(
             sng_kind=sng_kind,
             sng_width=sng_width,
             schedule=schedule,
+            kernel=kernel,
         )
     shards = _map_row_shards(
         _shard_worker,
@@ -346,6 +358,7 @@ def simulate_batch_sharded(
             sng_kind,
             sng_width,
             schedule_shard,
+            kernel,
         ),
         xs,
         schedule,
@@ -483,6 +496,41 @@ class _UniformCursor:
         return uniforms
 
 
+class _PackedCursor:
+    """Resumable packed comparator-word source for one randomizer bank.
+
+    The packed kernels' counterpart of :class:`_UniformCursor`:
+    ``take(offset, count)`` returns the ``(B, channels, ceil(count/64))``
+    uint64 word slab covering stream clocks ``[offset, offset + count)``
+    — bit-for-bit ``pack_bits(uniforms < values)`` of the tile the
+    unpacked cursor would produce.  Table-cached LFSR banks read packed
+    words straight off the cycle
+    (:class:`repro.simulation.kernels.PackedLfsrSource`, built once and
+    re-aimed per tile); every other randomizer falls back to the
+    unpacked cursor followed by compare-and-pack, preserving the
+    stateful resume semantics (carried chaotic orbits, live wide
+    registers).
+    """
+
+    def __init__(self, kind, base_seeds, channel_count, width, values):
+        self._values = np.asarray(values, dtype=float)
+        self._source = None
+        self._cursor = None
+        if kind == "lfsr":
+            derived = derive_lfsr_seeds(base_seeds, channel_count, width)
+            self._source = PackedLfsrSource.create(
+                derived, self._values, width
+            )
+        if self._source is None:
+            self._cursor = _UniformCursor(kind, base_seeds, channel_count, width)
+
+    def take(self, offset: int, count: int) -> np.ndarray:
+        if self._source is not None:
+            return self._source.take(offset, count)
+        uniforms = self._cursor.take(offset, count)
+        return pack_bits((uniforms < self._values[..., None]).astype(np.uint8))
+
+
 def _chunked_shard_worker(payload: tuple) -> ChunkedEvaluation:
     """Stream one row shard (module-level so process pools can pickle it)."""
     (
@@ -495,6 +543,7 @@ def _chunked_shard_worker(payload: tuple) -> ChunkedEvaluation:
         sng_width,
         schedule,
         bins,
+        kernel,
     ) = payload
     return simulate_chunked(
         circuit,
@@ -507,6 +556,7 @@ def _chunked_shard_worker(payload: tuple) -> ChunkedEvaluation:
         schedule=schedule,
         power_histogram_bins=bins,
         workers=0,
+        kernel=kernel,
     )
 
 
@@ -547,6 +597,7 @@ def simulate_chunked(
     power_histogram_bins: int = 0,
     workers: Optional[int] = None,
     backend: str = "process",
+    kernel: str = "numpy",
 ) -> ChunkedEvaluation:
     """Stream a long evaluation through ``(B, chunk_length)`` tiles.
 
@@ -570,8 +621,17 @@ def simulate_chunked(
     identical to the serial streaming run — rows are independent under
     the schedule, and per-shard histograms share the table-derived bin
     edges so they sum exactly.
+
+    With a packed *kernel* (``"packed"``/``"numba"``) each tile is
+    evaluated on 64-clock uint64 words: the ones/bit-error accumulators
+    come from popcounts and per-key counts instead of per-clock byte
+    tensors (:func:`repro.simulation.kernels.packed_tile_statistics`),
+    and on the noiseless LFSR path no per-clock array is materialized
+    at all.  The accumulated statistics stay bit-exact with the numpy
+    kernel's.
     """
     _validate_backend(backend)
+    kernel = resolve_kernel(kernel)
     xs = _validate_batch_inputs(
         circuit, xs, length, sng_kind, base_seed, sng_width
     )
@@ -606,6 +666,7 @@ def simulate_chunked(
                 sng_width,
                 schedule_shard,
                 power_histogram_bins,
+                kernel,
             ),
             xs,
             schedule,
@@ -619,13 +680,26 @@ def simulate_chunked(
     coefficients = np.asarray(circuit.polynomial.coefficients, dtype=float)
     noise_sigma = params.detector.noise_current_a
 
+    use_packed = kernel != "numpy"
     if sng_kind != "counter":
-        data_cursor = _UniformCursor(
-            sng_kind, schedule.data_seeds, order, sng_width
-        )
-        coeff_cursor = _UniformCursor(
-            sng_kind, schedule.coeff_seeds, channel_count, sng_width
-        )
+        if use_packed:
+            data_cursor = _PackedCursor(
+                sng_kind, schedule.data_seeds, order, sng_width, xs[:, None]
+            )
+            coeff_cursor = _PackedCursor(
+                sng_kind,
+                schedule.coeff_seeds,
+                channel_count,
+                sng_width,
+                coefficients[None, :],
+            )
+        else:
+            data_cursor = _UniformCursor(
+                sng_kind, schedule.data_seeds, order, sng_width
+            )
+            coeff_cursor = _UniformCursor(
+                sng_kind, schedule.coeff_seeds, channel_count, sng_width
+            )
     noise_rngs = (
         [schedule.row_noise_rng(row) for row in range(batch)] if noisy else None
     )
@@ -643,12 +717,31 @@ def simulate_chunked(
     chunk_count = 0
     for start in range(0, length, chunk_length):
         count = min(chunk_length, length - start)
-        if sng_kind == "counter":
-            data_bits = np.broadcast_to(
+        if use_packed:
+            if sng_kind == "counter":
+                data_streams = np.broadcast_to(
+                    pack_bits(
+                        exact_bit_window(xs, length, start, start + count)
+                    )[:, None, :],
+                    (batch, order, (count + 63) // 64),
+                )
+                coeff_streams = np.broadcast_to(
+                    pack_bits(
+                        exact_bit_window(
+                            coefficients, length, start, start + count
+                        )
+                    )[None, :, :],
+                    (batch, channel_count, (count + 63) // 64),
+                )
+            else:
+                data_streams = data_cursor.take(start, count)
+                coeff_streams = coeff_cursor.take(start, count)
+        elif sng_kind == "counter":
+            data_streams = np.broadcast_to(
                 exact_bit_window(xs, length, start, start + count)[:, None, :],
                 (batch, order, count),
             )
-            coeff_bits = np.broadcast_to(
+            coeff_streams = np.broadcast_to(
                 exact_bit_window(coefficients, length, start, start + count)[
                     None, :, :
                 ],
@@ -657,8 +750,8 @@ def simulate_chunked(
         else:
             data_u = data_cursor.take(start, count)
             coeff_u = coeff_cursor.take(start, count)
-            data_bits = (data_u < xs[:, None, None]).astype(np.uint8)
-            coeff_bits = (coeff_u < coefficients[None, :, None]).astype(
+            data_streams = (data_u < xs[:, None, None]).astype(np.uint8)
+            coeff_streams = (coeff_u < coefficients[None, :, None]).astype(
                 np.uint8
             )
         noise_a = (
@@ -668,15 +761,30 @@ def simulate_chunked(
             if noisy
             else None
         )
-        powers, output_bits, ideal_bits, _ = _optical_pass(
-            circuit, data_bits, coeff_bits, noise_a
-        )
-        ones_count += output_bits.sum(axis=1, dtype=np.int64)
-        error_count += np.sum(
-            output_bits != ideal_bits, axis=1, dtype=np.int64
-        )
-        if histogram is not None:
-            histogram += np.histogram(powers, bins=edges)[0]
+        if use_packed:
+            ones_inc, error_inc, histogram_inc = packed_tile_statistics(
+                circuit,
+                data_streams,
+                coeff_streams,
+                count,
+                noise_a=noise_a,
+                histogram_edges=edges if histogram is not None else None,
+                kernel=kernel,
+            )
+            ones_count += ones_inc
+            error_count += error_inc
+            if histogram is not None:
+                histogram += histogram_inc
+        else:
+            powers, output_bits, ideal_bits, _ = _optical_pass(
+                circuit, data_streams, coeff_streams, noise_a
+            )
+            ones_count += output_bits.sum(axis=1, dtype=np.int64)
+            error_count += np.sum(
+                output_bits != ideal_bits, axis=1, dtype=np.int64
+            )
+            if histogram is not None:
+                histogram += np.histogram(powers, bins=edges)[0]
         chunk_count += 1
 
     expected = np.asarray(circuit.polynomial(xs), dtype=float)
@@ -799,6 +907,7 @@ def cached_simulate_batch(
     cache: Optional[EvaluationCache] = None,
     workers: Optional[int] = None,
     backend: str = "process",
+    kernel: str = "numpy",
 ) -> BatchEvaluation:
     """Deprecated direct entry to the keyed evaluation cache.
 
@@ -828,6 +937,7 @@ def cached_simulate_batch(
         cache=cache,
         workers=workers,
         backend=backend,
+        kernel=kernel,
     )
 
 
@@ -842,6 +952,7 @@ def _cached_simulate_batch(
     cache: Optional[EvaluationCache] = None,
     workers: Optional[int] = None,
     backend: str = "process",
+    kernel: str = "numpy",
 ) -> BatchEvaluation:
     """Keyed, memoized batch evaluation for repeated exploration sweeps.
 
@@ -851,7 +962,9 @@ def _cached_simulate_batch(
     hit can return the stored result unchanged.  A miss computes through
     :func:`simulate_batch_sharded` (serial when ``workers <= 1``) and
     stores the result in *cache* (the process-wide default when
-    omitted).
+    omitted).  The *kernel* is deliberately **not** part of the cache
+    key: every kernel is bit-for-bit identical, so entries computed by
+    one serve hits requested under another.
     """
     if base_seed is None:
         raise ConfigurationError(
@@ -886,6 +999,7 @@ def _cached_simulate_batch(
         workers=workers,
         backend=backend,
         schedule=schedule,
+        kernel=kernel,
     )
     cache.store(key, result)
     return result
@@ -909,12 +1023,21 @@ class RuntimeConfig:
     — results agree to floating-point rounding, an order of magnitude
     faster.
 
+    ``kernel`` selects the engine's compute kernel
+    (:data:`repro.simulation.kernels.KERNELS`): ``"numpy"`` (reference,
+    default), ``"packed"`` (dependency-free uint64 bit-plane engine) or
+    ``"numba"`` (packed with a JIT word loop; requires the optional
+    numba package).  Not to be confused with ``backend``, which picks
+    the process/thread *pool* for sharded fan-out — the two compose
+    freely, and like every other knob here the kernel never changes an
+    output bit.
+
     Every construction-knowable misconfiguration fails in
-    ``__post_init__`` — an invalid backend, chunk size, worker count or
-    cache object never survives to the first evaluation.  The one check
-    that needs the seed policy (cache without a fixed ``base_seed``)
-    fails on **every** :func:`run_batch` path, and at construction when
-    the config is bound to a spec in a
+    ``__post_init__`` — an invalid backend, kernel, chunk size, worker
+    count or cache object never survives to the first evaluation.  The
+    one check that needs the seed policy (cache without a fixed
+    ``base_seed``) fails on **every** :func:`run_batch` path, and at
+    construction when the config is bound to a spec in a
     :class:`repro.session.Evaluator`.
     """
 
@@ -924,9 +1047,11 @@ class RuntimeConfig:
     use_cache: bool = False
     cache: Optional[EvaluationCache] = None
     vectorized: bool = False
+    kernel: str = "numpy"
 
     def __post_init__(self) -> None:
         _validate_backend(self.backend)
+        resolve_kernel(self.kernel)
         if not isinstance(self.vectorized, bool):
             raise ConfigurationError(
                 f"vectorized must be a bool, got {self.vectorized!r}"
@@ -983,9 +1108,10 @@ def run_batch(
     statistics work with either result type unchanged.
 
     Every strategy runs over the **same** pre-derived seed schedule, so
-    the worker count and chunk size are pure wall-clock/memory knobs:
-    changing them never changes a single output bit or accumulated
-    statistic for a given *rng* seed (or *base_seed*).  (This schedule
+    the worker count, chunk size and compute kernel
+    (``config.kernel``) are pure wall-clock/memory knobs: changing them
+    never changes a single output bit or accumulated statistic for a
+    given *rng* seed (or *base_seed*).  (This schedule
     protocol consumes *rng* differently than a bare ``simulate_batch``
     call — run_batch results are reproducible against run_batch, not
     against the engine's legacy per-row noise-block protocol.)
@@ -1020,6 +1146,7 @@ def run_batch(
             schedule=schedule,
             workers=workers,
             backend=config.backend,
+            kernel=config.kernel,
         )
     if config.cache_requested:  # base_seed is fixed: validated above
         return _cached_simulate_batch(
@@ -1033,6 +1160,7 @@ def run_batch(
             cache=config.cache,
             workers=workers,
             backend=config.backend,
+            kernel=config.kernel,
         )
     xs = _validate_batch_inputs(
         circuit, xs, length, sng_kind, base_seed, sng_width
@@ -1051,6 +1179,7 @@ def run_batch(
             workers=workers,
             backend=config.backend,
             schedule=schedule,
+            kernel=config.kernel,
         )
     return simulate_batch(
         circuit,
@@ -1060,4 +1189,5 @@ def run_batch(
         sng_kind=sng_kind,
         sng_width=sng_width,
         schedule=schedule,
+        kernel=config.kernel,
     )

@@ -1,0 +1,538 @@
+"""Tests for the pluggable compute-kernel layer (repro.simulation.kernels).
+
+The contract under test: every kernel is **bit-for-bit identical** to
+the ``"numpy"`` reference for all four SNG kinds, noisy and noiseless,
+one-shot and composed with the chunking/sharding runtime — choosing a
+kernel is a pure wall-clock/memory lever.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.errors import ConfigurationError
+from repro.simulation import kernels
+from repro.simulation.engine import derive_seed_schedule, simulate_batch
+from repro.simulation.kernels import (
+    KERNELS,
+    PackedLfsrSource,
+    available_kernels,
+    kernel_capabilities,
+    pack_bits,
+    packed_lfsr_comparator_bits,
+    pass_context,
+    popcount,
+    resolve_kernel,
+    unpack_bits,
+)
+from repro.simulation.runtime import (
+    RuntimeConfig,
+    run_batch,
+    simulate_batch_sharded,
+    simulate_chunked,
+)
+from repro.stochastic.lfsr import lfsr_uniform_windows
+from repro.stochastic.sng import SNG_KINDS, derive_lfsr_seeds
+
+BATCH_FIELDS = (
+    "xs",
+    "values",
+    "expected",
+    "received_power_mw",
+    "output_bits",
+    "ideal_bits",
+    "select_levels",
+)
+
+NON_NUMPY_KERNELS = [k for k in KERNELS if k != "numpy"]
+
+
+def _kernel_or_skip(kernel):
+    """Skip (never fail) the legs whose kernel is unavailable here."""
+    if kernel == "numba":
+        pytest.importorskip("numba")
+    return kernel
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return repro.OpticalStochasticCircuit(
+        repro.paper_section5a_parameters(),
+        repro.BernsteinPolynomial([0.25, 0.625, 0.375]),
+    )
+
+
+def assert_batches_equal(reference, other):
+    for field in BATCH_FIELDS:
+        assert np.array_equal(
+            getattr(reference, field), getattr(other, field)
+        ), field
+    assert np.array_equal(
+        reference.transmission_bit_errors, other.transmission_bit_errors
+    )
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert KERNELS == ("numpy", "packed", "numba")
+        assert set(available_kernels()) <= set(KERNELS)
+        assert "numpy" in available_kernels()
+        assert "packed" in available_kernels()
+
+    def test_resolve_unknown_kernel(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel"):
+            resolve_kernel("gpu")
+
+    def test_capabilities_cover_registry(self):
+        table = kernel_capabilities()
+        assert set(table) == set(KERNELS)
+        assert table["numpy"]["available"] is True
+        assert table["packed"]["bit_tensor_bytes_per_bit"] == pytest.approx(
+            1 / 8
+        )
+
+    def test_runtime_config_rejects_unknown_kernel(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel"):
+            RuntimeConfig(kernel="bogus")
+
+    def test_simulate_batch_rejects_unknown_kernel(self, circuit):
+        with pytest.raises(ConfigurationError, match="unknown kernel"):
+            simulate_batch(circuit, [0.5], length=64, kernel="bogus")
+
+    @pytest.mark.skipif(
+        kernels.numba_available(), reason="numba is installed here"
+    )
+    def test_numba_unavailable_fails_at_construction(self):
+        with pytest.raises(ConfigurationError, match="numba"):
+            RuntimeConfig(kernel="numba")
+
+    def test_pool_backend_and_kernel_are_distinct_knobs(self):
+        # Naming hygiene: `backend` picks the worker pool, `kernel` the
+        # compute implementation; both validate at construction.
+        config = RuntimeConfig(backend="thread", kernel="packed")
+        assert config.backend == "thread"
+        assert config.kernel == "packed"
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            RuntimeConfig(backend="packed")
+
+
+class TestPackingPrimitives:
+    def test_pack_unpack_roundtrip_tail(self):
+        rng = np.random.default_rng(1)
+        for length in (1, 40, 64, 65, 200, 1000):
+            bits = rng.integers(0, 2, size=(3, 2, length), dtype=np.uint8)
+            words = pack_bits(bits)
+            assert words.shape == (3, 2, (length + 63) // 64)
+            assert words.dtype == np.uint64
+            assert np.array_equal(unpack_bits(words, length), bits)
+
+    def test_pack_pads_tail_with_zeros(self):
+        words = pack_bits(np.ones((1, 70), dtype=np.uint8))
+        assert words[0, 1] == (1 << 6) - 1
+
+    def test_popcount_matches_lut(self):
+        rng = np.random.default_rng(2)
+        words = rng.integers(0, 1 << 64, size=(5, 7), dtype=np.uint64)
+        fast = popcount(words)
+        lut = popcount(words, use_lut=True)
+        assert fast.dtype == np.int64
+        assert np.array_equal(fast, lut)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_packed_popcount_equals_unpacked_sums(self, rows, length, seed):
+        # The property the packed statistics accumulators rely on: the
+        # popcount of packed words equals the per-row sum of the bits.
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=(rows, length), dtype=np.uint8)
+        words = pack_bits(bits)
+        for use_lut in (False, True):
+            counts = popcount(words, use_lut=use_lut).sum(axis=-1)
+            assert np.array_equal(counts, bits.sum(axis=1, dtype=np.int64))
+
+    @pytest.mark.parametrize("width", [5, 8, 16])
+    def test_packed_lfsr_source_matches_unpacked_windows(self, width):
+        seeds = derive_lfsr_seeds(np.array([3, 77]), 3, width)
+        values = np.array([[0.1, 0.5, 0.9], [0.25, 0.5, 0.75]])
+        for offset, length in ((0, 130), (37, 64), (100, 70001)):
+            words = packed_lfsr_comparator_bits(
+                seeds, values, length, width, offset=offset
+            )
+            assert words is not None
+            uniforms = lfsr_uniform_windows(seeds, length, width, offset=offset)
+            expected = (uniforms < values[..., None]).astype(np.uint8)
+            assert np.array_equal(unpack_bits(words, length), expected)
+
+    def test_packed_lfsr_source_resumes_by_offset(self):
+        seeds = derive_lfsr_seeds(np.array([9]), 2, 16)
+        source = PackedLfsrSource.create(seeds, np.array([[0.3, 0.6]]), 16)
+        tiles = [source.take(start, 96) for start in (0, 96, 192)]
+        stitched = np.concatenate(
+            [unpack_bits(t, 96) for t in tiles], axis=-1
+        )
+        one_shot = unpack_bits(
+            packed_lfsr_comparator_bits(
+                seeds, np.array([[0.3, 0.6]]), 288, 16
+            ),
+            288,
+        )
+        assert np.array_equal(stitched, one_shot)
+
+    def test_packed_lfsr_wide_register_falls_back(self):
+        seeds = derive_lfsr_seeds(np.array([3]), 2, 24)
+        assert (
+            packed_lfsr_comparator_bits(seeds, np.array([[0.5, 0.5]]), 64, 24)
+            is None
+        )
+
+
+class TestPassContextMemoization:
+    def test_context_cached_per_fingerprint(self, circuit):
+        kernels.clear_pass_context_cache()
+        first = pass_context(circuit)
+        assert pass_context(circuit) is first
+        twin = repro.OpticalStochasticCircuit(
+            repro.paper_section5a_parameters(),
+            repro.BernsteinPolynomial([0.25, 0.625, 0.375]),
+        )
+        # Equal design point => same cached context, no rebuild.
+        assert pass_context(twin) is first
+        other = repro.OpticalStochasticCircuit(
+            repro.paper_section5a_parameters(),
+            repro.BernsteinPolynomial([0.3, 0.6, 0.4]),
+        )
+        assert pass_context(other) is not first
+
+    def test_cached_pass_is_bit_identical(self, circuit):
+        # The memoized receiver/table must produce exactly the bits the
+        # rebuilt-per-call path produced (same schedule, fresh cache vs
+        # warm cache).
+        xs = np.linspace(0, 1, 6)
+        schedule = derive_seed_schedule(xs.size, np.random.default_rng(4))
+        kernels.clear_pass_context_cache()
+        cold = simulate_batch(circuit, xs, length=256, schedule=schedule)
+        warm = simulate_batch(circuit, xs, length=256, schedule=schedule)
+        assert_batches_equal(cold, warm)
+
+    def test_overlapping_bands_raise_every_call(self, circuit):
+        # Failed context builds must not be cached: the engine keeps
+        # raising SimulationError for an undecodable design point.  The
+        # cache key includes the circuit's concrete type, so even a
+        # subclass sharing the healthy fixture's exact design point
+        # (identical fingerprint) never reuses its cached context.
+        class OverlappingCircuit(repro.OpticalStochasticCircuit):
+            def link_budget(self):
+                budget = super().link_budget()
+                # Pull the '1' band down onto the '0' band: closed eye.
+                return dataclasses.replace(
+                    budget,
+                    one_band_mw=(
+                        budget.zero_band_mw[0],
+                        budget.one_band_mw[1],
+                    ),
+                )
+
+        kernels.clear_pass_context_cache()
+        simulate_batch(circuit, [0.5], length=64)  # warm the healthy key
+        bad = OverlappingCircuit(circuit.params, circuit.polynomial)
+        assert bad.fingerprint() == circuit.fingerprint()
+        assert not bad.link_budget().bands_separated
+        for kernel in ("numpy", "packed"):
+            for _ in range(2):
+                with pytest.raises(repro.SimulationError, match="overlap"):
+                    simulate_batch(bad, [0.5], length=64, kernel=kernel)
+
+
+class TestKernelParity:
+    @pytest.mark.parametrize("kernel", NON_NUMPY_KERNELS)
+    @pytest.mark.parametrize("sng_kind", SNG_KINDS)
+    @pytest.mark.parametrize("noisy", [True, False])
+    def test_one_shot_parity_schedule(self, circuit, kernel, sng_kind, noisy):
+        _kernel_or_skip(kernel)
+        xs = np.linspace(0, 1, 6)
+        # 300 is neither a multiple of 64 nor below one word.
+        schedule = derive_seed_schedule(
+            xs.size, np.random.default_rng(13), sng_kind=sng_kind
+        )
+        reference = simulate_batch(
+            circuit,
+            xs,
+            length=300,
+            noisy=noisy,
+            sng_kind=sng_kind,
+            schedule=schedule,
+        )
+        other = simulate_batch(
+            circuit,
+            xs,
+            length=300,
+            noisy=noisy,
+            sng_kind=sng_kind,
+            schedule=schedule,
+            kernel=kernel,
+        )
+        assert_batches_equal(reference, other)
+
+    @pytest.mark.parametrize("kernel", NON_NUMPY_KERNELS)
+    @pytest.mark.parametrize("length", [40, 64, 65, 128, 1000])
+    def test_one_shot_parity_tails(self, circuit, kernel, length):
+        _kernel_or_skip(kernel)
+        xs = np.linspace(0, 1, 5)
+        schedule = derive_seed_schedule(xs.size, np.random.default_rng(7))
+        reference = simulate_batch(
+            circuit, xs, length=length, schedule=schedule
+        )
+        other = simulate_batch(
+            circuit, xs, length=length, schedule=schedule, kernel=kernel
+        )
+        assert_batches_equal(reference, other)
+
+    @pytest.mark.parametrize("kernel", NON_NUMPY_KERNELS)
+    @pytest.mark.parametrize("sng_kind", ["lfsr", "sobol"])
+    def test_one_shot_parity_rng_protocol(self, circuit, kernel, sng_kind):
+        # Without a schedule the engine consumes the caller's rng; the
+        # kernels must not perturb that consumption order.
+        _kernel_or_skip(kernel)
+        xs = np.linspace(0, 1, 4)
+        reference = simulate_batch(
+            circuit,
+            xs,
+            length=200,
+            rng=np.random.default_rng(21),
+            sng_kind=sng_kind,
+        )
+        other = simulate_batch(
+            circuit,
+            xs,
+            length=200,
+            rng=np.random.default_rng(21),
+            sng_kind=sng_kind,
+            kernel=kernel,
+        )
+        assert_batches_equal(reference, other)
+
+    @pytest.mark.parametrize("kernel", NON_NUMPY_KERNELS)
+    @pytest.mark.parametrize("sng_width", [5, 8, 16])
+    def test_one_shot_parity_base_seed_and_width(
+        self, circuit, kernel, sng_width
+    ):
+        _kernel_or_skip(kernel)
+        xs = np.linspace(0, 1, 4)
+        reference = simulate_batch(
+            circuit, xs, length=500, base_seed=42, sng_width=sng_width
+        )
+        other = simulate_batch(
+            circuit,
+            xs,
+            length=500,
+            base_seed=42,
+            sng_width=sng_width,
+            kernel=kernel,
+        )
+        assert_batches_equal(reference, other)
+
+
+class TestRuntimeComposition:
+    @pytest.mark.parametrize("kernel", NON_NUMPY_KERNELS)
+    @pytest.mark.parametrize("sng_kind", SNG_KINDS)
+    @pytest.mark.parametrize("noisy", [True, False])
+    def test_chunked_statistics_parity(self, circuit, kernel, sng_kind, noisy):
+        _kernel_or_skip(kernel)
+        xs = np.linspace(0.05, 0.95, 4)
+        schedule = derive_seed_schedule(
+            xs.size, np.random.default_rng(31), sng_kind=sng_kind
+        )
+        one_shot = simulate_batch(
+            circuit,
+            xs,
+            length=1000,
+            noisy=noisy,
+            sng_kind=sng_kind,
+            schedule=schedule,
+        )
+        reference = simulate_chunked(
+            circuit,
+            xs,
+            length=1000,
+            chunk_length=96,  # tiles deliberately not 64-aligned
+            noisy=noisy,
+            sng_kind=sng_kind,
+            schedule=schedule,
+            power_histogram_bins=16,
+            workers=0,
+        )
+        chunked = simulate_chunked(
+            circuit,
+            xs,
+            length=1000,
+            chunk_length=96,
+            noisy=noisy,
+            sng_kind=sng_kind,
+            schedule=schedule,
+            power_histogram_bins=16,
+            workers=0,
+            kernel=kernel,
+        )
+        assert np.array_equal(
+            chunked.ones_count, one_shot.output_bits.sum(axis=1)
+        )
+        assert np.array_equal(chunked.ones_count, reference.ones_count)
+        assert np.array_equal(
+            chunked.transmission_bit_errors,
+            reference.transmission_bit_errors,
+        )
+        assert np.array_equal(
+            chunked.power_histogram, reference.power_histogram
+        )
+        assert np.array_equal(chunked.power_bin_edges, reference.power_bin_edges)
+
+    @pytest.mark.parametrize("kernel", NON_NUMPY_KERNELS)
+    def test_sharded_parity(self, circuit, kernel):
+        _kernel_or_skip(kernel)
+        xs = np.linspace(0, 1, 8)
+        schedule = derive_seed_schedule(xs.size, np.random.default_rng(5))
+        serial = simulate_batch(circuit, xs, length=400, schedule=schedule)
+        sharded = simulate_batch_sharded(
+            circuit,
+            xs,
+            length=400,
+            schedule=schedule,
+            workers=2,
+            backend="thread",
+            kernel=kernel,
+        )
+        assert_batches_equal(serial, sharded)
+
+    @pytest.mark.parametrize("kernel", NON_NUMPY_KERNELS)
+    def test_run_batch_strategy_never_changes_bits(self, circuit, kernel):
+        _kernel_or_skip(kernel)
+        xs = np.linspace(0, 1, 6)
+        reference = run_batch(
+            circuit, xs, length=512, base_seed=9, config=RuntimeConfig()
+        )
+        direct = run_batch(
+            circuit,
+            xs,
+            length=512,
+            base_seed=9,
+            config=RuntimeConfig(kernel=kernel),
+        )
+        assert_batches_equal(reference, direct)
+        sharded = run_batch(
+            circuit,
+            xs,
+            length=512,
+            base_seed=9,
+            config=RuntimeConfig(
+                kernel=kernel, workers=2, backend="thread"
+            ),
+        )
+        assert_batches_equal(reference, sharded)
+        chunked_reference = run_batch(
+            circuit,
+            xs,
+            length=512,
+            base_seed=9,
+            config=RuntimeConfig(chunk_length=128),
+        )
+        chunked = run_batch(
+            circuit,
+            xs,
+            length=512,
+            base_seed=9,
+            config=RuntimeConfig(kernel=kernel, chunk_length=128),
+        )
+        assert np.array_equal(
+            chunked.ones_count, chunked_reference.ones_count
+        )
+        assert np.array_equal(chunked.values, reference.values)
+
+    def test_cache_entries_shared_across_kernels(self, circuit):
+        # The kernel is excluded from the cache key on purpose: results
+        # are bit-identical, so a packed request may serve a numpy-
+        # computed entry (and vice versa) by identity.
+        from repro.simulation.runtime import EvaluationCache
+
+        cache = EvaluationCache()
+        numpy_config = RuntimeConfig(cache=cache)
+        packed_config = RuntimeConfig(cache=cache, kernel="packed")
+        first = run_batch(
+            circuit, [0.5], length=128, base_seed=5, config=numpy_config
+        )
+        second = run_batch(
+            circuit, [0.5], length=128, base_seed=5, config=packed_config
+        )
+        assert second is first
+        assert cache.hits == 1
+
+
+class TestSessionAndServing:
+    @pytest.mark.parametrize("kernel", NON_NUMPY_KERNELS)
+    def test_evaluator_kernel_parity(self, circuit, kernel):
+        _kernel_or_skip(kernel)
+        spec = repro.EvalSpec(length=256, base_seed=11, noisy=False)
+        reference = repro.Evaluator(circuit, spec)
+        other = reference.with_kernel(kernel)
+        assert other.kernel == kernel
+        assert other.spec is reference.spec
+        xs = np.linspace(0, 1, 16)
+        assert_batches_equal(reference.evaluate(xs), other.evaluate(xs))
+
+    def test_with_kernel_validates(self, circuit):
+        session = repro.Evaluator(circuit, repro.EvalSpec(length=64))
+        with pytest.raises(ConfigurationError, match="unknown kernel"):
+            session.with_kernel("bogus")
+
+    def test_served_bits_identical_across_kernels(self, circuit):
+        import asyncio
+
+        spec = repro.EvalSpec(length=128, base_seed=17, noisy=False)
+        xs = [0.1, 0.4, 0.8]
+
+        async def serve(evaluator):
+            async with repro.BatchServer(evaluator) as server:
+                return await server.submit_many(xs)
+
+        reference = asyncio.run(serve(repro.Evaluator(circuit, spec)))
+        packed = asyncio.run(
+            serve(
+                repro.Evaluator(
+                    circuit, spec, RuntimeConfig(kernel="packed")
+                )
+            )
+        )
+        assert reference == packed
+
+
+@pytest.mark.skipif(
+    not kernels.numba_available(), reason="numba not installed (clean skip)"
+)
+class TestNumbaKernel:
+    def test_numba_listed_available(self):
+        assert "numba" in available_kernels()
+        assert kernel_capabilities()["numba"]["available"] is True
+
+    def test_numba_chunked_parity(self, circuit):
+        xs = np.linspace(0, 1, 4)
+        schedule = derive_seed_schedule(xs.size, np.random.default_rng(2))
+        reference = simulate_chunked(
+            circuit, xs, length=500, chunk_length=100, schedule=schedule,
+            workers=0,
+        )
+        numba_run = simulate_chunked(
+            circuit, xs, length=500, chunk_length=100, schedule=schedule,
+            workers=0, kernel="numba",
+        )
+        assert np.array_equal(reference.ones_count, numba_run.ones_count)
+        assert np.array_equal(
+            reference.transmission_bit_errors,
+            numba_run.transmission_bit_errors,
+        )
