@@ -34,6 +34,21 @@ Part 3 (``--kernels``) benchmarks the pluggable compute kernels
   kinds, noisy and noiseless, and compose with chunking and sharding
   without changing a bit (the exit gate).
 
+Part 5 (``--transports``) benchmarks the shard transports
+(:mod:`repro.simulation.transport`) and writes a unified
+``BENCH_runtime.json`` artifact (sharded + chunked + transports + peak
+RSS):
+
+* **pickle vs shm** — the same packed-kernel shard run (default
+  ``B=256``, ``L=2**20``) through the pool-pipe serialization
+  transport and the zero-copy shared-memory arena transport; the shm
+  path targets >= 2x lower bytes moved through the pool pipes (hot
+  arrays travel by segment name, not by value), with the parent-side
+  reassembly times of both paths measured for trend tracking;
+* **parity matrix** — transport x kernel x worker-count must be
+  bit-for-bit identical to the serial engine pass (the exit gate,
+  together with the deterministic transfer-byte ratio).
+
 Part 4 (``--serving``) benchmarks the async service facade
 (:class:`repro.serving.BatchServer` over a row-independent
 :class:`repro.session.Evaluator`):
@@ -53,7 +68,9 @@ being machine-dependent, never fail the run.
 
 Run:  PYTHONPATH=src python benchmarks/bench_batched.py \
           [--out FILE] [--workers N] [--long-length BITS] [--serving] \
-          [--kernels] [--kernel-length BITS] [--kernels-out FILE]
+          [--kernels] [--kernel-length BITS] [--kernels-out FILE] \
+          [--transport pickle|shm] [--transports] \
+          [--transport-length BITS] [--runtime-out FILE]
 """
 
 from __future__ import annotations
@@ -103,6 +120,10 @@ KERNEL_TARGET_SPEEDUP = 4.0
 KERNEL_TARGET_MEMORY_RATIO = 8.0
 KERNEL_PARITY_BATCH = 8
 KERNEL_PARITY_LENGTH = 1000
+
+TRANSPORT_BATCH = 256
+TRANSPORT_LENGTH = 1 << 20
+TRANSPORT_TARGET_TRANSFER_RATIO = 2.0
 
 
 def _stepped_uniform(lfsr, count: int) -> np.ndarray:
@@ -170,7 +191,7 @@ def best_of(repetitions: int, run) -> tuple:
     return best, output
 
 
-def bench_sharded(circuit, workers: int) -> dict:
+def bench_sharded(circuit, workers: int, transport: str = "pickle") -> dict:
     """Serial vs process-sharded evaluation of one shared seed schedule."""
     xs = np.linspace(0.0, 1.0, SHARD_BATCH)
     schedule = derive_seed_schedule(xs.size, np.random.default_rng(SEED))
@@ -189,6 +210,7 @@ def bench_sharded(circuit, workers: int) -> dict:
             length=SHARD_LENGTH,
             schedule=schedule,
             workers=workers,
+            transport=transport,
         ),
     )
     bit_exact = bool(
@@ -203,6 +225,7 @@ def bench_sharded(circuit, workers: int) -> dict:
         "batch": SHARD_BATCH,
         "length": SHARD_LENGTH,
         "workers": int(workers),
+        "transport": transport,
         "cpu_cores": cores,
         "serial_seconds": round(serial_s, 6),
         "sharded_seconds": round(sharded_s, 6),
@@ -264,6 +287,286 @@ def bench_chunked(circuit, long_length: int, chunk_length: int) -> dict:
         "tile_bytes": int(CHUNK_BATCH * (2 * ORDER + 3) * chunk_length * 8),
         "one_shot_bytes": int(CHUNK_BATCH * (2 * ORDER + 3) * long_length * 8),
         "statistics_exact": statistics_exact,
+    }
+
+
+def _pickled_bytes(obj) -> int:
+    """Serialized size of *obj* without materializing the blob.
+
+    A counting sink under ``pickle.Pickler`` measures exactly what a
+    process pool would push through its pipe for *obj*, byte for byte,
+    without a multi-gigabyte ``dumps`` allocation.
+    """
+    import io
+    import pickle
+
+    class _Counter(io.RawIOBase):
+        count = 0
+
+        def write(self, data):
+            self.count += len(data)
+            return len(data)
+
+    counter = _Counter()
+    pickle.Pickler(counter, protocol=pickle.DEFAULT_PROTOCOL).dump(obj)
+    return counter.count
+
+
+def _transport_parity_matrix(circuit) -> dict:
+    """Bit-exactness gate: transport x kernel x worker count.
+
+    Every sharded composition must reproduce the serial engine pass
+    exactly — the transport, like the kernel, is a pure wall-clock knob.
+    """
+    xs = np.linspace(0.0, 1.0, KERNEL_PARITY_BATCH)
+    schedule = derive_seed_schedule(xs.size, np.random.default_rng(SEED))
+    reference = simulate_batch(
+        circuit, xs, length=KERNEL_PARITY_LENGTH, schedule=schedule
+    )
+    checks = {}
+    exact = True
+    for transport in ("pickle", "shm"):
+        for kernel in ("numpy", "packed"):
+            for workers in (2, 3):
+                sharded = simulate_batch_sharded(
+                    circuit,
+                    xs,
+                    length=KERNEL_PARITY_LENGTH,
+                    schedule=schedule,
+                    workers=workers,
+                    kernel=kernel,
+                    transport=transport,
+                )
+                ok = bool(
+                    np.array_equal(reference.values, sharded.values)
+                    and np.array_equal(
+                        reference.output_bits, sharded.output_bits
+                    )
+                    and np.array_equal(
+                        reference.ideal_bits, sharded.ideal_bits
+                    )
+                    and np.array_equal(
+                        reference.received_power_mw,
+                        sharded.received_power_mw,
+                    )
+                    and np.array_equal(
+                        reference.select_levels, sharded.select_levels
+                    )
+                )
+                checks[f"{transport}/{kernel}/workers{workers}"] = ok
+                exact = exact and ok
+    return {"bit_exact": exact, "cases": checks}
+
+
+def bench_transports(circuit, workers: int, batch: int, length: int) -> dict:
+    """pickle vs shm shard transport on the packed noiseless hot path.
+
+    Three measurements, one gate:
+
+    * **end-to-end** wall clock of the same sharded run through each
+      transport (machine-dependent, recorded only — on a starved box
+      the pool itself dominates either transport);
+    * **transfer bytes** — what each transport pushes through the pool
+      pipes, measured by pickling the exact worker payloads and shard
+      results the pickle path ships vs the segment-name metadata the
+      shm path ships.  Deterministic layout arithmetic, so the >= 2x
+      target is part of the gate;
+    * **parent-side reassembly** — deserialize + concatenate (pickle)
+      vs attach-view + word-unpack (shm) of identical shard data.
+
+    The gate is the transfer-byte ratio plus bit-exactness of every
+    transport x kernel x worker-count composition.
+    """
+    import dataclasses
+    import pickle
+    import resource
+
+    from repro.simulation.engine import BatchEvaluation
+    from repro.simulation.kernels import pack_bits, unpack_bits
+    from repro.simulation.runtime import _concatenate_batches, _shard_bounds
+    from repro.simulation.transport import SharedArena
+
+    workers = max(2, int(workers))
+    kernel = "packed"
+    xs = np.linspace(0.0, 1.0, batch)
+    schedule = derive_seed_schedule(batch, np.random.default_rng(SEED))
+    reference = simulate_batch(
+        circuit,
+        xs,
+        length=length,
+        noisy=False,
+        schedule=schedule,
+        kernel=kernel,
+    )
+
+    runs = {}
+    exact_all = True
+    for transport in ("pickle", "shm"):
+        t0 = time.perf_counter()
+        result = simulate_batch_sharded(
+            circuit,
+            xs,
+            length=length,
+            noisy=False,
+            schedule=schedule,
+            workers=workers,
+            kernel=kernel,
+            transport=transport,
+        )
+        seconds = time.perf_counter() - t0
+        exact = bool(
+            np.array_equal(reference.values, result.values)
+            and np.array_equal(reference.output_bits, result.output_bits)
+            and np.array_equal(reference.ideal_bits, result.ideal_bits)
+            and np.array_equal(
+                reference.received_power_mw, result.received_power_mw
+            )
+            and np.array_equal(reference.select_levels, result.select_levels)
+        )
+        exact_all = exact_all and exact
+        runs[transport] = {
+            "seconds": round(seconds, 6),
+            "bit_exact": exact,
+        }
+        del result
+
+    bounds = _shard_bounds(batch, workers)
+
+    # Pickle transport: the pool pipes carry each worker's full payload
+    # (circuit + input slice + seed slice) out and its entire shard
+    # BatchEvaluation — every hot (rows, L) tensor — back.
+    pickle_bytes = 0
+    blobs = []
+    for lo, hi in bounds:
+        payload = (
+            circuit,
+            xs[lo:hi],
+            length,
+            False,
+            "lfsr",
+            16,
+            schedule.shard(lo, hi),
+            kernel,
+        )
+        pickle_bytes += _pickled_bytes(payload)
+        shard = dataclasses.replace(
+            reference,
+            xs=reference.xs[lo:hi],
+            values=reference.values[lo:hi],
+            expected=reference.expected[lo:hi],
+            received_power_mw=reference.received_power_mw[lo:hi],
+            output_bits=reference.output_bits[lo:hi],
+            ideal_bits=reference.ideal_bits[lo:hi],
+            select_levels=reference.select_levels[lo:hi],
+        )
+        blobs.append(
+            pickle.dumps(shard, protocol=pickle.DEFAULT_PROTOCOL)
+        )
+    pickle_bytes += sum(len(blob) for blob in blobs)
+
+    t0 = time.perf_counter()
+    _concatenate_batches([pickle.loads(blob) for blob in blobs], length)
+    pickle_reassembly_s = time.perf_counter() - t0
+    del blobs
+
+    # Shm transport: the pipes carry only the arena spec (segment name
+    # + field layout) out and the written row range back; the hot
+    # tensors cross by shared mapping.  Mirror the runtime's packed
+    # field layout, fill it as the workers would, and time the
+    # parent-side view export + word unpack.
+    words = (length + 63) // 64
+    arena = SharedArena(
+        {
+            "xs": ((batch,), np.float64),
+            "data_seeds": ((batch,), np.int64),
+            "coeff_seeds": ((batch,), np.int64),
+            "noise_seeds": ((batch,), np.int64),
+            "values": ((batch,), np.float64),
+            "expected": ((batch,), np.float64),
+            "received_power_mw": ((batch, length), np.float64),
+            "select_levels": ((batch, length), np.int64),
+            "output_words": ((batch, words), np.uint64),
+            "ideal_words": ((batch, words), np.uint64),
+        }
+    )
+    shm_bytes = 0
+    for lo, hi in bounds:
+        payload = (
+            arena.spec,
+            circuit,
+            lo,
+            hi,
+            length,
+            False,
+            "lfsr",
+            16,
+            kernel,
+            True,
+        )
+        shm_bytes += _pickled_bytes(payload) + _pickled_bytes((lo, hi))
+    arena.write("xs", xs)
+    arena.write("data_seeds", schedule.data_seeds)
+    arena.write("coeff_seeds", schedule.coeff_seeds)
+    arena.write("noise_seeds", schedule.noise_seeds)
+    arena.write("values", reference.values)
+    arena.write("expected", reference.expected)
+    arena.write("received_power_mw", reference.received_power_mw)
+    arena.write("select_levels", reference.select_levels)
+    arena.write("output_words", pack_bits(reference.output_bits))
+    arena.write("ideal_words", pack_bits(reference.ideal_bits))
+
+    t0 = time.perf_counter()
+    views = arena.export_views()
+    BatchEvaluation(
+        xs=views["xs"],
+        values=views["values"],
+        expected=views["expected"],
+        stream_length=int(length),
+        received_power_mw=views["received_power_mw"],
+        output_bits=unpack_bits(views["output_words"], length),
+        ideal_bits=unpack_bits(views["ideal_words"], length),
+        select_levels=views["select_levels"],
+    )
+    shm_reassembly_s = time.perf_counter() - t0
+    del views
+
+    parity = _transport_parity_matrix(circuit)
+    transfer_ratio = pickle_bytes / shm_bytes
+
+    # ru_maxrss is a lifetime high-water mark (KiB on Linux): parent
+    # plus the largest terminated pool worker — the whole bench tree.
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    rss_children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+
+    bit_exact = bool(exact_all and parity["bit_exact"])
+    meets_transfer = bool(
+        transfer_ratio >= TRANSPORT_TARGET_TRANSFER_RATIO
+    )
+    return {
+        "batch": int(batch),
+        "length": int(length),
+        "workers": int(workers),
+        "shards": len(bounds),
+        "kernel": kernel,
+        "noisy": False,
+        "runs": runs,
+        "pickle_transfer_bytes": int(pickle_bytes),
+        "shm_transfer_bytes": int(shm_bytes),
+        "transfer_ratio": round(transfer_ratio, 1),
+        "target_transfer_ratio": TRANSPORT_TARGET_TRANSFER_RATIO,
+        "meets_target_transfer_ratio": meets_transfer,
+        "pickle_reassembly_seconds": round(pickle_reassembly_s, 6),
+        "shm_reassembly_seconds": round(shm_reassembly_s, 6),
+        "reassembly_speedup": round(
+            pickle_reassembly_s / shm_reassembly_s, 2
+        ),
+        "peak_rss_bytes": int(rss) * 1024,
+        "peak_worker_rss_bytes": int(rss_children) * 1024,
+        "parity": parity,
+        "bit_exact": bit_exact,
+        # The byte ratio is deterministic layout arithmetic, so unlike
+        # the wall-clock speedups it joins bit-exactness in the gate.
+        "passed": bool(bit_exact and meets_transfer),
     }
 
 
@@ -623,6 +926,41 @@ def main(argv=None) -> int:
         default="BENCH_kernels.json",
         help="kernel-benchmark JSON artifact path (default: %(default)s)",
     )
+    parser.add_argument(
+        "--transport",
+        choices=("pickle", "shm"),
+        default="pickle",
+        help="shard transport for the part-2 sharded leg (default pickle)",
+    )
+    parser.add_argument(
+        "--transports",
+        action="store_true",
+        help=(
+            "also benchmark pickle vs shm shard transports (transfer "
+            "bytes + reassembly + parity gate) and write the unified "
+            "runtime artifact"
+        ),
+    )
+    parser.add_argument(
+        "--transport-batch",
+        type=int,
+        default=TRANSPORT_BATCH,
+        help="transport-benchmark sweep size (default 256)",
+    )
+    parser.add_argument(
+        "--transport-length",
+        type=int,
+        default=TRANSPORT_LENGTH,
+        help="transport-benchmark stream length (default 2**20)",
+    )
+    parser.add_argument(
+        "--runtime-out",
+        default="BENCH_runtime.json",
+        help=(
+            "unified runtime JSON artifact path, written with "
+            "--transports (default: %(default)s)"
+        ),
+    )
     args = parser.parse_args(argv)
     workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
 
@@ -670,7 +1008,7 @@ def main(argv=None) -> int:
     speedup_legacy = legacy_s / batched_s
     speedup_engine = engine_loop_s / batched_s
 
-    sharded = bench_sharded(circuit, workers)
+    sharded = bench_sharded(circuit, workers, transport=args.transport)
     chunked = bench_chunked(circuit, args.long_length, args.chunk_length)
     serving = bench_serving(circuit) if args.serving else None
     kernel_section = None
@@ -681,6 +1019,25 @@ def main(argv=None) -> int:
         with open(args.kernels_out, "w") as handle:
             json.dump(kernel_section, handle, indent=2)
             handle.write("\n")
+    transports_section = None
+    if args.transports:
+        transports_section = bench_transports(
+            circuit, workers, args.transport_batch, args.transport_length
+        )
+        runtime_artifact = {
+            "benchmark": "bench_runtime",
+            "sharded": sharded,
+            "chunked": chunked,
+            "transports": transports_section,
+            "passed": bool(
+                sharded["bit_exact"]
+                and chunked["statistics_exact"]
+                and transports_section["passed"]
+            ),
+        }
+        with open(args.runtime_out, "w") as handle:
+            json.dump(runtime_artifact, handle, indent=2)
+            handle.write("\n")
 
     passed = bool(
         bit_exact
@@ -688,6 +1045,7 @@ def main(argv=None) -> int:
         and chunked["statistics_exact"]
         and (serving is None or serving["bit_exact"])
         and (kernel_section is None or kernel_section["passed"])
+        and (transports_section is None or transports_section["passed"])
     )
     result = {
         "benchmark": "bench_batched",
@@ -707,6 +1065,7 @@ def main(argv=None) -> int:
         "chunked": chunked,
         "serving": serving,
         "kernels_artifact": args.kernels_out if args.kernels else None,
+        "runtime_artifact": args.runtime_out if args.transports else None,
         # Correctness is the gate; wall-clock speedups are recorded for
         # trend tracking but machine-dependent, so they never fail CI.
         "passed": passed,
@@ -767,6 +1126,35 @@ def main(argv=None) -> int:
             f"parity gate: {kernel_section['parity']['bit_exact']}"
         )
         print(f"  kernel artifact written to {args.kernels_out}")
+    if transports_section is not None:
+        t = transports_section
+        print(
+            f"shard transports: {t['batch']} rows x {t['length']} bits, "
+            f"{t['kernel']} kernel, {t['workers']} workers"
+        )
+        for name, row in t["runs"].items():
+            print(
+                f"  {name:<7s} end-to-end        : "
+                f"{row['seconds'] * 1e3:9.1f} ms "
+                f"(bit-exact: {row['bit_exact']})"
+            )
+        print(
+            f"  pool-pipe bytes: {t['pickle_transfer_bytes'] / 1e6:.1f} MB "
+            f"pickle vs {t['shm_transfer_bytes'] / 1e3:.1f} KB shm "
+            f"({t['transfer_ratio']:.0f}x, target >= "
+            f"{t['target_transfer_ratio']:.0f}x)"
+        )
+        print(
+            f"  reassembly: {t['pickle_reassembly_seconds'] * 1e3:.1f} ms "
+            f"pickle vs {t['shm_reassembly_seconds'] * 1e3:.1f} ms shm "
+            f"({t['reassembly_speedup']:.1f}x)"
+        )
+        print(
+            f"  peak RSS: {t['peak_rss_bytes'] / 1e6:.0f} MB parent, "
+            f"{t['peak_worker_rss_bytes'] / 1e6:.0f} MB largest worker; "
+            f"parity gate: {t['parity']['bit_exact']}"
+        )
+        print(f"  runtime artifact written to {args.runtime_out}")
     if serving is not None:
         print(
             f"serving facade: {serving['requests']} requests x "
@@ -808,6 +1196,13 @@ def main(argv=None) -> int:
     if kernel_section is not None and not kernel_section["passed"]:
         print(
             "FAILED: a compute kernel diverges from the numpy reference",
+            file=sys.stderr,
+        )
+        return 1
+    if transports_section is not None and not transports_section["passed"]:
+        print(
+            "FAILED: shard transport diverges from the serial path or "
+            "misses the transfer-byte target",
             file=sys.stderr,
         )
         return 1

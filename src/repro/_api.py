@@ -59,6 +59,7 @@ from .photonics import (
 from .photonics import devices
 from .simulation import (
     KERNELS,
+    TRANSPORTS,
     BatchEvaluation,
     CalibrationController,
     ChunkedEvaluation,
@@ -69,7 +70,6 @@ from .simulation import (
     SeedSchedule,
     TransientSimulator,
     available_kernels,
-    cached_simulate_batch,
     derive_seed_schedule,
     kernel_capabilities,
     run_batch,
@@ -146,9 +146,9 @@ __all__ = [
     "RuntimeConfig",
     "SeedSchedule",
     "KERNELS",
+    "TRANSPORTS",
     "available_kernels",
     "kernel_capabilities",
-    "cached_simulate_batch",
     "derive_seed_schedule",
     "run_batch",
     "simulate_batch",

@@ -124,7 +124,10 @@ def grid_sweep(
     (:func:`repro.simulation.runtime.parallel_map`); *metric* must be
     picklable (a module-level function) to actually cross the process
     boundary — unpicklable metrics (lambdas, closures) quietly run
-    serially instead.  Results are identical to the serial loop; the
+    serially instead.  The probe only runs when a process pool would
+    actually be used: under the ``thread`` backend (or ``workers <= 1``)
+    nothing is pickled and lambdas parallelize fine.  Results are
+    identical to the serial loop; the
     pool only changes wall-clock.  Alternatively pass a
     :class:`repro.simulation.runtime.RuntimeConfig` as *runtime* to take
     the worker count and pool backend from a bound session config (an
@@ -190,7 +193,12 @@ def grid_sweep(
 
     explicit = workers is not None
     workers = default_worker_count() if workers is None else int(workers)
-    if workers > 1 and not _picklable(metric):
+    # The picklability probe only matters when the metric would actually
+    # cross a process boundary: thread pools and serial runs share the
+    # address space, so probing (and pickling the metric, possibly a
+    # large closure) there would be pure waste — and would wrongly
+    # demote thread-pool lambdas to serial.
+    if workers > 1 and backend != "thread" and not _picklable(metric):
         # Lambdas/closures cannot cross a process boundary; run them
         # serially instead of letting the pool raise — the environment
         # worker default must never break a previously valid sweep.  An

@@ -9,11 +9,12 @@ micro-batcher that **coalesces** concurrent ``submit(x)`` requests into
 one sharded :meth:`~repro.session.Evaluator.evaluate` call.
 
 The served session's :class:`~repro.simulation.runtime.RuntimeConfig`
-knobs — workers, chunking, and the engine's compute ``kernel``
-(``"numpy"``/``"packed"``/``"numba"``) — flow straight through
-:meth:`~repro.session.Evaluator.evaluate`, so a server can be pointed
-at the packed bit-plane kernel for throughput without any serving-side
-change, and serves the same bits.
+knobs — workers, chunking, the engine's compute ``kernel``
+(``"numpy"``/``"packed"``/``"numba"``) and the shard ``transport``
+(``"pickle"``/``"shm"`` zero-copy shared memory) — flow straight
+through :meth:`~repro.session.Evaluator.evaluate`, so a server can be
+pointed at the packed bit-plane kernel and shared-memory sharding for
+throughput without any serving-side change, and serves the same bits.
 
 Determinism contract
 --------------------

@@ -67,9 +67,10 @@ DEPRECATED_WRAPPERS = {
     "repro.stochastic.image.apply_circuit_kernel": {
         "replacement": "Evaluator(circuit, spec, runtime).apply_kernel(image)",
         "removal_note": (
-            "deprecated in PR 3; kept as a bit-exact wrapper for at least "
-            "two further PRs (removal no earlier than PR 6)"
+            "deprecated in PR 3; removed in PR 6 after the policy's "
+            "two-PR grace window — call the session replacement"
         ),
+        "removed": True,
     },
     "repro.simulation.runtime.cached_simulate_batch": {
         "replacement": (
@@ -77,20 +78,22 @@ DEPRECATED_WRAPPERS = {
             "RuntimeConfig(use_cache=True)).evaluate(xs)"
         ),
         "removal_note": (
-            "deprecated in PR 3; kept as a bit-exact wrapper for at least "
-            "two further PRs (removal no earlier than PR 6)"
+            "deprecated in PR 3; removed in PR 6 after the policy's "
+            "two-PR grace window — call the session replacement"
         ),
+        "removed": True,
     },
 }
-"""Free functions kept as bit-exact wrappers over the session API.
+"""Legacy free functions folded into the session API.
 
-Each maps the dotted legacy entry point to its session-method
-``replacement`` plus a ``removal_note`` recording when it was
-deprecated and the earliest PR it may be removed in (the policy:
-wrappers survive at least two PRs past deprecation).  Calling the
-legacy function emits a :class:`DeprecationWarning` and delegates, so
-results stay bit-for-bit identical to the new path (enforced by
-``tests/test_session.py`` and ``tests/test_public_api.py``).
+Each maps a dotted legacy entry point to its session-method
+``replacement`` plus a ``removal_note`` recording the deprecation and
+removal history (the policy: wrappers survive at least two PRs past
+deprecation before removal; both were deprecated in PR 3 and removed
+in PR 6).  Entries with ``removed: True`` no longer resolve — the
+registry stays as the migration record, and
+``tests/test_public_api.py`` enforces that removed names are really
+gone while their replacements exist.
 """
 
 
@@ -261,6 +264,21 @@ class Evaluator:
         """
         return self.with_runtime(
             dataclasses.replace(self.runtime, kernel=kernel)
+        )
+
+    def with_transport(self, transport: str) -> "Evaluator":
+        """A new session moving shard data over another transport.
+
+        Transports (:data:`repro.simulation.transport.TRANSPORTS`) are
+        pure IPC knobs — ``"shm"`` shares zero-copy arenas with process
+        workers instead of pickling shard arrays, and never changes an
+        output bit.  An unknown transport (or ``"shm"`` with a
+        non-process backend) raises
+        :class:`~repro.errors.ConfigurationError` here, not on the
+        first evaluation.
+        """
+        return self.with_runtime(
+            dataclasses.replace(self.runtime, transport=transport)
         )
 
     @property

@@ -31,18 +31,20 @@ from .engine import (
 )
 from .functional import OpticalEvaluation, simulate_evaluation, simulate_sweep
 from .runtime import (
+    TRANSPORTS,
     ChunkedEvaluation,
     EvaluationCache,
     RuntimeConfig,
-    cached_simulate_batch,
     default_evaluation_cache,
     default_worker_count,
     parallel_map,
+    resolve_transport,
     resolve_vectorized,
     run_batch,
     simulate_batch_sharded,
     simulate_chunked,
 )
+from .transport import SharedArena
 from .noise import apply_ber_flips, effective_probability_after_flips
 from .faults import (
     FaultInjector,
@@ -80,10 +82,12 @@ __all__ = [
     "ChunkedEvaluation",
     "EvaluationCache",
     "RuntimeConfig",
-    "cached_simulate_batch",
+    "SharedArena",
+    "TRANSPORTS",
     "default_evaluation_cache",
     "default_worker_count",
     "parallel_map",
+    "resolve_transport",
     "resolve_vectorized",
     "run_batch",
     "simulate_batch_sharded",

@@ -43,10 +43,12 @@ from ..stochastic.sng import (
     van_der_corput,
 )
 from .kernels import (
+    PackedChaoticSource,
     optical_pass,
     pack_bits,
     packed_lfsr_comparator_bits,
     packed_optical_pass,
+    packed_sobol_comparator_bits,
     resolve_kernel,
 )
 
@@ -319,11 +321,13 @@ def _generate_streams(
 
     ``form`` is ``"bits"`` (``(B, C, L)`` uint8 tensors, the numpy
     kernel's layout) or ``"words"`` (``(B, C, L // 64)`` packed uint64,
-    the packed kernels').  The packed kernels generate LFSR comparator
-    streams directly in word form from the cached cycle — never
-    materializing the ``(B, C, L)`` float64 uniforms — and pack the
-    counter randomizer's deterministic matrix once per distinct stream;
-    the remaining randomizers (and wide registers) are generated
+    the packed kernels').  The packed kernels generate every randomizer
+    in word form directly: LFSR and Sobol comparator streams come off
+    their cached packed cycles, chaotic streams are packed blockwise
+    from the carried orbit — never materializing the ``(B, C, L)``
+    float64 uniforms — and the counter randomizer's deterministic
+    matrix is packed once per distinct stream.  Only the fallback cases
+    (registers/widths beyond the cycle-table caps) are generated
     unpacked and packed afterwards.  Either way the resulting streams
     are bit-for-bit the comparator decisions of the numpy layout.
     """
@@ -369,6 +373,31 @@ def _generate_streams(
         )
         if data_words is not None and coeff_words is not None:
             return "words", data_words, coeff_words
+    if kernel != "numpy" and sng_kind == "sobol":
+        data_words = packed_sobol_comparator_bits(
+            derive_sobol_offsets(data_seeds, order),
+            xs[:, None],
+            length,
+            sng_width,
+        )
+        coeff_words = packed_sobol_comparator_bits(
+            derive_sobol_offsets(coeff_seeds, channel_count),
+            coefficients[None, :],
+            length,
+            sng_width,
+        )
+        if data_words is not None and coeff_words is not None:
+            return "words", data_words, coeff_words
+    if kernel != "numpy" and sng_kind == "chaotic":
+        data_source = PackedChaoticSource(data_seeds, xs[:, None], order)
+        coeff_source = PackedChaoticSource(
+            coeff_seeds, coefficients[None, :], channel_count
+        )
+        return (
+            "words",
+            data_source.take(0, length),
+            coeff_source.take(0, length),
+        )
     data_u = _batch_uniforms(sng_kind, data_seeds, order, length, sng_width)
     coeff_u = _batch_uniforms(
         sng_kind, coeff_seeds, channel_count, length, sng_width

@@ -55,6 +55,12 @@ import numpy as np
 
 from ..errors import ConfigurationError, SimulationError
 from ..stochastic.lfsr import _TABLE_MAX_WIDTH, _cycle_tables, _resolve_taps
+from ..stochastic.sng import (
+    chaotic_orbit,
+    chaotic_warmup,
+    derive_chaotic_intensities,
+    van_der_corput,
+)
 from .receiver import OpticalReceiver
 
 __all__ = [
@@ -71,7 +77,10 @@ __all__ = [
     "optical_pass",
     "packed_optical_pass",
     "PackedLfsrSource",
+    "PackedSobolSource",
+    "PackedChaoticSource",
     "packed_lfsr_comparator_bits",
+    "packed_sobol_comparator_bits",
     "packed_tile_statistics",
 ]
 
@@ -594,19 +603,82 @@ def optical_pass(
     )
 
 
-# -- packed LFSR comparator generation -----------------------------------------
+# -- packed comparator-word generation -----------------------------------------
 
 
-class PackedLfsrSource:
+class _PackedCycleSource:
+    """Shared machinery of the periodic packed comparator sources.
+
+    A periodic uniform sequence compared against a fixed value yields
+    the same ``period``-bit comparator sequence for every stream using
+    the same value: the cycle uniforms are compared once per *unique*
+    value and packed (tiled, so any 64-bit window is one unaligned
+    two-word read), then :meth:`take` gathers each stream's words by
+    bit offset — never materializing the ``(B, C, count)`` float64
+    uniforms.  Subclasses provide the cycle, the per-stream start
+    positions and ``_start_shift`` (how many cycle steps past the start
+    position the stream's first clock sits).
+    """
+
+    _start_shift = 0
+
+    def __init__(self, starts, inverse, packed_cycles, period):
+        self._starts = starts
+        self._inverse = inverse
+        self._packed_cycles = packed_cycles
+        self._period = int(period)
+
+    @staticmethod
+    def _pack_value_cycles(uniform, values, shape):
+        """``(inverse, packed_cycles)`` for the unique comparison values.
+
+        One tiled packed bit array per unique comparison value: enough
+        repeats of the period that a 64-bit window starting anywhere
+        in [0, period) stays in-bounds, with periodic continuation
+        automatic (two repeats except periods shorter than 64 bits).
+        """
+        values = np.broadcast_to(np.asarray(values, dtype=float), shape)
+        unique_values, inverse = np.unique(values, return_inverse=True)
+        inverse = inverse.reshape(shape)
+        period = int(uniform.size)
+        repeats = 1 + -(-(_WORD_BITS - 1) // period)
+        cycle_bits = (uniform[None, :] < unique_values[:, None]).astype(
+            np.uint8
+        )
+        return inverse, pack_bits(np.tile(cycle_bits, (1, repeats)))
+
+    def take(self, offset: int, count: int) -> np.ndarray:
+        """Packed words for stream clocks ``[offset, offset + count)``."""
+        if offset < 0 or count <= 0:
+            raise ConfigurationError(
+                f"invalid window offset={offset!r} count={count!r}"
+            )
+        words = _word_count(count)
+        positions = (
+            self._starts[..., None].astype(np.int64)
+            + self._start_shift
+            + int(offset)
+            + _WORD_BITS * np.arange(words, dtype=np.int64)
+        ) % self._period
+        word_index = positions >> 6
+        shift = (positions & 63).astype(np.uint64)
+        rows = self._inverse[..., None]
+        lo = self._packed_cycles[rows, word_index]
+        hi = self._packed_cycles[rows, word_index + 1]
+        high_part = hi << ((np.uint64(_WORD_BITS) - shift) & np.uint64(63))
+        out = (lo >> shift) | np.where(shift == 0, np.uint64(0), high_part)
+        tail = count % _WORD_BITS
+        if tail:
+            out[..., -1] &= np.uint64((1 << tail) - 1)
+        return out
+
+
+class PackedLfsrSource(_PackedCycleSource):
     """Resumable packed comparator source over the cached LFSR cycle.
 
     A maximal-length LFSR stream is a periodic window of one canonical
-    cycle, so the comparator output is the same ``period``-bit sequence
-    for every stream comparing against the same value: the cycle
-    uniforms are compared once per *unique* value and packed (tiled, so
-    any 64-bit window is one unaligned two-word read), then
-    :meth:`take` gathers each stream's words by bit offset — never
-    materializing the ``(B, C, count)`` float64 uniforms.  The
+    cycle (:class:`_PackedCycleSource`); the stream's first clock is the
+    *successor* of the seed state, hence ``_start_shift = 1``.  The
     comparisons are the identical floats the unpacked path evaluates,
     so the packed words are bit-exact with
     ``pack_bits(lfsr_uniform_windows(...) < values[..., None])``.
@@ -617,11 +689,7 @@ class PackedLfsrSource:
     compare-and-pack.
     """
 
-    def __init__(self, starts, inverse, packed_cycles, period):
-        self._starts = starts
-        self._inverse = inverse
-        self._packed_cycles = packed_cycles
-        self._period = int(period)
+    _start_shift = 1
 
     @classmethod
     def create(cls, seeds, values, width: int) -> Optional["PackedLfsrSource"]:
@@ -637,20 +705,115 @@ class PackedLfsrSource:
         starts = position[seeds]
         if np.any(starts < 0):
             return None
-        period = int(cycle.size)
-        values = np.broadcast_to(np.asarray(values, dtype=float), seeds.shape)
-        unique_values, inverse = np.unique(values, return_inverse=True)
-        inverse = inverse.reshape(seeds.shape)
-        # One tiled packed bit array per unique comparison value: enough
-        # repeats of the period that a 64-bit window starting anywhere
-        # in [0, period) stays in-bounds, with periodic continuation
-        # automatic (two repeats except registers narrower than 7 bits).
-        repeats = 1 + -(-(_WORD_BITS - 1) // period)
-        cycle_bits = (uniform[None, :] < unique_values[:, None]).astype(
-            np.uint8
+        inverse, packed_cycles = cls._pack_value_cycles(
+            uniform, values, seeds.shape
         )
-        packed_cycles = pack_bits(np.tile(cycle_bits, (1, repeats)))
+        return cls(starts, inverse, packed_cycles, int(cycle.size))
+
+
+_SOBOL_CYCLE_CACHE: Dict[int, np.ndarray] = {}
+_SOBOL_CYCLE_LOCK = threading.Lock()
+_SOBOL_CYCLE_MAX_WIDTH = _TABLE_MAX_WIDTH
+
+
+def _sobol_cycle_uniforms(width: int) -> np.ndarray:
+    """The full-period van der Corput cycle for *width* bits, memoized.
+
+    ``van_der_corput(i, width)`` consumes only the low *width* bits of
+    ``i``, so the sequence is exactly periodic with period
+    ``2**width`` — the property that makes the Sobol comparator stream
+    a :class:`_PackedCycleSource`.  The table is 8 MiB at the width cap
+    and shared process-wide, like the LFSR cycle tables.
+    """
+    with _SOBOL_CYCLE_LOCK:
+        cycle = _SOBOL_CYCLE_CACHE.get(int(width))
+        if cycle is None:
+            cycle = van_der_corput(
+                np.arange(1 << int(width), dtype=np.int64), int(width)
+            )
+            cycle.setflags(write=False)
+            _SOBOL_CYCLE_CACHE[int(width)] = cycle
+    return cycle
+
+
+class PackedSobolSource(_PackedCycleSource):
+    """Resumable packed comparator source over the van der Corput cycle.
+
+    The Sobol-like randomizer samples ``van_der_corput(offset + clock,
+    width)``, which depends only on ``(offset + clock) mod 2**width`` —
+    a periodic cycle, so the same pack-once / gather-by-offset machinery
+    as :class:`PackedLfsrSource` applies with ``starts = offsets mod
+    2**width``.  The cycle uniforms are the identical floats
+    ``van_der_corput`` produces for any congruent index, so the packed
+    words are bit-exact with ``pack_bits(van_der_corput(offsets[...,
+    None] + arange(L), width) < values[..., None])``.
+
+    :meth:`create` returns ``None`` when *width* exceeds the cycle
+    cache cap (``2**width``-entry tables stop paying off) — callers
+    then fall back to compare-and-pack.
+    """
+
+    @classmethod
+    def create(
+        cls, offsets, values, width: int
+    ) -> Optional["PackedSobolSource"]:
+        if width > _SOBOL_CYCLE_MAX_WIDTH:
+            return None
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if np.any(offsets < 0):
+            raise ConfigurationError("sobol offsets must be >= 0")
+        period = 1 << int(width)
+        uniform = _sobol_cycle_uniforms(width)
+        starts = offsets % period
+        inverse, packed_cycles = cls._pack_value_cycles(
+            uniform, values, offsets.shape
+        )
         return cls(starts, inverse, packed_cycles, period)
+
+
+_CHAOTIC_PACK_BLOCK = 4096
+"""Clocks advanced per internal block of :class:`PackedChaoticSource`.
+
+A multiple of 64 so block boundaries align with word boundaries; bounds
+the float materialization at ``(B, C, block)`` instead of the full
+stream length.
+"""
+
+
+class PackedChaoticSource:
+    """Sequential packed comparator source over carried chaotic orbits.
+
+    Chaotic logistic-map orbits have no periodic structure to cache, so
+    unlike the cycle sources this one *computes* — but in fixed-size
+    64-clock-aligned blocks: each block advances the raw orbit state
+    with :func:`repro.stochastic.sng.chaotic_orbit` (the exact
+    elementwise float sequence of the unpacked path), compares, and
+    packs straight into the output words.  The ``(B, C, L)`` float64
+    uniforms of a long stream are never materialized — peak extra
+    memory is one ``(B, C, 4096)`` block.
+
+    Like the unpacked chaotic cursor, resume is by carried state only:
+    :meth:`take` windows must be issued in sequential stream order.
+    """
+
+    def __init__(self, base_seeds, values, channel_count: int):
+        seeds = np.atleast_1d(np.asarray(base_seeds, dtype=np.int64))
+        self._state = derive_chaotic_intensities(seeds, int(channel_count))
+        self._warmups = np.asarray(
+            [chaotic_warmup(c) for c in range(int(channel_count))],
+            dtype=np.int64,
+        )[None, :]
+        self._values = np.broadcast_to(
+            np.asarray(values, dtype=float), self._state.shape
+        )
+        self._next_offset = 0
+
+    @classmethod
+    def create(
+        cls, base_seeds, values, channel_count: int
+    ) -> "PackedChaoticSource":
+        """Factory mirroring the cycle sources' (never ``None``)."""
+        return cls(base_seeds, values, channel_count)
 
     def take(self, offset: int, count: int) -> np.ndarray:
         """Packed words for stream clocks ``[offset, offset + count)``."""
@@ -658,23 +821,26 @@ class PackedLfsrSource:
             raise ConfigurationError(
                 f"invalid window offset={offset!r} count={count!r}"
             )
-        words = _word_count(count)
-        positions = (
-            self._starts[..., None].astype(np.int64)
-            + 1
-            + int(offset)
-            + _WORD_BITS * np.arange(words, dtype=np.int64)
-        ) % self._period
-        word_index = positions >> 6
-        shift = (positions & 63).astype(np.uint64)
-        rows = self._inverse[..., None]
-        lo = self._packed_cycles[rows, word_index]
-        hi = self._packed_cycles[rows, word_index + 1]
-        high_part = hi << ((np.uint64(_WORD_BITS) - shift) & np.uint64(63))
-        out = (lo >> shift) | np.where(shift == 0, np.uint64(0), high_part)
-        tail = count % _WORD_BITS
-        if tail:
-            out[..., -1] &= np.uint64((1 << tail) - 1)
+        if offset != self._next_offset:
+            raise ConfigurationError(
+                "stateful streams resume sequentially: expected offset "
+                f"{self._next_offset}, got {offset}"
+            )
+        out = np.empty(
+            self._state.shape + (_word_count(count),), dtype=np.uint64
+        )
+        done = 0
+        while done < count:
+            block = min(_CHAOTIC_PACK_BLOCK, count - done)
+            warmups = self._warmups if offset + done == 0 else 0
+            uniforms, self._state = chaotic_orbit(
+                self._state, warmups, block, return_state=True
+            )
+            bits = (uniforms < self._values[..., None]).astype(np.uint8)
+            word = done // _WORD_BITS
+            out[..., word : word + _word_count(block)] = pack_bits(bits)
+            done += block
+        self._next_offset = offset + count
         return out
 
 
@@ -693,6 +859,26 @@ def packed_lfsr_comparator_bits(
     fast path does not apply.
     """
     source = PackedLfsrSource.create(seeds, values, width)
+    if source is None:
+        return None
+    return source.take(offset, length)
+
+
+def packed_sobol_comparator_bits(
+    offsets: np.ndarray,
+    values: np.ndarray,
+    length: int,
+    width: int,
+    offset: int = 0,
+) -> Optional[np.ndarray]:
+    """One-shot :class:`PackedSobolSource` window (``None`` = fall back).
+
+    Returns the ``(B, C, ceil(length / 64))`` uint64 words that
+    ``pack_bits(van_der_corput(offsets[..., None] + offset +
+    arange(length), width) < values[..., None])`` would produce, or
+    ``None`` when the packed fast path does not apply.
+    """
+    source = PackedSobolSource.create(offsets, values, width)
     if source is None:
         return None
     return source.take(offset, length)

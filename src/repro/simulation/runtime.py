@@ -12,7 +12,10 @@ This module is the scaling layer above the engine:
   reassembled into a :class:`~repro.simulation.engine.BatchEvaluation`
   that is **bit-for-bit identical** to the single-process call under the
   same schedule — every row is fully determined by its seed triple, so
-  rows are relocatable across workers.
+  rows are relocatable across workers.  Shard data moves over a
+  pluggable *transport*: ``"pickle"`` (pool-pipe serialization) or
+  ``"shm"`` (zero-copy shared-memory arenas, see
+  :mod:`repro.simulation.transport`).
 * **Chunked streaming** (:func:`simulate_chunked`): very long streams
   (``length >> 2**20``, the ``O(1/N)``-convergence regime that motivates
   low-discrepancy and chaotic-laser randomizers) are evaluated in
@@ -21,12 +24,12 @@ This module is the scaling layer above the engine:
   bounded by the tile size while the accumulated statistics stay
   bit-exact with the one-shot pass.  LFSR/Sobol/counter streams resume
   by index offset; chaotic orbits resume by carrying raw map state.
-* **Keyed evaluation cache** (:class:`EvaluationCache`,
-  :func:`cached_simulate_batch`): repeated exploration sweeps over the
-  same ``circuit fingerprint x sng_kind x base_seed x sng_width x
-  length x inputs`` skip recomputation entirely.  Cacheable runs derive
-  their receiver-noise seeds from ``base_seed`` so even noisy results
-  are deterministic.
+* **Keyed evaluation cache** (:class:`EvaluationCache`, enabled through
+  :class:`RuntimeConfig`): repeated exploration sweeps over the same
+  ``circuit fingerprint x sng_kind x base_seed x sng_width x length x
+  inputs`` skip recomputation entirely.  Cacheable runs derive their
+  receiver-noise seeds from ``base_seed`` so even noisy results are
+  deterministic.
 * **Generic parallel map** (:func:`parallel_map`): the process-pool
   primitive the exploration grid sweep and the Monte Carlo corner loop
   share.
@@ -59,6 +62,7 @@ from ..stochastic.sng import (
     chaotic_warmup,
     derive_chaotic_intensities,
     derive_lfsr_seeds,
+    derive_sobol_offsets,
 )
 from .engine import (
     BatchEvaluation,
@@ -70,22 +74,27 @@ from .engine import (
     simulate_batch,
 )
 from .kernels import (
+    PackedChaoticSource,
     PackedLfsrSource,
+    PackedSobolSource,
     pack_bits,
     packed_tile_statistics,
     resolve_kernel,
+    unpack_bits,
 )
+from .transport import TRANSPORTS, SharedArena, resolve_transport
 
 __all__ = [
     "BACKENDS",
+    "TRANSPORTS",
     "ChunkedEvaluation",
     "EvaluationCache",
     "RuntimeConfig",
-    "cached_simulate_batch",
     "default_evaluation_cache",
     "default_worker_count",
     "parallel_map",
     "resolve_pool",
+    "resolve_transport",
     "resolve_vectorized",
     "run_batch",
     "simulate_batch_sharded",
@@ -291,6 +300,168 @@ def _concatenate_batches(
     )
 
 
+def _shard_input_fields(batch: int) -> dict:
+    """Arena fields carrying the batch inputs (parent -> workers)."""
+    return {
+        "xs": ((batch,), np.float64),
+        "data_seeds": ((batch,), np.int64),
+        "coeff_seeds": ((batch,), np.int64),
+        "noise_seeds": ((batch,), np.int64),
+    }
+
+
+def _write_shard_inputs(arena, xs, schedule) -> None:
+    arena.write("xs", xs)
+    arena.write("data_seeds", schedule.data_seeds)
+    arena.write("coeff_seeds", schedule.coeff_seeds)
+    arena.write("noise_seeds", schedule.noise_seeds)
+
+
+def _read_shard_inputs(arena, lo: int, hi: int) -> tuple:
+    """``(xs, schedule)`` for rows ``[lo, hi)`` from the input arena."""
+    return (
+        arena.read("xs", lo, hi),
+        SeedSchedule(
+            data_seeds=arena.read("data_seeds", lo, hi),
+            coeff_seeds=arena.read("coeff_seeds", lo, hi),
+            noise_seeds=arena.read("noise_seeds", lo, hi),
+        ),
+    )
+
+
+def _shm_shard_worker(payload: tuple) -> tuple:
+    """Evaluate one row shard in place through the shared arena.
+
+    Attaches by segment name, reads its input rows, writes its result
+    rows into the arena's field views, and returns only the row range —
+    no result tensor crosses the process boundary.  Bit tensors are
+    written in packed uint64 form (8x smaller) when a packed kernel
+    runs; the parent unpacks once at reassembly (an exact inverse).
+    """
+    (
+        spec,
+        circuit,
+        lo,
+        hi,
+        length,
+        noisy,
+        sng_kind,
+        sng_width,
+        kernel,
+        packed,
+    ) = payload
+    arena = SharedArena.attach(spec)
+    try:
+        xs, schedule = _read_shard_inputs(arena, lo, hi)
+        result = simulate_batch(
+            circuit,
+            xs,
+            length=length,
+            noisy=noisy,
+            sng_kind=sng_kind,
+            sng_width=sng_width,
+            schedule=schedule,
+            kernel=kernel,
+        )
+        arena.write("values", result.values, lo)
+        arena.write("expected", result.expected, lo)
+        arena.write("received_power_mw", result.received_power_mw, lo)
+        arena.write("select_levels", result.select_levels, lo)
+        if packed:
+            arena.write("output_words", pack_bits(result.output_bits), lo)
+            arena.write("ideal_words", pack_bits(result.ideal_bits), lo)
+        else:
+            arena.write("output_bits", result.output_bits, lo)
+            arena.write("ideal_bits", result.ideal_bits, lo)
+    finally:
+        arena.close()
+    return lo, hi
+
+
+def _simulate_batch_sharded_shm(
+    circuit,
+    xs: np.ndarray,
+    length: int,
+    noisy: bool,
+    sng_kind: str,
+    sng_width: int,
+    schedule: SeedSchedule,
+    kernel: str,
+    workers: int,
+    backend: str,
+) -> BatchEvaluation:
+    """The zero-copy shm fan-out behind ``transport="shm"``.
+
+    One arena holds the inputs and every result field for the whole
+    batch; workers write their row ranges in place and reassembly is a
+    view (:meth:`~repro.simulation.transport.SharedArena.export_views`)
+    plus — under a packed kernel — one vectorized unpack of the bit
+    tensors.  Bit-for-bit identical to the pickle transport: the same
+    :func:`~repro.simulation.engine.simulate_batch` runs per shard, and
+    copies/views of identical values are identical.
+    """
+    batch = xs.size
+    packed = kernel != "numpy"
+    words = (int(length) + 63) // 64
+    fields = _shard_input_fields(batch)
+    fields.update(
+        {
+            "values": ((batch,), np.float64),
+            "expected": ((batch,), np.float64),
+            "received_power_mw": ((batch, length), np.float64),
+            "select_levels": ((batch, length), np.int64),
+        }
+    )
+    if packed:
+        fields["output_words"] = ((batch, words), np.uint64)
+        fields["ideal_words"] = ((batch, words), np.uint64)
+    else:
+        fields["output_bits"] = ((batch, length), np.uint8)
+        fields["ideal_bits"] = ((batch, length), np.uint8)
+    arena = SharedArena(fields)
+    try:
+        _write_shard_inputs(arena, xs, schedule)
+        spec = arena.spec
+        payloads = [
+            (
+                spec,
+                circuit,
+                lo,
+                hi,
+                length,
+                noisy,
+                sng_kind,
+                sng_width,
+                kernel,
+                packed,
+            )
+            for lo, hi in _shard_bounds(batch, workers)
+        ]
+        parallel_map(
+            _shm_shard_worker, payloads, workers=workers, backend=backend
+        )
+    except BaseException:
+        arena.destroy()
+        raise
+    views = arena.export_views()
+    if packed:
+        output_bits = unpack_bits(views["output_words"], length)
+        ideal_bits = unpack_bits(views["ideal_words"], length)
+    else:
+        output_bits = views["output_bits"]
+        ideal_bits = views["ideal_bits"]
+    return BatchEvaluation(
+        xs=views["xs"],
+        values=views["values"],
+        expected=views["expected"],
+        stream_length=int(length),
+        received_power_mw=views["received_power_mw"],
+        output_bits=output_bits,
+        ideal_bits=ideal_bits,
+        select_levels=views["select_levels"],
+    )
+
+
 def simulate_batch_sharded(
     circuit,
     xs,
@@ -304,6 +475,7 @@ def simulate_batch_sharded(
     backend: str = "process",
     schedule: Optional[SeedSchedule] = None,
     kernel: str = "numpy",
+    transport: str = "pickle",
 ) -> BatchEvaluation:
     """Row-sharded :func:`~repro.simulation.engine.simulate_batch`.
 
@@ -320,10 +492,15 @@ def simulate_batch_sharded(
     dominated by GIL-releasing numpy kernels; ``process`` (default) is
     immune to the GIL entirely.  *kernel* selects the compute kernel
     every shard evaluates with (:data:`repro.simulation.kernels.KERNELS`)
-    — like the pool knobs it never changes an output bit.
+    and *transport* how shard results return from process workers:
+    ``"pickle"`` (serialize through the pool pipe) or ``"shm"`` (write
+    row ranges in place into a shared-memory arena, reassembled as
+    views — see :mod:`repro.simulation.transport`).  Like the pool
+    knobs, neither ever changes an output bit.
     """
     _validate_backend(backend)
     kernel = resolve_kernel(kernel)
+    transport = resolve_transport(transport, backend)
     xs = _validate_batch_inputs(
         circuit, xs, length, sng_kind, base_seed, sng_width
     )
@@ -347,6 +524,19 @@ def simulate_batch_sharded(
             sng_width=sng_width,
             schedule=schedule,
             kernel=kernel,
+        )
+    if transport == "shm":
+        return _simulate_batch_sharded_shm(
+            circuit,
+            xs,
+            length,
+            noisy,
+            sng_kind,
+            sng_width,
+            schedule,
+            kernel,
+            workers,
+            backend,
         )
     shards = _map_row_shards(
         _shard_worker,
@@ -503,13 +693,15 @@ class _PackedCursor:
     ``take(offset, count)`` returns the ``(B, channels, ceil(count/64))``
     uint64 word slab covering stream clocks ``[offset, offset + count)``
     — bit-for-bit ``pack_bits(uniforms < values)`` of the tile the
-    unpacked cursor would produce.  Table-cached LFSR banks read packed
-    words straight off the cycle
-    (:class:`repro.simulation.kernels.PackedLfsrSource`, built once and
-    re-aimed per tile); every other randomizer falls back to the
-    unpacked cursor followed by compare-and-pack, preserving the
-    stateful resume semantics (carried chaotic orbits, live wide
-    registers).
+    unpacked cursor would produce.  Table-cached LFSR and Sobol banks
+    read packed words straight off their cycles
+    (:class:`repro.simulation.kernels.PackedLfsrSource` /
+    :class:`~repro.simulation.kernels.PackedSobolSource`, built once and
+    re-aimed per tile), chaotic banks pack blockwise off the carried
+    orbit (:class:`~repro.simulation.kernels.PackedChaoticSource`,
+    sequential resume like the unpacked cursor); only the fallback
+    cases — registers/widths beyond the cycle-table caps — go through
+    the unpacked cursor followed by compare-and-pack.
     """
 
     def __init__(self, kind, base_seeds, channel_count, width, values):
@@ -520,6 +712,15 @@ class _PackedCursor:
             derived = derive_lfsr_seeds(base_seeds, channel_count, width)
             self._source = PackedLfsrSource.create(
                 derived, self._values, width
+            )
+        elif kind == "sobol":
+            offsets = derive_sobol_offsets(base_seeds, channel_count)
+            self._source = PackedSobolSource.create(
+                offsets, self._values, width
+            )
+        elif kind == "chaotic":
+            self._source = PackedChaoticSource(
+                base_seeds, self._values, channel_count
             )
         if self._source is None:
             self._cursor = _UniformCursor(kind, base_seeds, channel_count, width)
@@ -557,6 +758,124 @@ def _chunked_shard_worker(payload: tuple) -> ChunkedEvaluation:
         power_histogram_bins=bins,
         workers=0,
         kernel=kernel,
+    )
+
+
+def _chunked_shm_worker(payload: tuple) -> tuple:
+    """Stream one row shard, accumulating into the shared arena.
+
+    The streaming accumulators are ``O(rows)`` scalars per row plus an
+    optional fixed-size histogram, so the worker writes them straight
+    into its row range (histograms get one private arena row per shard
+    — integer counts over shared bin edges, summed exactly by the
+    parent) and returns only the tile geometry.
+    """
+    (
+        spec,
+        circuit,
+        shard_index,
+        lo,
+        hi,
+        length,
+        chunk_length,
+        noisy,
+        sng_kind,
+        sng_width,
+        bins,
+        kernel,
+    ) = payload
+    arena = SharedArena.attach(spec)
+    try:
+        xs, schedule = _read_shard_inputs(arena, lo, hi)
+        result = simulate_chunked(
+            circuit,
+            xs,
+            length=length,
+            chunk_length=chunk_length,
+            noisy=noisy,
+            sng_kind=sng_kind,
+            sng_width=sng_width,
+            schedule=schedule,
+            power_histogram_bins=bins,
+            workers=0,
+            kernel=kernel,
+        )
+        arena.write("expected", result.expected, lo)
+        arena.write("ones_count", result.ones_count, lo)
+        arena.write("bit_errors", result.transmission_bit_errors, lo)
+        if bins:
+            arena.write("histogram", result.power_histogram[None, :], shard_index)
+    finally:
+        arena.close()
+    return result.chunk_count, result.chunk_length, result.power_bin_edges
+
+
+def _simulate_chunked_shm(
+    circuit,
+    xs: np.ndarray,
+    length: int,
+    chunk_length: int,
+    noisy: bool,
+    sng_kind: str,
+    sng_width: int,
+    schedule: SeedSchedule,
+    bins: int,
+    kernel: str,
+    workers: int,
+    backend: str,
+) -> ChunkedEvaluation:
+    """Shared-memory row sharding for the streaming path."""
+    batch = xs.size
+    bounds = _shard_bounds(batch, workers)
+    fields = _shard_input_fields(batch)
+    fields.update(
+        {
+            "expected": ((batch,), np.float64),
+            "ones_count": ((batch,), np.int64),
+            "bit_errors": ((batch,), np.int64),
+        }
+    )
+    if bins:
+        fields["histogram"] = ((len(bounds), bins), np.int64)
+    arena = SharedArena(fields)
+    try:
+        _write_shard_inputs(arena, xs, schedule)
+        spec = arena.spec
+        payloads = [
+            (
+                spec,
+                circuit,
+                shard_index,
+                lo,
+                hi,
+                length,
+                chunk_length,
+                noisy,
+                sng_kind,
+                sng_width,
+                bins,
+                kernel,
+            )
+            for shard_index, (lo, hi) in enumerate(bounds)
+        ]
+        metas = parallel_map(
+            _chunked_shm_worker, payloads, workers=workers, backend=backend
+        )
+    except BaseException:
+        arena.destroy()
+        raise
+    views = arena.export_views()
+    chunk_count, shard_chunk_length, edges = metas[0]
+    return ChunkedEvaluation(
+        xs=views["xs"],
+        expected=views["expected"],
+        stream_length=int(length),
+        chunk_length=int(shard_chunk_length),
+        chunk_count=int(chunk_count),
+        ones_count=views["ones_count"],
+        transmission_bit_errors=views["bit_errors"],
+        power_histogram=views["histogram"].sum(axis=0) if bins else None,
+        power_bin_edges=edges,
     )
 
 
@@ -598,6 +917,7 @@ def simulate_chunked(
     workers: Optional[int] = None,
     backend: str = "process",
     kernel: str = "numpy",
+    transport: str = "pickle",
 ) -> ChunkedEvaluation:
     """Stream a long evaluation through ``(B, chunk_length)`` tiles.
 
@@ -620,7 +940,10 @@ def simulate_chunked(
     bounded by its own tile), and the reassembled accumulators are
     identical to the serial streaming run — rows are independent under
     the schedule, and per-shard histograms share the table-derived bin
-    edges so they sum exactly.
+    edges so they sum exactly.  *transport* picks how shard
+    accumulators return from process workers (``"pickle"`` through the
+    pool pipe, ``"shm"`` in place through a shared-memory arena — see
+    :mod:`repro.simulation.transport`); both are bit-exact.
 
     With a packed *kernel* (``"packed"``/``"numba"``) each tile is
     evaluated on 64-clock uint64 words: the ones/bit-error accumulators
@@ -632,6 +955,7 @@ def simulate_chunked(
     """
     _validate_backend(backend)
     kernel = resolve_kernel(kernel)
+    transport = resolve_transport(transport, backend)
     xs = _validate_batch_inputs(
         circuit, xs, length, sng_kind, base_seed, sng_width
     )
@@ -654,6 +978,21 @@ def simulate_chunked(
         )
     workers = default_worker_count() if workers is None else int(workers)
     if workers > 1 and batch > 1:
+        if transport == "shm":
+            return _simulate_chunked_shm(
+                circuit,
+                xs,
+                length,
+                chunk_length,
+                noisy,
+                sng_kind,
+                sng_width,
+                schedule,
+                power_histogram_bins,
+                kernel,
+                workers,
+                backend,
+            )
         shards = _map_row_shards(
             _chunked_shard_worker,
             lambda xs_shard, schedule_shard: (
@@ -896,51 +1235,6 @@ def _evaluation_key(
     )
 
 
-def cached_simulate_batch(
-    circuit,
-    xs,
-    length: int = 1024,
-    noisy: bool = True,
-    sng_kind: str = "lfsr",
-    base_seed: int = 0x5EED,
-    sng_width: int = 16,
-    cache: Optional[EvaluationCache] = None,
-    workers: Optional[int] = None,
-    backend: str = "process",
-    kernel: str = "numpy",
-) -> BatchEvaluation:
-    """Deprecated direct entry to the keyed evaluation cache.
-
-    Superseded by the session API: bind the seed policy and cache once —
-    ``Evaluator(circuit, EvalSpec(base_seed=...),
-    RuntimeConfig(use_cache=True)).evaluate(xs)`` — instead of threading
-    them through every call.  This wrapper delegates to the same
-    internal implementation :func:`run_batch` dispatches to, so results
-    (and cache keys) are bit-for-bit identical to the session path.
-    """
-    import warnings
-
-    warnings.warn(
-        "cached_simulate_batch is deprecated; use repro.session.Evaluator "
-        "with EvalSpec(base_seed=...) and RuntimeConfig(use_cache=True)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _cached_simulate_batch(
-        circuit,
-        xs,
-        length=length,
-        noisy=noisy,
-        sng_kind=sng_kind,
-        base_seed=base_seed,
-        sng_width=sng_width,
-        cache=cache,
-        workers=workers,
-        backend=backend,
-        kernel=kernel,
-    )
-
-
 def _cached_simulate_batch(
     circuit,
     xs,
@@ -953,6 +1247,7 @@ def _cached_simulate_batch(
     workers: Optional[int] = None,
     backend: str = "process",
     kernel: str = "numpy",
+    transport: str = "pickle",
 ) -> BatchEvaluation:
     """Keyed, memoized batch evaluation for repeated exploration sweeps.
 
@@ -1000,6 +1295,7 @@ def _cached_simulate_batch(
         backend=backend,
         schedule=schedule,
         kernel=kernel,
+        transport=transport,
     )
     cache.store(key, result)
     return result
@@ -1032,6 +1328,16 @@ class RuntimeConfig:
     freely, and like every other knob here the kernel never changes an
     output bit.
 
+    ``transport`` selects how shard data moves between the parent and
+    process workers (:data:`repro.simulation.transport.TRANSPORTS`):
+    ``"pickle"`` (default) serializes shard inputs/results through the
+    pool pipe; ``"shm"`` shares one zero-copy
+    :mod:`multiprocessing.shared_memory` arena that workers write their
+    row ranges into, with reassembly as a view — no hot array is
+    serialized in either direction.  ``"shm"`` requires the
+    ``"process"`` backend (thread workers already share memory) and is,
+    like the kernel, bit-exact with the default.
+
     Every construction-knowable misconfiguration fails in
     ``__post_init__`` — an invalid backend, kernel, chunk size, worker
     count or cache object never survives to the first evaluation.  The
@@ -1048,10 +1354,12 @@ class RuntimeConfig:
     cache: Optional[EvaluationCache] = None
     vectorized: bool = False
     kernel: str = "numpy"
+    transport: str = "pickle"
 
     def __post_init__(self) -> None:
         _validate_backend(self.backend)
         resolve_kernel(self.kernel)
+        resolve_transport(self.transport, self.backend)
         if not isinstance(self.vectorized, bool):
             raise ConfigurationError(
                 f"vectorized must be a bool, got {self.vectorized!r}"
@@ -1147,6 +1455,7 @@ def run_batch(
             workers=workers,
             backend=config.backend,
             kernel=config.kernel,
+            transport=config.transport,
         )
     if config.cache_requested:  # base_seed is fixed: validated above
         return _cached_simulate_batch(
@@ -1161,6 +1470,7 @@ def run_batch(
             workers=workers,
             backend=config.backend,
             kernel=config.kernel,
+            transport=config.transport,
         )
     xs = _validate_batch_inputs(
         circuit, xs, length, sng_kind, base_seed, sng_width
@@ -1180,6 +1490,7 @@ def run_batch(
             backend=config.backend,
             schedule=schedule,
             kernel=config.kernel,
+            transport=config.transport,
         )
     return simulate_batch(
         circuit,

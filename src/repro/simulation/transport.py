@@ -1,0 +1,250 @@
+"""Zero-copy shard transport over POSIX shared memory.
+
+The sharded runtime's default ``"pickle"`` transport serializes every
+shard's result tensors through the process-pool pipe — for a
+``B=256 x L=2**20`` batch that is gigabytes of pickling in each
+direction, the dominant cost once the packed kernels made the compute
+itself cheap.  The ``"shm"`` transport removes that cost entirely:
+
+* the parent allocates **one** :mod:`multiprocessing.shared_memory`
+  segment laid out as a set of named arrays (:class:`SharedArena`) —
+  the batch inputs, the per-row outputs, the ``(B, L)`` hot tensors
+  (with the bit tensors in packed uint64 form when a packed kernel
+  runs, 8x smaller), or the chunked path's per-shard accumulators;
+* workers attach by segment name, read their inputs and write their row
+  ranges **in place**, returning only tiny metadata;
+* reassembly is a view: the parent wraps the segment's memory in numpy
+  arrays without copying, unlinks the name, and the OS frees the pages
+  when the last view dies.
+
+No hot array is serialized in either direction, and the transport is a
+pure wall-clock lever: results are bit-for-bit identical to the pickle
+transport and to the serial engine call (gated by the kernel-parity
+matrix in ``tests/test_kernels.py`` and ``bench_batched.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["TRANSPORTS", "SharedArena", "resolve_transport"]
+
+TRANSPORTS = ("pickle", "shm")
+"""Shard transports for the sharded/chunked runtime."""
+
+_ALIGN = 64
+
+
+def resolve_transport(transport: str, backend: Optional[str] = None) -> str:
+    """Validate a transport name (and its backend pairing when given).
+
+    ``"shm"`` only makes sense with the ``process`` backend — thread
+    workers already share the parent's address space, so requesting a
+    shared-memory transport there is a misconfiguration, not a no-op.
+    """
+    if transport not in TRANSPORTS:
+        raise ConfigurationError(
+            f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+        )
+    if transport == "shm" and backend is not None and backend != "process":
+        raise ConfigurationError(
+            "transport='shm' requires the 'process' backend; thread workers "
+            "already share memory — use transport='pickle' (the thread "
+            "backend never serializes arrays anyway)"
+        )
+    return transport
+
+
+def _build_layout(fields: Dict[str, tuple]) -> Tuple[dict, int]:
+    """``{name: (shape, dtype, offset)}`` plus total byte size.
+
+    Each field is 64-byte aligned so every view is cache-line aligned
+    regardless of the dtypes preceding it.
+    """
+    layout = {}
+    offset = 0
+    for name, (shape, dtype) in fields.items():
+        dtype = np.dtype(dtype)
+        shape = tuple(int(s) for s in shape)
+        offset = -(-offset // _ALIGN) * _ALIGN
+        layout[name] = (shape, dtype, offset)
+        offset += int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    return layout, offset
+
+
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach_untracked(name: str):
+    """``SharedMemory(name=...)`` without tracker registration.
+
+    Before Python 3.13's ``track=False``, merely *attaching* to a
+    segment registers it with the resource tracker (bpo-39959) — and
+    the tracker's cache is a set, so when several workers attach to the
+    same segment the duplicate registrations collapse and any matching
+    unregisters (ours, or the owner's ``unlink``) hit ``KeyError`` in
+    the tracker process.  Only the creating side should track the
+    name, so suppress registration for the duration of the attach.
+    """
+    from multiprocessing import resource_tracker
+
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+
+        def _skip_shared_memory(rname, rtype):
+            if rtype != "shared_memory":
+                original(rname, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SharedArena:
+    """One shared-memory segment laid out as a set of named ndarrays.
+
+    Create in the parent with a ``{name: (shape, dtype)}`` field map,
+    ship the picklable :attr:`spec` (segment name + layout — a few
+    hundred bytes) to the workers, and :meth:`attach` on their side.
+    :meth:`write` stores a row range in place without retaining a view
+    (so :meth:`close` stays legal afterwards); :meth:`export_views`
+    hands the parent zero-copy result arrays whose lifetime manages the
+    segment's.
+    """
+
+    def __init__(self, fields: Dict[str, tuple]):
+        self._layout, size = _build_layout(fields)
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, size))
+        self._owner = True
+
+    @classmethod
+    def attach(cls, spec: dict) -> "SharedArena":
+        """Attach to an existing arena from its :attr:`spec`."""
+        arena = cls.__new__(cls)
+        arena._layout = {
+            name: (tuple(shape), np.dtype(dtype), int(offset))
+            for name, (shape, dtype, offset) in spec["fields"].items()
+        }
+        arena._shm = _attach_untracked(spec["name"])
+        arena._owner = False
+        return arena
+
+    @property
+    def name(self) -> str:
+        """The OS-level segment name workers attach by."""
+        return self._shm.name
+
+    @property
+    def spec(self) -> dict:
+        """Picklable descriptor: segment name plus field layout."""
+        return {
+            "name": self._shm.name,
+            "fields": {
+                name: (shape, dtype.str, offset)
+                for name, (shape, dtype, offset) in self._layout.items()
+            },
+        }
+
+    def _field(self, name: str) -> tuple:
+        try:
+            return self._layout[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown arena field {name!r}; have {sorted(self._layout)}"
+            ) from None
+
+    def _view(self, name: str) -> np.ndarray:
+        shape, dtype, offset = self._field(name)
+        return np.ndarray(shape, dtype=dtype, buffer=self._shm.buf, offset=offset)
+
+    def write(self, name: str, array, lo: int = 0) -> None:
+        """Store *array* at row offset *lo* of field *name*, in place.
+
+        No view outlives the call, so the arena can still be closed
+        afterwards (numpy buffer exports would otherwise pin the
+        mapping open).
+        """
+        view = self._view(name)
+        array = np.asarray(array, dtype=view.dtype)
+        view[lo : lo + (array.shape[0] if array.ndim else 1)] = array
+        del view
+
+    def read(self, name: str, lo: int = 0, hi: Optional[int] = None) -> np.ndarray:
+        """A private copy of rows ``[lo, hi)`` of field *name*."""
+        view = self._view(name)
+        out = np.array(view[lo:hi], copy=True)
+        del view
+        return out
+
+    def export_views(self) -> Dict[str, np.ndarray]:
+        """Zero-copy views of every field, with arena lifetime attached.
+
+        The segment name is unlinked immediately (POSIX keeps the pages
+        alive while mapped), every view shares one base array, and a
+        finalizer closes the mapping when the last view dies — so the
+        returned arrays behave like ordinary result arrays with no
+        cleanup protocol for the caller, and no memory outlives them.
+        The arena itself must not be used (or closed) afterwards.
+        """
+        base = np.frombuffer(self._shm.buf, dtype=np.uint8)
+        views = {}
+        for name, (shape, dtype, offset) in self._layout.items():
+            nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+            views[name] = (
+                base[offset : offset + nbytes].view(dtype).reshape(shape)
+            )
+        shm = self._shm
+        self._shm = None
+        if self._owner:
+            shm.unlink()
+        weakref.finalize(base, _release_segment, shm)
+        return views
+
+    def close(self) -> None:
+        """Drop this process's mapping (workers, after their writes)."""
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    def destroy(self) -> None:
+        """Unmap and unlink (parent error paths: nothing escaped)."""
+        if self._shm is not None:
+            shm = self._shm
+            self._shm = None
+            shm.close()
+            if self._owner:
+                shm.unlink()
+
+
+def _release_segment(shm) -> None:
+    """Close an escaped segment's mapping once its last view dies.
+
+    The finalizer fires at the *start* of the base array's
+    deallocation, before numpy has released its buffer pointer, so the
+    mmap may refuse to close yet.  In that case drop our references
+    instead: the mmap object unmaps itself when the last buffer export
+    dies moments later, and we close the file descriptor here so
+    nothing OS-level outlives the arrays (the segment name was already
+    unlinked at export time).
+    """
+    try:  # pragma: no cover - GC-timing dependent
+        shm.close()
+    except BufferError:
+        shm._mmap = None
+        fd = getattr(shm, "_fd", -1)
+        if fd >= 0:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+            shm._fd = -1

@@ -24,7 +24,6 @@ __all__ = [
     "psnr_db",
     "mean_absolute_error_image",
     "apply_pixel_kernel",
-    "apply_circuit_kernel",
 ]
 
 
@@ -115,7 +114,7 @@ def apply_pixel_kernel(
     Pass *batch_kernel* instead of *kernel* to map **all** unique levels
     in one vectorized call (``values -> mapped values``) — the hook the
     batched evaluation engine plugs into (see
-    :func:`apply_circuit_kernel`).
+    :meth:`repro.session.Evaluator.apply_kernel`).
     """
     image = np.asarray(image, dtype=float)
     if image.ndim != 2:
@@ -142,49 +141,3 @@ def apply_pixel_kernel(
     # np.unique returns sorted values, so searchsorted recovers each
     # pixel's LUT row in one vectorized pass.
     return mapped[np.searchsorted(unique, working)]
-
-
-def apply_circuit_kernel(
-    image: np.ndarray,
-    circuit,
-    length: int = 1024,
-    rng=None,
-    levels: Optional[int] = 64,
-    noisy: bool = True,
-    sng_kind: str = "lfsr",
-    base_seed: Optional[int] = None,
-    runtime=None,
-) -> np.ndarray:
-    """Deprecated wrapper over :meth:`repro.session.Evaluator.apply_kernel`.
-
-    The paper's Section V-C workload shape: quantize to *levels* gray
-    levels, evaluate **all** unique levels as one batched engine call,
-    and scatter the de-randomized outputs back onto the frame.
-
-    Bind the knobs once instead of threading them per call::
-
-        Evaluator(circuit, EvalSpec(length=..., sng_kind=...),
-                  runtime).apply_kernel(image, levels=...)
-
-    This wrapper builds exactly that session, so the pixels are
-    bit-for-bit identical to both the session path and the pre-session
-    ``run_batch``-routed implementation.
-    """
-    import warnings
-
-    warnings.warn(
-        "apply_circuit_kernel is deprecated; use "
-        "repro.session.Evaluator.apply_kernel",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from ..session import EvalSpec, Evaluator
-
-    evaluator = Evaluator(
-        circuit,
-        EvalSpec(
-            length=length, sng_kind=sng_kind, noisy=noisy, base_seed=base_seed
-        ),
-        runtime,
-    )
-    return evaluator.apply_kernel(image, levels=levels, rng=rng)

@@ -132,6 +132,7 @@ class TestCircuitKernel:
     def test_one_pass_circuit_mapping(self):
         from repro.core.circuit import OpticalStochasticCircuit
         from repro.core.params import paper_section5a_parameters
+        from repro.session import EvalSpec, Evaluator
         from repro.simulation.runtime import run_batch
         from repro.stochastic.bernstein import BernsteinPolynomial
 
@@ -140,16 +141,10 @@ class TestCircuitKernel:
             BernsteinPolynomial([0.25, 0.625, 0.375]),
         )
         chart = image.linear_ramp(16)
-        # The free function is a deprecated wrapper over the Evaluator
-        # session; its routing behavior must survive the deprecation.
-        with pytest.warns(DeprecationWarning):
-            result = image.apply_circuit_kernel(
-                chart,
-                circuit,
-                length=256,
-                rng=np.random.default_rng(4),
-                levels=8,
-            )
+        session = Evaluator(circuit, EvalSpec(length=256))
+        result = session.apply_kernel(
+            chart, levels=8, rng=np.random.default_rng(4)
+        )
         assert result.shape == chart.shape
         assert np.all((result >= 0.0) & (result <= 1.0))
         # Bit-exact with mapping the unique levels through the runtime
@@ -165,6 +160,7 @@ class TestCircuitKernel:
     def test_circuit_kernel_runtime_knobs_do_not_change_pixels(self):
         from repro.core.circuit import OpticalStochasticCircuit
         from repro.core.params import paper_section5a_parameters
+        from repro.session import EvalSpec, Evaluator
         from repro.simulation.runtime import RuntimeConfig
         from repro.stochastic.bernstein import BernsteinPolynomial
 
@@ -173,21 +169,11 @@ class TestCircuitKernel:
             BernsteinPolynomial([0.25, 0.625, 0.375]),
         )
         chart = image.radial_gradient(12)
-        with pytest.warns(DeprecationWarning):
-            plain = image.apply_circuit_kernel(
-                chart,
-                circuit,
-                length=128,
-                rng=np.random.default_rng(9),
-                levels=6,
-            )
-        with pytest.warns(DeprecationWarning):
-            sharded = image.apply_circuit_kernel(
-                chart,
-                circuit,
-                length=128,
-                rng=np.random.default_rng(9),
-                levels=6,
-                runtime=RuntimeConfig(workers=2),
-            )
+        spec = EvalSpec(length=128)
+        plain = Evaluator(circuit, spec).apply_kernel(
+            chart, levels=6, rng=np.random.default_rng(9)
+        )
+        sharded = Evaluator(
+            circuit, spec, RuntimeConfig(workers=2)
+        ).apply_kernel(chart, levels=6, rng=np.random.default_rng(9))
         np.testing.assert_array_equal(plain, sharded)

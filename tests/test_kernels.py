@@ -16,14 +16,21 @@ from hypothesis import strategies as st
 import repro
 from repro.errors import ConfigurationError
 from repro.simulation import kernels
-from repro.simulation.engine import derive_seed_schedule, simulate_batch
+from repro.simulation.engine import (
+    _batch_uniforms,
+    derive_seed_schedule,
+    simulate_batch,
+)
 from repro.simulation.kernels import (
     KERNELS,
+    PackedChaoticSource,
     PackedLfsrSource,
+    PackedSobolSource,
     available_kernels,
     kernel_capabilities,
     pack_bits,
     packed_lfsr_comparator_bits,
+    packed_sobol_comparator_bits,
     pass_context,
     popcount,
     resolve_kernel,
@@ -36,7 +43,11 @@ from repro.simulation.runtime import (
     simulate_chunked,
 )
 from repro.stochastic.lfsr import lfsr_uniform_windows
-from repro.stochastic.sng import SNG_KINDS, derive_lfsr_seeds
+from repro.stochastic.sng import (
+    SNG_KINDS,
+    derive_lfsr_seeds,
+    derive_sobol_offsets,
+)
 
 BATCH_FIELDS = (
     "xs",
@@ -192,6 +203,96 @@ class TestPackingPrimitives:
             packed_lfsr_comparator_bits(seeds, np.array([[0.5, 0.5]]), 64, 24)
             is None
         )
+
+
+class TestPackedWordSources:
+    """Sobol and chaotic SNGs generate packed comparator words directly.
+
+    The contract mirrors :class:`PackedLfsrSource`: every word tensor is
+    bit-for-bit ``pack_bits(uniforms < values)`` of the float reference,
+    with offset resume (index re-aim for Sobol, carried orbit state for
+    chaotic) and clean fallbacks where the packed path does not apply.
+    """
+
+    @pytest.mark.parametrize("width", [5, 8, 16])
+    def test_packed_sobol_matches_unpacked_uniforms(self, width):
+        base_seeds = np.array([3, 77])
+        values = np.array([[0.1, 0.5, 0.9], [0.25, 0.5, 0.75]])
+        offsets = derive_sobol_offsets(base_seeds, 3)
+        for offset, length in ((0, 130), (37, 64), (100, 70001)):
+            words = packed_sobol_comparator_bits(
+                offsets, values, length, width, offset=offset
+            )
+            assert words is not None
+            uniforms = _batch_uniforms(
+                "sobol", base_seeds, 3, length, width, offset=offset
+            )
+            expected = (uniforms < values[..., None]).astype(np.uint8)
+            assert np.array_equal(unpack_bits(words, length), expected)
+
+    def test_packed_sobol_resumes_by_offset(self):
+        offsets = derive_sobol_offsets(np.array([9]), 2)
+        source = PackedSobolSource.create(
+            offsets, np.array([[0.3, 0.6]]), 16
+        )
+        assert source is not None
+        tiles = [source.take(start, 96) for start in (0, 96, 192)]
+        stitched = np.concatenate(
+            [unpack_bits(t, 96) for t in tiles], axis=-1
+        )
+        one_shot = unpack_bits(
+            packed_sobol_comparator_bits(
+                offsets, np.array([[0.3, 0.6]]), 288, 16
+            ),
+            288,
+        )
+        assert np.array_equal(stitched, one_shot)
+
+    def test_packed_sobol_wide_width_falls_back(self):
+        offsets = derive_sobol_offsets(np.array([3]), 2)
+        assert (
+            packed_sobol_comparator_bits(
+                offsets, np.array([[0.5, 0.5]]), 64, 24
+            )
+            is None
+        )
+
+    def test_packed_sobol_rejects_negative_offsets(self):
+        with pytest.raises(ConfigurationError):
+            PackedSobolSource.create(
+                np.array([[-1, 2]]), np.array([[0.5, 0.5]]), 8
+            )
+
+    @pytest.mark.parametrize("length", [64, 96, 250, 8192 + 777])
+    def test_packed_chaotic_matches_unpacked_orbit(self, length):
+        # Lengths straddle the internal packing block (4096 clocks) and
+        # non-multiple-of-64 tails.
+        base_seeds = np.array([3, 77])
+        values = np.array([[0.1, 0.5, 0.9], [0.25, 0.5, 0.75]])
+        source = PackedChaoticSource(base_seeds, values, 3)
+        words = source.take(0, length)
+        uniforms = _batch_uniforms("chaotic", base_seeds, 3, length, 16)
+        expected = (uniforms < values[..., None]).astype(np.uint8)
+        assert np.array_equal(unpack_bits(words, length), expected)
+
+    def test_packed_chaotic_sequential_resume_is_exact(self):
+        base_seeds = np.array([5])
+        values = np.array([[0.4, 0.7]])
+        source = PackedChaoticSource(base_seeds, values, 2)
+        tiles = [source.take(start, 96) for start in (0, 96, 192)]
+        stitched = np.concatenate(
+            [unpack_bits(t, 96) for t in tiles], axis=-1
+        )
+        one_shot = PackedChaoticSource(base_seeds, values, 2).take(0, 288)
+        assert np.array_equal(stitched, unpack_bits(one_shot, 288))
+
+    def test_packed_chaotic_rejects_non_sequential_resume(self):
+        source = PackedChaoticSource(np.array([5]), np.array([[0.5]]), 1)
+        source.take(0, 64)
+        with pytest.raises(ConfigurationError, match="sequential"):
+            source.take(0, 64)
+        with pytest.raises(ConfigurationError, match="sequential"):
+            source.take(128, 64)
 
 
 class TestPassContextMemoization:

@@ -87,75 +87,56 @@ class TestPublicAPIContract:
             repro._private_thing
 
     def test_deprecated_wrappers_registry(self):
-        # Every registered legacy wrapper still resolves, is callable,
-        # names a real session replacement and carries a removal note —
-        # the written-down policy that wrappers survive at least two
-        # PRs past their deprecation.
+        # The registry survives the removal as the migration record:
+        # every entry names a real session replacement and its note
+        # records the full deprecated-then-removed history (the policy:
+        # wrappers survive at least two PRs past deprecation before
+        # removal — both were deprecated in PR 3 and removed in PR 6).
         from repro.session import DEPRECATED_WRAPPERS
 
         assert DEPRECATED_WRAPPERS  # the registry is not empty
-        for dotted, entry in DEPRECATED_WRAPPERS.items():
-            module_name, _, attribute = dotted.rpartition(".")
-            function = getattr(importlib.import_module(module_name), attribute)
-            assert callable(function)
+        for entry in DEPRECATED_WRAPPERS.values():
+            assert entry["removed"] is True
             assert "Evaluator" in entry["replacement"]
             note = entry["removal_note"]
             assert "deprecated in PR" in note
-            assert "removal" in note
+            assert "removed in PR" in note
 
-    def test_deprecated_wrappers_still_warn(self):
-        # The wrappers must keep emitting DeprecationWarning (and the
-        # warning must point at the session replacement) until the
-        # registry drops them.
+    def test_removed_wrappers_are_gone(self):
+        # Removal means gone: the legacy names no longer resolve from
+        # their modules, the aggregated API, or the lazy top level.
+        from repro import _api
+        from repro.session import DEPRECATED_WRAPPERS
+
+        for dotted in DEPRECATED_WRAPPERS:
+            module_name, _, attribute = dotted.rpartition(".")
+            module = importlib.import_module(module_name)
+            assert not hasattr(module, attribute)
+            assert attribute not in _api.__all__
+            with pytest.raises(AttributeError):
+                getattr(repro, attribute)
+
+    def test_wrapper_replacements_are_live(self):
+        # The documented replacements actually work where the wrappers
+        # used to: session-bound apply_kernel and the cached evaluate.
         circuit = repro.OpticalStochasticCircuit(
             repro.paper_section5a_parameters(),
             repro.BernsteinPolynomial([0.25, 0.625, 0.375]),
         )
-        from repro.simulation.runtime import cached_simulate_batch
-        from repro.stochastic.image import apply_circuit_kernel, linear_ramp
+        from repro.stochastic.image import linear_ramp
 
-        with pytest.warns(DeprecationWarning, match="Evaluator"):
-            cached_simulate_batch(circuit, [0.5], length=32, base_seed=1)
-        with pytest.warns(DeprecationWarning, match="Evaluator"):
-            apply_circuit_kernel(
-                linear_ramp(4), circuit, length=32, base_seed=1, levels=4
-            )
-
-    def test_deprecated_wrappers_are_bit_exact(self):
-        # The deprecation contract: legacy calls warn but return results
-        # bit-for-bit identical to the session equivalent.
-        circuit = repro.OpticalStochasticCircuit(
-            repro.paper_section5a_parameters(),
-            repro.BernsteinPolynomial([0.25, 0.625, 0.375]),
-        )
         session = repro.Evaluator(
             circuit, repro.EvalSpec(length=64, base_seed=3)
         )
+        pixels = session.apply_kernel(linear_ramp(8), levels=8)
+        assert pixels.shape == (8, 8)
 
-        from repro.stochastic.image import apply_circuit_kernel, linear_ramp
-
-        image = linear_ramp(8)
-        with pytest.warns(DeprecationWarning):
-            legacy_pixels = apply_circuit_kernel(
-                image, circuit, length=64, base_seed=3, levels=8
-            )
-        assert np.array_equal(
-            legacy_pixels, session.apply_kernel(image, levels=8)
-        )
-
-        from repro.simulation.runtime import (
-            EvaluationCache,
-            cached_simulate_batch,
-        )
-
-        cache = EvaluationCache()
-        with pytest.warns(DeprecationWarning):
-            legacy_batch = cached_simulate_batch(
-                circuit, [0.5], length=64, base_seed=3, cache=cache
-            )
+        cache = repro.EvaluationCache()
         cached_session = repro.Evaluator(
             circuit,
             repro.EvalSpec(length=64, base_seed=3),
             repro.RuntimeConfig(cache=cache),
         )
-        assert cached_session.evaluate([0.5]) is legacy_batch
+        first = cached_session.evaluate([0.5])
+        assert cached_session.evaluate([0.5]) is first
+        assert cache.hits == 1

@@ -471,6 +471,30 @@ class TestRunBatchDispatcher:
         assert default_worker_count() == 0
 
 
+class TestWorkersEnvParsing:
+    """A stray REPRO_RUNTIME_WORKERS value must never break anything."""
+
+    @pytest.mark.parametrize(
+        "raw", ["abc", "", "   ", "2.5", "1e3", "None", "-"]
+    )
+    def test_unparsable_values_mean_serial(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_RUNTIME_WORKERS", raw)
+        assert default_worker_count() == 0
+
+    @pytest.mark.parametrize("raw", ["0", "-1", "-3", " -7 "])
+    def test_zero_and_negative_clamp_to_serial(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_RUNTIME_WORKERS", raw)
+        assert default_worker_count() == 0
+
+    def test_auto_is_case_insensitive_and_positive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNTIME_WORKERS", "AUTO")
+        assert default_worker_count() >= 1
+
+    def test_whitespace_around_number_is_tolerated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNTIME_WORKERS", "  4  ")
+        assert default_worker_count() == 4
+
+
 def _square(value: float) -> float:
     return value * value
 
@@ -495,6 +519,23 @@ class TestParallelMap:
     def test_rejects_unknown_backend(self):
         with pytest.raises(ConfigurationError):
             parallel_map(_square, [1], workers=2, backend="gpu")
+
+    def test_empty_input_skips_the_pool(self):
+        # No pool, no pickling: an unpicklable fn over zero items works
+        # even with a process backend and many workers.
+        capture = []
+        assert parallel_map(capture.append, [], workers=8) == []
+        assert capture == []
+
+    def test_single_item_runs_in_process(self):
+        # Same fast path for one item: the lambda would fail to pickle
+        # if a process pool were constructed.
+        state = []
+        result = parallel_map(
+            lambda v: state.append(v) or v + 1, [41], workers=8
+        )
+        assert result == [42]
+        assert state == [41]  # ran in this process, not a worker
 
 
 def _sweep_metric(a: float, b: float) -> float:
@@ -533,6 +574,40 @@ class TestRoutedConsumers:
         with pytest.warns(RuntimeWarning, match="not picklable"):
             result = grid_sweep(lambda a: a * 2.0, workers=2, a=[1.0, 2.0])
         assert np.array_equal(result.values, [2.0, 4.0])
+
+    def test_grid_sweep_thread_backend_skips_picklability_probe(self):
+        # Thread workers share the address space: a lambda metric must
+        # parallelize there without warnings — and without ever being
+        # pickled (the probe on a poisoned metric would throw the
+        # result away and demote to serial).
+        class PoisonPickle:
+            calls = 0
+
+            def __call__(self, a):
+                return a * 2.0
+
+            def __reduce__(self):
+                raise AssertionError("metric must not be pickled")
+
+        metric = PoisonPickle()
+        result = grid_sweep(
+            metric,
+            workers=2,
+            runtime=RuntimeConfig(workers=2, backend="thread"),
+            a=[1.0, 2.0, 3.0],
+        )
+        assert np.array_equal(result.values, [2.0, 4.0, 6.0])
+
+    def test_grid_sweep_single_worker_skips_picklability_probe(self):
+        class PoisonPickle:
+            def __call__(self, a):
+                return a + 1.0
+
+            def __reduce__(self):
+                raise AssertionError("metric must not be pickled")
+
+        result = grid_sweep(PoisonPickle(), workers=1, a=[1.0, 2.0])
+        assert np.array_equal(result.values, [2.0, 3.0])
 
     def test_monte_carlo_workers_match_serial(self):
         params = paper_section5a_parameters()
@@ -623,3 +698,228 @@ class TestParityRegressions:
         np.testing.assert_allclose(
             frontier["evaluation_time_s"], frontier["stream_length"] / 1e9
         )
+
+
+class TestSharedArena:
+    def test_write_read_roundtrip(self):
+        from repro.simulation.transport import SharedArena
+
+        arena = SharedArena(
+            {"a": ((4,), np.float64), "b": ((2, 3), np.int64)}
+        )
+        try:
+            arena.write("a", np.array([1.0, 2.0, 3.0, 4.0]))
+            arena.write("b", np.arange(6).reshape(2, 3))
+            assert np.array_equal(arena.read("a"), [1.0, 2.0, 3.0, 4.0])
+            assert np.array_equal(arena.read("a", 1, 3), [2.0, 3.0])
+            assert np.array_equal(
+                arena.read("b"), np.arange(6).reshape(2, 3)
+            )
+        finally:
+            arena.destroy()
+
+    def test_attach_sees_parent_writes_and_vice_versa(self):
+        from repro.simulation.transport import SharedArena
+
+        arena = SharedArena({"rows": ((4, 2), np.uint64)})
+        try:
+            attached = SharedArena.attach(arena.spec)
+            arena.write("rows", np.full((2, 2), 7, dtype=np.uint64), lo=1)
+            assert np.array_equal(
+                attached.read("rows", 1, 3),
+                np.full((2, 2), 7, dtype=np.uint64),
+            )
+            attached.write("rows", np.full((1, 2), 9, dtype=np.uint64), lo=3)
+            attached.close()
+            assert np.array_equal(
+                arena.read("rows", 3), np.full((1, 2), 9, dtype=np.uint64)
+            )
+        finally:
+            arena.destroy()
+
+    def test_export_views_is_zero_copy_and_self_cleaning(self):
+        from repro.simulation.transport import SharedArena
+
+        arena = SharedArena({"x": ((8,), np.float64)})
+        name = arena.name
+        arena.write("x", np.arange(8.0))
+        views = arena.export_views()
+        # The segment name is unlinked immediately: nobody new can
+        # attach, but the mapped pages stay valid through the views.
+        with pytest.raises(FileNotFoundError):
+            SharedArena.attach(
+                {"name": name, "fields": {"x": ((8,), "<f8", 0)}}
+            )
+        assert np.array_equal(views["x"], np.arange(8.0))
+        assert views["x"].base is not None  # a view, not a copy
+
+    def test_unknown_field_raises(self):
+        from repro.simulation.transport import SharedArena
+
+        arena = SharedArena({"x": ((2,), np.float64)})
+        try:
+            with pytest.raises(ConfigurationError, match="unknown arena"):
+                arena.read("y")
+        finally:
+            arena.destroy()
+
+
+class TestShmTransport:
+    def test_resolve_transport_validates(self):
+        from repro.simulation.runtime import TRANSPORTS, resolve_transport
+
+        assert TRANSPORTS == ("pickle", "shm")
+        assert resolve_transport("pickle", "thread") == "pickle"
+        assert resolve_transport("shm", "process") == "shm"
+        with pytest.raises(ConfigurationError, match="unknown transport"):
+            resolve_transport("carrier-pigeon")
+        with pytest.raises(ConfigurationError, match="process"):
+            resolve_transport("shm", "thread")
+
+    def test_runtime_config_rejects_shm_thread_pairing(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(backend="thread", transport="shm")
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(transport="smoke-signals")
+        assert RuntimeConfig(transport="shm").transport == "shm"
+
+    @pytest.mark.parametrize("kernel", ["numpy", "packed"])
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_sharded_shm_matches_serial(self, circuit, kernel, workers):
+        xs = np.linspace(0.1, 0.9, 5)
+        schedule = derive_seed_schedule(xs.size, np.random.default_rng(3))
+        serial = simulate_batch(
+            circuit, xs, length=256, schedule=schedule
+        )
+        shm = simulate_batch_sharded(
+            circuit,
+            xs,
+            length=256,
+            schedule=schedule,
+            workers=workers,
+            kernel=kernel,
+            transport="shm",
+        )
+        _assert_batches_identical(serial, shm)
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_sharded_shm_matches_pickle_all_kinds(self, circuit, kind):
+        xs = np.linspace(0.1, 0.9, 5)
+        schedule = derive_seed_schedule(
+            xs.size, sng_kind=kind, base_seed=11
+        )
+        kwargs = dict(
+            length=192, sng_kind=kind, schedule=schedule, workers=2,
+            kernel="packed",
+        )
+        via_pickle = simulate_batch_sharded(
+            circuit, xs, transport="pickle", **kwargs
+        )
+        via_shm = simulate_batch_sharded(
+            circuit, xs, transport="shm", **kwargs
+        )
+        _assert_batches_identical(via_pickle, via_shm)
+
+    def test_sharded_shm_unaligned_length_noiseless(self, circuit):
+        # A non-multiple-of-64 length exercises the packed-word tail
+        # mask on the shm writeback path.
+        xs = np.linspace(0.2, 0.8, 4)
+        schedule = derive_seed_schedule(xs.size, np.random.default_rng(9))
+        serial = simulate_batch(
+            circuit, xs, length=250, noisy=False, schedule=schedule
+        )
+        shm = simulate_batch_sharded(
+            circuit,
+            xs,
+            length=250,
+            noisy=False,
+            schedule=schedule,
+            workers=2,
+            kernel="packed",
+            transport="shm",
+        )
+        _assert_batches_identical(serial, shm)
+
+    @pytest.mark.parametrize("kernel", ["numpy", "packed"])
+    def test_chunked_shm_matches_serial(self, circuit, kernel):
+        xs = np.linspace(0.1, 0.9, 5)
+        schedule = derive_seed_schedule(xs.size, np.random.default_rng(5))
+        serial = simulate_chunked(
+            circuit,
+            xs,
+            length=300,
+            chunk_length=96,
+            schedule=schedule,
+            power_histogram_bins=6,
+            workers=0,
+        )
+        shm = simulate_chunked(
+            circuit,
+            xs,
+            length=300,
+            chunk_length=96,
+            schedule=schedule,
+            power_histogram_bins=6,
+            workers=3,
+            kernel=kernel,
+            transport="shm",
+        )
+        assert np.array_equal(serial.xs, shm.xs)
+        assert np.array_equal(serial.expected, shm.expected)
+        assert np.array_equal(serial.ones_count, shm.ones_count)
+        assert np.array_equal(
+            serial.transmission_bit_errors, shm.transmission_bit_errors
+        )
+        assert np.array_equal(serial.power_histogram, shm.power_histogram)
+        assert np.array_equal(serial.power_bin_edges, shm.power_bin_edges)
+        assert serial.chunk_count == shm.chunk_count
+        assert serial.chunk_length == shm.chunk_length
+
+    def test_run_batch_routes_transport(self, circuit):
+        xs = [0.25, 0.5, 0.75]
+        reference = run_batch(
+            circuit, xs, length=256, base_seed=4,
+            config=RuntimeConfig(workers=0),
+        )
+        via_shm = run_batch(
+            circuit, xs, length=256, base_seed=4,
+            config=RuntimeConfig(workers=2, transport="shm", kernel="packed"),
+        )
+        _assert_batches_identical(reference, via_shm)
+
+    def test_shm_results_survive_gc_and_leak_no_segments(self, circuit):
+        import gc
+        import os
+
+        def psm_segments():
+            try:
+                return {
+                    f for f in os.listdir("/dev/shm") if f.startswith("psm_")
+                }
+            except FileNotFoundError:  # non-Linux: nothing to check
+                return set()
+
+        before = psm_segments()
+        xs = np.linspace(0.1, 0.9, 4)
+        result = simulate_batch_sharded(
+            circuit, xs, length=128, workers=2, transport="shm",
+            rng=np.random.default_rng(2),
+        )
+        values = result.values.copy()
+        del result
+        gc.collect()
+        assert psm_segments() - before == set()
+        assert values.shape == (4,)
+
+    def test_serial_fallback_still_validates_transport(self, circuit):
+        with pytest.raises(ConfigurationError):
+            simulate_batch_sharded(
+                circuit, [0.5], length=64, workers=0, transport="nope",
+                rng=np.random.default_rng(1),
+            )
+        with pytest.raises(ConfigurationError):
+            simulate_chunked(
+                circuit, [0.5], length=128, chunk_length=32, workers=0,
+                transport="shm", backend="thread",
+                rng=np.random.default_rng(1),
+            )

@@ -15,12 +15,12 @@ from repro.simulation.runtime import (
     ChunkedEvaluation,
     EvaluationCache,
     RuntimeConfig,
-    cached_simulate_batch,
+    _cached_simulate_batch,
     run_batch,
     simulate_chunked,
 )
 from repro.stochastic.bernstein import BernsteinPolynomial
-from repro.stochastic.image import apply_circuit_kernel, radial_gradient
+from repro.stochastic.image import radial_gradient
 from repro.stochastic.sng import SNG_KINDS
 
 
@@ -232,15 +232,13 @@ class TestEvaluatorWorkloads:
         with pytest.raises(ConfigurationError):
             session.sweep([0.5], metric="nonsense")
 
-    def test_apply_kernel_matches_deprecated_wrapper(self, circuit):
+    def test_apply_kernel_is_deterministic_under_base_seed(self, circuit):
         image = radial_gradient(16)
         session = Evaluator(circuit, EvalSpec(length=128, base_seed=5))
         direct = session.apply_kernel(image, levels=16)
-        with pytest.warns(DeprecationWarning):
-            legacy = apply_circuit_kernel(
-                image, circuit, length=128, base_seed=5, levels=16
-            )
-        assert np.array_equal(direct, legacy)
+        again = session.apply_kernel(image, levels=16)
+        assert np.array_equal(direct, again)
+        assert direct.shape == image.shape
 
     def test_monte_carlo_matches_free_function(self, circuit):
         session = Evaluator(circuit)
@@ -292,20 +290,30 @@ class TestMeasuredFrontier:
 
 
 class TestDeprecatedWrappers:
-    def test_registry_names_resolve(self):
+    def test_registry_records_removal(self):
+        # PR 6 removed both wrappers (deprecated in PR 3, past the
+        # two-PR grace window); the registry stays as the migration
+        # record, with the removal recorded per entry.
+        assert DEPRECATED_WRAPPERS
+        for entry in DEPRECATED_WRAPPERS.values():
+            assert entry["removed"] is True
+            assert "Evaluator" in entry["replacement"]
+            assert "deprecated in PR" in entry["removal_note"]
+            assert "removed in PR" in entry["removal_note"]
+
+    def test_removed_wrappers_no_longer_resolve(self):
         import importlib
 
         for dotted in DEPRECATED_WRAPPERS:
             module_name, _, attribute = dotted.rpartition(".")
             module = importlib.import_module(module_name)
-            assert callable(getattr(module, attribute))
+            assert not hasattr(module, attribute)
 
-    def test_cached_simulate_batch_warns_and_matches_session(self, circuit):
+    def test_session_cache_shares_entries_with_runtime_impl(self, circuit):
         cache = EvaluationCache()
-        with pytest.warns(DeprecationWarning):
-            legacy = cached_simulate_batch(
-                circuit, [0.25, 0.75], length=64, base_seed=9, cache=cache
-            )
+        direct = _cached_simulate_batch(
+            circuit, [0.25, 0.75], length=64, base_seed=9, cache=cache
+        )
         session = Evaluator(
             circuit,
             EvalSpec(length=64, base_seed=9),
@@ -313,8 +321,8 @@ class TestDeprecatedWrappers:
         )
         via_session = session.evaluate([0.25, 0.75])
         # Same key, same cache: the session call must *hit* the entry
-        # the deprecated wrapper stored.
-        assert via_session is legacy
+        # the runtime implementation stored.
+        assert via_session is direct
         assert cache.hits == 1
 
 
