@@ -28,6 +28,8 @@ __all__ = ["accuracy_sweep"]
 
 _SWEEP_POINTS = 128
 _STREAM_LENGTH = 1024
+_NOISE_RNG_SEED = 0xBA7C
+"""Seed of the shared noise generator each per-kind sweep restarts from."""
 
 
 @register("accuracy")
@@ -70,7 +72,7 @@ def accuracy_sweep(
         evaluator = Evaluator(
             circuit, template.replace(sng_kind=kind), runtime
         )
-        rng = np.random.default_rng(0xBA7C)
+        rng = np.random.default_rng(_NOISE_RNG_SEED)
         batch = evaluator.evaluate(xs, rng=rng)
         rows.append(
             {

@@ -29,12 +29,15 @@ from .registry import ExperimentResult, register
 
 __all__ = ["yield_study", "controller_study", "sensitivity_study", "parallel_scaling"]
 
+_YIELD_STUDY_SEED = 0x51A
+"""Fixed corner-sampling seed making the published yield curve rerunnable."""
+
 
 @register("yield")
 def yield_study() -> ExperimentResult:
     """Monte Carlo yield of the Section V-A design vs variation sigma."""
     params = paper_section5a_parameters()
-    rng = np.random.default_rng(0x51A)
+    rng = np.random.default_rng(_YIELD_STUDY_SEED)
     # One stacked evaluation across every (sigma, corner) pair — the
     # vectorized optics engine makes the whole curve a single pass.
     curve = yield_vs_sigma(

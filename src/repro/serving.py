@@ -39,7 +39,8 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from types import TracebackType
+from typing import List, Optional, Sequence, Type
 
 import numpy as np
 
@@ -66,9 +67,9 @@ class ServingStats:
 class _Request:
     __slots__ = ("x", "future")
 
-    def __init__(self, x: float, future: "asyncio.Future"):
-        self.x = x
-        self.future = future
+    def __init__(self, x: float, future: "asyncio.Future[float]") -> None:
+        self.x: float = x
+        self.future: "asyncio.Future[float]" = future
 
 
 class BatchServer:
@@ -102,7 +103,7 @@ class BatchServer:
         max_batch_size: int = 256,
         max_batch_delay_s: float = 0.002,
         allow_row_dependent: bool = False,
-    ):
+    ) -> None:
         if not isinstance(evaluator, Evaluator):
             raise ConfigurationError(
                 f"evaluator must be a repro.session.Evaluator, got "
@@ -126,8 +127,8 @@ class BatchServer:
         self._evaluator = evaluator
         self._max_batch_size = int(max_batch_size)
         self._max_batch_delay_s = float(max_batch_delay_s)
-        self._queue: Optional[asyncio.Queue] = None
-        self._worker: Optional[asyncio.Task] = None
+        self._queue: Optional[asyncio.Queue[Optional[_Request]]] = None
+        self._worker: Optional[asyncio.Task[None]] = None
         self._stopping = False
         self._requests = 0
         self._batches = 0
@@ -168,6 +169,7 @@ class BatchServer:
         if self._worker is None:
             return
         self._stopping = True
+        assert self._queue is not None
         await self._queue.put(None)  # wake the batcher
         await self._worker
         self._worker = None
@@ -176,7 +178,12 @@ class BatchServer:
     async def __aenter__(self) -> "BatchServer":
         return await self.start()
 
-    async def __aexit__(self, exc_type, exc, tb) -> None:
+    async def __aexit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         await self.stop()
 
     # -- client API ------------------------------------------------------------
@@ -199,7 +206,10 @@ class BatchServer:
             raise ConfigurationError(f"x must be a number in [0, 1], got {x!r}")
         if not 0.0 <= x <= 1.0:
             raise ConfigurationError(f"x must be in [0, 1], got {x!r}")
-        future = asyncio.get_running_loop().create_future()
+        future: "asyncio.Future[float]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        assert self._queue is not None
         await self._queue.put(_Request(x, future))
         return await future
 
@@ -210,20 +220,24 @@ class BatchServer:
     # -- batcher ---------------------------------------------------------------
 
     async def _serve(self) -> None:
+        queue = self._queue
+        assert queue is not None
         while True:
-            request = await self._queue.get()
+            request = await queue.get()
             if request is None:
-                if self._queue.empty():
+                if queue.empty():
                     return
                 continue  # shutdown sentinel raced ahead of late requests
             batch = await self._collect(request)
             await self._evaluate_batch(batch)
-            if self._stopping and self._queue.empty():
+            if self._stopping and queue.empty():
                 return
 
     async def _collect(self, first: _Request) -> List[_Request]:
         """Coalesce requests behind *first* until size or deadline."""
         loop = asyncio.get_running_loop()
+        queue = self._queue
+        assert queue is not None
         batch = [first]
         deadline = loop.time() + self._max_batch_delay_s
         while len(batch) < self._max_batch_size:
@@ -231,14 +245,12 @@ class BatchServer:
             if remaining <= 0 or self._stopping:
                 # Deadline passed: take only what is already queued.
                 try:
-                    request = self._queue.get_nowait()
+                    request = queue.get_nowait()
                 except asyncio.QueueEmpty:
                     break
             else:
                 try:
-                    request = await asyncio.wait_for(
-                        self._queue.get(), remaining
-                    )
+                    request = await asyncio.wait_for(queue.get(), remaining)
                 except asyncio.TimeoutError:
                     break
             if request is None:

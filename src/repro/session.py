@@ -41,11 +41,14 @@ from __future__ import annotations
 import dataclasses
 import operator
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 import numpy as np
 
 from .errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from .core.circuit import OpticalStochasticCircuit
 from .simulation.engine import (
     _validate_base_seed,
     _validate_sng_width,
@@ -60,10 +63,10 @@ __all__ = [
     "Evaluator",
 ]
 
-DEFAULT_STREAM_CHUNK = 1 << 16
+DEFAULT_STREAM_CHUNK: int = 1 << 16
 """Tile size :meth:`Evaluator.stream` falls back to when none is bound."""
 
-DEPRECATED_WRAPPERS = {
+DEPRECATED_WRAPPERS: Dict[str, Dict[str, Any]] = {
     "repro.stochastic.image.apply_circuit_kernel": {
         "replacement": "Evaluator(circuit, spec, runtime).apply_kernel(image)",
         "removal_note": (
@@ -162,7 +165,7 @@ class EvalSpec:
         _validate_base_seed(self.base_seed)
         _validate_sng_width(self.sng_kind, self.sng_width)
 
-    def replace(self, **changes) -> "EvalSpec":
+    def replace(self, **changes: Any) -> "EvalSpec":
         """A copy of the spec with *changes* applied (re-validated)."""
         return dataclasses.replace(self, **changes)
 
@@ -182,7 +185,7 @@ class EvalSpec:
         )
 
 
-_SWEEP_METRICS = {
+_SWEEP_METRICS: Dict[str, str] = {
     "value": "values",
     "absolute_error": "absolute_errors",
     "transmission_ber": "transmission_ber",
@@ -207,10 +210,10 @@ class Evaluator:
 
     def __init__(
         self,
-        circuit,
+        circuit: "OpticalStochasticCircuit",
         spec: Optional[EvalSpec] = None,
         runtime: Optional[RuntimeConfig] = None,
-    ):
+    ) -> None:
         from .core.circuit import OpticalStochasticCircuit
 
         if not isinstance(circuit, OpticalStochasticCircuit):
@@ -231,9 +234,9 @@ class Evaluator:
                 "no fixed base_seed; rng-derived seeds make every call "
                 "unique — pin base_seed in the EvalSpec or disable the cache"
             )
-        self.circuit = circuit
-        self.spec = spec
-        self.runtime = runtime
+        self.circuit: "OpticalStochasticCircuit" = circuit
+        self.spec: EvalSpec = spec
+        self.runtime: RuntimeConfig = runtime
 
     def __repr__(self) -> str:
         return (
@@ -243,7 +246,7 @@ class Evaluator:
 
     # -- derived sessions ------------------------------------------------------
 
-    def with_options(self, **spec_changes) -> "Evaluator":
+    def with_options(self, **spec_changes: Any) -> "Evaluator":
         """A new session on the same circuit/runtime with spec changes."""
         return Evaluator(
             self.circuit, self.spec.replace(**spec_changes), self.runtime
@@ -302,7 +305,9 @@ class Evaluator:
 
     # -- workload methods ------------------------------------------------------
 
-    def evaluate(self, xs, rng: Optional[np.random.Generator] = None):
+    def evaluate(
+        self, xs: Any, rng: Optional[np.random.Generator] = None
+    ) -> Any:
         """Evaluate every input in *xs* under the bound spec.
 
         Dispatches through :func:`~repro.simulation.runtime.run_batch`:
@@ -332,10 +337,10 @@ class Evaluator:
 
     def sweep(
         self,
-        xs,
+        xs: Any,
         metric: str = "value",
         rng: Optional[np.random.Generator] = None,
-    ):
+    ) -> Any:
         """Labeled sweep over the input axis, one batched pass.
 
         Routes through the exploration grid engine
@@ -355,17 +360,17 @@ class Evaluator:
             )
         attribute = _SWEEP_METRICS[metric]
 
-        def metric_batch(x: np.ndarray) -> np.ndarray:
+        def metric_batch(x: "np.ndarray[Any, Any]") -> "np.ndarray[Any, Any]":
             return np.asarray(getattr(self.evaluate(x, rng=rng), attribute))
 
         return grid_sweep(metric_batch=metric_batch, x=xs)
 
     def stream(
         self,
-        xs,
+        xs: Any,
         chunk_length: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
-    ):
+    ) -> Any:
         """Bounded-memory chunked evaluation of the bound stream length.
 
         Overrides the runtime's ``chunk_length`` for this call (falling
@@ -392,10 +397,10 @@ class Evaluator:
 
     def apply_kernel(
         self,
-        image,
+        image: Any,
         levels: Optional[int] = 64,
         rng: Optional[np.random.Generator] = None,
-    ) -> np.ndarray:
+    ) -> "np.ndarray[Any, Any]":
         """Run an image through the circuit (Section V-C workload shape).
 
         Quantizes to *levels* gray levels, evaluates all unique levels
@@ -405,19 +410,19 @@ class Evaluator:
         """
         from .stochastic.image import apply_pixel_kernel
 
-        def batch_kernel(values: np.ndarray) -> np.ndarray:
+        def batch_kernel(values: "np.ndarray[Any, Any]") -> "np.ndarray[Any, Any]":
             return np.asarray(self.evaluate(values, rng=rng).values)
 
-        return apply_pixel_kernel(
-            image, levels=levels, batch_kernel=batch_kernel
+        return np.asarray(
+            apply_pixel_kernel(image, levels=levels, batch_kernel=batch_kernel)
         )
 
     def monte_carlo(
         self,
-        variation=None,
+        variation: Any = None,
         samples: int = 200,
         rng: Optional[np.random.Generator] = None,
-    ):
+    ) -> Any:
         """Fabrication-corner yield study on this session's circuit.
 
         Runs :func:`repro.simulation.montecarlo.run_monte_carlo` on the
@@ -441,10 +446,10 @@ class Evaluator:
 
     def throughput_frontier(
         self,
-        bers,
+        bers: Any,
         target_rms_error: float = 0.01,
         probability: float = 0.25,
-    ) -> dict:
+    ) -> Dict[str, Any]:
         """The designer's BER-vs-latency frontier at this circuit's clock.
 
         Wraps :func:`repro.exploration.tradeoffs.throughput_accuracy_frontier`
@@ -453,9 +458,10 @@ class Evaluator:
         """
         from .exploration.tradeoffs import throughput_accuracy_frontier
 
-        return throughput_accuracy_frontier(
+        frontier: Dict[str, Any] = throughput_accuracy_frontier(
             bers,
             target_rms_error=target_rms_error,
             bit_rate_hz=self.circuit.params.bit_rate_hz,
             probability=probability,
         )
+        return frontier

@@ -25,6 +25,9 @@ from .faults import with_filter_drift
 
 __all__ = ["ControllerTrace", "CalibrationController"]
 
+_CALIBRATION_RNG_SEED = 0xCA11
+"""Default dither/sensor-noise seed when the caller supplies no rng."""
+
 
 @dataclass(frozen=True)
 class ControllerTrace:
@@ -132,7 +135,7 @@ class CalibrationController:
             raise ConfigurationError("iterations must be positive")
         if sensor_noise_mw < 0.0:
             raise ConfigurationError("sensor_noise_mw must be >= 0")
-        rng = rng or np.random.default_rng(0xCA11)
+        rng = rng or np.random.default_rng(_CALIBRATION_RNG_SEED)
         residuals = np.empty(iterations)
         corrections = np.empty(iterations)
         powers = np.empty(iterations)

@@ -26,11 +26,14 @@ generator exactly like one ``simulate_batch(circuit, xs, rng=rng)`` call.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Optional, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from ..core.circuit import OpticalStochasticCircuit
 from ..stochastic.bitstream import exact_bit_matrix
 from ..stochastic.lfsr import lfsr_uniform_windows
 from ..stochastic.sng import (
@@ -65,6 +68,8 @@ COEFF_SEED_STRIDE = 0x9E3779B9
 
 _DEFAULT_FIXED_SEED = 0x5EED
 _NOISE_SEED_SPACE = 1 << 62
+_FALLBACK_RNG_SEED = 0xD47E
+"""Seed of the derivation rng when the caller passes neither rng nor seeds."""
 
 
 @dataclass(frozen=True)
@@ -75,14 +80,14 @@ class BatchEvaluation:
     input); per-clock arrays have shape ``(batch, stream_length)``.
     """
 
-    xs: np.ndarray
-    values: np.ndarray
-    expected: np.ndarray
+    xs: "np.ndarray[Any, Any]"
+    values: "np.ndarray[Any, Any]"
+    expected: "np.ndarray[Any, Any]"
     stream_length: int
-    received_power_mw: np.ndarray
-    output_bits: np.ndarray
-    ideal_bits: np.ndarray
-    select_levels: np.ndarray
+    received_power_mw: "np.ndarray[Any, Any]"
+    output_bits: "np.ndarray[Any, Any]"
+    ideal_bits: "np.ndarray[Any, Any]"
+    select_levels: "np.ndarray[Any, Any]"
 
     @property
     def batch_size(self) -> int:
@@ -90,17 +95,17 @@ class BatchEvaluation:
         return int(self.xs.size)
 
     @property
-    def absolute_errors(self) -> np.ndarray:
+    def absolute_errors(self) -> "np.ndarray[Any, Any]":
         """Per-row ``|value - expected|``."""
         return np.abs(self.values - self.expected)
 
     @property
-    def transmission_bit_errors(self) -> np.ndarray:
+    def transmission_bit_errors(self) -> "np.ndarray[Any, Any]":
         """Per-row count of bits flipped by the link + receiver noise."""
         return np.sum(self.output_bits != self.ideal_bits, axis=1)
 
     @property
-    def transmission_ber(self) -> np.ndarray:
+    def transmission_ber(self) -> "np.ndarray[Any, Any]":
         """Per-row observed link bit-error rate."""
         return self.transmission_bit_errors / self.stream_length
 
@@ -110,7 +115,7 @@ class BatchEvaluation:
         return float(np.mean(self.absolute_errors))
 
 
-def _derive_base_seeds(rng: np.random.Generator) -> tuple:
+def _derive_base_seeds(rng: np.random.Generator) -> Tuple[int, int]:
     """One (data, coefficient) base-seed pair, two draws from *rng*."""
     data = int(rng.integers(1, 1 << 31))
     coeff = int(rng.integers(1, 1 << 31))
@@ -136,9 +141,9 @@ class SeedSchedule:
     or split across consecutive calls.
     """
 
-    data_seeds: np.ndarray
-    coeff_seeds: np.ndarray
-    noise_seeds: np.ndarray
+    data_seeds: "np.ndarray[Any, Any]"
+    coeff_seeds: "np.ndarray[Any, Any]"
+    noise_seeds: "np.ndarray[Any, Any]"
 
     def __post_init__(self) -> None:
         for name in ("data_seeds", "coeff_seeds", "noise_seeds"):
@@ -208,7 +213,7 @@ def derive_seed_schedule(
             [fixed, _DEFAULT_FIXED_SEED]
         ).integers(0, _NOISE_SEED_SPACE, batch)
         return SeedSchedule(data_seeds, coeff_seeds, noise_seeds)
-    rng = rng or np.random.default_rng(0xD47E)
+    rng = rng or np.random.default_rng(_FALLBACK_RNG_SEED)
     for row in range(batch):
         if seeded:
             data_seeds[row], coeff_seeds[row] = _derive_base_seeds(rng)
@@ -255,12 +260,12 @@ def _validate_sng_width(sng_kind: str, sng_width: int) -> None:
 
 def _batch_uniforms(
     kind: str,
-    base_seeds: np.ndarray,
+    base_seeds: "np.ndarray[Any, Any]",
     channel_count: int,
     length: int,
     width: int,
     offset: int = 0,
-) -> np.ndarray:
+) -> "np.ndarray[Any, Any]":
     """Comparator sample tensor ``(B, channel_count, length)`` for *kind*.
 
     Row ``b``, channel ``c`` holds exactly the uniform samples the
@@ -294,7 +299,18 @@ def _batch_uniforms(
     raise ConfigurationError(f"unknown SNG kind {kind!r}")
 
 
-def _optical_pass(circuit, data_bits, coeff_bits, noise_a, kernel="numpy") -> tuple:
+def _optical_pass(
+    circuit: "OpticalStochasticCircuit",
+    data_bits: "np.ndarray[Any, Any]",
+    coeff_bits: "np.ndarray[Any, Any]",
+    noise_a: Optional["np.ndarray[Any, Any]"],
+    kernel: str = "numpy",
+) -> Tuple[
+    "np.ndarray[Any, Any]",
+    "np.ndarray[Any, Any]",
+    "np.ndarray[Any, Any]",
+    "np.ndarray[Any, Any]",
+]:
     """Steps 3-4 of the pipeline for one ``(B, C, L)`` bit-tensor tile.
 
     Returns ``(powers, output_bits, ideal_bits, levels)``; shared by the
@@ -310,13 +326,13 @@ def _optical_pass(circuit, data_bits, coeff_bits, noise_a, kernel="numpy") -> tu
 def _generate_streams(
     sng_kind: str,
     kernel: str,
-    xs: np.ndarray,
-    coefficients: np.ndarray,
-    data_seeds: np.ndarray,
-    coeff_seeds: np.ndarray,
+    xs: "np.ndarray[Any, Any]",
+    coefficients: "np.ndarray[Any, Any]",
+    data_seeds: "np.ndarray[Any, Any]",
+    coeff_seeds: "np.ndarray[Any, Any]",
     length: int,
     sng_width: int,
-) -> tuple:
+) -> Tuple[str, "np.ndarray[Any, Any]", "np.ndarray[Any, Any]"]:
     """Data/coefficient streams for one batch: ``(form, data, coeff)``.
 
     ``form`` is ``"bits"`` (``(B, C, L)`` uint8 tensors, the numpy
@@ -410,8 +426,8 @@ def _generate_streams(
 
 
 def simulate_batch(
-    circuit,
-    xs,
+    circuit: "OpticalStochasticCircuit",
+    xs: Any,
     length: int = 1024,
     rng: Optional[np.random.Generator] = None,
     noisy: bool = True,
@@ -468,10 +484,11 @@ def simulate_batch(
     order = params.order
     batch = xs.size
     coefficients = np.asarray(circuit.polynomial.coefficients, dtype=float)
-    channel_count = order + 1
     noise_sigma = params.detector.noise_current_a
 
-    noise_a = np.empty((batch, length), dtype=float) if noisy else None
+    noise_a: Optional["np.ndarray[Any, Any]"] = (
+        np.empty((batch, length), dtype=float) if noisy else None
+    )
     if schedule is not None:
         if schedule.batch_size != batch:
             raise ConfigurationError(
@@ -481,6 +498,7 @@ def simulate_batch(
         data_seeds = schedule.data_seeds
         coeff_seeds = schedule.coeff_seeds
         if noisy:
+            assert noise_a is not None
             for row in range(batch):
                 noise_a[row] = schedule.row_noise_rng(row).normal(
                     0.0, noise_sigma, length
@@ -491,7 +509,7 @@ def simulate_batch(
         # noise block) per evaluation.  Keeping this order is what makes
         # the batched and per-evaluation paths bit-for-bit identical
         # under a shared rng.
-        rng = rng or np.random.default_rng(0xD47E)
+        rng = rng or np.random.default_rng(_FALLBACK_RNG_SEED)
         seeded = sng_kind != "counter"
         data_seeds = np.empty(batch, dtype=np.int64)
         coeff_seeds = np.empty(batch, dtype=np.int64)
@@ -499,6 +517,7 @@ def simulate_batch(
             if base_seed is None and seeded:
                 data_seeds[row], coeff_seeds[row] = _derive_base_seeds(rng)
             if noisy:
+                assert noise_a is not None
                 noise_a[row] = rng.normal(0.0, noise_sigma, length)
         if base_seed is not None or not seeded:
             fixed = (
@@ -548,8 +567,13 @@ def simulate_batch(
 
 
 def _validate_batch_inputs(
-    circuit, xs, length, sng_kind, base_seed, sng_width
-) -> np.ndarray:
+    circuit: Any,
+    xs: Any,
+    length: int,
+    sng_kind: str,
+    base_seed: Optional[int],
+    sng_width: int,
+) -> "np.ndarray[Any, Any]":
     """Shared entry validation of the one-shot and runtime batch paths."""
     from ..core.circuit import OpticalStochasticCircuit
 

@@ -30,6 +30,9 @@ __all__ = [
     "FaultInjector",
 ]
 
+_DRIFT_STUDY_SEED = 7
+"""Default sampling seed of :meth:`FaultInjector.filter_drift_study`."""
+
 
 def with_stuck_mzi(levels: np.ndarray, order: int, stuck_value: int) -> np.ndarray:
     """Select levels as if one MZI were stuck at *stuck_value*.
@@ -150,7 +153,7 @@ class FaultInjector:
         """
         from .functional import simulate_evaluation
 
-        rng = rng or np.random.default_rng(7)
+        rng = rng or np.random.default_rng(_DRIFT_STUDY_SEED)
         errors = []
         bers = []
         for drift in drifts_nm:

@@ -49,7 +49,7 @@ from __future__ import annotations
 import sys
 import threading
 from collections import OrderedDict
-from typing import Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -84,7 +84,7 @@ __all__ = [
     "packed_tile_statistics",
 ]
 
-KERNELS = ("numpy", "packed", "numba")
+KERNELS: Tuple[str, ...] = ("numpy", "packed", "numba")
 """Compute-kernel implementations behind ``simulate_batch``."""
 
 _HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
@@ -116,7 +116,7 @@ def numba_available() -> bool:
     return bool(_NUMBA_STATE["available"])
 
 
-def available_kernels() -> tuple:
+def available_kernels() -> Tuple[str, ...]:
     """The kernels usable in this environment, in registry order."""
     return tuple(
         name
@@ -147,7 +147,7 @@ def resolve_kernel(kernel: str) -> str:
     return kernel
 
 
-def kernel_capabilities() -> dict:
+def kernel_capabilities() -> Dict[str, Dict[str, Any]]:
     """Capability table of every kernel (for docs, CLIs and probing).
 
     Keys mirror :data:`KERNELS`; each entry records availability, the
@@ -193,7 +193,7 @@ def _word_count(length: int) -> int:
     return (int(length) + _WORD_BITS - 1) // _WORD_BITS
 
 
-def pack_bits(bits: np.ndarray) -> np.ndarray:
+def pack_bits(bits: "np.ndarray[Any, Any]") -> "np.ndarray[Any, Any]":
     """Pack a 0/1 bit tensor along its last axis, 64 clocks per word.
 
     ``(..., L)`` uint8 in, ``(..., ceil(L / 64))`` uint64 out; bit ``j``
@@ -215,7 +215,9 @@ def pack_bits(bits: np.ndarray) -> np.ndarray:
     return out
 
 
-def unpack_bits(words: np.ndarray, length: int) -> np.ndarray:
+def unpack_bits(
+    words: "np.ndarray[Any, Any]", length: int
+) -> "np.ndarray[Any, Any]":
     """Unpack uint64 words back to a ``(..., length)`` uint8 bit tensor."""
     words = np.ascontiguousarray(words, dtype=np.uint64)
     if sys.byteorder != "little":  # pragma: no cover - exotic platforms
@@ -225,22 +227,26 @@ def unpack_bits(words: np.ndarray, length: int) -> np.ndarray:
     return bits[..., : int(length)]
 
 
-_POPCOUNT_LUT = None
+_POPCOUNT_LUT: Optional["np.ndarray[Any, Any]"] = None
 
 
-def _popcount_lut() -> np.ndarray:
+def _popcount_lut() -> "np.ndarray[Any, Any]":
     """Lazily built 16-bit population-count table (64 KiB, built once)."""
     global _POPCOUNT_LUT
-    if _POPCOUNT_LUT is None:
+    lut = _POPCOUNT_LUT
+    if lut is None:
         values = np.arange(1 << 16, dtype=np.uint16)
         counts = np.zeros(1 << 16, dtype=np.uint8)
         for shift in range(16):
             counts += ((values >> shift) & 1).astype(np.uint8)
-        _POPCOUNT_LUT = counts
-    return _POPCOUNT_LUT
+        lut = counts
+        _POPCOUNT_LUT = lut
+    return lut
 
 
-def popcount(words: np.ndarray, use_lut: bool = False) -> np.ndarray:
+def popcount(
+    words: "np.ndarray[Any, Any]", use_lut: bool = False
+) -> "np.ndarray[Any, Any]":
     """Per-word population count of a uint64 tensor, as int64.
 
     Uses ``np.bitwise_count`` when the numpy build provides it; older
@@ -278,7 +284,7 @@ class CircuitPassContext:
     coefficient bit.
     """
 
-    def __init__(self, circuit):
+    def __init__(self, circuit: Any) -> None:
         self.fingerprint = circuit.fingerprint()
         self.order = int(circuit.params.order)
         self.channel_count = self.order + 1
@@ -294,16 +300,17 @@ class CircuitPassContext:
             zero_level_mw=budget.zero_band_mw[1],
             one_level_mw=budget.one_band_mw[0],
         )
-        self._flat: Optional[dict] = None
+        self._flat: Optional[Dict[str, Any]] = None
 
     @property
     def level_bits(self) -> int:
         """Bit planes needed for the adder level (values ``0..order``)."""
         return max(1, int(self.order).bit_length())
 
-    def _flat_tables(self) -> dict:
+    def _flat_tables(self) -> Dict[str, Any]:
         """The packed kernels' flat lookup tables (built once, lazily)."""
-        if self._flat is None:
+        flat = self._flat
+        if flat is None:
             order, channels = self.order, self.channel_count
             # flat index: key = (level << channels) | pattern.  The
             # (P, levels) table transposed row-major is exactly that
@@ -321,13 +328,14 @@ class CircuitPassContext:
             )
             ideal = ((patterns >> levels) & 1).astype(np.uint8)
             key_bits = channels + self.level_bits
+            key_dtype: Any
             if key_bits <= 8:
                 key_dtype = np.uint8
             elif key_bits <= 16:
                 key_dtype = np.uint16
             else:
                 key_dtype = np.uint32
-            self._flat = {
+            flat = {
                 "powers": powers,
                 "currents": currents,
                 "decisions": decisions,
@@ -339,15 +347,18 @@ class CircuitPassContext:
                 # fast path never has to assume it.
                 "decision_is_ideal": bool(np.array_equal(decisions, ideal)),
             }
-        return self._flat
+            self._flat = flat
+        return flat
 
 
-_CONTEXT_CACHE: "OrderedDict[tuple, CircuitPassContext]" = OrderedDict()
+_CONTEXT_CACHE: "OrderedDict[Tuple[Any, Any], CircuitPassContext]" = (
+    OrderedDict()
+)
 _CONTEXT_CACHE_MAX = 8
 _CONTEXT_LOCK = threading.Lock()
 
 
-def pass_context(circuit) -> CircuitPassContext:
+def pass_context(circuit: Any) -> CircuitPassContext:
     """The memoized :class:`CircuitPassContext` for *circuit*.
 
     Keyed on the circuit's concrete type plus ``circuit.fingerprint()``
@@ -388,7 +399,9 @@ def clear_pass_context_cache() -> None:
 # -- the numpy reference kernel ------------------------------------------------
 
 
-def _pattern_index(coeff_bits: np.ndarray) -> np.ndarray:
+def _pattern_index(
+    coeff_bits: "np.ndarray[Any, Any]",
+) -> "np.ndarray[Any, Any]":
     """Coefficient pattern per clock: ``(B, L)`` int64 from ``(B, C, L)``.
 
     Bit ``c`` of the result is channel ``c``'s transmitted bit.  The
@@ -399,6 +412,7 @@ def _pattern_index(coeff_bits: np.ndarray) -> np.ndarray:
     benchmark shape.  Pure integer bit-ops: exact in any order.
     """
     channel_count = coeff_bits.shape[1]
+    dtype: Any
     if channel_count <= 8:
         dtype = np.uint8
     elif channel_count <= 16:
@@ -416,7 +430,17 @@ def _pattern_index(coeff_bits: np.ndarray) -> np.ndarray:
     return pattern.astype(np.int64)
 
 
-def _numpy_optical_pass(context, data_bits, coeff_bits, noise_a) -> tuple:
+def _numpy_optical_pass(
+    context: CircuitPassContext,
+    data_bits: "np.ndarray[Any, Any]",
+    coeff_bits: "np.ndarray[Any, Any]",
+    noise_a: Optional["np.ndarray[Any, Any]"],
+) -> Tuple[
+    "np.ndarray[Any, Any]",
+    "np.ndarray[Any, Any]",
+    "np.ndarray[Any, Any]",
+    "np.ndarray[Any, Any]",
+]:
     """The reference per-clock optics + receiver pass on byte tensors."""
     levels = data_bits.sum(axis=1, dtype=np.int64)
     pattern_index = _pattern_index(coeff_bits)
@@ -432,7 +456,9 @@ def _numpy_optical_pass(context, data_bits, coeff_bits, noise_a) -> tuple:
 # -- the packed bit-plane kernel -----------------------------------------------
 
 
-def _bit_plane_sum(words: np.ndarray) -> List[np.ndarray]:
+def _bit_plane_sum(
+    words: "np.ndarray[Any, Any]",
+) -> List["np.ndarray[Any, Any]"]:
     """Bit-sliced binary sum across the channel axis of packed words.
 
     ``(B, C, W)`` uint64 in; returns the little-endian bit planes of the
@@ -441,7 +467,7 @@ def _bit_plane_sum(words: np.ndarray) -> List[np.ndarray]:
     list may carry trailing all-zero planes (one per channel in the
     worst case); callers truncate to the planes the level range needs.
     """
-    planes: List[np.ndarray] = []
+    planes: List["np.ndarray[Any, Any]"] = []
     for channel in range(words.shape[1]):
         carry = words[:, channel, :]
         for index, plane in enumerate(planes):
@@ -450,7 +476,9 @@ def _bit_plane_sum(words: np.ndarray) -> List[np.ndarray]:
     return planes
 
 
-def _assemble_keys(planes: List[np.ndarray], length: int, dtype) -> np.ndarray:
+def _assemble_keys(
+    planes: List["np.ndarray[Any, Any]"], length: int, dtype: Any
+) -> "np.ndarray[Any, Any]":
     """Per-clock lookup keys from bit planes: ``(B, length)`` of *dtype*.
 
     Plane ``i`` contributes bit ``i`` of the key.  This is the packed
@@ -463,7 +491,9 @@ def _assemble_keys(planes: List[np.ndarray], length: int, dtype) -> np.ndarray:
     return keys
 
 
-def _numba_assemble_keys(planes, length, dtype):
+def _numba_assemble_keys(
+    planes: List["np.ndarray[Any, Any]"], length: int, dtype: Any
+) -> "np.ndarray[Any, Any]":
     """The numba kernel's JIT key assembly (same contract as numpy's)."""
     jit = _numba_key_loop()
     stacked = np.ascontiguousarray(np.stack(planes, axis=0))
@@ -472,17 +502,22 @@ def _numba_assemble_keys(planes, length, dtype):
     return out.astype(dtype)
 
 
-_NUMBA_KEY_LOOP = None
+_NUMBA_KEY_LOOP: Optional[Callable[..., Any]] = None
 
 
-def _numba_key_loop():
+def _numba_key_loop() -> Callable[..., Any]:
     """Compile (once) the per-word key-assembly loop with numba."""
     global _NUMBA_KEY_LOOP
-    if _NUMBA_KEY_LOOP is None:
+    loop = _NUMBA_KEY_LOOP
+    if loop is None:
         import numba
 
         @numba.njit(cache=False)
-        def key_loop(planes, length, out):  # pragma: no cover - needs numba
+        def key_loop(  # pragma: no cover - needs numba
+            planes: "np.ndarray[Any, Any]",
+            length: int,
+            out: "np.ndarray[Any, Any]",
+        ) -> None:
             plane_count, batch, words = planes.shape
             for b in range(batch):
                 for w in range(words):
@@ -494,11 +529,16 @@ def _numba_key_loop():
                             key |= ((planes[p, b, w] >> j) & 1) << p
                         out[b, base + j] = key
 
-        _NUMBA_KEY_LOOP = key_loop
-    return _NUMBA_KEY_LOOP
+        loop = key_loop
+        _NUMBA_KEY_LOOP = loop
+    return loop
 
 
-def _key_planes(context, data_words, coeff_words) -> List[np.ndarray]:
+def _key_planes(
+    context: CircuitPassContext,
+    data_words: "np.ndarray[Any, Any]",
+    coeff_words: "np.ndarray[Any, Any]",
+) -> List["np.ndarray[Any, Any]"]:
     """Bit planes of the flat lookup key: coefficient bits then level."""
     planes = [
         coeff_words[:, channel, :]
@@ -509,7 +549,13 @@ def _key_planes(context, data_words, coeff_words) -> List[np.ndarray]:
     return planes
 
 
-def _packed_keys(context, data_words, coeff_words, length, kernel) -> np.ndarray:
+def _packed_keys(
+    context: CircuitPassContext,
+    data_words: "np.ndarray[Any, Any]",
+    coeff_words: "np.ndarray[Any, Any]",
+    length: int,
+    kernel: str,
+) -> "np.ndarray[Any, Any]":
     flat = context._flat_tables()
     planes = _key_planes(context, data_words, coeff_words)
     if kernel == "numba":
@@ -518,13 +564,18 @@ def _packed_keys(context, data_words, coeff_words, length, kernel) -> np.ndarray
 
 
 def packed_optical_pass(
-    circuit,
-    data_words: np.ndarray,
-    coeff_words: np.ndarray,
-    noise_a: Optional[np.ndarray],
+    circuit: Any,
+    data_words: "np.ndarray[Any, Any]",
+    coeff_words: "np.ndarray[Any, Any]",
+    noise_a: Optional["np.ndarray[Any, Any]"],
     length: int,
     kernel: str = "packed",
-) -> tuple:
+) -> Tuple[
+    "np.ndarray[Any, Any]",
+    "np.ndarray[Any, Any]",
+    "np.ndarray[Any, Any]",
+    "np.ndarray[Any, Any]",
+]:
     """The packed kernels' optics + receiver pass, full per-clock output.
 
     Takes ``(B, C, W)`` packed word tensors (see :func:`pack_bits`) and
@@ -546,7 +597,12 @@ def packed_optical_pass(
     return powers, output_bits, ideal_bits, levels
 
 
-def _noisy_decisions(context, flat, keys, noise_a) -> np.ndarray:
+def _noisy_decisions(
+    context: CircuitPassContext,
+    flat: Dict[str, Any],
+    keys: "np.ndarray[Any, Any]",
+    noise_a: "np.ndarray[Any, Any]",
+) -> "np.ndarray[Any, Any]":
     """Receiver decisions under pre-drawn noise, from per-clock keys.
 
     The single definition of the packed noisy decision rule — shared by
@@ -565,7 +621,9 @@ def _noisy_decisions(context, flat, keys, noise_a) -> np.ndarray:
     return (currents > context.receiver.threshold_a).astype(np.uint8)
 
 
-def _key_counts(keys: np.ndarray, size: int) -> np.ndarray:
+def _key_counts(
+    keys: "np.ndarray[Any, Any]", size: int
+) -> "np.ndarray[Any, Any]":
     """Per-row key occurrence counts: ``(B, size)`` int64, one bincount."""
     batch = keys.shape[0]
     offsets = np.arange(batch, dtype=np.int64)[:, None] * size
@@ -576,12 +634,17 @@ def _key_counts(keys: np.ndarray, size: int) -> np.ndarray:
 
 
 def optical_pass(
-    circuit,
-    data_bits: np.ndarray,
-    coeff_bits: np.ndarray,
-    noise_a: Optional[np.ndarray],
+    circuit: Any,
+    data_bits: "np.ndarray[Any, Any]",
+    coeff_bits: "np.ndarray[Any, Any]",
+    noise_a: Optional["np.ndarray[Any, Any]"],
     kernel: str = "numpy",
-) -> tuple:
+) -> Tuple[
+    "np.ndarray[Any, Any]",
+    "np.ndarray[Any, Any]",
+    "np.ndarray[Any, Any]",
+    "np.ndarray[Any, Any]",
+]:
     """Steps 3-4 of the pipeline for one ``(B, C, L)`` bit-tensor tile.
 
     Returns ``(powers, output_bits, ideal_bits, levels)``; shared by the
@@ -620,16 +683,24 @@ class _PackedCycleSource:
     position the stream's first clock sits).
     """
 
-    _start_shift = 0
+    _start_shift: int = 0
 
-    def __init__(self, starts, inverse, packed_cycles, period):
+    def __init__(
+        self,
+        starts: "np.ndarray[Any, Any]",
+        inverse: "np.ndarray[Any, Any]",
+        packed_cycles: "np.ndarray[Any, Any]",
+        period: int,
+    ) -> None:
         self._starts = starts
         self._inverse = inverse
         self._packed_cycles = packed_cycles
         self._period = int(period)
 
     @staticmethod
-    def _pack_value_cycles(uniform, values, shape):
+    def _pack_value_cycles(
+        uniform: "np.ndarray[Any, Any]", values: Any, shape: Any
+    ) -> Tuple["np.ndarray[Any, Any]", "np.ndarray[Any, Any]"]:
         """``(inverse, packed_cycles)`` for the unique comparison values.
 
         One tiled packed bit array per unique comparison value: enough
@@ -647,7 +718,7 @@ class _PackedCycleSource:
         )
         return inverse, pack_bits(np.tile(cycle_bits, (1, repeats)))
 
-    def take(self, offset: int, count: int) -> np.ndarray:
+    def take(self, offset: int, count: int) -> "np.ndarray[Any, Any]":
         """Packed words for stream clocks ``[offset, offset + count)``."""
         if offset < 0 or count <= 0:
             raise ConfigurationError(
@@ -689,10 +760,12 @@ class PackedLfsrSource(_PackedCycleSource):
     compare-and-pack.
     """
 
-    _start_shift = 1
+    _start_shift: int = 1
 
     @classmethod
-    def create(cls, seeds, values, width: int) -> Optional["PackedLfsrSource"]:
+    def create(
+        cls, seeds: Any, values: Any, width: int
+    ) -> Optional["PackedLfsrSource"]:
         if width > _TABLE_MAX_WIDTH:
             return None
         taps = _resolve_taps(width, None)
@@ -711,12 +784,12 @@ class PackedLfsrSource(_PackedCycleSource):
         return cls(starts, inverse, packed_cycles, int(cycle.size))
 
 
-_SOBOL_CYCLE_CACHE: Dict[int, np.ndarray] = {}
+_SOBOL_CYCLE_CACHE: Dict[int, "np.ndarray[Any, Any]"] = {}
 _SOBOL_CYCLE_LOCK = threading.Lock()
 _SOBOL_CYCLE_MAX_WIDTH = _TABLE_MAX_WIDTH
 
 
-def _sobol_cycle_uniforms(width: int) -> np.ndarray:
+def _sobol_cycle_uniforms(width: int) -> "np.ndarray[Any, Any]":
     """The full-period van der Corput cycle for *width* bits, memoized.
 
     ``van_der_corput(i, width)`` consumes only the low *width* bits of
@@ -755,7 +828,7 @@ class PackedSobolSource(_PackedCycleSource):
 
     @classmethod
     def create(
-        cls, offsets, values, width: int
+        cls, offsets: Any, values: Any, width: int
     ) -> Optional["PackedSobolSource"]:
         if width > _SOBOL_CYCLE_MAX_WIDTH:
             return None
@@ -796,7 +869,9 @@ class PackedChaoticSource:
     :meth:`take` windows must be issued in sequential stream order.
     """
 
-    def __init__(self, base_seeds, values, channel_count: int):
+    def __init__(
+        self, base_seeds: Any, values: Any, channel_count: int
+    ) -> None:
         seeds = np.atleast_1d(np.asarray(base_seeds, dtype=np.int64))
         self._state = derive_chaotic_intensities(seeds, int(channel_count))
         self._warmups = np.asarray(
@@ -810,12 +885,12 @@ class PackedChaoticSource:
 
     @classmethod
     def create(
-        cls, base_seeds, values, channel_count: int
+        cls, base_seeds: Any, values: Any, channel_count: int
     ) -> "PackedChaoticSource":
         """Factory mirroring the cycle sources' (never ``None``)."""
         return cls(base_seeds, values, channel_count)
 
-    def take(self, offset: int, count: int) -> np.ndarray:
+    def take(self, offset: int, count: int) -> "np.ndarray[Any, Any]":
         """Packed words for stream clocks ``[offset, offset + count)``."""
         if offset < 0 or count <= 0:
             raise ConfigurationError(
@@ -845,12 +920,12 @@ class PackedChaoticSource:
 
 
 def packed_lfsr_comparator_bits(
-    seeds: np.ndarray,
-    values: np.ndarray,
+    seeds: "np.ndarray[Any, Any]",
+    values: "np.ndarray[Any, Any]",
     length: int,
     width: int,
     offset: int = 0,
-) -> Optional[np.ndarray]:
+) -> Optional["np.ndarray[Any, Any]"]:
     """One-shot :class:`PackedLfsrSource` window (``None`` = fall back).
 
     Returns the ``(B, C, ceil(length / 64))`` uint64 words that
@@ -865,12 +940,12 @@ def packed_lfsr_comparator_bits(
 
 
 def packed_sobol_comparator_bits(
-    offsets: np.ndarray,
-    values: np.ndarray,
+    offsets: "np.ndarray[Any, Any]",
+    values: "np.ndarray[Any, Any]",
     length: int,
     width: int,
     offset: int = 0,
-) -> Optional[np.ndarray]:
+) -> Optional["np.ndarray[Any, Any]"]:
     """One-shot :class:`PackedSobolSource` window (``None`` = fall back).
 
     Returns the ``(B, C, ceil(length / 64))`` uint64 words that
@@ -887,7 +962,11 @@ def packed_sobol_comparator_bits(
 # -- packed statistics (chunked streaming) -------------------------------------
 
 
-def _mux_words(coeff_words, level_planes, order) -> np.ndarray:
+def _mux_words(
+    coeff_words: "np.ndarray[Any, Any]",
+    level_planes: List["np.ndarray[Any, Any]"],
+    order: int,
+) -> "np.ndarray[Any, Any]":
     """Word-level multiplexer: the selected coefficient bit per clock.
 
     ``out = OR_m (level == m) & coeff[m]`` with the level-match
@@ -908,7 +987,11 @@ def _mux_words(coeff_words, level_planes, order) -> np.ndarray:
     return out
 
 
-def _histogram_from_key_counts(flat_powers, key_counts, edges) -> np.ndarray:
+def _histogram_from_key_counts(
+    flat_powers: "np.ndarray[Any, Any]",
+    key_counts: "np.ndarray[Any, Any]",
+    edges: "np.ndarray[Any, Any]",
+) -> "np.ndarray[Any, Any]":
     """Received-power histogram from per-key totals, exactly.
 
     ``np.histogram`` bins each power value identically wherever it
@@ -921,14 +1004,18 @@ def _histogram_from_key_counts(flat_powers, key_counts, edges) -> np.ndarray:
 
 
 def packed_tile_statistics(
-    circuit,
-    data_words: np.ndarray,
-    coeff_words: np.ndarray,
+    circuit: Any,
+    data_words: "np.ndarray[Any, Any]",
+    coeff_words: "np.ndarray[Any, Any]",
     length: int,
-    noise_a: Optional[np.ndarray] = None,
-    histogram_edges: Optional[np.ndarray] = None,
+    noise_a: Optional["np.ndarray[Any, Any]"] = None,
+    histogram_edges: Optional["np.ndarray[Any, Any]"] = None,
     kernel: str = "packed",
-) -> tuple:
+) -> Tuple[
+    "np.ndarray[Any, Any]",
+    "np.ndarray[Any, Any]",
+    Optional["np.ndarray[Any, Any]"],
+]:
     """Accumulator increments for one packed tile: ``(ones, errors, hist)``.
 
     The chunked streaming runtime's packed hot path: per-row ones and
@@ -948,9 +1035,9 @@ def packed_tile_statistics(
     """
     context = pass_context(circuit)
     flat = context._flat_tables()
-    ones: np.ndarray
-    errors: np.ndarray
-    histogram = None
+    ones: "np.ndarray[Any, Any]"
+    errors: "np.ndarray[Any, Any]"
+    histogram: Optional["np.ndarray[Any, Any]"] = None
     if noise_a is None and flat["decision_is_ideal"]:
         level_planes = _bit_plane_sum(data_words)[: context.level_bits]
         out_words = _mux_words(coeff_words, level_planes, context.order)

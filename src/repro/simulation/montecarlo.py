@@ -23,6 +23,9 @@ from ..photonics.wdm import WDMGrid
 
 __all__ = ["VariationModel", "MonteCarloResult", "run_monte_carlo"]
 
+_CORNER_SAMPLING_SEED = 0x5EED
+"""Default corner-offset seed shared by the Monte Carlo entry points."""
+
 
 @dataclass(frozen=True)
 class VariationModel:
@@ -205,7 +208,7 @@ def run_monte_carlo(
     vectorized = resolve_vectorized(runtime, vectorized)
     if samples < 1:
         raise ConfigurationError(f"samples must be >= 1, got {samples!r}")
-    rng = rng or np.random.default_rng(0x5EED)
+    rng = rng or np.random.default_rng(_CORNER_SAMPLING_SEED)
     ring_offsets, filter_offsets = _draw_corner_offsets(
         params, variation, samples, rng
     )
@@ -248,7 +251,7 @@ def yield_vs_sigma(
     vectorized = resolve_vectorized(runtime, vectorized)
     if samples < 1:
         raise ConfigurationError(f"samples must be >= 1, got {samples!r}")
-    rng = rng or np.random.default_rng(0x5EED)
+    rng = rng or np.random.default_rng(_CORNER_SAMPLING_SEED)
     sigmas = np.asarray(list(sigmas_nm), dtype=float)
     if sigmas.size == 0:
         raise ConfigurationError("need at least one sigma")

@@ -50,7 +50,16 @@ import threading
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -101,7 +110,7 @@ __all__ = [
     "simulate_chunked",
 ]
 
-BACKENDS = ("process", "thread")
+BACKENDS: Tuple[str, ...] = ("process", "thread")
 """Execution backends for sharded evaluation and :func:`parallel_map`."""
 
 _WORKERS_ENV = "REPRO_RUNTIME_WORKERS"
@@ -132,7 +141,7 @@ def _validate_backend(backend: str) -> str:
     return backend
 
 
-def _pool_context():
+def _pool_context() -> Any:
     """Prefer fork (cheap workers, inherited caches) where safe.
 
     Only on Linux — macOS keeps spawn as its default precisely because
@@ -157,7 +166,9 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
-def resolve_pool(runtime, workers: Optional[int] = None) -> tuple:
+def resolve_pool(
+    runtime: Any, workers: Optional[int] = None
+) -> Tuple[Optional[int], str]:
     """``(workers, backend)`` for a pooled consumer of a session config.
 
     The one place the ``runtime=RuntimeConfig(...)`` convenience kwarg
@@ -178,7 +189,9 @@ def resolve_pool(runtime, workers: Optional[int] = None) -> tuple:
     return workers, backend
 
 
-def resolve_vectorized(runtime, vectorized: Optional[bool] = None) -> bool:
+def resolve_vectorized(
+    runtime: Any, vectorized: Optional[bool] = None
+) -> bool:
     """Whether an optics consumer should take the stacked-array fast path.
 
     The companion of :func:`resolve_pool` for the ``vectorized`` knob of
@@ -200,11 +213,11 @@ def resolve_vectorized(runtime, vectorized: Optional[bool] = None) -> bool:
 
 
 def parallel_map(
-    fn: Callable,
-    items: Iterable,
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
     workers: Optional[int] = None,
     backend: str = "process",
-) -> List:
+) -> List[Any]:
     """Ordered ``[fn(item) for item in items]`` over a worker pool.
 
     The shared fan-out primitive behind sharded evaluation, the
@@ -233,12 +246,13 @@ def parallel_map(
 # -- row-wise sharding ---------------------------------------------------------
 
 
-def _shard_bounds(batch: int, workers: int) -> List[tuple]:
+def _shard_bounds(batch: int, workers: int) -> List[Tuple[int, int]]:
     """Contiguous, near-equal row ranges covering ``[0, batch)``."""
     shard_count = min(workers, batch)
     size = batch // shard_count
     remainder = batch % shard_count
-    bounds, start = [], 0
+    bounds: List[Tuple[int, int]] = []
+    start = 0
     for index in range(shard_count):
         stop = start + size + (1 if index < remainder else 0)
         bounds.append((start, stop))
@@ -247,13 +261,13 @@ def _shard_bounds(batch: int, workers: int) -> List[tuple]:
 
 
 def _map_row_shards(
-    worker: Callable,
-    payload_builder: Callable,
-    xs: np.ndarray,
+    worker: Callable[[Any], Any],
+    payload_builder: Callable[..., Any],
+    xs: "np.ndarray[Any, Any]",
     schedule: SeedSchedule,
     workers: int,
     backend: str,
-) -> List:
+) -> List[Any]:
     """Fan one row-sharded evaluation out over the pool, order preserved.
 
     ``payload_builder(xs_shard, schedule_shard)`` produces each worker's
@@ -267,7 +281,7 @@ def _map_row_shards(
     return parallel_map(worker, payloads, workers=workers, backend=backend)
 
 
-def _shard_worker(payload: tuple) -> BatchEvaluation:
+def _shard_worker(payload: Tuple[Any, ...]) -> BatchEvaluation:
     """Evaluate one row shard (module-level so process pools can pickle it)."""
     circuit, xs, length, noisy, sng_kind, sng_width, schedule, kernel = payload
     return simulate_batch(
@@ -300,7 +314,7 @@ def _concatenate_batches(
     )
 
 
-def _shard_input_fields(batch: int) -> dict:
+def _shard_input_fields(batch: int) -> Dict[str, Any]:
     """Arena fields carrying the batch inputs (parent -> workers)."""
     return {
         "xs": ((batch,), np.float64),
@@ -310,14 +324,18 @@ def _shard_input_fields(batch: int) -> dict:
     }
 
 
-def _write_shard_inputs(arena, xs, schedule) -> None:
+def _write_shard_inputs(
+    arena: SharedArena, xs: "np.ndarray[Any, Any]", schedule: SeedSchedule
+) -> None:
     arena.write("xs", xs)
     arena.write("data_seeds", schedule.data_seeds)
     arena.write("coeff_seeds", schedule.coeff_seeds)
     arena.write("noise_seeds", schedule.noise_seeds)
 
 
-def _read_shard_inputs(arena, lo: int, hi: int) -> tuple:
+def _read_shard_inputs(
+    arena: SharedArena, lo: int, hi: int
+) -> Tuple["np.ndarray[Any, Any]", SeedSchedule]:
     """``(xs, schedule)`` for rows ``[lo, hi)`` from the input arena."""
     return (
         arena.read("xs", lo, hi),
@@ -329,7 +347,7 @@ def _read_shard_inputs(arena, lo: int, hi: int) -> tuple:
     )
 
 
-def _shm_shard_worker(payload: tuple) -> tuple:
+def _shm_shard_worker(payload: Tuple[Any, ...]) -> Tuple[int, int]:
     """Evaluate one row shard in place through the shared arena.
 
     Attaches by segment name, reads its input rows, writes its result
@@ -379,8 +397,8 @@ def _shm_shard_worker(payload: tuple) -> tuple:
 
 
 def _simulate_batch_sharded_shm(
-    circuit,
-    xs: np.ndarray,
+    circuit: Any,
+    xs: "np.ndarray[Any, Any]",
     length: int,
     noisy: bool,
     sng_kind: str,
@@ -463,8 +481,8 @@ def _simulate_batch_sharded_shm(
 
 
 def simulate_batch_sharded(
-    circuit,
-    xs,
+    circuit: Any,
+    xs: Any,
     length: int = 1024,
     rng: Optional[np.random.Generator] = None,
     noisy: bool = True,
@@ -573,15 +591,15 @@ class ChunkedEvaluation:
     schedule would report.
     """
 
-    xs: np.ndarray
-    expected: np.ndarray
+    xs: "np.ndarray[Any, Any]"
+    expected: "np.ndarray[Any, Any]"
     stream_length: int
     chunk_length: int
     chunk_count: int
-    ones_count: np.ndarray
-    transmission_bit_errors: np.ndarray
-    power_histogram: Optional[np.ndarray] = None
-    power_bin_edges: Optional[np.ndarray] = None
+    ones_count: "np.ndarray[Any, Any]"
+    transmission_bit_errors: "np.ndarray[Any, Any]"
+    power_histogram: Optional["np.ndarray[Any, Any]"] = None
+    power_bin_edges: Optional["np.ndarray[Any, Any]"] = None
 
     @property
     def batch_size(self) -> int:
@@ -589,12 +607,12 @@ class ChunkedEvaluation:
         return int(self.xs.size)
 
     @property
-    def values(self) -> np.ndarray:
+    def values(self) -> "np.ndarray[Any, Any]":
         """Per-row de-randomized outputs (ones fraction)."""
         return self.ones_count / self.stream_length
 
     @property
-    def absolute_errors(self) -> np.ndarray:
+    def absolute_errors(self) -> "np.ndarray[Any, Any]":
         """Per-row ``|value - expected|``."""
         return np.abs(self.values - self.expected)
 
@@ -604,7 +622,7 @@ class ChunkedEvaluation:
         return float(np.mean(self.absolute_errors))
 
     @property
-    def transmission_ber(self) -> np.ndarray:
+    def transmission_ber(self) -> "np.ndarray[Any, Any]":
         """Per-row observed link bit-error rate."""
         return self.transmission_bit_errors / self.stream_length
 
@@ -624,13 +642,15 @@ class _UniformCursor:
     make long streams quadratic.
     """
 
-    def __init__(self, kind: str, base_seeds, channel_count: int, width: int):
+    def __init__(
+        self, kind: str, base_seeds: Any, channel_count: int, width: int
+    ) -> None:
         self._kind = kind
         self._seeds = np.asarray(base_seeds, dtype=np.int64)
         self._channels = int(channel_count)
         self._width = int(width)
         self._next_offset = 0
-        self._registers = None
+        self._registers: Optional[List[List[LFSR]]] = None
         if kind == "chaotic":
             self._state = derive_chaotic_intensities(
                 self._seeds, self._channels
@@ -655,7 +675,7 @@ class _UniformCursor:
                 f"{self._next_offset}, got {offset}"
             )
 
-    def take(self, offset: int, count: int) -> np.ndarray:
+    def take(self, offset: int, count: int) -> "np.ndarray[Any, Any]":
         if self._registers is not None:
             # Wide registers step live state instead of replaying
             # `offset` states from the seed on every tile.
@@ -704,10 +724,17 @@ class _PackedCursor:
     the unpacked cursor followed by compare-and-pack.
     """
 
-    def __init__(self, kind, base_seeds, channel_count, width, values):
+    def __init__(
+        self,
+        kind: str,
+        base_seeds: Any,
+        channel_count: int,
+        width: int,
+        values: Any,
+    ) -> None:
         self._values = np.asarray(values, dtype=float)
-        self._source = None
-        self._cursor = None
+        self._source: Optional[Any] = None
+        self._cursor: Optional[_UniformCursor] = None
         if kind == "lfsr":
             derived = derive_lfsr_seeds(base_seeds, channel_count, width)
             self._source = PackedLfsrSource.create(
@@ -725,14 +752,15 @@ class _PackedCursor:
         if self._source is None:
             self._cursor = _UniformCursor(kind, base_seeds, channel_count, width)
 
-    def take(self, offset: int, count: int) -> np.ndarray:
+    def take(self, offset: int, count: int) -> "np.ndarray[Any, Any]":
         if self._source is not None:
-            return self._source.take(offset, count)
+            return np.asarray(self._source.take(offset, count))
+        assert self._cursor is not None
         uniforms = self._cursor.take(offset, count)
         return pack_bits((uniforms < self._values[..., None]).astype(np.uint8))
 
 
-def _chunked_shard_worker(payload: tuple) -> ChunkedEvaluation:
+def _chunked_shard_worker(payload: Tuple[Any, ...]) -> ChunkedEvaluation:
     """Stream one row shard (module-level so process pools can pickle it)."""
     (
         circuit,
@@ -761,7 +789,9 @@ def _chunked_shard_worker(payload: tuple) -> ChunkedEvaluation:
     )
 
 
-def _chunked_shm_worker(payload: tuple) -> tuple:
+def _chunked_shm_worker(
+    payload: Tuple[Any, ...],
+) -> Tuple[int, int, Optional["np.ndarray[Any, Any]"]]:
     """Stream one row shard, accumulating into the shared arena.
 
     The streaming accumulators are ``O(rows)`` scalars per row plus an
@@ -804,15 +834,17 @@ def _chunked_shm_worker(payload: tuple) -> tuple:
         arena.write("ones_count", result.ones_count, lo)
         arena.write("bit_errors", result.transmission_bit_errors, lo)
         if bins:
-            arena.write("histogram", result.power_histogram[None, :], shard_index)
+            histogram = result.power_histogram
+            assert histogram is not None
+            arena.write("histogram", histogram[None, :], shard_index)
     finally:
         arena.close()
     return result.chunk_count, result.chunk_length, result.power_bin_edges
 
 
 def _simulate_chunked_shm(
-    circuit,
-    xs: np.ndarray,
+    circuit: Any,
+    xs: "np.ndarray[Any, Any]",
     length: int,
     chunk_length: int,
     noisy: bool,
@@ -903,8 +935,8 @@ def _concatenate_chunked(
 
 
 def simulate_chunked(
-    circuit,
-    xs,
+    circuit: Any,
+    xs: Any,
     length: int = 1 << 21,
     chunk_length: int = 1 << 16,
     rng: Optional[np.random.Generator] = None,
@@ -1020,6 +1052,8 @@ def simulate_chunked(
     noise_sigma = params.detector.noise_current_a
 
     use_packed = kernel != "numpy"
+    data_cursor: Any = None
+    coeff_cursor: Any = None
     if sng_kind != "counter":
         if use_packed:
             data_cursor = _PackedCursor(
@@ -1039,13 +1073,14 @@ def simulate_chunked(
             coeff_cursor = _UniformCursor(
                 sng_kind, schedule.coeff_seeds, channel_count, sng_width
             )
-    noise_rngs = (
+    noise_rngs: Optional[List[Any]] = (
         [schedule.row_noise_rng(row) for row in range(batch)] if noisy else None
     )
 
     ones_count = np.zeros(batch, dtype=np.int64)
     error_count = np.zeros(batch, dtype=np.int64)
-    histogram = edges = None
+    histogram: Optional["np.ndarray[Any, Any]"] = None
+    edges: Optional["np.ndarray[Any, Any]"] = None
     if power_histogram_bins:
         table = circuit.model.received_power_table_mw()
         edges = np.linspace(
@@ -1097,7 +1132,7 @@ def simulate_chunked(
             np.stack(
                 [gen.normal(0.0, noise_sigma, count) for gen in noise_rngs]
             )
-            if noisy
+            if noise_rngs is not None
             else None
         )
         if use_packed:
@@ -1113,6 +1148,7 @@ def simulate_chunked(
             ones_count += ones_inc
             error_count += error_inc
             if histogram is not None:
+                assert histogram_inc is not None
                 histogram += histogram_inc
         else:
             powers, output_bits, ideal_bits, _ = _optical_pass(
@@ -1123,6 +1159,7 @@ def simulate_chunked(
                 output_bits != ideal_bits, axis=1, dtype=np.int64
             )
             if histogram is not None:
+                assert edges is not None
                 histogram += np.histogram(powers, bins=edges)[0]
         chunk_count += 1
 
@@ -1159,13 +1196,15 @@ class EvaluationCache:
     problem, use :func:`simulate_chunked` instead of caching.
     """
 
-    def __init__(self, max_entries: int = 16):
+    def __init__(self, max_entries: int = 16) -> None:
         if max_entries < 1:
             raise ConfigurationError(
                 f"max_entries must be >= 1, got {max_entries!r}"
             )
         self.max_entries = int(max_entries)
-        self._entries: "OrderedDict[tuple, BatchEvaluation]" = OrderedDict()
+        self._entries: "OrderedDict[Tuple[Any, ...], BatchEvaluation]" = (
+            OrderedDict()
+        )
         self.hits = 0
         self.misses = 0
 
@@ -1178,7 +1217,7 @@ class EvaluationCache:
         self.hits = 0
         self.misses = 0
 
-    def lookup(self, key: tuple) -> Optional[BatchEvaluation]:
+    def lookup(self, key: Tuple[Any, ...]) -> Optional[BatchEvaluation]:
         """The cached evaluation for *key*, refreshing its LRU slot."""
         entry = self._entries.get(key)
         if entry is None:
@@ -1188,7 +1227,7 @@ class EvaluationCache:
         self.hits += 1
         return entry
 
-    def store(self, key: tuple, result: BatchEvaluation) -> None:
+    def store(self, key: Tuple[Any, ...], result: BatchEvaluation) -> None:
         """Insert *result*, evicting the least-recently-used overflow.
 
         The stored arrays are frozen read-only: hits return the stored
@@ -1220,8 +1259,14 @@ def default_evaluation_cache() -> EvaluationCache:
 
 
 def _evaluation_key(
-    circuit, xs, length, noisy, sng_kind, base_seed, sng_width
-) -> tuple:
+    circuit: Any,
+    xs: "np.ndarray[Any, Any]",
+    length: int,
+    noisy: bool,
+    sng_kind: str,
+    base_seed: int,
+    sng_width: int,
+) -> Tuple[Any, ...]:
     digest = hashlib.sha1(np.ascontiguousarray(xs).tobytes()).hexdigest()
     return (
         circuit.fingerprint(),
@@ -1236,8 +1281,8 @@ def _evaluation_key(
 
 
 def _cached_simulate_batch(
-    circuit,
-    xs,
+    circuit: Any,
+    xs: Any,
     length: int = 1024,
     noisy: bool = True,
     sng_kind: str = "lfsr",
@@ -1393,8 +1438,8 @@ class RuntimeConfig:
 
 
 def run_batch(
-    circuit,
-    xs,
+    circuit: Any,
+    xs: Any,
     length: int = 1024,
     rng: Optional[np.random.Generator] = None,
     noisy: bool = True,
@@ -1402,7 +1447,7 @@ def run_batch(
     base_seed: Optional[int] = None,
     sng_width: int = 16,
     config: Optional[RuntimeConfig] = None,
-):
+) -> Any:
     """Evaluate through the runtime, picking the scaling strategy.
 
     Dispatch order: chunked streaming first (when ``config.chunk_length``
@@ -1458,6 +1503,7 @@ def run_batch(
             transport=config.transport,
         )
     if config.cache_requested:  # base_seed is fixed: validated above
+        assert base_seed is not None
         return _cached_simulate_batch(
             circuit,
             xs,

@@ -28,6 +28,9 @@ from ..stochastic.bitstream import Bitstream
 
 __all__ = ["TransientResult", "TransientSimulator"]
 
+_TRANSIENT_RNG_SEED = 0x7143
+"""Default jitter/noise seed when the caller supplies no rng."""
+
 
 @dataclass(frozen=True)
 class TransientResult:
@@ -143,7 +146,7 @@ class TransientSimulator:
             raise ConfigurationError(f"x must be in [0, 1], got {x!r}")
         if length <= 0:
             raise ConfigurationError("length must be positive")
-        rng = rng or np.random.default_rng(0x7143)
+        rng = rng or np.random.default_rng(_TRANSIENT_RNG_SEED)
         params = self.circuit.params
         order = params.order
 

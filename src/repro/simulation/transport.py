@@ -29,7 +29,7 @@ import os
 import threading
 import weakref
 from multiprocessing import shared_memory
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,10 +37,15 @@ from ..errors import ConfigurationError
 
 __all__ = ["TRANSPORTS", "SharedArena", "resolve_transport"]
 
-TRANSPORTS = ("pickle", "shm")
+TRANSPORTS: Tuple[str, ...] = ("pickle", "shm")
 """Shard transports for the sharded/chunked runtime."""
 
 _ALIGN = 64
+
+#: ``{field: (shape, dtype)}`` as callers declare an arena.
+FieldMap = Dict[str, Tuple[Sequence[int], Any]]
+#: ``(shape, dtype, byte offset)`` as the resolved layout stores it.
+_Field = Tuple[Tuple[int, ...], "np.dtype[Any]", int]
 
 
 def resolve_transport(transport: str, backend: Optional[str] = None) -> str:
@@ -63,17 +68,17 @@ def resolve_transport(transport: str, backend: Optional[str] = None) -> str:
     return transport
 
 
-def _build_layout(fields: Dict[str, tuple]) -> Tuple[dict, int]:
+def _build_layout(fields: FieldMap) -> Tuple[Dict[str, _Field], int]:
     """``{name: (shape, dtype, offset)}`` plus total byte size.
 
     Each field is 64-byte aligned so every view is cache-line aligned
     regardless of the dtypes preceding it.
     """
-    layout = {}
+    layout: Dict[str, _Field] = {}
     offset = 0
-    for name, (shape, dtype) in fields.items():
-        dtype = np.dtype(dtype)
-        shape = tuple(int(s) for s in shape)
+    for name, (raw_shape, raw_dtype) in fields.items():
+        dtype = np.dtype(raw_dtype)
+        shape = tuple(int(s) for s in raw_shape)
         offset = -(-offset // _ALIGN) * _ALIGN
         layout[name] = (shape, dtype, offset)
         offset += int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
@@ -83,7 +88,7 @@ def _build_layout(fields: Dict[str, tuple]) -> Tuple[dict, int]:
 _ATTACH_LOCK = threading.Lock()
 
 
-def _attach_untracked(name: str):
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
     """``SharedMemory(name=...)`` without tracker registration.
 
     Before Python 3.13's ``track=False``, merely *attaching* to a
@@ -99,7 +104,7 @@ def _attach_untracked(name: str):
     with _ATTACH_LOCK:
         original = resource_tracker.register
 
-        def _skip_shared_memory(rname, rtype):
+        def _skip_shared_memory(rname: str, rtype: str) -> None:
             if rtype != "shared_memory":
                 original(rname, rtype)
 
@@ -122,13 +127,17 @@ class SharedArena:
     segment's.
     """
 
-    def __init__(self, fields: Dict[str, tuple]):
+    _layout: Dict[str, _Field]
+    _shm: Optional[shared_memory.SharedMemory]
+    _owner: bool
+
+    def __init__(self, fields: FieldMap) -> None:
         self._layout, size = _build_layout(fields)
         self._shm = shared_memory.SharedMemory(create=True, size=max(1, size))
         self._owner = True
 
     @classmethod
-    def attach(cls, spec: dict) -> "SharedArena":
+    def attach(cls, spec: Dict[str, Any]) -> "SharedArena":
         """Attach to an existing arena from its :attr:`spec`."""
         arena = cls.__new__(cls)
         arena._layout = {
@@ -142,11 +151,13 @@ class SharedArena:
     @property
     def name(self) -> str:
         """The OS-level segment name workers attach by."""
+        assert self._shm is not None
         return self._shm.name
 
     @property
-    def spec(self) -> dict:
+    def spec(self) -> Dict[str, Any]:
         """Picklable descriptor: segment name plus field layout."""
+        assert self._shm is not None
         return {
             "name": self._shm.name,
             "fields": {
@@ -155,7 +166,7 @@ class SharedArena:
             },
         }
 
-    def _field(self, name: str) -> tuple:
+    def _field(self, name: str) -> _Field:
         try:
             return self._layout[name]
         except KeyError:
@@ -163,11 +174,12 @@ class SharedArena:
                 f"unknown arena field {name!r}; have {sorted(self._layout)}"
             ) from None
 
-    def _view(self, name: str) -> np.ndarray:
+    def _view(self, name: str) -> "np.ndarray[Any, Any]":
         shape, dtype, offset = self._field(name)
+        assert self._shm is not None
         return np.ndarray(shape, dtype=dtype, buffer=self._shm.buf, offset=offset)
 
-    def write(self, name: str, array, lo: int = 0) -> None:
+    def write(self, name: str, array: Any, lo: int = 0) -> None:
         """Store *array* at row offset *lo* of field *name*, in place.
 
         No view outlives the call, so the arena can still be closed
@@ -179,14 +191,16 @@ class SharedArena:
         view[lo : lo + (array.shape[0] if array.ndim else 1)] = array
         del view
 
-    def read(self, name: str, lo: int = 0, hi: Optional[int] = None) -> np.ndarray:
+    def read(
+        self, name: str, lo: int = 0, hi: Optional[int] = None
+    ) -> "np.ndarray[Any, Any]":
         """A private copy of rows ``[lo, hi)`` of field *name*."""
         view = self._view(name)
         out = np.array(view[lo:hi], copy=True)
         del view
         return out
 
-    def export_views(self) -> Dict[str, np.ndarray]:
+    def export_views(self) -> Dict[str, "np.ndarray[Any, Any]"]:
         """Zero-copy views of every field, with arena lifetime attached.
 
         The segment name is unlinked immediately (POSIX keeps the pages
@@ -196,8 +210,9 @@ class SharedArena:
         cleanup protocol for the caller, and no memory outlives them.
         The arena itself must not be used (or closed) afterwards.
         """
+        assert self._shm is not None
         base = np.frombuffer(self._shm.buf, dtype=np.uint8)
-        views = {}
+        views: Dict[str, "np.ndarray[Any, Any]"] = {}
         for name, (shape, dtype, offset) in self._layout.items():
             nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
             views[name] = (
@@ -226,7 +241,7 @@ class SharedArena:
                 shm.unlink()
 
 
-def _release_segment(shm) -> None:
+def _release_segment(shm: shared_memory.SharedMemory) -> None:
     """Close an escaped segment's mapping once its last view dies.
 
     The finalizer fires at the *start* of the base array's
@@ -240,11 +255,11 @@ def _release_segment(shm) -> None:
     try:  # pragma: no cover - GC-timing dependent
         shm.close()
     except BufferError:
-        shm._mmap = None
-        fd = getattr(shm, "_fd", -1)
+        setattr(shm, "_mmap", None)
+        fd = int(getattr(shm, "_fd", -1))
         if fd >= 0:
             try:
                 os.close(fd)
             except OSError:
                 pass
-            shm._fd = -1
+            setattr(shm, "_fd", -1)

@@ -25,11 +25,20 @@ from ..errors import ConfigurationError
 from .bitstream import Bitstream
 
 __all__ = [
+    "DEFAULT_FILTER_SEED",
     "normalize_signal",
     "denormalize_signal",
     "StochasticFIRFilter",
     "moving_average",
 ]
+
+DEFAULT_FILTER_SEED = 0xF17
+"""Seed :meth:`StochasticFIRFilter.filter_signal` falls back to.
+
+Kept equal to the historical inline default so existing callers keep
+getting bit-identical filter outputs; pass ``seed=`` (or an explicit
+*rng*) to decorrelate runs.
+"""
 
 
 def normalize_signal(signal: Sequence[float]) -> tuple:
@@ -142,12 +151,14 @@ class StochasticFIRFilter:
         signal: Sequence[float],
         stream_length: int = 1024,
         rng: Optional[np.random.Generator] = None,
+        seed: int = DEFAULT_FILTER_SEED,
     ) -> np.ndarray:
         """Run a unit-range signal through the stochastic filter.
 
         Produces the normalized FIR response sample by sample (the first
         ``N - 1`` outputs use zero-padding history, as a hardware shift
-        register would).
+        register would).  When no *rng* is given, one is derived from
+        *seed* — the default reproduces the historical fixed streams.
         """
         values = np.asarray(list(signal), dtype=float)
         if values.ndim != 1 or values.size == 0:
@@ -156,7 +167,7 @@ class StochasticFIRFilter:
             raise ConfigurationError("signal samples must be in [0, 1]")
         if stream_length <= 0:
             raise ConfigurationError("stream_length must be positive")
-        rng = rng or np.random.default_rng(0xF17)
+        rng = rng or np.random.default_rng(seed)
         padded = np.concatenate([np.zeros(self.tap_count - 1), values])
         output = np.empty(values.size)
         for n in range(values.size):
@@ -174,9 +185,12 @@ def moving_average(
     window: int,
     stream_length: int = 1024,
     rng: Optional[np.random.Generator] = None,
+    seed: int = DEFAULT_FILTER_SEED,
 ) -> np.ndarray:
     """Equal-weight stochastic moving average over a unit-range signal."""
     if window < 1:
         raise ConfigurationError(f"window must be >= 1, got {window!r}")
     fir = StochasticFIRFilter(np.ones(window))
-    return fir.filter_signal(signal, stream_length=stream_length, rng=rng)
+    return fir.filter_signal(
+        signal, stream_length=stream_length, rng=rng, seed=seed
+    )

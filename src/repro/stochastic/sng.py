@@ -33,7 +33,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from .bitstream import Bitstream, exact_bit_matrix, validate_probability_vector
-from .lfsr import LFSR, lfsr_state_windows
+from .lfsr import LFSR
 
 __all__ = [
     "StochasticNumberGenerator",

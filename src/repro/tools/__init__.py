@@ -1,0 +1,12 @@
+"""Developer tooling shipped with the repo.
+
+Everything under :mod:`repro.tools` is **stdlib-only**: the tools run in
+CI environments (and pre-commit hooks) before the scientific stack is
+even importable, so nothing here may import numpy, scipy, or the repro
+runtime itself.
+
+* :mod:`repro.tools.lint` — ``repro-lint``, the AST-based invariant
+  checker guarding the bit-exactness conventions the runtime's
+  determinism guarantee rests on (``python -m repro.tools.lint
+  src/repro``).
+"""

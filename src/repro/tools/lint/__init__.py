@@ -1,0 +1,36 @@
+"""``repro-lint`` — AST-based invariant checker for the bit-exact runtime.
+
+Stdlib-only (see :mod:`repro.tools`).  Run it as::
+
+    python -m repro.tools.lint src/repro
+
+Exit codes: 0 clean, 1 violations, 2 usage error.  Rules RL001–RL006
+are documented in :mod:`repro.tools.lint.rules` and the README's
+"Static guarantees" section; suppress a finding with a trailing
+``# repro-lint: disable=RL00x`` pragma.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    Diagnostic,
+    FileSource,
+    LintRunner,
+    ProjectRule,
+    Rule,
+    RuleVisitor,
+    main,
+)
+from .rules import RULES, check_api_surface
+
+__all__ = [
+    "Diagnostic",
+    "FileSource",
+    "LintRunner",
+    "ProjectRule",
+    "RULES",
+    "Rule",
+    "RuleVisitor",
+    "check_api_surface",
+    "main",
+]

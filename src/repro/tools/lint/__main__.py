@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.tools.lint``."""
+
+import sys
+
+from .engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())

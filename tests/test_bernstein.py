@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError, DesignInfeasibleError
@@ -145,7 +145,8 @@ class TestFromFunction:
         assert poly(1.0) == pytest.approx(1.0)
 
     def test_least_squares_more_accurate_than_operator(self):
-        target = lambda x: np.asarray(x) ** 0.45
+        def target(x):
+            return np.asarray(x) ** 0.45
         xs = np.linspace(0, 1, 201)
         op = BernsteinPolynomial.from_function(target, 6, method="operator")
         ls = BernsteinPolynomial.from_function(target, 6, method="least_squares")

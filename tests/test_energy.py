@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.design import mrr_first_design
 from repro.core.energy import (
     energy_breakdown,
     energy_vs_spacing,
@@ -71,7 +70,6 @@ class TestFig7aShape:
         # compensation), pump at large ones (larger filter swing).  In
         # our calibration the curves cross slightly below the optimum;
         # the qualitative crossover is the invariant tested here.
-        spacing = sweep["spacing_nm"]
         probe, pump = sweep["probe_pj"], sweep["pump_pj"]
         finite = np.isfinite(probe) & np.isfinite(pump)
         dominance = probe[finite] > pump[finite]

@@ -1,0 +1,592 @@
+"""Tests for ``repro-lint`` (the AST invariant checker itself).
+
+Each rule gets at least one failing fixture and one passing fixture;
+plus pragma suppression, the CLI exit-code contract, and the
+self-check that ``src/repro`` lints clean.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.tools.lint import (
+    LintRunner,
+    check_api_surface,
+    main,
+)
+from repro.tools.lint.rules import RULES
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PACKAGE_DIR = REPO_ROOT / "src" / "repro"
+
+
+def lint_snippet(tmp_path, code, select=None):
+    """Lint one fixture module; returns the diagnostics."""
+    path = tmp_path / "fixture.py"
+    path.write_text(textwrap.dedent(code))
+    rules = (
+        [RULES[name] for name in select]
+        if select
+        else list(RULES.values())
+    )
+    runner = LintRunner(rules=rules)
+    runner.add_path(path)
+    return runner.run()
+
+
+def rule_names(diagnostics):
+    return sorted({diagnostic.rule for diagnostic in diagnostics})
+
+
+class TestSeedDiscipline:
+    """RL001: every RNG traces to a caller-provided seed."""
+
+    def test_legacy_global_state_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def sample(n):
+                np.random.seed(0)
+                return np.random.rand(n)
+            """,
+            select=["RL001"],
+        )
+        assert rule_names(diagnostics) == ["RL001"]
+        assert len(diagnostics) == 2
+
+    def test_argless_default_rng_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def sample(n):
+                return np.random.default_rng().normal(size=n)
+            """,
+            select=["RL001"],
+        )
+        assert len(diagnostics) == 1
+        assert "OS entropy" in diagnostics[0].message
+
+    def test_inline_literal_seed_in_function_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            from numpy.random import default_rng
+
+            def sample(n):
+                rng = default_rng(0xBEEF)
+                return rng.normal(size=n)
+            """,
+            select=["RL001"],
+        )
+        assert len(diagnostics) == 1
+        assert "inline numeric-literal seed" in diagnostics[0].message
+
+    def test_legacy_import_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            "from numpy.random import rand\n",
+            select=["RL001"],
+        )
+        assert len(diagnostics) == 1
+
+    def test_disciplined_seeding_passes(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            _STUDY_SEED = 0xBEEF
+
+            def sample(n, seed=_STUDY_SEED, rng=None):
+                rng = rng or np.random.default_rng(seed)
+                generator: np.random.Generator = rng
+                return generator.normal(size=n)
+            """,
+            select=["RL001"],
+        )
+        assert diagnostics == []
+
+    def test_module_level_literal_seed_allowed(self, tmp_path):
+        # A module-level constant *is* the named-provenance form.
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            _SHARED_RNG = np.random.default_rng(1234)
+            """,
+            select=["RL001"],
+        )
+        assert diagnostics == []
+
+
+def write_api_package(root, init="", api="", session=None, extra=None):
+    """Materialize a minimal package for RL002 fixtures."""
+    package = root / "pkg"
+    package.mkdir()
+    (package / "__init__.py").write_text(textwrap.dedent(init))
+    (package / "_api.py").write_text(textwrap.dedent(api))
+    if session is not None:
+        (package / "session.py").write_text(textwrap.dedent(session))
+    for relative, text in (extra or {}).items():
+        path = package / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+    return package
+
+
+GOOD_INIT = """
+    __all__ = ["__version__"]
+    __version__ = "1.0"
+
+    def __getattr__(name):
+        raise AttributeError(name)
+    """
+
+
+class TestApiSurface:
+    """RL002: the three-way public-API contract, checked statically."""
+
+    def test_consistent_surface_passes(self, tmp_path):
+        package = write_api_package(
+            tmp_path,
+            init=GOOD_INIT,
+            api="__all__ = ['run']\n\ndef run():\n    return 1\n",
+        )
+        assert check_api_surface(package) == []
+
+    def test_dangling_api_name_flagged(self, tmp_path):
+        package = write_api_package(
+            tmp_path,
+            init=GOOD_INIT,
+            api="__all__ = ['run', 'ghost']\n\ndef run():\n    return 1\n",
+        )
+        diagnostics = check_api_surface(package)
+        assert len(diagnostics) == 1
+        assert "ghost" in diagnostics[0].message
+
+    def test_duplicate_all_entries_flagged(self, tmp_path):
+        package = write_api_package(
+            tmp_path,
+            init=GOOD_INIT,
+            api="__all__ = ['run', 'run']\n\ndef run():\n    return 1\n",
+        )
+        diagnostics = check_api_surface(package)
+        assert any("duplicate" in d.message for d in diagnostics)
+
+    def test_static_lazy_overlap_flagged(self, tmp_path):
+        package = write_api_package(
+            tmp_path,
+            init="""
+                __all__ = ["run"]
+
+                def __getattr__(name):
+                    raise AttributeError(name)
+                """,
+            api="__all__ = ['run']\n\ndef run():\n    return 1\n",
+        )
+        diagnostics = check_api_surface(package)
+        assert any("overlap" in d.message for d in diagnostics)
+
+    def test_missing_getattr_flagged(self, tmp_path):
+        package = write_api_package(
+            tmp_path,
+            init='__all__ = ["__version__"]\n__version__ = "1.0"\n',
+            api="__all__ = ['run']\n\ndef run():\n    return 1\n",
+        )
+        diagnostics = check_api_surface(package)
+        assert any("__getattr__" in d.message for d in diagnostics)
+
+    def test_removed_wrapper_still_bound_flagged(self, tmp_path):
+        session = """
+            DEPRECATED_WRAPPERS = {
+                "pkg.legacy.old_entry": {
+                    "replacement": "run()",
+                    "removed": True,
+                },
+            }
+            """
+        package = write_api_package(
+            tmp_path,
+            init=GOOD_INIT,
+            api="__all__ = ['run']\n\ndef run():\n    return 1\n",
+            session=session,
+            extra={"legacy.py": "def old_entry():\n    return 0\n"},
+        )
+        diagnostics = check_api_surface(package)
+        assert len(diagnostics) == 1
+        assert "still bound" in diagnostics[0].message
+
+    def test_removed_wrapper_truly_gone_passes(self, tmp_path):
+        session = """
+            DEPRECATED_WRAPPERS = {
+                "pkg.legacy.old_entry": {
+                    "replacement": "run()",
+                    "removed": True,
+                },
+            }
+            """
+        package = write_api_package(
+            tmp_path,
+            init=GOOD_INIT,
+            api="__all__ = ['run']\n\ndef run():\n    return 1\n",
+            session=session,
+            extra={"legacy.py": "def new_entry():\n    return 0\n"},
+        )
+        assert check_api_surface(package) == []
+
+    def test_runner_discovers_package(self, tmp_path):
+        # The project rule finds the package dir from the file set.
+        package = write_api_package(
+            tmp_path,
+            init=GOOD_INIT,
+            api="__all__ = ['ghost']\n",
+        )
+        runner = LintRunner(rules=[RULES["RL002"]])
+        runner.add_path(package)
+        assert rule_names(runner.run()) == ["RL002"]
+
+
+class TestAsyncPurity:
+    """RL003: no blocking calls directly inside async def bodies."""
+
+    def test_blocking_calls_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import time
+
+            async def handler(future, path):
+                time.sleep(0.1)
+                value = future.result()
+                with open(path) as handle:
+                    return handle.read(), value
+            """,
+            select=["RL003"],
+        )
+        assert len(diagnostics) == 3
+
+    def test_sync_path_io_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            async def handler(path):
+                return path.read_text()
+            """,
+            select=["RL003"],
+        )
+        assert len(diagnostics) == 1
+
+    def test_awaited_and_executor_code_passes(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import asyncio
+
+            async def handler(loop, path):
+                await asyncio.sleep(0.1)
+
+                def blocking():
+                    with open(path) as handle:
+                        return handle.read()
+
+                return await loop.run_in_executor(None, blocking)
+            """,
+            select=["RL003"],
+        )
+        assert diagnostics == []
+
+    def test_sync_function_exempt(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import time
+
+            def warmup(future):
+                time.sleep(0.1)
+                return future.result()
+            """,
+            select=["RL003"],
+        )
+        assert diagnostics == []
+
+
+class TestShardSafety:
+    """RL004: callables crossing the process boundary must pickle."""
+
+    def test_lambda_argument_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def run(items):
+                return parallel_map(lambda x: x + 1, items)
+            """,
+            select=["RL004"],
+        )
+        assert len(diagnostics) == 1
+        assert "lambda" in diagnostics[0].message
+
+    def test_lambda_keyword_argument_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def run(runtime, items):
+                return runtime.parallel_map(items, fn=lambda x: x + 1)
+            """,
+            select=["RL004"],
+        )
+        assert len(diagnostics) == 1
+
+    def test_closure_local_function_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def run(items, offset):
+                def shift(x):
+                    return x + offset
+
+                return simulate_batch_sharded(shift, items)
+            """,
+            select=["RL004"],
+        )
+        assert len(diagnostics) == 1
+        assert "closure-local" in diagnostics[0].message
+
+    def test_module_level_function_passes(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def shift(x):
+                return x + 1
+
+            def run(items):
+                return parallel_map(shift, items)
+            """,
+            select=["RL004"],
+        )
+        assert diagnostics == []
+
+
+class TestPackedPurity:
+    """RL005: no unpack -> pack round-trips on the packed hot path."""
+
+    def test_direct_round_trip_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def reshard(words, length):
+                return pack_bits(unpack_bits(words, length))
+            """,
+            select=["RL005"],
+        )
+        assert len(diagnostics) == 1
+
+    def test_tainted_name_round_trip_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def reshard(words, length):
+                plane = unpack_bits(words, length)
+                masked = plane & 1
+                return pack_bits(masked)
+            """,
+            select=["RL005"],
+        )
+        assert len(diagnostics) == 1
+        assert "round-trip" in diagnostics[0].message
+
+    def test_fresh_bits_pass(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def compare(thresholds, values, words, length):
+                bits = values < thresholds
+                plane = unpack_bits(words, length)
+                total = plane.sum()
+                return pack_bits(bits), total
+            """,
+            select=["RL005"],
+        )
+        assert diagnostics == []
+
+    def test_taint_is_function_scoped(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def inspect(words, length):
+                plane = unpack_bits(words, length)
+                return plane.sum()
+
+            def generate(plane):
+                return pack_bits(plane)
+            """,
+            select=["RL005"],
+        )
+        assert diagnostics == []
+
+
+class TestHygiene:
+    """RL006: bare except and mutable default hygiene."""
+
+    def test_bare_except_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def swallow(fn):
+                try:
+                    return fn()
+                except:
+                    return None
+            """,
+            select=["RL006"],
+        )
+        assert len(diagnostics) == 1
+
+    def test_mutable_default_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def collect(item, bucket=[], table=dict()):
+                bucket.append(item)
+                return bucket, table
+            """,
+            select=["RL006"],
+        )
+        assert len(diagnostics) == 2
+
+    def test_clean_function_passes(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def collect(item, bucket=None):
+                try:
+                    bucket = list(bucket or ())
+                except TypeError:
+                    bucket = []
+                bucket.append(item)
+                return bucket
+            """,
+            select=["RL006"],
+        )
+        assert diagnostics == []
+
+
+class TestPragmas:
+    """``# repro-lint: disable=...`` suppression semantics."""
+
+    def test_line_pragma_suppresses_named_rule(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def sample(n):
+                rng = np.random.default_rng()  # repro-lint: disable=RL001
+                return rng.normal(size=n)
+            """,
+            select=["RL001"],
+        )
+        assert diagnostics == []
+
+    def test_line_pragma_is_rule_specific(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def sample(n):
+                rng = np.random.default_rng()  # repro-lint: disable=RL006
+                return rng.normal(size=n)
+            """,
+            select=["RL001"],
+        )
+        assert len(diagnostics) == 1
+
+    def test_line_pragma_disable_all(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def swallow(fn, bucket=[]):  # repro-lint: disable=all
+                return fn(bucket)
+            """,
+            select=["RL006"],
+        )
+        assert diagnostics == []
+
+    def test_file_pragma_suppresses_whole_file(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            # repro-lint: disable-file=RL001
+            import numpy as np
+
+            def sample(n):
+                return np.random.default_rng().normal(size=n)
+
+            def resample(n):
+                np.random.seed(0)
+                return np.random.rand(n)
+            """,
+            select=["RL001"],
+        )
+        assert diagnostics == []
+
+
+class TestCLI:
+    """Exit-code contract of ``python -m repro.tools.lint``."""
+
+    def test_no_paths_is_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert main(["--select", "RL999", "."]) == 2
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.py")]) == 2
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text("VALUE = 1\n")
+        assert main([str(path)]) == 0
+
+    def test_violation_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "dirty.py"
+        path.write_text("def f(x=[]):\n    return x\n")
+        assert main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "RL006" in out
+        assert f"{path}:1:" in out
+
+    def test_unparsable_file_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        assert main([str(path)]) == 1
+        assert "RL000" in capsys.readouterr().out
+
+    def test_disable_skips_rule(self, tmp_path, capsys):
+        path = tmp_path / "dirty.py"
+        path.write_text("def f(x=[]):\n    return x\n")
+        assert main(["--disable", "RL006", str(path)]) == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+            assert name in out
+
+
+class TestSelfCheck:
+    """The shipped library must satisfy its own linter."""
+
+    def test_src_repro_lints_clean(self, capsys):
+        assert PACKAGE_DIR.is_dir()
+        assert main([str(PACKAGE_DIR)]) == 0
+
+    @pytest.mark.parametrize("rule", sorted(RULES))
+    def test_each_rule_clean_individually(self, rule, capsys):
+        assert main(["--select", rule, str(PACKAGE_DIR)]) == 0

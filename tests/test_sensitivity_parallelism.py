@@ -1,6 +1,5 @@
 """Tests for sensitivity analysis and the parallel-implementation study."""
 
-import numpy as np
 import pytest
 
 from repro.core.design import mrr_first_design
