@@ -15,7 +15,7 @@ circuit so the degradation can be measured with the functional simulator:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -34,7 +34,9 @@ _DRIFT_STUDY_SEED = 7
 """Default sampling seed of :meth:`FaultInjector.filter_drift_study`."""
 
 
-def with_stuck_mzi(levels: np.ndarray, order: int, stuck_value: int) -> np.ndarray:
+def with_stuck_mzi(
+    levels: "np.ndarray[Any, Any]", order: int, stuck_value: int
+) -> "np.ndarray[Any, Any]":
     """Select levels as if one MZI were stuck at *stuck_value*.
 
     Operates on the adder output: a stuck-at-0 MZI can never contribute a
@@ -58,7 +60,7 @@ def with_stuck_mzi(levels: np.ndarray, order: int, stuck_value: int) -> np.ndarr
     return adjusted
 
 
-def with_filter_drift(params, drift_nm: float):
+def with_filter_drift(params: Any, drift_nm: float) -> Any:
     """Parameters with the filter's rest resonance drifted by *drift_nm*.
 
     Positive drift moves ``lambda_ref`` red-ward; every level then lands
@@ -83,7 +85,7 @@ def with_filter_drift(params, drift_nm: float):
     return replace(params, grid=drifted_grid)
 
 
-def with_coefficient_ring_drift(params, drift_nm: float):
+def with_coefficient_ring_drift(params: Any, drift_nm: float) -> Any:
     """Parameters with every modulator's OFF resonance drifted.
 
     Models a common-mode fabrication offset of the coefficient MRRs: the
@@ -122,7 +124,7 @@ class FaultInjector:
         The healthy :class:`~repro.core.circuit.OpticalStochasticCircuit`.
     """
 
-    def __init__(self, circuit):
+    def __init__(self, circuit: Any) -> None:
         from ..core.circuit import OpticalStochasticCircuit
 
         if not isinstance(circuit, OpticalStochasticCircuit):
@@ -131,19 +133,19 @@ class FaultInjector:
             )
         self.circuit = circuit
 
-    def _rebuild(self, params):
+    def _rebuild(self, params: Any) -> Any:
         from ..core.circuit import OpticalStochasticCircuit
 
         return OpticalStochasticCircuit(params, self.circuit.polynomial)
 
     def filter_drift_study(
         self,
-        drifts_nm,
+        drifts_nm: Sequence[float],
         x: float = 0.5,
         length: int = 2048,
         rng: Optional[np.random.Generator] = None,
         base_seed: int = 0xACE1,
-    ) -> dict:
+    ) -> Dict[str, "np.ndarray[Any, Any]"]:
         """Output error vs filter drift (graceful-degradation curve).
 
         The SNG seed space is pinned (*base_seed*) so every drift point
@@ -154,8 +156,8 @@ class FaultInjector:
         from .functional import simulate_evaluation
 
         rng = rng or np.random.default_rng(_DRIFT_STUDY_SEED)
-        errors = []
-        bers = []
+        errors: List[float] = []
+        bers: List[float] = []
         for drift in drifts_nm:
             try:
                 faulty = self._rebuild(

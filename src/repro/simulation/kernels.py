@@ -96,6 +96,7 @@ _WORD_BITS = 64
 
 
 _NUMBA_STATE: Dict[str, object] = {"checked": False, "available": False}
+_NUMBA_LOCK = threading.Lock()
 
 
 def numba_available() -> bool:
@@ -104,15 +105,20 @@ def numba_available() -> bool:
     The import is attempted once and memoized — numba's first import is
     expensive, and callers probe availability on every
     :class:`~repro.simulation.runtime.RuntimeConfig` construction.
+    Thread backends probe concurrently, so the check-and-memoize is
+    double-checked under the module lock.
     """
-    if not _NUMBA_STATE["checked"]:
-        try:
-            import numba  # noqa: F401
+    if _NUMBA_STATE["checked"]:
+        return bool(_NUMBA_STATE["available"])
+    with _NUMBA_LOCK:
+        if not _NUMBA_STATE["checked"]:
+            try:
+                import numba  # noqa: F401
 
-            _NUMBA_STATE["available"] = True
-        except ImportError:
-            _NUMBA_STATE["available"] = False
-        _NUMBA_STATE["checked"] = True
+                _NUMBA_STATE["available"] = True
+            except ImportError:
+                _NUMBA_STATE["available"] = False
+            _NUMBA_STATE["checked"] = True
     return bool(_NUMBA_STATE["available"])
 
 
@@ -228,19 +234,29 @@ def unpack_bits(
 
 
 _POPCOUNT_LUT: Optional["np.ndarray[Any, Any]"] = None
+_POPCOUNT_LOCK = threading.Lock()
 
 
 def _popcount_lut() -> "np.ndarray[Any, Any]":
-    """Lazily built 16-bit population-count table (64 KiB, built once)."""
+    """Lazily built 16-bit population-count table (64 KiB, built once).
+
+    Double-checked under the module lock: thread-backend shards hit the
+    fallback path concurrently on older numpy, and an unguarded lazy
+    init would build (and briefly publish) the table per racing thread.
+    """
     global _POPCOUNT_LUT
     lut = _POPCOUNT_LUT
-    if lut is None:
-        values = np.arange(1 << 16, dtype=np.uint16)
-        counts = np.zeros(1 << 16, dtype=np.uint8)
-        for shift in range(16):
-            counts += ((values >> shift) & 1).astype(np.uint8)
-        lut = counts
-        _POPCOUNT_LUT = lut
+    if lut is not None:
+        return lut
+    with _POPCOUNT_LOCK:
+        lut = _POPCOUNT_LUT
+        if lut is None:
+            values = np.arange(1 << 16, dtype=np.uint16)
+            counts = np.zeros(1 << 16, dtype=np.uint8)
+            for shift in range(16):
+                counts += ((values >> shift) & 1).astype(np.uint8)
+            lut = counts
+            _POPCOUNT_LUT = lut
     return lut
 
 
@@ -506,31 +522,39 @@ _NUMBA_KEY_LOOP: Optional[Callable[..., Any]] = None
 
 
 def _numba_key_loop() -> Callable[..., Any]:
-    """Compile (once) the per-word key-assembly loop with numba."""
+    """Compile (once) the per-word key-assembly loop with numba.
+
+    Guarded by the module numba lock: concurrent thread-backend shards
+    must not race the one-time JIT compile and rebind.
+    """
     global _NUMBA_KEY_LOOP
     loop = _NUMBA_KEY_LOOP
-    if loop is None:
-        import numba
+    if loop is not None:
+        return loop
+    with _NUMBA_LOCK:
+        loop = _NUMBA_KEY_LOOP
+        if loop is None:
+            import numba
 
-        @numba.njit(cache=False)
-        def key_loop(  # pragma: no cover - needs numba
-            planes: "np.ndarray[Any, Any]",
-            length: int,
-            out: "np.ndarray[Any, Any]",
-        ) -> None:
-            plane_count, batch, words = planes.shape
-            for b in range(batch):
-                for w in range(words):
-                    base = w * 64
-                    limit = min(64, length - base)
-                    for j in range(limit):
-                        key = 0
-                        for p in range(plane_count):
-                            key |= ((planes[p, b, w] >> j) & 1) << p
-                        out[b, base + j] = key
+            @numba.njit(cache=False)
+            def key_loop(  # pragma: no cover - needs numba
+                planes: "np.ndarray[Any, Any]",
+                length: int,
+                out: "np.ndarray[Any, Any]",
+            ) -> None:
+                plane_count, batch, words = planes.shape
+                for b in range(batch):
+                    for w in range(words):
+                        base = w * 64
+                        limit = min(64, length - base)
+                        for j in range(limit):
+                            key = 0
+                            for p in range(plane_count):
+                                key |= ((planes[p, b, w] >> j) & 1) << p
+                            out[b, base + j] = key
 
-        loop = key_loop
-        _NUMBA_KEY_LOOP = loop
+            loop = key_loop
+            _NUMBA_KEY_LOOP = loop
     return loop
 
 

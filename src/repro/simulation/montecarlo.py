@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,7 +53,7 @@ class VariationModel:
 class MonteCarloResult:
     """Yield statistics over the sampled fabrication corners."""
 
-    eye_openings_mw: np.ndarray
+    eye_openings_mw: "np.ndarray[Any, Any]"
     yield_fraction: float
     mean_eye_mw: float
     worst_eye_mw: float
@@ -64,7 +64,9 @@ class MonteCarloResult:
         return int(self.eye_openings_mw.size)
 
 
-def _perturbed_params(params, ring_offset_nm: float, filter_offset_nm: float):
+def _perturbed_params(
+    params: Any, ring_offset_nm: float, filter_offset_nm: float
+) -> Any:
     """Parameters with rings and filter moved off their nominal grid.
 
     A common-mode modulator-bank offset relative to the probe grid is
@@ -86,7 +88,7 @@ def _perturbed_params(params, ring_offset_nm: float, filter_offset_nm: float):
     return replace(params, grid=shifted)
 
 
-def _corner_eye_mw(params, offsets_nm: tuple) -> float:
+def _corner_eye_mw(params: Any, offsets_nm: Tuple[float, float]) -> float:
     """Worst-case eye of one fabrication corner (picklable for pools).
 
     Mapped as ``functools.partial(_corner_eye_mw, params)`` so the
@@ -101,11 +103,11 @@ def _corner_eye_mw(params, offsets_nm: tuple) -> float:
 
 
 def _draw_corner_offsets(
-    params,
+    params: Any,
     variation: VariationModel,
     samples: int,
     rng: np.random.Generator,
-) -> tuple:
+) -> Tuple["np.ndarray[Any, Any]", "np.ndarray[Any, Any]"]:
     """One-pass corner sampling: every offset drawn vectorized up front.
 
     Row-major generation keeps the (ring, filter) interleaving — and
@@ -124,13 +126,13 @@ def _draw_corner_offsets(
 
 
 def _corner_eyes_mw(
-    params,
-    ring_offsets_nm: np.ndarray,
-    filter_offsets_nm: np.ndarray,
-    workers,
+    params: Any,
+    ring_offsets_nm: "np.ndarray[Any, Any]",
+    filter_offsets_nm: "np.ndarray[Any, Any]",
+    workers: Optional[int],
     backend: str,
     vectorized: bool,
-) -> np.ndarray:
+) -> "np.ndarray[Any, Any]":
     """Eye openings for pre-drawn corners, scalar loop or stacked pass.
 
     The scalar path maps :func:`_corner_eye_mw` over the runtime pool
@@ -153,7 +155,7 @@ def _corner_eyes_mw(
         )
     from .runtime import parallel_map
 
-    corners = [
+    corners: List[Tuple[float, float]] = [
         (float(ring_offsets_nm[index]), float(filter_offsets_nm[index]))
         for index in range(ring_offsets_nm.size)
     ]
@@ -169,12 +171,12 @@ def _corner_eyes_mw(
 
 
 def run_monte_carlo(
-    params,
+    params: Any,
     variation: VariationModel = VariationModel(),
     samples: int = 200,
     rng: Optional[np.random.Generator] = None,
     workers: Optional[int] = None,
-    runtime=None,
+    runtime: Any = None,
     vectorized: Optional[bool] = None,
 ) -> MonteCarloResult:
     """Sample fabrication corners and evaluate the worst-case eye of each.
@@ -224,14 +226,14 @@ def run_monte_carlo(
 
 
 def yield_vs_sigma(
-    params,
-    sigmas_nm,
+    params: Any,
+    sigmas_nm: Sequence[float],
     samples: int = 100,
     rng: Optional[np.random.Generator] = None,
     workers: Optional[int] = None,
-    runtime=None,
+    runtime: Any = None,
     vectorized: Optional[bool] = None,
-) -> dict:
+) -> Dict[str, "np.ndarray[Any, Any]"]:
     """Yield curve across variation magnitudes (controller motivation).
 
     All sigma blocks draw their corner offsets up front, in the same

@@ -680,7 +680,10 @@ class _UniformCursor:
             # Wide registers step live state instead of replaying
             # `offset` states from the seed on every tile.
             self._check_sequential(offset)
-            out = np.empty(
+            # Bounded (B, C, chunk) fallback tile for registers wider
+            # than the cycle table — the packed sources cover every
+            # standard width, so this never runs on the fast path.
+            out = np.empty(  # repro-lint: disable=RL009
                 (self._seeds.size, self._channels, count), dtype=float
             )
             for b, row in enumerate(self._registers):
@@ -1194,6 +1197,11 @@ class EvaluationCache:
     ``max_entries`` to your memory budget — the default is deliberately
     small.  For streams long enough that one entry is itself a memory
     problem, use :func:`simulate_chunked` instead of caching.
+
+    The cache is thread-safe: ``backend="thread"`` sharded runs and the
+    serving layer's executor threads share the process-wide default
+    instance, so lookup/store/clear each hold an internal lock — the
+    LRU reorder, the hit/miss counters and eviction stay atomic.
     """
 
     def __init__(self, max_entries: int = 16) -> None:
@@ -1205,27 +1213,31 @@ class EvaluationCache:
         self._entries: "OrderedDict[Tuple[Any, ...], BatchEvaluation]" = (
             OrderedDict()
         )
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def lookup(self, key: Tuple[Any, ...]) -> Optional[BatchEvaluation]:
         """The cached evaluation for *key*, refreshing its LRU slot."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def store(self, key: Tuple[Any, ...], result: BatchEvaluation) -> None:
         """Insert *result*, evicting the least-recently-used overflow.
@@ -1244,10 +1256,11 @@ class EvaluationCache:
             "select_levels",
         ):
             getattr(result, name).setflags(write=False)
-        self._entries[key] = result
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
 
 _DEFAULT_CACHE = EvaluationCache(max_entries=16)

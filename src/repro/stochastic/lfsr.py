@@ -14,6 +14,7 @@ needs — by array slicing instead of per-bit Python stepping.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -54,6 +55,7 @@ _TABLE_MAX_WIDTH = 20
 _CYCLE_CACHE: Dict[
     Tuple[int, Tuple[int, ...]], Tuple[np.ndarray, np.ndarray, np.ndarray]
 ] = {}
+_CYCLE_LOCK = threading.Lock()
 
 
 def _cycle_tables(
@@ -71,37 +73,45 @@ def _cycle_tables(
     never revisits 1).  Such orbits are NOT a cycle and cannot back a
     wrap-around table: the cache then records an empty cycle, which
     sends every seed down the per-step fallback.
+
+    Built once under the module lock: thread-backend shards warm the
+    cache concurrently, and the ~1M-state walk is expensive enough
+    that racing duplicate builds (and a torn publish) must not happen.
     """
     key = (width, taps)
     cached = _CYCLE_CACHE.get(key)
     if cached is not None:
         return cached
-    mask = (1 << width) - 1
-    states = np.arange(1 << width, dtype=np.uint32)
-    feedback = np.zeros_like(states)
-    for tap in taps:
-        feedback ^= (states >> np.uint32(tap - 1)) & np.uint32(1)
-    successor = ((states << np.uint32(1)) | feedback) & np.uint32(mask)
-    succ_list = successor.tolist()
-    orbit = []
-    closed = False
-    state = succ_list[1]
-    for _ in range(mask):
-        orbit.append(state)
-        if state == 1:
-            closed = True
-            break
-        state = succ_list[state]
-    if not closed:
+    with _CYCLE_LOCK:
+        cached = _CYCLE_CACHE.get(key)
+        if cached is not None:
+            return cached
+        mask = (1 << width) - 1
+        states = np.arange(1 << width, dtype=np.uint32)
+        feedback = np.zeros_like(states)
+        for tap in taps:
+            feedback ^= (states >> np.uint32(tap - 1)) & np.uint32(1)
+        successor = ((states << np.uint32(1)) | feedback) & np.uint32(mask)
+        succ_list = successor.tolist()
         orbit = []
-    cycle = np.asarray(orbit, dtype=np.uint32)
-    position = np.full(1 << width, -1, dtype=np.int64)
-    position[cycle] = np.arange(cycle.size, dtype=np.int64)
-    # Pre-scaled comparator samples: the float cycle is what both the
-    # scalar `uniform` path and the batched gathers ultimately compute.
-    uniform = cycle.astype(float) / float(1 << width)
-    _CYCLE_CACHE[key] = (cycle, position, uniform)
-    return _CYCLE_CACHE[key]
+        closed = False
+        state = succ_list[1]
+        for _ in range(mask):
+            orbit.append(state)
+            if state == 1:
+                closed = True
+                break
+            state = succ_list[state]
+        if not closed:
+            orbit = []
+        cycle = np.asarray(orbit, dtype=np.uint32)
+        position = np.full(1 << width, -1, dtype=np.int64)
+        position[cycle] = np.arange(cycle.size, dtype=np.int64)
+        # Pre-scaled comparator samples: the float cycle is what both
+        # the scalar `uniform` path and the batched gathers compute.
+        uniform = cycle.astype(float) / float(1 << width)
+        _CYCLE_CACHE[key] = (cycle, position, uniform)
+        return _CYCLE_CACHE[key]
 
 
 def _window_indices(

@@ -235,7 +235,11 @@ def chaotic_orbit(intensities, warmups, length: int, return_state: bool = False)
         advanced = _logistic_step(intensity)
         intensity = np.where(iteration < warmups, advanced, intensity)
     samples = np.empty(intensity.shape + (length,), dtype=float)
-    for slot in range(length):
+    # The logistic map is a sequential recurrence: step k+1 needs step
+    # k, so a per-clock loop is inherent to the chaotic source (each
+    # step is vectorized across all orbits).  Every other randomizer
+    # stays loop-free on the packed path.
+    for slot in range(length):  # repro-lint: disable=RL009
         intensity = _logistic_step(intensity)
         samples[..., slot] = intensity
     uniforms = (2.0 / math.pi) * np.arcsin(np.sqrt(samples))

@@ -5,13 +5,21 @@ Stdlib-only (see :mod:`repro.tools`).  Run it as::
     python -m repro.tools.lint src/repro
 
 Exit codes: 0 clean, 1 violations, 2 usage error.  Rules RL001–RL006
-are documented in :mod:`repro.tools.lint.rules` and the README's
+are lexical checks documented in :mod:`repro.tools.lint.rules`;
+RL007–RL009 are dataflow checks built on the per-function control-flow
+graphs of :mod:`repro.tools.lint.cfg` and the project call graph of
+:mod:`repro.tools.lint.callgraph` (see
+:mod:`repro.tools.lint.flowrules`).  All are listed in the README's
 "Static guarantees" section; suppress a finding with a trailing
-``# repro-lint: disable=RL00x`` pragma.
+``# repro-lint: disable=RL00x`` pragma.  ``--format json`` emits the
+machine-readable report CI archives; ``--graph cfg`` / ``--graph
+calls`` dump the analysis graphs for debugging.
 """
 
 from __future__ import annotations
 
+from .callgraph import CallGraph, build_call_graph, module_name_for
+from .cfg import CFG, build_cfg, forward_may
 from .engine import (
     Diagnostic,
     FileSource,
@@ -24,6 +32,8 @@ from .engine import (
 from .rules import RULES, check_api_surface
 
 __all__ = [
+    "CFG",
+    "CallGraph",
     "Diagnostic",
     "FileSource",
     "LintRunner",
@@ -31,6 +41,10 @@ __all__ = [
     "RULES",
     "Rule",
     "RuleVisitor",
+    "build_call_graph",
+    "build_cfg",
     "check_api_surface",
+    "forward_may",
     "main",
+    "module_name_for",
 ]

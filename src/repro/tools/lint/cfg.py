@@ -1,0 +1,336 @@
+"""Statement-level control-flow graphs for the dataflow lint rules.
+
+:func:`build_cfg` turns one ``ast.FunctionDef`` into a :class:`CFG`:
+one node per statement (plus synthetic ``entry`` / ``exit`` nodes), and
+one edge per possible successor.  The builder models the control
+constructs the repro runtime actually uses:
+
+* ``if``/``elif``/``else`` — both arms join after the statement; a
+  missing ``else`` keeps the fall-through edge from the test node.
+* ``while``/``for`` (and their ``else`` clauses) — back edge from the
+  body tail to the header, exit edges through ``break`` and the header.
+* ``try``/``except``/``else``/``finally`` — every statement of the
+  ``try`` body may transfer to each handler; abrupt exits (``return``,
+  ``raise``, ``break``, ``continue``) route through each enclosing
+  ``finally`` block before reaching their target, exactly like the
+  interpreter unwinds.
+* ``with`` — a header node for the context-manager expressions, then
+  the body.  ``__exit__`` ordering is a lexical property the rules
+  check directly, so no synthetic cleanup node is materialized.
+* early ``return`` / ``raise`` — edges straight to ``exit`` (through
+  pending ``finally`` blocks).
+
+The graph is deliberately an over-approximation: a ``finally`` tail
+keeps both its fall-through successor and every abrupt target that can
+unwind through it, and implicit exceptions from arbitrary expressions
+are only modeled inside ``try`` bodies (edge to each handler).  Extra
+paths can at worst produce a conservative diagnostic, never hide one.
+
+:func:`forward_may` is the worklist solver the rules share: a forward
+"may" dataflow (union join) over gen/kill sets per node — the classic
+reaching-facts engine, enough to answer "does some path from this
+acquisition reach ``exit`` without passing a release".
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["CFG", "CFGNode", "ForwardResult", "build_cfg", "forward_may"]
+
+
+@dataclass(frozen=True)
+class CFGNode:
+    """One CFG vertex: a statement (or a synthetic entry/exit marker)."""
+
+    index: int
+    stmt: Optional[ast.AST]
+    label: str
+    line: int
+
+
+class CFG:
+    """A statement-level control-flow graph for one function body."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.nodes: List[CFGNode] = [
+            CFGNode(0, None, "<entry>", 0),
+            CFGNode(1, None, "<exit>", 0),
+        ]
+        self.entry = 0
+        self.exit = 1
+        self.succ: Dict[int, Set[int]] = {0: set(), 1: set()}
+        self._by_stmt: Dict[int, int] = {}
+
+    def add_node(self, stmt: ast.AST, label: str) -> int:
+        index = len(self.nodes)
+        line = int(getattr(stmt, "lineno", 0))
+        self.nodes.append(CFGNode(index, stmt, label, line))
+        self.succ[index] = set()
+        self._by_stmt[id(stmt)] = index
+        return index
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.succ[src].add(dst)
+
+    def node_for(self, stmt: ast.AST) -> Optional[int]:
+        """The node index holding *stmt*, if it owns one."""
+        return self._by_stmt.get(id(stmt))
+
+    def predecessors(self) -> Dict[int, Set[int]]:
+        preds: Dict[int, Set[int]] = {node.index: set() for node in self.nodes}
+        for src, targets in self.succ.items():
+            for dst in targets:
+                preds[dst].add(src)
+        return preds
+
+    def describe(self) -> List[str]:
+        """A stable text rendering (the ``--graph cfg`` dump format)."""
+        lines = [f"cfg {self.name}:"]
+        for node in self.nodes:
+            targets = ",".join(
+                f"n{index}" for index in sorted(self.succ[node.index])
+            )
+            where = f" @{node.line}" if node.line else ""
+            lines.append(
+                f"  n{node.index} {node.label}{where} -> [{targets}]"
+            )
+        return lines
+
+
+# Abrupt-transfer targets: where control lands once every pending
+# ``finally`` block between the statement and its target has run.
+_TARGET_EXIT = "exit"
+_TARGET_BREAK = "break"
+_TARGET_CONTINUE = "continue"
+
+
+@dataclass
+class _LoopCtx:
+    head: int
+    finally_depth: int
+    breaks: List[int] = field(default_factory=list)
+
+
+@dataclass
+class _FinallyCtx:
+    # (source node, target kind, loop ctx for break/continue or None)
+    abrupt: List[Tuple[int, str, Optional[_LoopCtx]]] = field(
+        default_factory=list
+    )
+
+
+class _Builder:
+    """Frontier-based recursive CFG construction.
+
+    A *frontier* is the set of node indices whose fall-through edge
+    points at whatever statement comes next; each ``_stmt_*`` method
+    consumes the incoming frontier and returns the outgoing one.
+    """
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self._loops: List[_LoopCtx] = []
+        self._finals: List[_FinallyCtx] = []
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _place(
+        self, stmt: ast.AST, label: str, frontier: Set[int]
+    ) -> int:
+        node = self.cfg.add_node(stmt, label)
+        for src in frontier:
+            self.cfg.add_edge(src, node)
+        return node
+
+    def _abrupt(
+        self, node: int, target: str, loop: Optional[_LoopCtx]
+    ) -> None:
+        """Route an abrupt transfer through pending ``finally`` blocks.
+
+        ``break``/``continue`` only unwind ``finally`` blocks entered
+        *inside* their loop, so the routing depth is the loop's
+        ``finally`` depth; ``return``/``raise`` unwind everything.
+        """
+        depth = loop.finally_depth if loop is not None else 0
+        if len(self._finals) > depth:
+            self._finals[-1].abrupt.append((node, target, loop))
+            return
+        if target == _TARGET_EXIT:
+            self.cfg.add_edge(node, self.cfg.exit)
+        elif target == _TARGET_CONTINUE:
+            assert loop is not None
+            self.cfg.add_edge(node, loop.head)
+        else:
+            assert loop is not None
+            loop.breaks.append(node)
+
+    # -- statement dispatch ----------------------------------------------------
+
+    def stmts(self, body: Sequence[ast.stmt], frontier: Set[int]) -> Set[int]:
+        for stmt in body:
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _stmt(self, stmt: ast.stmt, frontier: Set[int]) -> Set[int]:
+        if isinstance(stmt, ast.If):
+            return self._stmt_if(stmt, frontier)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._stmt_loop(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._stmt_try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._stmt_with(stmt, frontier)
+        if isinstance(stmt, ast.Match):
+            return self._stmt_match(stmt, frontier)
+        if isinstance(stmt, ast.Return):
+            node = self._place(stmt, "return", frontier)
+            self._abrupt(node, _TARGET_EXIT, None)
+            return set()
+        if isinstance(stmt, ast.Raise):
+            node = self._place(stmt, "raise", frontier)
+            self._abrupt(node, _TARGET_EXIT, None)
+            return set()
+        if isinstance(stmt, ast.Break):
+            node = self._place(stmt, "break", frontier)
+            self._abrupt(node, _TARGET_BREAK, self._loops[-1])
+            return set()
+        if isinstance(stmt, ast.Continue):
+            node = self._place(stmt, "continue", frontier)
+            self._abrupt(node, _TARGET_CONTINUE, self._loops[-1])
+            return set()
+        # Simple statements (and nested def/class headers, which own
+        # their own CFGs) are straight-line nodes.
+        label = type(stmt).__name__.lower()
+        return {self._place(stmt, label, frontier)}
+
+    def _stmt_if(self, stmt: ast.If, frontier: Set[int]) -> Set[int]:
+        head = self._place(stmt, "if", frontier)
+        out = self.stmts(stmt.body, {head})
+        if stmt.orelse:
+            out |= self.stmts(stmt.orelse, {head})
+        else:
+            out |= {head}
+        return out
+
+    def _stmt_loop(self, stmt: ast.stmt, frontier: Set[int]) -> Set[int]:
+        label = "while" if isinstance(stmt, ast.While) else "for"
+        head = self._place(stmt, label, frontier)
+        ctx = _LoopCtx(head=head, finally_depth=len(self._finals))
+        self._loops.append(ctx)
+        body = getattr(stmt, "body", [])
+        tail = self.stmts(body, {head})
+        for src in tail:
+            self.cfg.add_edge(src, head)
+        self._loops.pop()
+        orelse = getattr(stmt, "orelse", [])
+        out = self.stmts(orelse, {head}) if orelse else {head}
+        return out | set(ctx.breaks)
+
+    def _stmt_with(self, stmt: ast.stmt, frontier: Set[int]) -> Set[int]:
+        head = self._place(stmt, "with", frontier)
+        body = getattr(stmt, "body", [])
+        return self.stmts(body, {head})
+
+    def _stmt_match(self, stmt: ast.Match, frontier: Set[int]) -> Set[int]:
+        head = self._place(stmt, "match", frontier)
+        out: Set[int] = {head}
+        for case in stmt.cases:
+            out |= self.stmts(case.body, {head})
+        return out
+
+    def _stmt_try(self, stmt: ast.Try, frontier: Set[int]) -> Set[int]:
+        ctx: Optional[_FinallyCtx] = None
+        if stmt.finalbody:
+            ctx = _FinallyCtx()
+            self._finals.append(ctx)
+        body_start = len(self.cfg.nodes)
+        body_out = self.stmts(stmt.body, frontier)
+        body_end = len(self.cfg.nodes)
+
+        handler_out: Set[int] = set()
+        for handler in stmt.handlers:
+            head = self._place(handler, "except", set())
+            # Any statement of the try body may raise into the handler.
+            for index in range(body_start, body_end):
+                self.cfg.add_edge(index, head)
+            handler_out |= self.stmts(handler.body, {head})
+
+        orelse_out = (
+            self.stmts(stmt.orelse, body_out) if stmt.orelse else body_out
+        )
+        merged = orelse_out | handler_out
+        if not stmt.finalbody:
+            return merged
+
+        assert ctx is not None
+        self._finals.pop()
+        fin_start = len(self.cfg.nodes)
+        fin_out = self.stmts(stmt.finalbody, merged)
+        # Abrupt exits captured inside the try enter the finally block,
+        # then continue (through any *outer* finally) to their target.
+        for source, _target, _loop in ctx.abrupt:
+            self.cfg.add_edge(source, fin_start)
+        unwound = {(kind, id(lp)): (kind, lp) for _, kind, lp in ctx.abrupt}
+        for target, loop in unwound.values():
+            for tail in fin_out:
+                self._abrupt(tail, target, loop)
+        return fin_out if merged else set()
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """The CFG of one ``FunctionDef`` / ``AsyncFunctionDef`` body."""
+    if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        raise TypeError(f"build_cfg needs a function node, got {func!r}")
+    cfg = CFG(func.name)
+    builder = _Builder(cfg)
+    tail = builder.stmts(func.body, {cfg.entry})
+    for src in tail:
+        cfg.add_edge(src, cfg.exit)
+    return cfg
+
+
+@dataclass(frozen=True)
+class ForwardResult:
+    """Solved forward-may facts: the IN and OUT set of every node."""
+
+    in_sets: Dict[int, FrozenSet[str]]
+    out_sets: Dict[int, FrozenSet[str]]
+
+
+def forward_may(
+    cfg: CFG,
+    gen: Dict[int, Set[str]],
+    kill: Dict[int, Set[str]],
+) -> ForwardResult:
+    """Worklist forward dataflow with union join over string facts.
+
+    ``OUT[n] = (IN[n] - kill[n]) | gen[n]`` with ``IN[n]`` the union of
+    predecessor OUT sets; iterates to the (guaranteed, monotone) fixed
+    point.  A fact in ``in_sets[cfg.exit]`` holds on *some* path from
+    entry to exit — exactly the "may leak" question RL007 asks.
+    """
+    preds = cfg.predecessors()
+    in_sets: Dict[int, Set[str]] = {n.index: set() for n in cfg.nodes}
+    out_sets: Dict[int, Set[str]] = {n.index: set() for n in cfg.nodes}
+    worklist: deque[int] = deque(node.index for node in cfg.nodes)
+    while worklist:
+        index = worklist.popleft()
+        incoming: Set[str] = set()
+        for pred in preds[index]:
+            incoming |= out_sets[pred]
+        in_sets[index] = incoming
+        outgoing = (incoming - kill.get(index, set())) | gen.get(index, set())
+        if outgoing != out_sets[index]:
+            out_sets[index] = outgoing
+            for succ in cfg.succ[index]:
+                if succ not in worklist:
+                    worklist.append(succ)
+    return ForwardResult(
+        in_sets={index: frozenset(value) for index, value in in_sets.items()},
+        out_sets={index: frozenset(value) for index, value in out_sets.items()},
+    )

@@ -27,11 +27,12 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import re
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
 
 __all__ = [
     "Diagnostic",
@@ -70,7 +71,7 @@ class Diagnostic:
 class FileSource:
     """One file under lint: text, AST, and its suppression pragmas."""
 
-    def __init__(self, path: Path, text: Optional[str] = None):
+    def __init__(self, path: Path, text: Optional[str] = None) -> None:
         self.path = Path(path)
         self.text = self.path.read_text() if text is None else text
         self.tree = ast.parse(self.text, filename=str(self.path))
@@ -122,7 +123,7 @@ class RuleVisitor(ast.NodeVisitor):
     description: str = ""
     default_enabled: bool = True
 
-    def __init__(self, source: FileSource):
+    def __init__(self, source: FileSource) -> None:
         self.source = source
         self.diagnostics: List[Diagnostic] = []
 
@@ -160,7 +161,7 @@ class ProjectRule:
 class LintRunner:
     """Apply a rule set to a file set and collect the surviving report."""
 
-    rules: Sequence[type]
+    rules: Sequence[Type[Any]]
     sources: List[FileSource] = field(default_factory=list)
     errors: List[Diagnostic] = field(default_factory=list)
 
@@ -226,10 +227,10 @@ def _parse_rule_list(raw: Iterable[str]) -> Set[str]:
 
 
 def _select_rules(
-    registry: Dict[str, type],
+    registry: Dict[str, Type[Any]],
     select: Set[str],
     disable: Set[str],
-) -> Tuple[List[type], Set[str]]:
+) -> Tuple[List[Type[Any]], Set[str]]:
     """The enabled rule classes, plus any names that don't exist."""
     unknown = (select | disable) - set(registry)
     if select:
@@ -280,6 +281,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="print the rule registry and exit",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help=(
+            "report format: 'text' (one line per finding) or 'json' "
+            "(a machine-readable document, the CI artifact form)"
+        ),
+    )
+    parser.add_argument(
+        "--graph",
+        choices=("cfg", "calls"),
+        help=(
+            "instead of linting, dump the analysis graphs for the "
+            "given paths: 'cfg' prints every function's control-flow "
+            "graph, 'calls' the project call graph with its thread "
+            "entry points"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -308,13 +328,57 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"repro-lint: no such path: {path}", file=sys.stderr)
             return 2
         runner.add_path(Path(path))
+    if args.graph:
+        return _dump_graphs(args.graph, runner)
     diagnostics = runner.run()
-    for diagnostic in diagnostics:
-        print(diagnostic.format())
     count = len(diagnostics)
     files = len(runner.sources)
+    if args.format == "json":
+        document: Dict[str, Any] = {
+            "tool": "repro-lint",
+            "rules": sorted(rule.name for rule in enabled),
+            "files": files,
+            "issues": [
+                {
+                    "path": diagnostic.path,
+                    "line": diagnostic.line,
+                    "col": diagnostic.col,
+                    "rule": diagnostic.rule,
+                    "message": diagnostic.message,
+                }
+                for diagnostic in diagnostics
+            ],
+            "clean": not diagnostics,
+        }
+        print(json.dumps(document, indent=2))
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic.format())
     print(
         f"repro-lint: {count} issue(s) in {files} file(s)",
         file=sys.stderr,
     )
     return 1 if diagnostics else 0
+
+
+def _dump_graphs(kind: str, runner: LintRunner) -> int:
+    """The ``--graph`` debug dumps: per-function CFGs or the call graph."""
+    from .callgraph import build_call_graph, module_name_for
+    from .cfg import build_cfg
+
+    if kind == "calls":
+        graph = build_call_graph(
+            [
+                (module_name_for(source.path), source.tree)
+                for source in runner.sources
+            ]
+        )
+        print("\n".join(graph.describe()))
+        return 0
+    for source in runner.sources:
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cfg = build_cfg(node)
+                cfg.name = f"{source.path}:{node.name}"
+                print("\n".join(cfg.describe()))
+    return 0

@@ -28,9 +28,14 @@ from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
 
 from .engine import Diagnostic, FileSource, ProjectRule, RuleVisitor
+from .flowrules import (
+    HotPathAllocationRule,
+    LockDisciplineRule,
+    ResourceLifecycleRule,
+)
 
 __all__ = [
     "RULES",
@@ -102,7 +107,7 @@ class SeedDisciplineRule(RuleVisitor):
         "or inline numeric-literal seeds in function bodies"
     )
 
-    def __init__(self, source: FileSource):
+    def __init__(self, source: FileSource) -> None:
         super().__init__(source)
         self._function_depth = 0
 
@@ -520,7 +525,7 @@ class ShardSafetyRule(RuleVisitor):
         "parallel_map / simulate_batch_sharded"
     )
 
-    def __init__(self, source: FileSource):
+    def __init__(self, source: FileSource) -> None:
         super().__init__(source)
         #: Per-enclosing-function sets of locally-defined function names.
         self._local_defs: List[Set[str]] = []
@@ -612,7 +617,7 @@ class PackedPurityRule(RuleVisitor):
         "materializing the bool plane inside packed hot paths"
     )
 
-    def __init__(self, source: FileSource):
+    def __init__(self, source: FileSource) -> None:
         super().__init__(source)
         self._tainted: List[Set[str]] = [set()]
 
@@ -744,11 +749,14 @@ class HygieneRule(RuleVisitor):
 
 
 #: The registry ``repro-lint`` runs (all on by default).
-RULES: Dict[str, type] = {
+RULES: Dict[str, Type[Any]] = {
     SeedDisciplineRule.name: SeedDisciplineRule,
     ApiSurfaceRule.name: ApiSurfaceRule,
     AsyncPurityRule.name: AsyncPurityRule,
     ShardSafetyRule.name: ShardSafetyRule,
     PackedPurityRule.name: PackedPurityRule,
     HygieneRule.name: HygieneRule,
+    ResourceLifecycleRule.name: ResourceLifecycleRule,
+    LockDisciplineRule.name: LockDisciplineRule,
+    HotPathAllocationRule.name: HotPathAllocationRule,
 }

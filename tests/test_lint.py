@@ -5,6 +5,8 @@ plus pragma suppression, the CLI exit-code contract, and the
 self-check that ``src/repro`` lints clean.
 """
 
+import ast
+import json
 import textwrap
 from pathlib import Path
 
@@ -12,8 +14,12 @@ import pytest
 
 from repro.tools.lint import (
     LintRunner,
+    build_call_graph,
+    build_cfg,
     check_api_surface,
+    forward_may,
     main,
+    module_name_for,
 )
 from repro.tools.lint.rules import RULES
 
@@ -576,7 +582,10 @@ class TestCLI:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for name in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        for name in (
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+            "RL007", "RL008", "RL009",
+        ):
             assert name in out
 
 
@@ -590,3 +599,746 @@ class TestSelfCheck:
     @pytest.mark.parametrize("rule", sorted(RULES))
     def test_each_rule_clean_individually(self, rule, capsys):
         assert main(["--select", rule, str(PACKAGE_DIR)]) == 0
+
+
+# -- dataflow machinery -------------------------------------------------------
+
+
+def fixture_cfg(code):
+    """``(func_node, cfg)`` for the last definition in *code*."""
+    tree = ast.parse(textwrap.dedent(code))
+    func = tree.body[-1]
+    return func, build_cfg(func)
+
+
+def only_node(func, kind, predicate=None):
+    """The unique AST node of *kind* in *func* (asserts uniqueness)."""
+    found = [
+        node
+        for node in ast.walk(func)
+        if isinstance(node, kind) and (predicate is None or predicate(node))
+    ]
+    assert len(found) == 1, found
+    return found[0]
+
+
+class TestCFG:
+    """build_cfg: joins, loops, try/finally, with, early returns."""
+
+    def test_if_else_branches_join(self):
+        func, cfg = fixture_cfg(
+            """
+            def f(flag):
+                if flag:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        )
+        then_stmt, else_stmt = [
+            node for node in ast.walk(func) if isinstance(node, ast.Assign)
+        ]
+        join = cfg.node_for(only_node(func, ast.Return))
+        assert join in cfg.succ[cfg.node_for(then_stmt)]
+        assert join in cfg.succ[cfg.node_for(else_stmt)]
+        assert cfg.exit in cfg.succ[join]
+
+    def test_if_without_else_keeps_fall_through(self):
+        func, cfg = fixture_cfg(
+            """
+            def f(flag):
+                if flag:
+                    a = 1
+                return 0
+            """
+        )
+        test_node = cfg.node_for(only_node(func, ast.If))
+        body = cfg.node_for(only_node(func, ast.Assign))
+        join = cfg.node_for(only_node(func, ast.Return))
+        assert cfg.succ[test_node] == {body, join}
+        assert join in cfg.succ[body]
+
+    def test_while_loop_back_edge_and_exit(self):
+        func, cfg = fixture_cfg(
+            """
+            def f(n):
+                while n:
+                    n -= 1
+                return n
+            """
+        )
+        head = cfg.node_for(only_node(func, ast.While))
+        body = cfg.node_for(only_node(func, ast.AugAssign))
+        out = cfg.node_for(only_node(func, ast.Return))
+        assert cfg.succ[head] == {body, out}
+        assert head in cfg.succ[body]  # the back edge
+
+    def test_for_loop_break_exits_loop(self):
+        func, cfg = fixture_cfg(
+            """
+            def f(items):
+                for item in items:
+                    break
+                return items
+            """
+        )
+        break_node = cfg.node_for(only_node(func, ast.Break))
+        out = cfg.node_for(only_node(func, ast.Return))
+        assert out in cfg.succ[break_node]
+
+    def test_early_return_edges_to_exit(self):
+        func, cfg = fixture_cfg(
+            """
+            def f(x):
+                if x:
+                    return 1
+                return 2
+            """
+        )
+        early = cfg.node_for(
+            only_node(
+                func,
+                ast.Return,
+                lambda node: getattr(node.value, "value", None) == 1,
+            )
+        )
+        assert cfg.succ[early] == {cfg.exit}
+
+    def test_return_routes_through_finally(self):
+        func, cfg = fixture_cfg(
+            """
+            def f(handle):
+                try:
+                    return handle.size
+                finally:
+                    handle.close()
+            """
+        )
+        ret = cfg.node_for(only_node(func, ast.Return))
+        fin = cfg.node_for(
+            only_node(
+                func,
+                ast.Expr,
+                lambda node: isinstance(node.value, ast.Call),
+            )
+        )
+        assert cfg.succ[ret] == {fin}  # not straight to exit
+        assert cfg.exit in cfg.succ[fin]
+
+    def test_with_header_precedes_body(self):
+        func, cfg = fixture_cfg(
+            """
+            def f(path):
+                with open(path) as fh:
+                    data = fh.read()
+                return data
+            """
+        )
+        header = cfg.node_for(only_node(func, ast.With))
+        body = cfg.node_for(only_node(func, ast.Assign))
+        out = cfg.node_for(only_node(func, ast.Return))
+        assert body in cfg.succ[header]
+        assert out in cfg.succ[body]
+
+    def test_forward_may_fact_survives_unkilled_branch(self):
+        func, cfg = fixture_cfg(
+            """
+            def f(flag):
+                h = acquire()
+                if flag:
+                    h.close()
+                return 0
+            """
+        )
+        acquire = cfg.node_for(
+            only_node(
+                func,
+                ast.Assign,
+                lambda node: isinstance(node.targets[0], ast.Name),
+            )
+        )
+        close = cfg.node_for(
+            only_node(
+                func,
+                ast.Expr,
+                lambda node: isinstance(node.value, ast.Call),
+            )
+        )
+        solved = forward_may(cfg, {acquire: {"h"}}, {close: {"h"}})
+        assert "h" in solved.in_sets[cfg.exit]  # leak via the else path
+
+    def test_forward_may_fact_killed_on_all_paths(self):
+        func, cfg = fixture_cfg(
+            """
+            def f(flag):
+                h = acquire()
+                if flag:
+                    h.close()
+                else:
+                    h.close()
+                return 0
+            """
+        )
+        acquire = cfg.node_for(
+            only_node(
+                func,
+                ast.Assign,
+                lambda node: isinstance(node.targets[0], ast.Name),
+            )
+        )
+        kills = {
+            cfg.node_for(node): {"h"}
+            for node in ast.walk(func)
+            if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call)
+        }
+        solved = forward_may(cfg, {acquire: {"h"}}, kills)
+        assert "h" not in solved.in_sets[cfg.exit]
+
+
+def graph_of(modules):
+    """Call graph over ``{module_name: source}`` fixtures."""
+    return build_call_graph(
+        [
+            (name, ast.parse(textwrap.dedent(source)))
+            for name, source in modules.items()
+        ]
+    )
+
+
+class TestCallGraph:
+    """Module-qualified call resolution and dispatch entry points."""
+
+    def test_aliased_import_resolves(self):
+        graph = graph_of(
+            {
+                "pkg.worklib": """
+                    def work():
+                        return 1
+                """,
+                "pkg.driver": """
+                    import pkg.worklib as lib
+
+                    def run():
+                        return lib.work()
+                """,
+            }
+        )
+        assert "pkg.worklib.work" in graph.edges.get("pkg.driver.run", set())
+
+    def test_from_import_alias_resolves(self):
+        graph = graph_of(
+            {
+                "pkg.worklib": """
+                    def work():
+                        return 1
+                """,
+                "pkg.driver": """
+                    from pkg.worklib import work as do_work
+
+                    def run():
+                        return do_work()
+                """,
+            }
+        )
+        assert "pkg.worklib.work" in graph.edges.get("pkg.driver.run", set())
+
+    def test_self_method_call_resolves(self):
+        graph = graph_of(
+            {
+                "mod": """
+                    class Engine:
+                        def outer(self):
+                            return self.inner()
+
+                        def inner(self):
+                            return 1
+                """,
+            }
+        )
+        assert "mod.Engine.inner" in graph.edges.get("mod.Engine.outer", set())
+
+    def test_local_instance_method_resolves(self):
+        graph = graph_of(
+            {
+                "mod": """
+                    class Engine:
+                        def inner(self):
+                            return 1
+
+                    def run():
+                        engine = Engine()
+                        return engine.inner()
+                """,
+            }
+        )
+        assert "mod.Engine.inner" in graph.edges.get("mod.run", set())
+
+    def test_nested_def_gets_parent_edge(self):
+        graph = graph_of(
+            {
+                "mod": """
+                    def outer():
+                        def helper():
+                            return 1
+                        return helper
+                """,
+            }
+        )
+        assert "mod.outer.helper" in graph.functions
+        assert "mod.outer.helper" in graph.edges.get("mod.outer", set())
+
+    def test_thread_target_is_entry(self):
+        graph = graph_of(
+            {
+                "mod": """
+                    import threading
+
+                    def worker():
+                        return 1
+
+                    def launch():
+                        threading.Thread(target=worker).start()
+                """,
+            }
+        )
+        assert "mod.worker" in graph.thread_entries
+
+    def test_parallel_map_argument_is_entry(self):
+        graph = graph_of(
+            {
+                "mod": """
+                    from repro.simulation.runtime import parallel_map
+
+                    def corner(payload):
+                        return payload
+
+                    def sweep(items):
+                        return parallel_map(corner, items)
+                """,
+            }
+        )
+        assert "mod.corner" in graph.thread_entries
+
+    def test_reachable_is_transitive(self):
+        graph = graph_of(
+            {
+                "mod": """
+                    def a():
+                        return b()
+
+                    def b():
+                        return c()
+
+                    def c():
+                        return 1
+                """,
+            }
+        )
+        assert graph.reachable({"mod.a"}) == {"mod.a", "mod.b", "mod.c"}
+
+    def test_module_name_for_walks_packages(self, tmp_path):
+        package = tmp_path / "outer" / "inner"
+        package.mkdir(parents=True)
+        (tmp_path / "outer" / "__init__.py").write_text("")
+        (package / "__init__.py").write_text("")
+        target = package / "module.py"
+        target.write_text("")
+        assert module_name_for(target) == "outer.inner.module"
+        assert module_name_for(package / "__init__.py") == "outer.inner"
+
+
+class TestResourceLifecycle:
+    """RL007: acquisitions must reach a release on every CFG path."""
+
+    def test_branch_local_release_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def leaky(name, flag):
+                shm = SharedMemory(name=name)
+                if flag:
+                    shm.close()
+                return 0
+            """,
+            select=["RL007"],
+        )
+        assert rule_names(diagnostics) == ["RL007"]
+        assert "'shm'" in diagnostics[0].message
+
+    def test_early_return_leak_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def early(name, flag):
+                shm = SharedMemory(name=name)
+                if flag:
+                    return 0
+                shm.close()
+                return 1
+            """,
+            select=["RL007"],
+        )
+        assert rule_names(diagnostics) == ["RL007"]
+
+    def test_try_finally_release_passes(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def careful(name):
+                shm = SharedMemory(name=name)
+                try:
+                    return 0
+                finally:
+                    shm.close()
+            """,
+            select=["RL007"],
+        )
+        assert diagnostics == []
+
+    def test_release_on_every_branch_passes(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def balanced(flag):
+                pool = ProcessPoolExecutor()
+                if flag:
+                    pool.shutdown()
+                    return 1
+                pool.shutdown()
+                return 0
+            """,
+            select=["RL007"],
+        )
+        assert diagnostics == []
+
+    def test_ownership_transfer_passes(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import weakref
+            from multiprocessing.shared_memory import SharedMemory
+
+            def handoff(name, registry):
+                shm = SharedMemory(name=name)
+                registry.adopt(shm)
+                return 0
+            """,
+            select=["RL007"],
+        )
+        assert diagnostics == []
+
+    def test_returned_resource_passes(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def factory(name):
+                shm = SharedMemory(name=name, create=True)
+                return shm
+            """,
+            select=["RL007"],
+        )
+        assert diagnostics == []
+
+
+class TestLockDiscipline:
+    """RL008: thread-reachable shared-state mutation needs its lock."""
+
+    def test_unguarded_mutation_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            _CACHE = {}
+            _CACHE_LOCK = threading.Lock()
+
+            def worker(key):
+                _CACHE[key] = 1
+                return _CACHE[key]
+
+            def launch():
+                threading.Thread(target=worker).start()
+            """,
+            select=["RL008"],
+        )
+        assert rule_names(diagnostics) == ["RL008"]
+
+    def test_guarded_mutation_passes(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            _CACHE = {}
+            _CACHE_LOCK = threading.Lock()
+
+            def worker(key):
+                with _CACHE_LOCK:
+                    _CACHE[key] = 1
+                return 1
+
+            def launch():
+                threading.Thread(target=worker).start()
+            """,
+            select=["RL008"],
+        )
+        assert diagnostics == []
+
+    def test_unreachable_function_not_flagged(self, tmp_path):
+        # No thread entry point: single-threaded mutation is fine.
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            _CACHE = {}
+            _CACHE_LOCK = threading.Lock()
+
+            def worker(key):
+                _CACHE[key] = 1
+                return _CACHE[key]
+            """,
+            select=["RL008"],
+        )
+        assert diagnostics == []
+
+    def test_unguarded_lazy_global_init_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            _TABLE = None
+            _TABLE_LOCK = threading.Lock()
+
+            def lookup(key):
+                global _TABLE
+                if _TABLE is None:
+                    _TABLE = {}
+                return _TABLE.get(key)
+
+            def fan_out(executor):
+                executor.submit(lookup)
+            """,
+            select=["RL008"],
+        )
+        assert rule_names(diagnostics) == ["RL008"]
+
+    def test_double_checked_lazy_init_passes(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            _TABLE = None
+            _TABLE_LOCK = threading.Lock()
+
+            def lookup(key):
+                global _TABLE
+                if _TABLE is None:
+                    with _TABLE_LOCK:
+                        if _TABLE is None:
+                            _TABLE = {}
+                return _TABLE.get(key)
+
+            def fan_out(executor):
+                executor.submit(lookup)
+            """,
+            select=["RL008"],
+        )
+        assert diagnostics == []
+
+    def test_shared_instance_unguarded_method_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+
+                def put(self, key, value):
+                    self._items[key] = value
+
+            REGISTRY = Registry()
+
+            def worker(key):
+                REGISTRY.put(key, 1)
+
+            def launch():
+                threading.Thread(target=worker).start()
+            """,
+            select=["RL008"],
+        )
+        assert rule_names(diagnostics) == ["RL008"]
+
+    def test_shared_instance_guarded_method_passes(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._items[key] = value
+
+            REGISTRY = Registry()
+
+            def worker(key):
+                REGISTRY.put(key, 1)
+
+            def launch():
+                threading.Thread(target=worker).start()
+            """,
+            select=["RL008"],
+        )
+        assert diagnostics == []
+
+
+class TestHotPathAllocation:
+    """RL009: no (B, L)-scale float materialization on packed paths."""
+
+    def test_dense_float_allocation_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def packed_step(words):
+                scratch = np.zeros((64, 1024))
+                return scratch
+            """,
+            select=["RL009"],
+        )
+        assert rule_names(diagnostics) == ["RL009"]
+
+    def test_integer_allocation_passes(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def packed_step(words):
+                scratch = np.zeros((64, 1024), dtype=np.uint64)
+                return scratch
+            """,
+            select=["RL009"],
+        )
+        assert diagnostics == []
+
+    def test_astype_float_on_unpacked_bits_flagged(self, tmp_path):
+        # The violation sits in a helper only *reachable* from the
+        # packed entry point — the call graph carries the taint.
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def _widen(words):
+                bits = unpack_bits(words)
+                return bits.astype(np.float64)
+
+            def packed_run(words):
+                return _widen(words)
+            """,
+            select=["RL009"],
+        )
+        assert rule_names(diagnostics) == ["RL009"]
+
+    def test_per_clock_loop_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def packed_scan(stream_length):
+                total = 0
+                for clock in range(stream_length):
+                    total += clock
+                return total
+            """,
+            select=["RL009"],
+        )
+        assert rule_names(diagnostics) == ["RL009"]
+
+    def test_unreachable_function_not_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def dense_reference(words):
+                return np.zeros((64, 1024))
+            """,
+            select=["RL009"],
+        )
+        assert diagnostics == []
+
+    def test_pragma_suppresses_intentional_site(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def packed_step(words):
+                scratch = np.zeros((64, 1024))  # repro-lint: disable=RL009
+                return scratch
+            """,
+            select=["RL009"],
+        )
+        assert diagnostics == []
+
+
+class TestCLIFormats:
+    """``--format json`` and the ``--graph`` debug dumps."""
+
+    def test_json_report_on_violation(self, tmp_path, capsys):
+        path = tmp_path / "dirty.py"
+        path.write_text("def f(x=[]):\n    return x\n")
+        assert main(["--format", "json", str(path)]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["tool"] == "repro-lint"
+        assert document["clean"] is False
+        assert document["files"] == 1
+        assert document["issues"][0]["rule"] == "RL006"
+        assert document["issues"][0]["path"] == str(path)
+        assert "RL007" in document["rules"]
+
+    def test_json_report_on_clean_file(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text("VALUE = 1\n")
+        assert main(["--format", "json", str(path)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["clean"] is True
+        assert document["issues"] == []
+
+    def test_graph_cfg_dump(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text("def f(x):\n    if x:\n        return 1\n    return 2\n")
+        assert main(["--graph", "cfg", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "cfg " in out
+        assert "<entry>" in out and "<exit>" in out
+
+    def test_graph_calls_dump(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text("def a():\n    return b()\n\ndef b():\n    return 1\n")
+        assert main(["--graph", "calls", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "mod.a" in out and "mod.b" in out

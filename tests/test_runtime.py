@@ -8,6 +8,8 @@ chunked streaming must accumulate exactly the one-shot statistics; a
 cache hit must return the stored result without recomputing.
 """
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -398,6 +400,45 @@ class TestEvaluationCache:
             circuit, [0.3, 0.7], length=128, schedule=schedule
         )
         _assert_batches_identical(cached, direct)
+
+    def test_concurrent_access_keeps_cache_consistent(self, circuit):
+        # backend="thread" shards and the serving executor share the
+        # process-wide cache, so lookup/store/clear race in practice.
+        # Under the internal lock every lookup bumps exactly one
+        # counter and eviction keeps the LRU within bounds.
+        cache = EvaluationCache(max_entries=8)
+        entry = cached_simulate_batch(
+            circuit, [0.5], length=64, base_seed=3, cache=cache
+        )
+        cache.clear()
+        workers, rounds = 4, 200
+        errors = []
+        barrier = threading.Barrier(workers)
+
+        def hammer(worker):
+            barrier.wait()
+            try:
+                for index in range(rounds):
+                    key = ("corner", worker % 2, index % 12)
+                    if cache.lookup(key) is None:
+                        cache.store(key, entry)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker,))
+            for worker in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # Exactly one counter bump per lookup, none lost to races.
+        assert cache.hits + cache.misses == workers * rounds
+        assert len(cache) <= 8
+        # The cache still serves correct objects afterwards.
+        assert cache.lookup(("corner", 0, 0)) in (None, entry)
 
 
 class TestRunBatchDispatcher:
