@@ -66,9 +66,22 @@ All bit-exactness checks are the pass/fail gates.  Wall-clock speedups
 are recorded in the ``BENCH_*.json`` artifact for CI trend tracking but,
 being machine-dependent, never fail the run.
 
+Part 6 (``--faults``) benchmarks the schedule-seeded fault engine
+(:mod:`repro.simulation.faultmodel`) and writes ``BENCH_faults.json``:
+
+* **numpy vs packed fault sweep** — the same composite fault scenario
+  (bit flips + desynchronization + drift ramp) applied through each
+  kernel; the packed path XORs word-level uint64 Bernoulli masks and
+  targets the same >= 4x speedup as the clean packed hot path;
+* **fault parity matrix** — scenario x kernel x (one-shot, chunked at a
+  word-misaligned tile length, sharded) must be bit-for-bit identical
+  (the exit gate): the fault realization is a pure function of the seed
+  schedule and the absolute clock index.
+
 Run:  PYTHONPATH=src python benchmarks/bench_batched.py \
           [--out FILE] [--workers N] [--long-length BITS] [--serving] \
           [--kernels] [--kernel-length BITS] [--kernels-out FILE] \
+          [--faults] [--fault-length BITS] [--faults-out FILE] \
           [--transport pickle|shm] [--transports] \
           [--transport-length BITS] [--runtime-out FILE]
 """
@@ -124,6 +137,12 @@ KERNEL_PARITY_LENGTH = 1000
 TRANSPORT_BATCH = 256
 TRANSPORT_LENGTH = 1 << 20
 TRANSPORT_TARGET_TRANSFER_RATIO = 2.0
+
+FAULT_BATCH = 256
+FAULT_LENGTH = 1 << 20
+FAULT_TARGET_SPEEDUP = 4.0
+FAULT_PARITY_BATCH = 8
+FAULT_PARITY_LENGTH = 1000
 
 
 def _stepped_uniform(lfsr, count: int) -> np.ndarray:
@@ -797,6 +816,190 @@ def bench_kernels(circuit, batch: int, length: int) -> dict:
     }
 
 
+def _fault_parity_matrix(circuit) -> dict:
+    """Bit-exactness gate for injected faults: kernel x scenario x shape.
+
+    For every fault scenario, every available kernel must reproduce the
+    numpy kernel's faulty values and output bits exactly — one-shot,
+    chunked (including a tile length that is not a multiple of 64, so
+    masks cross word boundaries mid-tile), and sharded across workers.
+    The fault realization is schedule-seeded, so any divergence is an
+    engine bug, never sampling noise.
+    """
+    from repro.simulation.faultmodel import FaultSpec
+    from repro.simulation.kernels import available_kernels
+    from repro.simulation.runtime import RuntimeConfig, run_batch
+
+    scenarios = {
+        "flip": FaultSpec(flip_probability=0.02),
+        "shift": FaultSpec(shift_clocks=7),
+        "stuck": FaultSpec(stuck_channel=0, stuck_value=1),
+        "drift": FaultSpec(drift_ramp_per_mclock=64.0),
+        "decay": FaultSpec(decay_tau_clocks=4096),
+        "composite": FaultSpec(
+            flip_probability=0.01,
+            shift_clocks=3,
+            stuck_channel=1,
+            stuck_value=0,
+            drift_ramp_per_mclock=32.0,
+            decay_tau_clocks=8192,
+        ),
+    }
+    xs = np.linspace(0.0, 1.0, FAULT_PARITY_BATCH)
+    checks = {}
+    exact = True
+    for name, fault in scenarios.items():
+        for sng_kind in ("lfsr", "chaotic"):
+            reference = run_batch(
+                circuit,
+                xs,
+                length=FAULT_PARITY_LENGTH,
+                sng_kind=sng_kind,
+                base_seed=SEED,
+                fault=fault,
+            )
+            for kernel in available_kernels():
+                if kernel == "numpy":
+                    continue
+                other = run_batch(
+                    circuit,
+                    xs,
+                    length=FAULT_PARITY_LENGTH,
+                    sng_kind=sng_kind,
+                    base_seed=SEED,
+                    config=RuntimeConfig(kernel=kernel),
+                    fault=fault,
+                )
+                chunked = run_batch(
+                    circuit,
+                    xs,
+                    length=FAULT_PARITY_LENGTH,
+                    sng_kind=sng_kind,
+                    base_seed=SEED,
+                    config=RuntimeConfig(
+                        kernel=kernel, chunk_length=100, workers=0
+                    ),
+                    fault=fault,
+                )
+                sharded = run_batch(
+                    circuit,
+                    xs,
+                    length=FAULT_PARITY_LENGTH,
+                    sng_kind=sng_kind,
+                    base_seed=SEED,
+                    config=RuntimeConfig(
+                        kernel=kernel, workers=2, backend="thread"
+                    ),
+                    fault=fault,
+                )
+                ok = bool(
+                    np.array_equal(reference.values, other.values)
+                    and np.array_equal(
+                        reference.output_bits, other.output_bits
+                    )
+                    and np.array_equal(
+                        reference.transmission_bit_errors,
+                        other.transmission_bit_errors,
+                    )
+                    and np.array_equal(
+                        chunked.ones_count,
+                        reference.output_bits.sum(axis=1),
+                    )
+                    and np.array_equal(
+                        chunked.transmission_bit_errors,
+                        reference.transmission_bit_errors,
+                    )
+                    and np.array_equal(
+                        sharded.output_bits, reference.output_bits
+                    )
+                )
+                checks[f"{name}/{sng_kind}/{kernel}"] = ok
+                exact = exact and ok
+    return {"bit_exact": exact, "cases": checks}
+
+
+def bench_faults(circuit, batch: int, length: int) -> dict:
+    """numpy vs packed fault injection on the long-stream sweep.
+
+    The same composite fault scenario (flips + desync + drift) applied
+    through each kernel: the packed engine builds its Bernoulli masks
+    as uint64 word planes and XORs them in place, so the faulty sweep
+    targets the same >= 4x speedup as the clean packed hot path — the
+    fault axis must not forfeit the packed-kernel win.  The exit gate
+    is the fault parity matrix; the machine-dependent speedup is
+    recorded for trend tracking.
+    """
+    from repro.simulation.faultmodel import FaultSpec
+    from repro.simulation.runtime import RuntimeConfig, run_batch
+
+    fault = FaultSpec(
+        flip_probability=0.01,
+        shift_clocks=5,
+        drift_ramp_per_mclock=0.25,
+    )
+    xs = np.linspace(0.0, 1.0, batch)
+    results = {}
+    reference_values = None
+    reference_seconds = None
+    values_exact = True
+    for kernel in ("numpy", "packed"):
+        seconds, outcome = best_of(
+            2,
+            lambda kernel=kernel: run_batch(
+                circuit,
+                xs,
+                length=length,
+                noisy=False,
+                base_seed=SEED,
+                config=RuntimeConfig(kernel=kernel),
+                fault=fault,
+            ),
+        )
+        values = np.asarray(outcome.values)
+        errors = np.asarray(outcome.transmission_bit_errors)
+        del outcome
+        if kernel == "numpy":
+            reference_values, reference_errors = values, errors
+            reference_seconds = seconds
+        else:
+            values_exact = values_exact and bool(
+                np.array_equal(values, reference_values)
+                and np.array_equal(errors, reference_errors)
+            )
+        results[kernel] = {
+            "seconds": round(seconds, 6),
+            "speedup_vs_numpy": (
+                1.0
+                if kernel == "numpy"
+                else round(reference_seconds / seconds, 2)
+            ),
+        }
+    parity = _fault_parity_matrix(circuit)
+    packed = results["packed"]
+    return {
+        "benchmark": "bench_faults",
+        "batch": int(batch),
+        "length": int(length),
+        "order": ORDER,
+        "noisy": False,
+        "fault": {
+            "flip_probability": fault.flip_probability,
+            "shift_clocks": fault.shift_clocks,
+            "drift_ramp_per_mclock": fault.drift_ramp_per_mclock,
+        },
+        "kernels": results,
+        "target_speedup": FAULT_TARGET_SPEEDUP,
+        "meets_target_speedup": bool(
+            packed["speedup_vs_numpy"] >= FAULT_TARGET_SPEEDUP
+        ),
+        "hot_path_values_exact": values_exact,
+        "parity": parity,
+        # Parity is the gate; the machine-dependent speedup is recorded
+        # for trend tracking but never fails the run.
+        "passed": bool(parity["bit_exact"] and values_exact),
+    }
+
+
 def bench_serving(circuit) -> dict:
     """Per-request serial vs coalesced micro-batched serving.
 
@@ -927,6 +1130,31 @@ def main(argv=None) -> int:
         help="kernel-benchmark JSON artifact path (default: %(default)s)",
     )
     parser.add_argument(
+        "--faults",
+        action="store_true",
+        help=(
+            "also benchmark schedule-seeded fault injection (numpy vs "
+            "packed word-mask application) with a parity exit gate"
+        ),
+    )
+    parser.add_argument(
+        "--fault-batch",
+        type=int,
+        default=FAULT_BATCH,
+        help="fault-benchmark sweep size (default 256)",
+    )
+    parser.add_argument(
+        "--fault-length",
+        type=int,
+        default=FAULT_LENGTH,
+        help="fault-benchmark stream length (default 2**20)",
+    )
+    parser.add_argument(
+        "--faults-out",
+        default="BENCH_faults.json",
+        help="fault-benchmark JSON artifact path (default: %(default)s)",
+    )
+    parser.add_argument(
         "--transport",
         choices=("pickle", "shm"),
         default="pickle",
@@ -1019,6 +1247,14 @@ def main(argv=None) -> int:
         with open(args.kernels_out, "w") as handle:
             json.dump(kernel_section, handle, indent=2)
             handle.write("\n")
+    faults_section = None
+    if args.faults:
+        faults_section = bench_faults(
+            circuit, args.fault_batch, args.fault_length
+        )
+        with open(args.faults_out, "w") as handle:
+            json.dump(faults_section, handle, indent=2)
+            handle.write("\n")
     transports_section = None
     if args.transports:
         transports_section = bench_transports(
@@ -1045,6 +1281,7 @@ def main(argv=None) -> int:
         and chunked["statistics_exact"]
         and (serving is None or serving["bit_exact"])
         and (kernel_section is None or kernel_section["passed"])
+        and (faults_section is None or faults_section["passed"])
         and (transports_section is None or transports_section["passed"])
     )
     result = {
@@ -1065,6 +1302,7 @@ def main(argv=None) -> int:
         "chunked": chunked,
         "serving": serving,
         "kernels_artifact": args.kernels_out if args.kernels else None,
+        "faults_artifact": args.faults_out if args.faults else None,
         "runtime_artifact": args.runtime_out if args.transports else None,
         # Correctness is the gate; wall-clock speedups are recorded for
         # trend tracking but machine-dependent, so they never fail CI.
@@ -1126,6 +1364,22 @@ def main(argv=None) -> int:
             f"parity gate: {kernel_section['parity']['bit_exact']}"
         )
         print(f"  kernel artifact written to {args.kernels_out}")
+    if faults_section is not None:
+        print(
+            f"fault injection: {faults_section['batch']} rows x "
+            f"{faults_section['length']} bits, composite scenario"
+        )
+        for name, row in faults_section["kernels"].items():
+            print(
+                f"  {name:<10s}: {row['seconds'] * 1e3:9.1f} ms "
+                f"({row['speedup_vs_numpy']:.2f}x)"
+            )
+        print(
+            f"  packed fault speedup target >= "
+            f"{FAULT_TARGET_SPEEDUP:.0f}x; "
+            f"parity gate: {faults_section['parity']['bit_exact']}"
+        )
+        print(f"  fault artifact written to {args.faults_out}")
     if transports_section is not None:
         t = transports_section
         print(
@@ -1196,6 +1450,13 @@ def main(argv=None) -> int:
     if kernel_section is not None and not kernel_section["passed"]:
         print(
             "FAILED: a compute kernel diverges from the numpy reference",
+            file=sys.stderr,
+        )
+        return 1
+    if faults_section is not None and not faults_section["passed"]:
+        print(
+            "FAILED: a fault-injected kernel diverges from the numpy "
+            "reference",
             file=sys.stderr,
         )
         return 1

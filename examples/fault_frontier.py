@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Fault frontier: megabit-stream degradation curves in seconds.
+
+The paper motivates stochastic computing by graceful degradation under
+soft errors (Section II-A).  This example measures the claim with the
+schedule-seeded fault engine (:mod:`repro.simulation.faultmodel`) on
+``L = 2**20`` streams, running on the packed kernel so word-level fault
+masks never unpack the megabit streams:
+
+1. sweep the per-clock bit-flip rate and watch the output error track
+   the flip rate (never an MSB-style blowup);
+2. pin one data MZI stuck-at-1 and read the biased frontier;
+3. ramp a thermal drift across the stream — the trajectory fault whose
+   realization is a function of the absolute clock index, bit-exact
+   whatever chunk size streams it.
+
+Run:  python examples/fault_frontier.py
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro.simulation import FaultSpec, fault_frontier
+
+STREAM_LENGTH = 1 << 20
+BASE_SEED = 0xFA11
+
+
+def main() -> None:
+    params = repro.paper_section5a_parameters()
+    program = repro.BernsteinPolynomial([0.25, 0.625, 0.375])
+    circuit = repro.OpticalStochasticCircuit(params, program)
+    spec = repro.EvalSpec(length=STREAM_LENGTH, base_seed=BASE_SEED)
+    runtime = repro.RuntimeConfig(kernel="packed")
+    xs = np.linspace(0.0, 1.0, 5)
+
+    # --- 1. flip-rate frontier ----------------------------------------------
+    print(f"=== bit-flip frontier at L=2^20 ({STREAM_LENGTH} clocks) ===")
+    start = time.perf_counter()
+    sweep = fault_frontier(
+        circuit,
+        [0.0, 1e-4, 1e-3, 1e-2, 1e-1],
+        xs=xs,
+        spec=spec,
+        runtime=runtime,
+    )
+    elapsed = time.perf_counter() - start
+    print(f"{'flip rate':>10} | {'mean |err|':>10} | {'link BER':>9}")
+    for index in range(sweep["flip_probability"].size):
+        print(
+            f"{sweep['flip_probability'][index]:10.0e} | "
+            f"{sweep['mean_abs_error'][index]:10.5f} | "
+            f"{sweep['mean_link_ber'][index]:9.5f}"
+        )
+    print(f"-> 5 frontier points x 5 inputs in {elapsed:.2f} s; the output")
+    print("   error tracks the flip rate instead of exploding.")
+    print()
+
+    # --- 2. stuck-MZI and drift scenarios -----------------------------------
+    print("=== structural scenarios (same seeds, same streams) ===")
+    session = repro.Evaluator(circuit, spec, runtime)
+    scenarios = {
+        "clean": None,
+        "stuck MZI@1": FaultSpec(stuck_channel=0, stuck_value=1),
+        "stuck MZI@0": FaultSpec(stuck_channel=0, stuck_value=0),
+        "drift ramp 0.5/Mck": FaultSpec(drift_ramp_per_mclock=0.5),
+        "decay tau=256k": FaultSpec(decay_tau_clocks=1 << 18),
+    }
+    print(f"{'scenario':>20} | {'mean |err|':>10} | {'max |err|':>10}")
+    for name, fault in scenarios.items():
+        result = session.with_fault(fault).evaluate(xs)
+        errors = np.asarray(result.absolute_errors)
+        print(f"{name:>20} | {errors.mean():10.5f} | {errors.max():10.5f}")
+    print("-> the stuck select MZI biases the multiplexer toward one")
+    print("   coefficient; drift and decay accumulate along the stream.")
+    print()
+
+    # --- 3. trajectory faults are chunk-invariant ---------------------------
+    print("=== chunked replay of the drift trajectory ===")
+    drift = FaultSpec(drift_ramp_per_mclock=0.5)
+    chunked = session.with_fault(drift).stream(xs, chunk_length=1 << 16)
+    oneshot = session.with_fault(drift).evaluate(xs)
+    match = np.array_equal(
+        np.asarray(chunked.values), np.asarray(oneshot.values)
+    )
+    print(f"chunked (64 KiC tiles) == one-shot: {match}")
+    print("   drift at clock k depends on k alone, never on the tiling.")
+
+
+if __name__ == "__main__":
+    main()

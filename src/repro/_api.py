@@ -65,12 +65,14 @@ from .simulation import (
     ChunkedEvaluation,
     EvaluationCache,
     FaultInjector,
+    FaultSpec,
     OpticalReceiver,
     RuntimeConfig,
     SeedSchedule,
     TransientSimulator,
     available_kernels,
     derive_seed_schedule,
+    fault_frontier,
     kernel_capabilities,
     run_batch,
     simulate_batch,
@@ -159,6 +161,8 @@ __all__ = [
     "TransientSimulator",
     "CalibrationController",
     "FaultInjector",
+    "FaultSpec",
+    "fault_frontier",
     "Bitstream",
     "BernsteinPolynomial",
     "PowerPolynomial",

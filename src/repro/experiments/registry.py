@@ -79,6 +79,7 @@ def _ensure_loaded() -> None:
     # Import the experiment modules for their registration side effects.
     from . import (  # noqa: F401
         accuracy,
+        degradation,
         extras,
         fig5,
         fig6,

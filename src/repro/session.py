@@ -53,6 +53,7 @@ from .simulation.engine import (
     _validate_base_seed,
     _validate_sng_width,
 )
+from .simulation.faultmodel import FaultSpec
 from .simulation.runtime import RuntimeConfig, run_batch
 from .stochastic.sng import SNG_KINDS
 
@@ -126,6 +127,14 @@ class EvalSpec:
         pins the whole seed space, making every evaluation (including
         receiver noise) a deterministic — and cacheable — function of
         the inputs.
+    fault:
+        Optional :class:`~repro.simulation.faultmodel.FaultSpec` fault
+        scenario injected into every evaluation of this design point —
+        flips, desynchronization shifts, stuck-MZI pinning and
+        drift/decay trajectories.  Part of the spec (not the runtime)
+        because it changes *which bits* are produced; realizations are
+        seeded from the evaluation's seed schedule, so the runtime
+        knobs stay pure wall-clock levers under a fault too.
     """
 
     length: int = 1024
@@ -133,6 +142,7 @@ class EvalSpec:
     sng_width: int = 16
     noisy: bool = True
     base_seed: Optional[int] = None
+    fault: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         # Normalize to plain ints (accepting numpy integers), rejecting
@@ -164,6 +174,10 @@ class EvalSpec:
             )
         _validate_base_seed(self.base_seed)
         _validate_sng_width(self.sng_kind, self.sng_width)
+        if self.fault is not None and not isinstance(self.fault, FaultSpec):
+            raise ConfigurationError(
+                f"fault must be a FaultSpec, got {self.fault!r}"
+            )
 
     def replace(self, **changes: Any) -> "EvalSpec":
         """A copy of the spec with *changes* applied (re-validated)."""
@@ -269,6 +283,19 @@ class Evaluator:
             dataclasses.replace(self.runtime, kernel=kernel)
         )
 
+    def with_fault(self, fault: Optional[FaultSpec]) -> "Evaluator":
+        """A new session evaluating under a fault scenario (or none).
+
+        *fault* is a :class:`~repro.simulation.faultmodel.FaultSpec`
+        (or ``None`` to clear one) — the graceful-degradation axis:
+        derive one session per fault point and compare accuracy.
+        Unlike the runtime knobs this changes which bits are produced,
+        but the realization is schedule-seeded, so results remain
+        bit-for-bit identical across kernels, workers, chunk sizes and
+        transports.
+        """
+        return self.with_options(fault=fault)
+
     def with_transport(self, transport: str) -> "Evaluator":
         """A new session moving shard data over another transport.
 
@@ -299,9 +326,18 @@ class Evaluator:
         alone or inside any coalesced batch produces the same bits —
         the guarantee :class:`repro.serving.BatchServer` builds on.
         (With ``noisy=True`` the per-row noise seeds depend on the row's
-        position in the batch, so only whole-batch identity holds.)
+        position in the batch, so only whole-batch identity holds —
+        and likewise for stochastic fault components, whose mask seeds
+        derive from the same positional noise-seed column.)
         """
-        return self.spec.deterministic and not self.spec.noisy
+        fault_positional = (
+            self.spec.fault is not None and self.spec.fault.needs_seeds
+        )
+        return (
+            self.spec.deterministic
+            and not self.spec.noisy
+            and not fault_positional
+        )
 
     # -- workload methods ------------------------------------------------------
 
@@ -327,6 +363,7 @@ class Evaluator:
             base_seed=self.spec.base_seed,
             sng_width=self.spec.sng_width,
             config=self.runtime,
+            fault=self.spec.fault,
         )
 
     def evaluate_one(

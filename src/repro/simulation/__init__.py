@@ -52,11 +52,13 @@ from .faults import (
     with_filter_drift,
     with_stuck_mzi,
 )
+from .faultmodel import FAULT_PROBABILITY_BITS, FaultSpec, PackedFaultChannel
 from .transient import TransientResult, TransientSimulator
 from .controller import CalibrationController, ControllerTrace
 from .montecarlo import (
     MonteCarloResult,
     VariationModel,
+    fault_frontier,
     run_monte_carlo,
     yield_vs_sigma,
 )
@@ -98,6 +100,10 @@ __all__ = [
     "with_stuck_mzi",
     "with_filter_drift",
     "with_coefficient_ring_drift",
+    "FAULT_PROBABILITY_BITS",
+    "FaultSpec",
+    "PackedFaultChannel",
+    "fault_frontier",
     "TransientSimulator",
     "TransientResult",
     "CalibrationController",

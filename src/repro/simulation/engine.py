@@ -45,6 +45,12 @@ from ..stochastic.sng import (
     derive_sobol_offsets,
     van_der_corput,
 )
+from .faultmodel import (
+    FaultSpec,
+    PackedFaultChannel,
+    pin_stuck_bits,
+    pin_stuck_words,
+)
 from .kernels import (
     PackedChaoticSource,
     optical_pass,
@@ -436,6 +442,7 @@ def simulate_batch(
     sng_width: int = 16,
     schedule: Optional[SeedSchedule] = None,
     kernel: str = "numpy",
+    fault: Optional[FaultSpec] = None,
 ) -> BatchEvaluation:
     """Run the optical circuit on every input in *xs* in one array pass.
 
@@ -475,6 +482,15 @@ def simulate_batch(
         loop; requires the optional numba package).  A pure wall-clock/
         memory lever: every kernel returns bit-for-bit identical
         results.
+    fault:
+        Optional :class:`~repro.simulation.faultmodel.FaultSpec` fault
+        scenario.  A stuck MZI pins its data channel before the optical
+        pass; channel faults (decay erasure, flips/drift, the
+        desynchronization shift) transform the observed output stream —
+        seeded from the schedule's per-row ``noise_seeds`` so the
+        realization is bit-exact across kernels, workers, chunk sizes
+        and transports.  Stochastic fault components therefore need a
+        *schedule* or a fixed *base_seed*.
     """
     kernel = resolve_kernel(kernel)
     xs = _validate_batch_inputs(
@@ -485,6 +501,12 @@ def simulate_batch(
     batch = xs.size
     coefficients = np.asarray(circuit.polynomial.coefficients, dtype=float)
     noise_sigma = params.detector.noise_current_a
+    if fault is not None:
+        if not isinstance(fault, FaultSpec):
+            raise ConfigurationError(
+                f"fault must be a FaultSpec, got {fault!r}"
+            )
+        fault.validate_against_order(order)
 
     noise_a: Optional["np.ndarray[Any, Any]"] = (
         np.empty((batch, length), dtype=float) if noisy else None
@@ -539,6 +561,15 @@ def simulate_batch(
         length,
         sng_width,
     )
+    if fault is not None and fault.stuck_channel is not None:
+        # Pinned *before* the optical pass: a stuck MZI changes the
+        # select level, hence the faulty circuit's powers and ideal
+        # decisions too.  (The generators may return broadcast views —
+        # the pinning helpers copy.)
+        if form == "words":
+            data_streams = pin_stuck_words(data_streams, fault, length)
+        else:
+            data_streams = pin_stuck_bits(data_streams, fault)
 
     # 3-4. per-clock optics + receiver, shared with the chunked runtime.
     if form == "words":
@@ -549,6 +580,29 @@ def simulate_batch(
         powers, output_bits, ideal_bits, levels = _optical_pass(
             circuit, data_streams, coeff_streams, noise_a, kernel=kernel
         )
+
+    if fault is not None and fault.has_stream_faults:
+        if schedule is not None:
+            fault_seeds = schedule.noise_seeds
+        elif not fault.needs_seeds:
+            # Stuck/shift faults are deterministic; any seed column works.
+            fault_seeds = np.zeros(batch, dtype=np.int64)
+        elif base_seed is not None:
+            # The deterministic schedule of this base_seed — exactly the
+            # seeds run_batch would thread through, so the bare call and
+            # the runtime agree on the realization.
+            fault_seeds = derive_seed_schedule(
+                batch, sng_kind=sng_kind, base_seed=base_seed
+            ).noise_seeds
+        else:
+            raise ConfigurationError(
+                "stochastic fault injection needs relocatable per-row "
+                "seeds: pass a SeedSchedule or a fixed base_seed "
+                "(run_batch and the Evaluator session derive one "
+                "automatically)"
+            )
+        channel = PackedFaultChannel(fault, fault_seeds, length)
+        output_bits = channel.apply_bits(output_bits, 0)
 
     values = output_bits.mean(axis=1)
     # Vectorized de Casteljau is elementwise: identical floats to calling

@@ -106,11 +106,17 @@ def with_coefficient_ring_drift(params: Any, drift_nm: float) -> Any:
     # Encode the drift by moving the probe grid relative to the rings:
     # equivalent, and it keeps RingProfile immutable.
     grid = params.grid
+    guard_nm = grid.guard_nm - drift_nm
+    if guard_nm <= 0:
+        raise ConfigurationError(
+            "drift would collapse the filter guard band onto the last "
+            "channel; a silently clamped guard would misreport the eye"
+        )
     drifted_grid = WDMGrid(
         channel_count=grid.channel_count,
         spacing_nm=grid.spacing_nm,
         anchor_nm=grid.anchor_nm + drift_nm,
-        guard_nm=max(grid.guard_nm - drift_nm, 1e-6),
+        guard_nm=guard_nm,
     )
     return replace(params, grid=drifted_grid)
 
@@ -151,11 +157,18 @@ class FaultInjector:
         The SNG seed space is pinned (*base_seed*) so every drift point
         reuses identical randomizer streams — the study isolates the
         drift effect instead of confounding it with per-point sampling
-        noise.
+        noise.  Each point routes through a
+        :class:`~repro.session.Evaluator` session, so the study runs on
+        the batched engine and inherits its kernel/worker invariance.
+        A drift large enough to break the circuit's configuration
+        (guard-band collapse, inverted filter) records ``NaN`` for that
+        point; genuine simulation bugs propagate instead of being
+        swallowed into the curve.
         """
-        from .functional import simulate_evaluation
+        from ..session import EvalSpec, Evaluator
 
         rng = rng or np.random.default_rng(_DRIFT_STUDY_SEED)
+        spec = EvalSpec(length=length, base_seed=base_seed)
         errors: List[float] = []
         bers: List[float] = []
         for drift in drifts_nm:
@@ -163,12 +176,12 @@ class FaultInjector:
                 faulty = self._rebuild(
                     with_filter_drift(self.circuit.params, float(drift))
                 )
-                result = simulate_evaluation(
-                    faulty, x=x, length=length, rng=rng, base_seed=base_seed
+                result = Evaluator(faulty, spec=spec).evaluate(
+                    [float(x)], rng=rng
                 )
-                errors.append(result.absolute_error)
-                bers.append(result.transmission_ber)
-            except Exception:
+                errors.append(float(np.asarray(result.absolute_errors)[0]))
+                bers.append(float(np.asarray(result.transmission_ber)[0]))
+            except ConfigurationError:
                 errors.append(np.nan)
                 bers.append(np.nan)
         return {

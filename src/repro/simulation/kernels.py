@@ -1035,6 +1035,8 @@ def packed_tile_statistics(
     noise_a: Optional["np.ndarray[Any, Any]"] = None,
     histogram_edges: Optional["np.ndarray[Any, Any]"] = None,
     kernel: str = "packed",
+    fault_channel: Optional[Any] = None,
+    clock_offset: int = 0,
 ) -> Tuple[
     "np.ndarray[Any, Any]",
     "np.ndarray[Any, Any]",
@@ -1056,12 +1058,54 @@ def packed_tile_statistics(
     * Otherwise (receiver noise, or an exotic detector whose decisions
       diverge from the mux): per-clock keys are assembled and the same
       flat tables as :func:`packed_optical_pass` resolve the decisions.
+
+    With *fault_channel* (a
+    :class:`~repro.simulation.faultmodel.PackedFaultChannel`) the
+    observed output words are transformed in place of the clean stream
+    before counting — *clock_offset* is the tile's absolute stream
+    clock, so trajectory faults and the desynchronization carry resume
+    exactly across tiles.  Errors then count observed-vs-ideal bits
+    word-level (popcounts of the XOR), still with no per-clock float
+    tensor; the power histogram keeps binning the *optical* powers,
+    which receiver-side channel faults do not touch.
     """
     context = pass_context(circuit)
     flat = context._flat_tables()
     ones: "np.ndarray[Any, Any]"
     errors: "np.ndarray[Any, Any]"
     histogram: Optional["np.ndarray[Any, Any]"] = None
+    if fault_channel is not None:
+        keys: Optional["np.ndarray[Any, Any]"] = None
+        if noise_a is None and flat["decision_is_ideal"]:
+            level_planes = _bit_plane_sum(data_words)[: context.level_bits]
+            out_words = _mux_words(coeff_words, level_planes, context.order)
+            ideal_words = out_words
+        else:
+            keys = _packed_keys(
+                context, data_words, coeff_words, length, kernel
+            )
+            if noise_a is None:
+                decision_bytes = flat["decisions"].take(keys)
+            else:
+                decision_bytes = _noisy_decisions(context, flat, keys, noise_a)
+            out_words = pack_bits(decision_bytes)
+            ideal_words = pack_bits(flat["ideal"].take(keys))
+        observed = fault_channel.apply_words(out_words, clock_offset, length)
+        ones = popcount(observed).sum(axis=-1)
+        errors = popcount(observed ^ ideal_words).sum(axis=-1)
+        if histogram_edges is not None:
+            if keys is None:
+                keys = _packed_keys(
+                    context, data_words, coeff_words, length, kernel
+                )
+            key_counts = np.bincount(
+                keys.reshape(-1).astype(np.int64),
+                minlength=flat["powers"].size,
+            )
+            histogram = _histogram_from_key_counts(
+                flat["powers"], key_counts, histogram_edges
+            )
+        return ones, errors, histogram
     if noise_a is None and flat["decision_is_ideal"]:
         level_planes = _bit_plane_sum(data_words)[: context.level_bits]
         out_words = _mux_words(coeff_words, level_planes, context.order)

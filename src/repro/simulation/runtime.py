@@ -82,6 +82,12 @@ from .engine import (
     derive_seed_schedule,
     simulate_batch,
 )
+from .faultmodel import (
+    FaultSpec,
+    fault_channel_for,
+    pin_stuck_bits,
+    pin_stuck_words,
+)
 from .kernels import (
     PackedChaoticSource,
     PackedLfsrSource,
@@ -281,9 +287,28 @@ def _map_row_shards(
     return parallel_map(worker, payloads, workers=workers, backend=backend)
 
 
+def _validate_fault(fault: Optional[FaultSpec], circuit: Any) -> None:
+    """Shared fault validation of every runtime dispatch path."""
+    if fault is None:
+        return
+    if not isinstance(fault, FaultSpec):
+        raise ConfigurationError(f"fault must be a FaultSpec, got {fault!r}")
+    fault.validate_against_order(circuit.params.order)
+
+
 def _shard_worker(payload: Tuple[Any, ...]) -> BatchEvaluation:
     """Evaluate one row shard (module-level so process pools can pickle it)."""
-    circuit, xs, length, noisy, sng_kind, sng_width, schedule, kernel = payload
+    (
+        circuit,
+        xs,
+        length,
+        noisy,
+        sng_kind,
+        sng_width,
+        schedule,
+        kernel,
+        fault,
+    ) = payload
     return simulate_batch(
         circuit,
         xs,
@@ -293,6 +318,7 @@ def _shard_worker(payload: Tuple[Any, ...]) -> BatchEvaluation:
         sng_width=sng_width,
         schedule=schedule,
         kernel=kernel,
+        fault=fault,
     )
 
 
@@ -367,6 +393,7 @@ def _shm_shard_worker(payload: Tuple[Any, ...]) -> Tuple[int, int]:
         sng_width,
         kernel,
         packed,
+        fault,
     ) = payload
     arena = SharedArena.attach(spec)
     try:
@@ -380,6 +407,7 @@ def _shm_shard_worker(payload: Tuple[Any, ...]) -> Tuple[int, int]:
             sng_width=sng_width,
             schedule=schedule,
             kernel=kernel,
+            fault=fault,
         )
         arena.write("values", result.values, lo)
         arena.write("expected", result.expected, lo)
@@ -407,6 +435,7 @@ def _simulate_batch_sharded_shm(
     kernel: str,
     workers: int,
     backend: str,
+    fault: Optional[FaultSpec] = None,
 ) -> BatchEvaluation:
     """The zero-copy shm fan-out behind ``transport="shm"``.
 
@@ -452,6 +481,7 @@ def _simulate_batch_sharded_shm(
                 sng_width,
                 kernel,
                 packed,
+                fault,
             )
             for lo, hi in _shard_bounds(batch, workers)
         ]
@@ -494,6 +524,7 @@ def simulate_batch_sharded(
     schedule: Optional[SeedSchedule] = None,
     kernel: str = "numpy",
     transport: str = "pickle",
+    fault: Optional[FaultSpec] = None,
 ) -> BatchEvaluation:
     """Row-sharded :func:`~repro.simulation.engine.simulate_batch`.
 
@@ -522,6 +553,7 @@ def simulate_batch_sharded(
     xs = _validate_batch_inputs(
         circuit, xs, length, sng_kind, base_seed, sng_width
     )
+    _validate_fault(fault, circuit)
     batch = xs.size
     if schedule is None:
         schedule = derive_seed_schedule(
@@ -542,6 +574,7 @@ def simulate_batch_sharded(
             sng_width=sng_width,
             schedule=schedule,
             kernel=kernel,
+            fault=fault,
         )
     if transport == "shm":
         return _simulate_batch_sharded_shm(
@@ -555,6 +588,7 @@ def simulate_batch_sharded(
             kernel,
             workers,
             backend,
+            fault=fault,
         )
     shards = _map_row_shards(
         _shard_worker,
@@ -567,6 +601,7 @@ def simulate_batch_sharded(
             sng_width,
             schedule_shard,
             kernel,
+            fault,
         ),
         xs,
         schedule,
@@ -776,6 +811,7 @@ def _chunked_shard_worker(payload: Tuple[Any, ...]) -> ChunkedEvaluation:
         schedule,
         bins,
         kernel,
+        fault,
     ) = payload
     return simulate_chunked(
         circuit,
@@ -789,6 +825,7 @@ def _chunked_shard_worker(payload: Tuple[Any, ...]) -> ChunkedEvaluation:
         power_histogram_bins=bins,
         workers=0,
         kernel=kernel,
+        fault=fault,
     )
 
 
@@ -816,6 +853,7 @@ def _chunked_shm_worker(
         sng_width,
         bins,
         kernel,
+        fault,
     ) = payload
     arena = SharedArena.attach(spec)
     try:
@@ -832,6 +870,7 @@ def _chunked_shm_worker(
             power_histogram_bins=bins,
             workers=0,
             kernel=kernel,
+            fault=fault,
         )
         arena.write("expected", result.expected, lo)
         arena.write("ones_count", result.ones_count, lo)
@@ -858,6 +897,7 @@ def _simulate_chunked_shm(
     kernel: str,
     workers: int,
     backend: str,
+    fault: Optional[FaultSpec] = None,
 ) -> ChunkedEvaluation:
     """Shared-memory row sharding for the streaming path."""
     batch = xs.size
@@ -890,6 +930,7 @@ def _simulate_chunked_shm(
                 sng_width,
                 bins,
                 kernel,
+                fault,
             )
             for shard_index, (lo, hi) in enumerate(bounds)
         ]
@@ -953,6 +994,7 @@ def simulate_chunked(
     backend: str = "process",
     kernel: str = "numpy",
     transport: str = "pickle",
+    fault: Optional[FaultSpec] = None,
 ) -> ChunkedEvaluation:
     """Stream a long evaluation through ``(B, chunk_length)`` tiles.
 
@@ -987,6 +1029,13 @@ def simulate_chunked(
     and on the noiseless LFSR path no per-clock array is materialized
     at all.  The accumulated statistics stay bit-exact with the numpy
     kernel's.
+
+    *fault* injects a :class:`~repro.simulation.faultmodel.FaultSpec`
+    scenario: flip/erasure masks are pure functions of the absolute
+    clock index and the per-row schedule seeds, and the
+    desynchronization shift carries its bits across tiles — so the
+    accumulated statistics are bit-exact with the one-shot faulted
+    evaluation whatever the chunk length, worker count or kernel.
     """
     _validate_backend(backend)
     kernel = resolve_kernel(kernel)
@@ -994,6 +1043,7 @@ def simulate_chunked(
     xs = _validate_batch_inputs(
         circuit, xs, length, sng_kind, base_seed, sng_width
     )
+    _validate_fault(fault, circuit)
     if chunk_length <= 0:
         raise ConfigurationError(
             f"chunk_length must be positive, got {chunk_length!r}"
@@ -1027,6 +1077,7 @@ def simulate_chunked(
                 kernel,
                 workers,
                 backend,
+                fault=fault,
             )
         shards = _map_row_shards(
             _chunked_shard_worker,
@@ -1041,6 +1092,7 @@ def simulate_chunked(
                 schedule_shard,
                 power_histogram_bins,
                 kernel,
+                fault,
             ),
             xs,
             schedule,
@@ -1079,6 +1131,14 @@ def simulate_chunked(
     noise_rngs: Optional[List[Any]] = (
         [schedule.row_noise_rng(row) for row in range(batch)] if noisy else None
     )
+    # One stream-fault channel for the whole run: masks are addressed by
+    # absolute clock, the desynchronization carry advances tile by tile.
+    fault_channel = (
+        fault_channel_for(fault, schedule.noise_seeds, length)
+        if fault is not None
+        else None
+    )
+    pin_stuck = fault is not None and fault.stuck_channel is not None
 
     ones_count = np.zeros(batch, dtype=np.int64)
     error_count = np.zeros(batch, dtype=np.int64)
@@ -1131,6 +1191,13 @@ def simulate_chunked(
             coeff_streams = (coeff_u < coefficients[None, :, None]).astype(
                 np.uint8
             )
+        if pin_stuck:
+            assert fault is not None
+            data_streams = (
+                pin_stuck_words(data_streams, fault, count)
+                if use_packed
+                else pin_stuck_bits(data_streams, fault)
+            )
         noise_a = (
             np.stack(
                 [gen.normal(0.0, noise_sigma, count) for gen in noise_rngs]
@@ -1147,6 +1214,8 @@ def simulate_chunked(
                 noise_a=noise_a,
                 histogram_edges=edges if histogram is not None else None,
                 kernel=kernel,
+                fault_channel=fault_channel,
+                clock_offset=start,
             )
             ones_count += ones_inc
             error_count += error_inc
@@ -1157,6 +1226,8 @@ def simulate_chunked(
             powers, output_bits, ideal_bits, _ = _optical_pass(
                 circuit, data_streams, coeff_streams, noise_a
             )
+            if fault_channel is not None:
+                output_bits = fault_channel.apply_bits(output_bits, start)
             ones_count += output_bits.sum(axis=1, dtype=np.int64)
             error_count += np.sum(
                 output_bits != ideal_bits, axis=1, dtype=np.int64
@@ -1279,6 +1350,7 @@ def _evaluation_key(
     sng_kind: str,
     base_seed: int,
     sng_width: int,
+    fault: Optional[FaultSpec] = None,
 ) -> Tuple[Any, ...]:
     digest = hashlib.sha1(np.ascontiguousarray(xs).tobytes()).hexdigest()
     return (
@@ -1290,6 +1362,9 @@ def _evaluation_key(
         bool(noisy),
         int(xs.size),
         digest,
+        # FaultSpec is a frozen value object: equal scenarios hash equal,
+        # and the fault realization is a pure function of base_seed + spec.
+        fault,
     )
 
 
@@ -1306,6 +1381,7 @@ def _cached_simulate_batch(
     backend: str = "process",
     kernel: str = "numpy",
     transport: str = "pickle",
+    fault: Optional[FaultSpec] = None,
 ) -> BatchEvaluation:
     """Keyed, memoized batch evaluation for repeated exploration sweeps.
 
@@ -1334,7 +1410,7 @@ def _cached_simulate_batch(
     xs = xs.copy()
     cache = _DEFAULT_CACHE if cache is None else cache
     key = _evaluation_key(
-        circuit, xs, length, noisy, sng_kind, base_seed, sng_width
+        circuit, xs, length, noisy, sng_kind, base_seed, sng_width, fault
     )
     hit = cache.lookup(key)
     if hit is not None:
@@ -1354,6 +1430,7 @@ def _cached_simulate_batch(
         schedule=schedule,
         kernel=kernel,
         transport=transport,
+        fault=fault,
     )
     cache.store(key, result)
     return result
@@ -1460,6 +1537,7 @@ def run_batch(
     base_seed: Optional[int] = None,
     sng_width: int = 16,
     config: Optional[RuntimeConfig] = None,
+    fault: Optional[FaultSpec] = None,
 ) -> Any:
     """Evaluate through the runtime, picking the scaling strategy.
 
@@ -1477,7 +1555,11 @@ def run_batch(
     the worker count, chunk size and compute kernel
     (``config.kernel``) are pure wall-clock/memory knobs: changing them
     never changes a single output bit or accumulated statistic for a
-    given *rng* seed (or *base_seed*).  (This schedule
+    given *rng* seed (or *base_seed*).  That includes an injected
+    *fault* (:class:`~repro.simulation.faultmodel.FaultSpec`): its
+    realization is seeded from the same schedule and addressed by
+    absolute clock index, so the faulted bits are identical on every
+    strategy too.  (This schedule
     protocol consumes *rng* differently than a bare ``simulate_batch``
     call — run_batch results are reproducible against run_batch, not
     against the engine's legacy per-row noise-block protocol.)
@@ -1514,6 +1596,7 @@ def run_batch(
             backend=config.backend,
             kernel=config.kernel,
             transport=config.transport,
+            fault=fault,
         )
     if config.cache_requested:  # base_seed is fixed: validated above
         assert base_seed is not None
@@ -1530,6 +1613,7 @@ def run_batch(
             backend=config.backend,
             kernel=config.kernel,
             transport=config.transport,
+            fault=fault,
         )
     xs = _validate_batch_inputs(
         circuit, xs, length, sng_kind, base_seed, sng_width
@@ -1550,6 +1634,7 @@ def run_batch(
             schedule=schedule,
             kernel=config.kernel,
             transport=config.transport,
+            fault=fault,
         )
     return simulate_batch(
         circuit,
@@ -1560,4 +1645,5 @@ def run_batch(
         sng_width=sng_width,
         schedule=schedule,
         kernel=config.kernel,
+        fault=fault,
     )

@@ -101,6 +101,28 @@ class TestCoefficientRingDrift:
         with pytest.raises(ConfigurationError):
             with_coefficient_ring_drift(params, 0.15)
 
+    def test_guard_band_collapse_rejected(self):
+        # A guard band narrower than the modulation shift: the collapse
+        # check must fire (raise), never silently clamp the guard.
+        import dataclasses
+
+        from repro.photonics.wdm import WDMGrid
+
+        params = paper_section5a_parameters()
+        grid = params.grid
+        narrow = dataclasses.replace(
+            params,
+            grid=WDMGrid(
+                channel_count=grid.channel_count,
+                spacing_nm=grid.spacing_nm,
+                anchor_nm=grid.anchor_nm,
+                guard_nm=0.05,
+            ),
+        )
+        assert narrow.ring_profile.modulation_shift_nm > 0.06
+        with pytest.raises(ConfigurationError):
+            with_coefficient_ring_drift(narrow, 0.06)
+
 
 class TestFaultInjector:
     def test_filter_drift_study_degrades_gracefully(self, rng):
@@ -115,6 +137,21 @@ class TestFaultInjector:
         # Small drift: output error stays bounded (graceful degradation).
         assert np.isfinite(errors[0])
         assert errors[0] < 0.05
+
+    def test_breaking_drift_recorded_as_nan(self, rng):
+        # A drift that collapses the circuit configuration is a NaN
+        # point on the curve, not a crash — and only ConfigurationError
+        # is treated that way.
+        circuit = OpticalStochasticCircuit(
+            paper_section5a_parameters(),
+            BernsteinPolynomial([0.25, 0.625, 0.375]),
+        )
+        study = FaultInjector(circuit).filter_drift_study(
+            [0.0, -0.2], x=0.5, length=256, rng=rng
+        )
+        assert np.isfinite(study["absolute_error"][0])
+        assert np.isnan(study["absolute_error"][1])
+        assert np.isnan(study["transmission_ber"][1])
 
     def test_type_check(self):
         with pytest.raises(ConfigurationError):
