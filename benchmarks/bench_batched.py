@@ -78,8 +78,26 @@ Part 6 (``--faults``) benchmarks the schedule-seeded fault engine
   (the exit gate): the fault realization is a pure function of the seed
   schedule and the absolute clock index.
 
+Part 7 (``--serving-saturation``) stress-tests the hardened serving
+tier under open-loop ramped Poisson arrivals (seeded interarrival
+gaps at 0.5x / 1x / 2x of the measured saturation rate, the overload
+phase opening with a burst) and writes ``BENCH_serving.json``:
+
+* **unbounded baseline** — the legacy configuration (``max_queue=0``)
+  absorbs the whole overload into the queue: its depth and traced
+  memory peak grow with the arrival count;
+* **shed** — a bounded queue plus deadlines: queue depth stays within
+  the bound, shed/expired requests fail with typed errors, and the
+  p99 latency of *served* requests stays within the configured
+  deadline at 2x the saturating arrival rate (exit gate);
+* **degrade** — the progressive-precision ladder steps the session to
+  shorter streams under pressure, serving >= 95% of all requests at
+  2x saturation (exit gate) with each rung's measured RMSE recorded.
+
 Run:  PYTHONPATH=src python benchmarks/bench_batched.py \
           [--out FILE] [--workers N] [--long-length BITS] [--serving] \
+          [--serving-saturation] [--saturation-requests N] \
+          [--saturation-length BITS] [--serving-out FILE] \
           [--kernels] [--kernel-length BITS] [--kernels-out FILE] \
           [--faults] [--fault-length BITS] [--faults-out FILE] \
           [--transport pickle|shm] [--transports] \
@@ -126,6 +144,19 @@ CHUNK_LENGTH = 1 << 17
 SERVING_REQUESTS = 128
 SERVING_LENGTH = 1024
 SERVING_TARGET_SPEEDUP = 4.0
+
+SATURATION_REQUESTS = 600
+# Long enough that batch service time (~10 ms) dominates event-loop
+# scheduling overhead, so Poisson arrival pacing is physically real.
+SATURATION_LENGTH = 4096
+SATURATION_BATCH = 32
+# max_queue = factor x max_batch_size; sized so the queue can absorb
+# the overload burst for the ~2 batch turnarounds the degradation
+# controller needs before its first step-down takes effect.
+SATURATION_QUEUE_FACTOR = 8
+SATURATION_DEADLINE_FACTOR = 15.0  # deadline = factor x batch service time
+SATURATION_SERVED_TARGET = 0.95  # degrade policy must serve this fraction
+SATURATION_ARRIVAL_SEED = 0x0A27  # seeds the Poisson interarrival gaps
 
 KERNEL_BATCH = 256
 KERNEL_LENGTH = 1 << 20
@@ -1071,6 +1102,351 @@ def bench_serving(circuit) -> dict:
     }
 
 
+def _nearest_rank(sorted_samples, fraction):
+    """Nearest-rank percentile of an already-sorted, non-empty list."""
+    rank = max(
+        0,
+        min(
+            len(sorted_samples) - 1,
+            round(fraction * (len(sorted_samples) - 1)),
+        ),
+    )
+    return sorted_samples[rank]
+
+
+def _arrival_schedule(requests, saturation_rate, batch, rng):
+    """Open-loop ramped Poisson arrivals: (x, gap_s) per request.
+
+    Three phases against the measured saturation rate — 15% of traffic
+    at 0.5x (calm), 15% at 1x (critical), 70% at 2x (overload) — with
+    the overload phase opening as a burst of two full batches so the
+    pressure step is sharp regardless of event-loop pacing jitter.
+    """
+    calm = requests * 15 // 100
+    critical = requests * 15 // 100
+    overload = requests - calm - critical
+    burst = min(2 * batch, overload)
+    schedule = []
+    for count, multiplier in ((calm, 0.5), (critical, 1.0)):
+        for _ in range(count):
+            gap = float(rng.exponential(1.0 / (multiplier * saturation_rate)))
+            schedule.append((float(rng.random()), gap))
+    for index in range(overload):
+        gap = (
+            0.0
+            if index < burst
+            else float(rng.exponential(1.0 / (2.0 * saturation_rate)))
+        )
+        schedule.append((float(rng.random()), gap))
+    return schedule
+
+
+def _run_saturation_scenario(
+    evaluator, batch, schedule, **server_kwargs
+):
+    """Drive one server configuration through the arrival schedule.
+
+    Returns outcome counters, client-observed latencies of served
+    requests, served (index, value) pairs, the metrics snapshot, the
+    wall-clock span, and the tracemalloc peak across the run.
+    """
+    import asyncio
+    import tracemalloc
+
+    from repro.errors import (
+        DeadlineExceededError,
+        OverloadedError,
+        ReproError,
+    )
+    from repro.serving import BatchServer
+
+    async def scenario():
+        server = BatchServer(
+            evaluator,
+            max_batch_size=batch,
+            max_batch_delay_s=0.001,
+            **server_kwargs,
+        )
+        await server.start()
+        outcomes = {"served": 0, "shed": 0, "expired": 0, "failed": 0}
+        latencies = []
+        served_values = {}
+
+        async def client(index, x):
+            t0 = time.perf_counter()
+            try:
+                value = await server.submit(x)
+            except DeadlineExceededError:
+                outcomes["expired"] += 1
+            except OverloadedError:
+                outcomes["shed"] += 1
+            except ReproError:
+                outcomes["failed"] += 1
+            else:
+                outcomes["served"] += 1
+                latencies.append(time.perf_counter() - t0)
+                served_values[index] = value
+
+        t0 = time.perf_counter()
+        tasks = []
+        pending_gap = 0.0
+        for index, (x, gap) in enumerate(schedule):
+            tasks.append(asyncio.create_task(client(index, x)))
+            pending_gap += gap
+            # Aggregate sub-5ms gaps into one sleep: the schedule's
+            # *average* rate survives the event loop's timer overhead.
+            if pending_gap >= 0.005:
+                await asyncio.sleep(pending_gap)
+                pending_gap = 0.0
+        await asyncio.gather(*tasks)
+        elapsed = time.perf_counter() - t0
+        snapshot = server.metrics()
+        await server.stop()
+        return outcomes, latencies, served_values, snapshot, elapsed
+
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        outcomes, latencies, served_values, snapshot, elapsed = asyncio.run(
+            scenario()
+        )
+        peak_bytes = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    return outcomes, latencies, served_values, snapshot, elapsed, peak_bytes
+
+
+def _scenario_report(outcomes, latencies, snapshot, elapsed, peak_bytes):
+    sorted_latencies = sorted(latencies)
+    return {
+        "outcomes": dict(outcomes),
+        "elapsed_seconds": round(elapsed, 4),
+        "achieved_arrival_rate_per_s": round(
+            sum(outcomes.values()) / elapsed, 1
+        ),
+        "latency_p50_ms": round(
+            _nearest_rank(sorted_latencies, 0.50) * 1e3, 3
+        )
+        if sorted_latencies
+        else None,
+        "latency_p99_ms": round(
+            _nearest_rank(sorted_latencies, 0.99) * 1e3, 3
+        )
+        if sorted_latencies
+        else None,
+        "peak_queue_depth_bound": snapshot.queue_depth.max_observed_bound,
+        "queue_depth_buckets": {
+            "bounds": list(snapshot.queue_depth.bounds),
+            "counts": list(snapshot.queue_depth.counts),
+        },
+        "largest_batch": snapshot.largest_batch,
+        "batches": snapshot.batches,
+        "tracemalloc_peak_kb": round(peak_bytes / 1024.0, 1),
+        "rungs": [
+            {
+                "rung": rung.rung,
+                "length": rung.length,
+                "served": rung.served,
+                "latency_p99_ms": round(rung.latency_p99_s * 1e3, 3),
+                "rmse": rung.rmse,
+            }
+            for rung in snapshot.rungs
+        ],
+    }
+
+
+def bench_serving_saturation(circuit, requests, batch, length) -> dict:
+    """Open-loop saturation study of the admission-controlled server.
+
+    Measures the session's batch service time, derives the saturating
+    arrival rate, and drives three server configurations through the
+    same seeded ramped-Poisson schedule (0.5x / 1x / 2x):
+
+    * ``unbounded`` — the legacy ``max_queue=0`` baseline, arrival
+      burst absorbed entirely into the queue (memory-growth baseline);
+    * ``shed`` — bounded queue + deadline: typed refusals, p99 of
+      served requests within the deadline (exit gate);
+    * ``degrade`` — bounded queue + precision ladder: serves >= 95% of
+      requests by stepping down stream length, per-rung RMSE recorded
+      (exit gate).
+    """
+    from repro.serving import (
+        DegradationController,
+        DegradationLadder,
+    )
+    from repro.session import EvalSpec, Evaluator
+
+    evaluator = Evaluator(
+        circuit,
+        EvalSpec(length=length, noisy=False, base_seed=SEED),
+    )
+    max_queue = SATURATION_QUEUE_FACTOR * batch
+
+    # The saturating arrival rate is a measured property of this
+    # machine: requests/second one full micro-batch sustains.
+    probe = np.linspace(0.0, 1.0, batch)
+    service_s, _ = best_of(3, lambda: evaluator.evaluate(probe))
+    saturation_rate = batch / service_s
+    deadline_s = SATURATION_DEADLINE_FACTOR * service_s
+
+    rng = np.random.default_rng(SATURATION_ARRIVAL_SEED)
+    schedule = _arrival_schedule(requests, saturation_rate, batch, rng)
+    burst_schedule = [(x, 0.0) for x, _ in schedule]
+    direct = np.asarray(
+        evaluator.evaluate([x for x, _ in schedule]).values, dtype=float
+    )
+
+    # -- unbounded baseline: the whole burst lands in the queue --------
+    (
+        unbounded_outcomes,
+        unbounded_latencies,
+        _,
+        unbounded_snapshot,
+        unbounded_elapsed,
+        unbounded_peak,
+    ) = _run_saturation_scenario(
+        evaluator, batch, burst_schedule, policy="block", max_queue=0
+    )
+
+    # -- shed: bounded queue + deadline --------------------------------
+    (
+        shed_outcomes,
+        shed_latencies,
+        shed_values,
+        shed_snapshot,
+        shed_elapsed,
+        shed_peak,
+    ) = _run_saturation_scenario(
+        evaluator,
+        batch,
+        schedule,
+        policy="shed",
+        max_queue=max_queue,
+        default_deadline_s=deadline_s,
+    )
+
+    # -- degrade: bounded queue + progressive-precision ladder ---------
+    ladder = DegradationLadder(
+        (length, max(1, length // 4), max(1, length // 16))
+    )
+    controller = DegradationController(
+        ladder,
+        queue_capacity=max_queue,
+        high_watermark=0.25,
+        low_watermark=0.05,
+        patience=1,
+        recovery_patience=8,
+    )
+    (
+        degrade_outcomes,
+        degrade_latencies,
+        _,
+        degrade_snapshot,
+        degrade_elapsed,
+        degrade_peak,
+    ) = _run_saturation_scenario(
+        evaluator,
+        batch,
+        schedule,
+        policy="degrade",
+        max_queue=max_queue,
+        degradation=controller,
+        measure_rmse=True,
+    )
+
+    # -- exit gates ----------------------------------------------------
+    unbounded_bound = unbounded_snapshot.queue_depth.max_observed_bound
+    shed_bound = shed_snapshot.queue_depth.max_observed_bound
+    degrade_bound = degrade_snapshot.queue_depth.max_observed_bound
+    queue_bounded = bool(
+        (shed_bound is None or shed_bound <= max_queue)
+        and (degrade_bound is None or degrade_bound <= max_queue)
+        and shed_bound is not None
+        and degrade_bound is not None
+    )
+    unbounded_grows = bool(
+        unbounded_bound is None or unbounded_bound > max_queue
+    )
+    memory_flat = bool(shed_peak <= unbounded_peak)
+    shed_sorted = sorted(shed_latencies)
+    shed_p99_within_deadline = bool(
+        shed_sorted and _nearest_rank(shed_sorted, 0.99) <= deadline_s
+    )
+    shed_bit_exact = bool(
+        shed_values
+        and all(
+            value == direct[index] for index, value in shed_values.items()
+        )
+    )
+    degrade_served_fraction = degrade_outcomes["served"] / requests
+    degrade_serves_target = bool(
+        degrade_served_fraction >= SATURATION_SERVED_TARGET
+    )
+    degraded_rungs = [r for r in degrade_snapshot.rungs if r.rung > 0]
+    degrade_stepped_down = bool(
+        degraded_rungs and all(r.served > 0 for r in degraded_rungs)
+    )
+    rmse_recorded = bool(
+        degrade_snapshot.rungs
+        and all(r.rmse is not None for r in degrade_snapshot.rungs)
+    )
+    passed = bool(
+        queue_bounded
+        and unbounded_grows
+        and memory_flat
+        and shed_p99_within_deadline
+        and shed_bit_exact
+        and degrade_serves_target
+        and degrade_stepped_down
+        and rmse_recorded
+    )
+    return {
+        "benchmark": "bench_serving_saturation",
+        "requests": requests,
+        "length": length,
+        "max_batch_size": batch,
+        "max_queue": max_queue,
+        "batch_service_seconds": round(service_s, 6),
+        "saturation_rate_per_s": round(saturation_rate, 1),
+        "deadline_s": round(deadline_s, 6),
+        "deadline_factor": SATURATION_DEADLINE_FACTOR,
+        "unbounded": _scenario_report(
+            unbounded_outcomes,
+            unbounded_latencies,
+            unbounded_snapshot,
+            unbounded_elapsed,
+            unbounded_peak,
+        ),
+        "shed": _scenario_report(
+            shed_outcomes,
+            shed_latencies,
+            shed_snapshot,
+            shed_elapsed,
+            shed_peak,
+        ),
+        "degrade": _scenario_report(
+            degrade_outcomes,
+            degrade_latencies,
+            degrade_snapshot,
+            degrade_elapsed,
+            degrade_peak,
+        ),
+        "degrade_served_fraction": round(degrade_served_fraction, 4),
+        "served_fraction_target": SATURATION_SERVED_TARGET,
+        "gates": {
+            "queue_bounded": queue_bounded,
+            "unbounded_baseline_grows": unbounded_grows,
+            "memory_flat_vs_unbounded": memory_flat,
+            "shed_p99_within_deadline": shed_p99_within_deadline,
+            "shed_bit_exact": shed_bit_exact,
+            "degrade_serves_target": degrade_serves_target,
+            "degrade_stepped_down": degrade_stepped_down,
+            "rung_rmse_recorded": rmse_recorded,
+        },
+        "passed": passed,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -1103,6 +1479,40 @@ def main(argv=None) -> int:
         "--serving",
         action="store_true",
         help="also benchmark BatchServer coalescing vs per-request calls",
+    )
+    parser.add_argument(
+        "--serving-saturation",
+        action="store_true",
+        help=(
+            "also run the open-loop saturation study (unbounded baseline "
+            "vs shed vs degrade) with structural exit gates"
+        ),
+    )
+    parser.add_argument(
+        "--saturation-requests",
+        type=int,
+        default=SATURATION_REQUESTS,
+        help="saturation-study request count (default %(default)s)",
+    )
+    parser.add_argument(
+        "--saturation-batch",
+        type=int,
+        default=SATURATION_BATCH,
+        help="saturation-study max batch size (default %(default)s)",
+    )
+    parser.add_argument(
+        "--saturation-length",
+        type=int,
+        default=SATURATION_LENGTH,
+        help="saturation-study stream length (default %(default)s)",
+    )
+    parser.add_argument(
+        "--serving-out",
+        default="BENCH_serving.json",
+        help=(
+            "saturation-study JSON artifact path, written with "
+            "--serving-saturation (default: %(default)s)"
+        ),
     )
     parser.add_argument(
         "--kernels",
@@ -1239,6 +1649,17 @@ def main(argv=None) -> int:
     sharded = bench_sharded(circuit, workers, transport=args.transport)
     chunked = bench_chunked(circuit, args.long_length, args.chunk_length)
     serving = bench_serving(circuit) if args.serving else None
+    saturation_section = None
+    if args.serving_saturation:
+        saturation_section = bench_serving_saturation(
+            circuit,
+            args.saturation_requests,
+            args.saturation_batch,
+            args.saturation_length,
+        )
+        with open(args.serving_out, "w") as handle:
+            json.dump(saturation_section, handle, indent=2)
+            handle.write("\n")
     kernel_section = None
     if args.kernels:
         kernel_section = bench_kernels(
@@ -1280,6 +1701,7 @@ def main(argv=None) -> int:
         and sharded["bit_exact"]
         and chunked["statistics_exact"]
         and (serving is None or serving["bit_exact"])
+        and (saturation_section is None or saturation_section["passed"])
         and (kernel_section is None or kernel_section["passed"])
         and (faults_section is None or faults_section["passed"])
         and (transports_section is None or transports_section["passed"])
@@ -1301,6 +1723,9 @@ def main(argv=None) -> int:
         "sharded": sharded,
         "chunked": chunked,
         "serving": serving,
+        "serving_artifact": (
+            args.serving_out if args.serving_saturation else None
+        ),
         "kernels_artifact": args.kernels_out if args.kernels else None,
         "faults_artifact": args.faults_out if args.faults else None,
         "runtime_artifact": args.runtime_out if args.transports else None,
@@ -1428,6 +1853,39 @@ def main(argv=None) -> int:
             f"(target >= {SERVING_TARGET_SPEEDUP:.0f}x), "
             f"bit-exact: {serving['bit_exact']}"
         )
+    if saturation_section is not None:
+        s = saturation_section
+        print(
+            f"serving saturation: {s['requests']} requests x "
+            f"{s['length']}-bit streams, queue cap {s['max_queue']}, "
+            f"deadline {s['deadline_s'] * 1e3:.1f} ms "
+            f"({s['saturation_rate_per_s']:.0f} req/s saturates)"
+        )
+        for name in ("unbounded", "shed", "degrade"):
+            row = s[name]
+            outcomes = row["outcomes"]
+            p99 = row["latency_p99_ms"]
+            print(
+                f"  {name:<9s}: served {outcomes['served']:4d} "
+                f"shed {outcomes['shed']:4d} expired "
+                f"{outcomes['expired']:4d}, "
+                f"p99 {p99 if p99 is not None else '-':>8} ms, "
+                f"queue depth <= {row['peak_queue_depth_bound']}, "
+                f"peak alloc {row['tracemalloc_peak_kb']:.0f} KB"
+            )
+        for rung in s["degrade"]["rungs"]:
+            print(
+                f"    rung {rung['rung']} ({rung['length']:5d} bits): "
+                f"served {rung['served']:4d}, rmse {rung['rmse']:.5f}"
+            )
+        print(
+            f"  degrade served fraction: {s['degrade_served_fraction']:.3f} "
+            f"(target >= {s['served_fraction_target']:.2f}); gates: "
+            + ", ".join(
+                f"{key}={value}" for key, value in s["gates"].items()
+            )
+        )
+        print(f"  serving artifact written to {args.serving_out}")
     print(f"  artifact written to {args.out}")
     if not bit_exact:
         print("FAILED: batched output diverges from the legacy path", file=sys.stderr)
@@ -1444,6 +1902,17 @@ def main(argv=None) -> int:
     if serving is not None and not serving["bit_exact"]:
         print(
             "FAILED: served values diverge from the direct session call",
+            file=sys.stderr,
+        )
+        return 1
+    if saturation_section is not None and not saturation_section["passed"]:
+        failed_gates = [
+            key
+            for key, value in saturation_section["gates"].items()
+            if not value
+        ]
+        print(
+            "FAILED: serving saturation gates: " + ", ".join(failed_gates),
             file=sys.stderr,
         )
         return 1

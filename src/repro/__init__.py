@@ -29,10 +29,14 @@ from .constants import (
 )
 from .errors import (
     CalibrationError,
+    CircuitOpenError,
     ConfigurationError,
+    DeadlineExceededError,
     DesignInfeasibleError,
+    OverloadedError,
     PhysicalModelError,
     ReproError,
+    ServingError,
     SimulationError,
 )
 
@@ -46,6 +50,10 @@ __all__ = [
     "DesignInfeasibleError",
     "CalibrationError",
     "SimulationError",
+    "ServingError",
+    "OverloadedError",
+    "CircuitOpenError",
+    "DeadlineExceededError",
     "PAPER_OPTIMAL_WL_SPACING_NM",
     "PAPER_HEADLINE_ENERGY_PJ_PER_BIT",
 ]

@@ -81,7 +81,19 @@ from .simulation import (
     simulate_evaluation,
     simulate_sweep,
 )
-from .serving import BatchServer, ServingStats
+from .serving import (
+    BatchServer,
+    CircuitBreaker,
+    DegradationController,
+    DegradationLadder,
+    HistogramSnapshot,
+    ManualClock,
+    MetricsSnapshot,
+    MonotonicClock,
+    RetryPolicy,
+    RungMetrics,
+    ServingStats,
+)
 from .session import EvalSpec, Evaluator
 from .stochastic import (
     BernsteinPolynomial,
@@ -134,6 +146,15 @@ __all__ = [
     "Evaluator",
     "BatchServer",
     "ServingStats",
+    "MetricsSnapshot",
+    "RungMetrics",
+    "HistogramSnapshot",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "DegradationLadder",
+    "DegradationController",
+    "ManualClock",
+    "MonotonicClock",
     "MZIModulator",
     "RingParameters",
     "WDMGrid",

@@ -14,6 +14,10 @@ __all__ = [
     "DesignInfeasibleError",
     "CalibrationError",
     "SimulationError",
+    "ServingError",
+    "OverloadedError",
+    "CircuitOpenError",
+    "DeadlineExceededError",
 ]
 
 
@@ -49,3 +53,40 @@ class CalibrationError(ReproError):
 
 class SimulationError(ReproError):
     """A functional or transient simulation reached an inconsistent state."""
+
+
+class ServingError(ReproError):
+    """Base class for request-path failures of the serving tier.
+
+    Raised per request, never per server: one client's overload or
+    missed deadline must not take the batcher down with it.
+    """
+
+
+class OverloadedError(ServingError):
+    """The server shed this request to protect the ones it admitted.
+
+    Raised by the ``"shed"`` admission policy when the bounded request
+    queue is full (and by ``"degrade"`` as its last resort once the
+    precision ladder alone cannot absorb the load).  Clients should
+    back off and retry; the server stays healthy.
+    """
+
+
+class CircuitOpenError(OverloadedError):
+    """The circuit breaker is open: the evaluator is failing repeatedly.
+
+    Requests fail fast instead of queueing behind a known-bad engine.
+    The breaker half-opens after its recovery timeout and lets one
+    probe batch through; success closes it again.
+    """
+
+
+class DeadlineExceededError(ServingError):
+    """The request's deadline passed (or provably cannot be met).
+
+    Raised at batch formation: a request whose deadline has already
+    expired — or whose remaining budget is smaller than the measured
+    batch service time — is failed immediately instead of silently
+    occupying a batch slot whose result nobody is waiting for.
+    """

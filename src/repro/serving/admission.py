@@ -1,0 +1,156 @@
+"""Admission control: the bounded request queue and its overload policy.
+
+The original micro-batcher queued every ``submit`` on an unbounded
+:class:`asyncio.Queue`; under sustained overload that is an
+out-of-memory with extra steps.  This module makes the decision at the
+*door* explicit:
+
+* ``"block"`` — classic backpressure: ``submit`` awaits queue space,
+  so fast producers are paced to the evaluator's throughput.
+* ``"shed"`` — fail fast: a full queue raises a typed
+  :class:`~repro.errors.OverloadedError` so the client can back off.
+* ``"degrade"`` — the stochastic-computing answer: admit like
+  ``block`` but let the degradation controller step the session down
+  the precision ladder (shorter bitstreams drain the queue faster at
+  a measured accuracy cost); only a queue that is full *despite* the
+  ladder sheds, as the last resort.
+
+Deadlines ride on the admitted request.  A request whose budget is
+already smaller than the measured batch service time is refused at the
+door (``DeadlineExceededError``) rather than admitted to die in the
+queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import ConfigurationError, DeadlineExceededError, OverloadedError
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "POLICY_BLOCK",
+    "POLICY_DEGRADE",
+    "POLICY_SHED",
+    "AdmissionQueue",
+    "Request",
+]
+
+POLICY_BLOCK = "block"
+POLICY_SHED = "shed"
+POLICY_DEGRADE = "degrade"
+
+ADMISSION_POLICIES: Tuple[str, ...] = (POLICY_BLOCK, POLICY_SHED, POLICY_DEGRADE)
+
+#: Default queue capacity.  Deep enough that the pre-package tests and
+#: examples (hundreds of in-flight requests) never notice the bound,
+#: shallow enough that a saturated server's memory stays flat.
+DEFAULT_MAX_QUEUE = 1024
+
+
+@dataclass
+class Request:
+    """One admitted ``submit`` travelling from the door to a batch slot."""
+
+    x: float
+    future: "asyncio.Future[float]"
+    deadline: Optional[float]
+    submitted_at: float
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+    def remaining(self, now: float) -> float:
+        """Time budget left; ``inf`` for deadline-free requests."""
+        if self.deadline is None:
+            return float("inf")
+        return self.deadline - now
+
+
+class AdmissionQueue:
+    """Bounded request queue with an explicit overload policy.
+
+    ``maxsize=0`` keeps the legacy unbounded behaviour (the saturation
+    benchmark uses it as the memory-growth baseline); any positive
+    ``maxsize`` bounds in-flight requests and routes the full-queue
+    case through *policy*.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAX_QUEUE, policy: str = POLICY_BLOCK) -> None:
+        if policy not in ADMISSION_POLICIES:
+            raise ConfigurationError(
+                f"admission policy must be one of {ADMISSION_POLICIES}, got {policy!r}"
+            )
+        if not isinstance(maxsize, int) or isinstance(maxsize, bool):
+            raise ConfigurationError(
+                f"max_queue must be an integer, got {maxsize!r}"
+            )
+        if maxsize < 0:
+            raise ConfigurationError(
+                f"max_queue must be >= 0 (0 = unbounded), got {maxsize!r}"
+            )
+        self.policy = policy
+        self.maxsize = maxsize
+        self._queue: "asyncio.Queue[Optional[Request]]" = asyncio.Queue(maxsize=maxsize)
+
+    def depth(self) -> int:
+        return self._queue.qsize()
+
+    async def admit(
+        self, request: Request, now: float, service_time_estimate: float
+    ) -> None:
+        """Admit *request* or raise the policy's typed refusal.
+
+        The deadline gate runs first: a request that provably cannot
+        be served in time (budget below the measured batch service
+        time EWMA) is refused with :class:`DeadlineExceededError`
+        regardless of queue headroom — admitting it would only burn a
+        batch slot on a result nobody will read.
+        """
+        if request.deadline is not None:
+            if request.expired(now):
+                raise DeadlineExceededError(
+                    f"deadline expired {now - request.deadline:.6f}s before admission"
+                )
+            if request.remaining(now) < service_time_estimate:
+                raise DeadlineExceededError(
+                    "deadline budget "
+                    f"{request.remaining(now):.6f}s is below the measured "
+                    f"batch service time {service_time_estimate:.6f}s; "
+                    "refusing at admission"
+                )
+        if self.policy == POLICY_BLOCK or self.maxsize == 0:
+            await self._queue.put(request)
+            return
+        try:
+            self._queue.put_nowait(request)
+        except asyncio.QueueFull:
+            raise OverloadedError(
+                f"request queue is full ({self.maxsize} in flight); "
+                + (
+                    "the precision ladder could not absorb the load"
+                    if self.policy == POLICY_DEGRADE
+                    else "back off and retry"
+                )
+            ) from None
+
+    async def put_sentinel(self) -> None:
+        """Enqueue the shutdown sentinel.
+
+        May briefly await space on a full bounded queue; that is safe
+        exactly because ``stop()`` only sends the sentinel while the
+        batcher task is alive and draining — the server guards the
+        dead-batcher case separately and never awaits this then.
+        """
+        await self._queue.put(None)
+
+    async def get(self) -> Optional[Request]:
+        return await self._queue.get()
+
+    def get_nowait(self) -> Optional[Request]:
+        return self._queue.get_nowait()
+
+    def empty(self) -> bool:
+        return self._queue.empty()

@@ -1,0 +1,230 @@
+"""Progressive-precision graceful degradation.
+
+Stochastic computing's defining robustness property (El-Derhalli et
+al. 2019, §V-B): output accuracy is a smooth function of bitstream
+length ``L``, so truncating the stream trades precision for latency
+*continuously* instead of failing.  That hands this serving tier an
+overload response no conventional server has — under sustained
+pressure, step the session down a ladder of shorter
+:meth:`~repro.session.EvalSpec.with_length` rungs and serve *every*
+request at a measured accuracy cost, rather than shedding them.
+
+:class:`DegradationLadder` declares the rungs (rung 0 = the bound
+spec's full length; each later rung strictly shorter).
+:class:`DegradationController` decides when to move: it watches queue
+pressure (depth over capacity) and a batch-latency EWMA, steps down
+after ``patience`` consecutive overloaded observations, and recovers
+hysteretically — one rung at a time, only after ``recovery_patience``
+consecutive calm observations — so the server does not flap between
+rungs at the load boundary.
+
+Each rung's accuracy price is measured, not guessed:
+:func:`measure_rung_rmse` evaluates the calibration grid once per rung
+(lazily, on first use) and records the RMSE that degraded responses
+are annotated with in :class:`~repro.serving.metrics.MetricsSnapshot`.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..session import Evaluator
+
+__all__ = [
+    "DegradationController",
+    "DegradationLadder",
+    "measure_rung_rmse",
+]
+
+#: Calibration inputs for per-rung RMSE measurement: a fixed grid over
+#: the valid domain, matching the paper's accuracy-sweep protocol.
+_CALIBRATION_POINTS: int = 33
+
+
+class DegradationLadder:
+    """An ordered ladder of stream-length precision rungs.
+
+    ``lengths[0]`` is full precision (must equal the evaluator's bound
+    spec length when attached to a server); each subsequent rung is
+    strictly shorter.  The ladder is immutable and validated eagerly.
+    """
+
+    def __init__(self, lengths: Tuple[int, ...]) -> None:
+        try:
+            validated = tuple(operator.index(length) for length in lengths)
+        except TypeError:
+            raise ConfigurationError(
+                f"ladder lengths must be integers, got {lengths!r}"
+            ) from None
+        if not validated:
+            raise ConfigurationError("a degradation ladder needs >= 1 rung")
+        for length in validated:
+            if length <= 0:
+                raise ConfigurationError(
+                    f"ladder lengths must be positive, got {length!r}"
+                )
+        for shorter, longer in zip(validated[1:], validated[:-1]):
+            if shorter >= longer:
+                raise ConfigurationError(
+                    "ladder lengths must be strictly decreasing "
+                    f"(rung {longer} followed by {shorter})"
+                )
+        self.lengths = validated
+
+    def __len__(self) -> int:
+        return len(self.lengths)
+
+    def __repr__(self) -> str:
+        return f"DegradationLadder(lengths={self.lengths!r})"
+
+
+class DegradationController:
+    """Hysteretic rung selection from queue pressure and latency.
+
+    Observation protocol: the server calls :meth:`observe` once per
+    formed batch with the current queue depth and the batch's service
+    latency.  "Overloaded" means queue depth at or above
+    ``high_watermark`` of capacity **or** the latency EWMA above
+    ``latency_budget_s`` (when one is set); "calm" means depth at or
+    below ``low_watermark`` and latency within budget.  ``patience``
+    consecutive overloaded observations step one rung down;
+    ``recovery_patience`` consecutive calm observations step one rung
+    up.  Anything in between resets both counters — the dead band that
+    keeps the controller from flapping at the load boundary.
+    """
+
+    def __init__(
+        self,
+        ladder: DegradationLadder,
+        queue_capacity: int,
+        high_watermark: float = 0.75,
+        low_watermark: float = 0.25,
+        patience: int = 3,
+        recovery_patience: int = 8,
+        latency_budget_s: Optional[float] = None,
+        ewma_alpha: float = 0.2,
+    ) -> None:
+        if not isinstance(ladder, DegradationLadder):
+            raise ConfigurationError(
+                f"ladder must be a DegradationLadder, got {ladder!r}"
+            )
+        if not 0.0 < high_watermark <= 1.0:
+            raise ConfigurationError(
+                f"high_watermark must be in (0, 1], got {high_watermark!r}"
+            )
+        if not 0.0 <= low_watermark < high_watermark:
+            raise ConfigurationError(
+                "low_watermark must satisfy 0 <= low < high, got "
+                f"{low_watermark!r} vs {high_watermark!r}"
+            )
+        if patience < 1 or recovery_patience < 1:
+            raise ConfigurationError(
+                "patience and recovery_patience must be >= 1, got "
+                f"{patience!r} and {recovery_patience!r}"
+            )
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ConfigurationError(
+                f"ewma_alpha must be in (0, 1], got {ewma_alpha!r}"
+            )
+        if latency_budget_s is not None and latency_budget_s <= 0.0:
+            raise ConfigurationError(
+                f"latency_budget_s must be > 0, got {latency_budget_s!r}"
+            )
+        self.ladder = ladder
+        self.queue_capacity = int(queue_capacity)
+        self.high_watermark = float(high_watermark)
+        self.low_watermark = float(low_watermark)
+        self.patience = int(patience)
+        self.recovery_patience = int(recovery_patience)
+        self.latency_budget_s = latency_budget_s
+        self.ewma_alpha = float(ewma_alpha)
+        self._rung = 0
+        self._overloaded_streak = 0
+        self._calm_streak = 0
+        self._latency_ewma: Optional[float] = None
+
+    @property
+    def rung(self) -> int:
+        """The current precision rung (0 = full precision)."""
+        return self._rung
+
+    @property
+    def length(self) -> int:
+        """The stream length the current rung serves at."""
+        return self.ladder.lengths[self._rung]
+
+    @property
+    def latency_ewma_s(self) -> Optional[float]:
+        return self._latency_ewma
+
+    def observe(self, queue_depth: int, batch_latency_s: float) -> int:
+        """Fold one batch observation in; return the rung to serve next."""
+        if self._latency_ewma is None:
+            self._latency_ewma = float(batch_latency_s)
+        else:
+            self._latency_ewma += self.ewma_alpha * (
+                float(batch_latency_s) - self._latency_ewma
+            )
+        if self.queue_capacity > 0:
+            pressure = queue_depth / self.queue_capacity
+        else:
+            # Unbounded queue: any sustained backlog beyond one full
+            # batch of headroom counts as pressure.
+            pressure = 1.0 if queue_depth > 0 else 0.0
+        over_budget = (
+            self.latency_budget_s is not None
+            and self._latency_ewma > self.latency_budget_s
+        )
+        if pressure >= self.high_watermark or over_budget:
+            self._overloaded_streak += 1
+            self._calm_streak = 0
+        elif pressure <= self.low_watermark and not over_budget:
+            self._calm_streak += 1
+            self._overloaded_streak = 0
+        else:
+            self._overloaded_streak = 0
+            self._calm_streak = 0
+        if (
+            self._overloaded_streak >= self.patience
+            and self._rung < len(self.ladder) - 1
+        ):
+            self._rung += 1
+            self._overloaded_streak = 0
+        elif self._calm_streak >= self.recovery_patience and self._rung > 0:
+            self._rung -= 1
+            self._calm_streak = 0
+        return self._rung
+
+
+def measure_rung_rmse(
+    evaluator: Evaluator, lengths: Tuple[int, ...]
+) -> Dict[int, Optional[float]]:
+    """Measured RMSE of each ladder rung on the calibration grid.
+
+    Evaluates ``np.linspace(0, 1, 33)`` once per rung under the
+    evaluator's own spec truncated to the rung's length, and reports
+    ``sqrt(mean(absolute_error**2))`` — the accuracy annotation that
+    degraded responses carry.  Deterministic whenever the evaluator
+    is (the server requires ``row_independent``, which implies it).
+    """
+    grid = np.linspace(0.0, 1.0, _CALIBRATION_POINTS)
+    rmse: Dict[int, Optional[float]] = {}
+    for rung, length in enumerate(lengths):
+        session = evaluator.with_options(length=length)
+        errors = np.asarray(session.evaluate(grid).absolute_errors, dtype=float)
+        rmse[rung] = float(math.sqrt(float(np.mean(errors**2))))
+    return rmse
+
+
+def rung_rmse_table(
+    rmse: Dict[int, Optional[float]], lengths: Tuple[int, ...]
+) -> List[Tuple[int, int, Optional[float]]]:
+    """(rung, length, rmse) rows for reports and benchmarks."""
+    return [
+        (rung, length, rmse.get(rung)) for rung, length in enumerate(lengths)
+    ]

@@ -1,0 +1,265 @@
+"""Failure isolation for the serving tier: clock, retries, breaker.
+
+Everything time-like in the server flows through one injectable
+:class:`Clock`, and every random delay through one seeded jitter
+source.  That is the repo's bit-exactness discipline applied to
+resilience code: a retry/backoff/breaker scenario is a deterministic
+function of (seeded clock, seeded jitter, failure script), so the
+tests in ``tests/test_serving_resilience.py`` assert exact counter
+values instead of sleeping and hoping (see CONTRIBUTING "Testing
+resilience code with a seeded clock").
+
+* :class:`MonotonicClock` — the production clock (``time.monotonic``
+  plus real ``asyncio.sleep``).
+* :class:`ManualClock` — the test clock: time only moves when the test
+  advances it, and ``sleep`` *is* an advance (it yields to the event
+  loop exactly once, so task interleaving stays deterministic too).
+* :class:`RetryPolicy` — jittered exponential backoff with a pinned
+  jitter seed; ``delays()`` is the same tuple every batch, every run.
+* :class:`CircuitBreaker` — consecutive-failure trip, timed half-open
+  probe.  Pure state machine over caller-supplied ``now`` values; it
+  never reads a wall clock itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import operator
+import time
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
+    "Clock",
+    "ManualClock",
+    "MonotonicClock",
+    "RetryPolicy",
+]
+
+#: Default jitter seed: named so RetryPolicy delay sequences are
+#: auditable and reproducible across processes (RL001 discipline).
+DEFAULT_JITTER_SEED: int = 0x5EED_B0FF
+
+
+class Clock:
+    """The server's single source of time.
+
+    ``time()`` is a monotonic float in seconds; ``sleep()`` suspends
+    the calling coroutine.  Deadlines, backoff delays, breaker
+    recovery windows and latency metrics all read this object, so
+    substituting :class:`ManualClock` makes the whole serving tier's
+    temporal behaviour a pure function of the test script.
+    """
+
+    def time(self) -> float:
+        raise NotImplementedError
+
+    async def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """Production clock: ``time.monotonic`` + real ``asyncio.sleep``."""
+
+    def time(self) -> float:
+        return time.monotonic()
+
+    async def sleep(self, seconds: float) -> None:
+        await asyncio.sleep(seconds)
+
+
+class ManualClock(Clock):
+    """Deterministic test clock: time moves only when told to.
+
+    ``sleep`` advances the clock by the requested amount and yields to
+    the event loop exactly once — backoff sequences complete instantly
+    in wall time while remaining observable in clock time.  ``advance``
+    moves time from the test body (thread-safe enough for the single
+    float it mutates: the GIL makes the store atomic, and tests
+    advance between awaits, not concurrently with readers).
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def time(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0.0:
+            raise ConfigurationError(
+                f"cannot advance a monotonic clock by {seconds!r}"
+            )
+        self._now += float(seconds)
+
+    async def sleep(self, seconds: float) -> None:
+        if seconds > 0.0:
+            self._now += float(seconds)
+        await asyncio.sleep(0)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff for transient evaluator failures.
+
+    ``attempts`` is the total number of engine calls per batch
+    (first try included); ``delays()`` returns the ``attempts - 1``
+    back-off sleeps between them: ``base_delay_s * multiplier**i``
+    capped at ``max_delay_s``, each scaled by ``1 + jitter * u_i``
+    with ``u_i`` drawn from a generator seeded with ``jitter_seed`` —
+    the same tuple for every batch, so tests and replays see identical
+    schedules while concurrent real-world batches still decorrelate
+    through their interleaving.
+
+    Only *transient* failures are retried: :class:`ConfigurationError`
+    (and its subclasses) is a caller bug that no amount of retrying
+    fixes, so it fails the batch immediately.
+    """
+
+    attempts: int = 3
+    base_delay_s: float = 0.005
+    multiplier: float = 2.0
+    max_delay_s: float = 0.25
+    jitter: float = 0.25
+    jitter_seed: int = DEFAULT_JITTER_SEED
+
+    def __post_init__(self) -> None:
+        for name in ("attempts", "jitter_seed"):
+            value = getattr(self, name)
+            try:
+                object.__setattr__(self, name, operator.index(value))
+            except TypeError:
+                raise ConfigurationError(
+                    f"{name} must be an integer, got {value!r}"
+                ) from None
+        if self.attempts < 1:
+            raise ConfigurationError(
+                f"attempts must be >= 1, got {self.attempts!r}"
+            )
+        for name in ("base_delay_s", "multiplier", "max_delay_s", "jitter"):
+            value = float(getattr(self, name))
+            object.__setattr__(self, name, value)
+            if value < 0.0:
+                raise ConfigurationError(
+                    f"{name} must be >= 0, got {value!r}"
+                )
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier!r}"
+            )
+        if self.jitter > 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter!r}"
+            )
+
+    def delays(self) -> Tuple[float, ...]:
+        """The deterministic back-off schedule between attempts."""
+        if self.attempts == 1:
+            return ()
+        rng = np.random.default_rng(self.jitter_seed)
+        delays = []
+        for index in range(self.attempts - 1):
+            base = min(
+                self.max_delay_s, self.base_delay_s * self.multiplier**index
+            )
+            scale = 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+            delays.append(base * scale)
+        return tuple(delays)
+
+    @staticmethod
+    def is_transient(error: BaseException) -> bool:
+        """Whether *error* is worth retrying (not a configuration bug)."""
+        return isinstance(error, Exception) and not isinstance(
+            error, ConfigurationError
+        )
+
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a timed half-open probe.
+
+    Closed → (``failure_threshold`` consecutive batch failures) →
+    open.  While open, the server fails requests fast with
+    :class:`~repro.errors.CircuitOpenError` instead of queueing them
+    behind a known-bad evaluator.  After ``recovery_time_s`` the next
+    request is admitted as a *probe* (half-open); its success closes
+    the breaker and resets the failure count, its failure re-opens the
+    window from scratch.
+
+    The breaker is a pure state machine: every transition is driven by
+    a ``now`` the caller reads from the server's :class:`Clock`, which
+    is what lets the tests walk it through trip → fast-fail →
+    half-open → close with exact assertions and zero sleeps.
+    """
+
+    def __init__(
+        self, failure_threshold: int = 5, recovery_time_s: float = 1.0
+    ) -> None:
+        try:
+            failure_threshold = operator.index(failure_threshold)
+        except TypeError:
+            raise ConfigurationError(
+                "failure_threshold must be an integer, got "
+                f"{failure_threshold!r}"
+            ) from None
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold!r}"
+            )
+        if float(recovery_time_s) <= 0.0:
+            raise ConfigurationError(
+                f"recovery_time_s must be > 0, got {recovery_time_s!r}"
+            )
+        self.failure_threshold = failure_threshold
+        self.recovery_time_s = float(recovery_time_s)
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._times_opened = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"``."""
+        return self._state
+
+    @property
+    def times_opened(self) -> int:
+        """How many times the breaker has tripped over its lifetime."""
+        return self._times_opened
+
+    def allow(self, now: float) -> bool:
+        """Whether a batch may proceed at *now* (may move open→half-open)."""
+        if self._state == BREAKER_OPEN:
+            if now - self._opened_at >= self.recovery_time_s:
+                self._state = BREAKER_HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self, now: float) -> None:
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        self._consecutive_failures += 1
+        if (
+            self._state == BREAKER_HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            if self._state != BREAKER_OPEN:
+                self._times_opened += 1
+            self._state = BREAKER_OPEN
+            self._opened_at = now
+            self._consecutive_failures = 0

@@ -183,6 +183,18 @@ class EvalSpec:
         """A copy of the spec with *changes* applied (re-validated)."""
         return dataclasses.replace(self, **changes)
 
+    def with_length(self, length: int) -> "EvalSpec":
+        """The same design point at another stream length.
+
+        Progressive precision is stochastic computing's defining
+        robustness property: truncating the bitstream degrades accuracy
+        smoothly instead of failing.  This is the primitive the serving
+        tier's degradation ladder steps down
+        (:class:`repro.serving.DegradationLadder`) — same circuit, same
+        seeds, shorter stream, measured accuracy cost.
+        """
+        return self.replace(length=length)
+
     @property
     def deterministic(self) -> bool:
         """Whether results are a pure function of the inputs.

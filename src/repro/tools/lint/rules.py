@@ -437,12 +437,19 @@ class AsyncPurityRule(RuleVisitor):
     I/O all stall the event loop, which silently serializes the
     micro-batcher.  Nested ``def`` helpers are exempt — those are
     exactly what ``run_in_executor`` exists for.
+
+    ``run_in_executor(None, ...)`` is also flagged: the anonymous
+    default executor is process-global, unbounded in queue depth and
+    shut down by no one — a serving tier must own its executor so
+    ``stop()`` can bound and drain it (pass a named
+    ``ThreadPoolExecutor`` instead).
     """
 
     name = "RL003"
     description = (
-        "async-purity: no time.sleep, blocking .result(), or sync file "
-        "I/O inside async def bodies"
+        "async-purity: no time.sleep, blocking .result(), sync file "
+        "I/O, or anonymous run_in_executor(None, ...) inside async "
+        "def bodies"
     )
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
@@ -479,6 +486,19 @@ class AsyncPurityRule(RuleVisitor):
                     call,
                     f"sync file I/O '.{func.attr}()' inside async def "
                     "blocks the event loop — move it into run_in_executor",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "run_in_executor"
+                and call.args
+                and isinstance(call.args[0], ast.Constant)
+                and call.args[0].value is None
+            ):
+                self.report(
+                    call,
+                    "run_in_executor(None, ...) uses the anonymous "
+                    "process-global default executor — pass an owned, "
+                    "bounded executor that shutdown can drain",
                 )
         self.generic_visit(node)
 

@@ -294,14 +294,41 @@ class TestAsyncPurity:
             """
             import asyncio
 
-            async def handler(loop, path):
+            async def handler(loop, path, executor):
                 await asyncio.sleep(0.1)
 
                 def blocking():
                     with open(path) as handle:
                         return handle.read()
 
-                return await loop.run_in_executor(None, blocking)
+                return await loop.run_in_executor(executor, blocking)
+            """,
+            select=["RL003"],
+        )
+        assert diagnostics == []
+
+    def test_anonymous_default_executor_flagged(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            async def handler(loop, fn, xs):
+                return await loop.run_in_executor(None, fn, xs)
+            """,
+            select=["RL003"],
+        )
+        assert len(diagnostics) == 1
+        assert "anonymous" in diagnostics[0].message
+
+    def test_named_owned_executor_passes(self, tmp_path):
+        # The server pattern: a named, server-owned, bounded executor
+        # that stop() can drain — exactly what the rule steers toward.
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            async def handler(loop, server, xs):
+                return await loop.run_in_executor(
+                    server._executor, server.evaluate, xs
+                )
             """,
             select=["RL003"],
         )

@@ -1,16 +1,42 @@
 """Tests for the async micro-batching service facade (``repro.serving``)."""
 
 import asyncio
+import threading
 
 import numpy as np
 import pytest
 
 from repro.core.circuit import OpticalStochasticCircuit
 from repro.core.params import paper_section5a_parameters
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, OverloadedError
 from repro.serving import BatchServer, ServingStats
 from repro.session import EvalSpec, Evaluator
 from repro.stochastic.bernstein import BernsteinPolynomial
+
+
+def gated_evaluator(evaluator):
+    """A derived session whose ``evaluate`` blocks until released.
+
+    Returns ``(session, entered, release)``: ``entered`` is set when an
+    evaluation reaches the engine (await it with ``asyncio.to_thread``),
+    ``release`` lets it proceed.  This pins the batcher mid-flight so
+    tests can script what happens to requests queued behind a busy
+    engine — no timing guesses.
+    """
+    session = Evaluator(evaluator.circuit, evaluator.spec, evaluator.runtime)
+    entered = threading.Event()
+    release = threading.Event()
+    real_evaluate = session.evaluate
+
+    def gated(xs):
+        entered.set()
+        if not release.wait(timeout=10.0):
+            raise RuntimeError("test gate was never released")
+        entered.clear()
+        return real_evaluate(xs)
+
+    session.evaluate = gated
+    return session, entered, release
 
 
 @pytest.fixture(scope="module")
@@ -176,8 +202,238 @@ class TestServing:
             asyncio.run(scenario())
 
 
+class TestClientCancellation:
+    """Regression: a cancelled ``submit`` must never crash the batcher.
+
+    Before the package split, a client abandoning its request (e.g. an
+    ``asyncio.wait_for`` timeout) left a cancelled future in the queue;
+    ``set_result`` on it raised ``InvalidStateError`` inside the serve
+    loop and killed the batcher for every other client.
+    """
+
+    def test_cancelled_inflight_and_queued_requests(self, evaluator):
+        session, entered, release = gated_evaluator(evaluator)
+
+        async def scenario():
+            server = await BatchServer(
+                session, max_batch_delay_s=0.0
+            ).start()
+            # First request enters a batch and blocks on the gate.
+            inflight = asyncio.create_task(server.submit(0.3))
+            await asyncio.to_thread(entered.wait, 10.0)
+            # Second request queues behind the busy engine.
+            queued = asyncio.create_task(server.submit(0.6))
+            await asyncio.sleep(0)
+            inflight.cancel()
+            queued.cancel()
+            await asyncio.sleep(0)
+            release.set()
+            # The batcher survives both: a fresh request still serves.
+            value = await server.submit(0.5)
+            metrics = server.metrics()
+            await server.stop()
+            return value, metrics
+
+        value, metrics = asyncio.run(scenario())
+        assert value == pytest.approx(
+            float(evaluator.evaluate([0.5]).values[0])
+        )
+        assert metrics.cancelled == 2
+        assert metrics.failed == 0
+
+    def test_wait_for_timeout_does_not_poison_server(self, evaluator):
+        session, entered, release = gated_evaluator(evaluator)
+
+        async def scenario():
+            async with BatchServer(
+                session, max_batch_delay_s=0.0
+            ) as server:
+                first = asyncio.create_task(server.submit(0.2))
+                await asyncio.to_thread(entered.wait, 10.0)
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(server.submit(0.7), timeout=0.01)
+                release.set()
+                await first
+                return await server.submit(0.9), server.metrics()
+
+        value, metrics = asyncio.run(scenario())
+        assert value == pytest.approx(
+            float(evaluator.evaluate([0.9]).values[0])
+        )
+        assert metrics.cancelled == 1
+
+
+class TestShutdownRaces:
+    """Regression: ``stop()`` must be atomic against late ``submit``s.
+
+    The original shutdown pushed a bare ``None`` sentinel; a ``submit``
+    racing it could enqueue behind the sentinel and hang forever.  Now
+    the accepting flag flips before the sentinel is sent, so both
+    orderings are deterministic: early enough to drain, or rejected.
+    """
+
+    def test_submit_during_stop_is_rejected(self, evaluator):
+        session, entered, release = gated_evaluator(evaluator)
+
+        async def scenario():
+            server = await BatchServer(
+                session, max_batch_delay_s=0.0
+            ).start()
+            inflight = asyncio.create_task(server.submit(0.4))
+            await asyncio.to_thread(entered.wait, 10.0)
+            stopping = asyncio.create_task(server.stop())
+            await asyncio.sleep(0)  # stop() has flipped the gate by now
+            with pytest.raises(ConfigurationError, match="stopping"):
+                await server.submit(0.5)
+            release.set()
+            await stopping
+            return await inflight
+
+        value = asyncio.run(scenario())
+        assert value == pytest.approx(
+            float(evaluator.evaluate([0.4]).values[0])
+        )
+
+    def test_submit_after_stop_is_rejected(self, evaluator):
+        async def scenario():
+            server = await BatchServer(evaluator).start()
+            await server.submit(0.5)
+            await server.stop()
+            with pytest.raises(ConfigurationError, match="not running"):
+                await server.submit(0.5)
+
+        asyncio.run(scenario())
+
+    def test_dead_executor_fails_submissions_instead_of_hanging(
+        self, evaluator
+    ):
+        async def scenario():
+            server = await BatchServer(
+                evaluator, max_batch_delay_s=0.0
+            ).start()
+            await server.submit(0.5)  # healthy first
+            server._executor.shutdown(wait=True)
+            with pytest.raises(ConfigurationError, match="executor"):
+                await asyncio.wait_for(server.submit(0.5), timeout=5.0)
+            metrics = server.metrics()
+            await server.stop()
+            return metrics
+
+        metrics = asyncio.run(scenario())
+        assert metrics.failed == 1
+        assert metrics.served == 1
+
+
+class TestAdmission:
+    def test_rejects_unknown_policy_and_bad_queue(self, evaluator):
+        with pytest.raises(ConfigurationError, match="policy"):
+            BatchServer(evaluator, policy="drop")
+        with pytest.raises(ConfigurationError, match="max_queue"):
+            BatchServer(evaluator, max_queue=-1)
+
+    def test_shed_policy_raises_typed_overload(self, evaluator):
+        session, entered, release = gated_evaluator(evaluator)
+
+        async def scenario():
+            server = await BatchServer(
+                session,
+                max_batch_delay_s=0.0,
+                policy="shed",
+                max_queue=2,
+            ).start()
+            inflight = asyncio.create_task(server.submit(0.1))
+            await asyncio.to_thread(entered.wait, 10.0)
+            # Fill the bounded queue behind the busy engine ...
+            queued = [
+                asyncio.create_task(server.submit(x)) for x in (0.2, 0.3)
+            ]
+            await asyncio.sleep(0)
+            # ... and the next submission sheds instead of queueing.
+            with pytest.raises(OverloadedError, match="full"):
+                await server.submit(0.4)
+            release.set()
+            values = [await inflight] + [await task for task in queued]
+            metrics = server.metrics()
+            await server.stop()
+            return values, metrics
+
+        values, metrics = asyncio.run(scenario())
+        assert len(values) == 3
+        assert metrics.shed == 1
+        assert metrics.admitted == 3
+        assert metrics.submitted == 4
+
+    def test_block_policy_backpressures_instead_of_shedding(self, evaluator):
+        session, entered, release = gated_evaluator(evaluator)
+
+        async def scenario():
+            server = await BatchServer(
+                session,
+                max_batch_delay_s=0.0,
+                policy="block",
+                max_queue=1,
+            ).start()
+            inflight = asyncio.create_task(server.submit(0.1))
+            await asyncio.to_thread(entered.wait, 10.0)
+            # Two more than the queue holds: the extras must wait, not
+            # fail — and all of them are eventually served.
+            waiting = [
+                asyncio.create_task(server.submit(x))
+                for x in (0.2, 0.5, 0.8)
+            ]
+            await asyncio.sleep(0)
+            release.set()
+            values = [await inflight] + [await task for task in waiting]
+            metrics = server.metrics()
+            await server.stop()
+            return values, metrics
+
+        values, metrics = asyncio.run(scenario())
+        assert len(values) == 4
+        assert metrics.shed == 0
+        assert metrics.served == 4
+
+
 class TestStats:
     def test_empty_stats(self, evaluator):
         stats = BatchServer(evaluator).stats
         assert stats == ServingStats(requests=0, batches=0, largest_batch=0)
         assert stats.mean_batch_size == 0.0
+
+    def test_metrics_snapshot_empty(self, evaluator):
+        snapshot = BatchServer(evaluator).metrics()
+        assert snapshot.submitted == 0
+        assert snapshot.served == 0
+        assert snapshot.breaker_state == "closed"
+        assert snapshot.current_rung == 0
+        assert snapshot.served_fraction == 1.0
+        assert snapshot.rungs == ()
+        assert snapshot.stats == ServingStats(
+            requests=0, batches=0, largest_batch=0
+        )
+
+    def test_metrics_snapshot_after_traffic(self, evaluator):
+        xs = np.linspace(0.0, 1.0, 12)
+
+        async def scenario():
+            async with BatchServer(
+                evaluator, max_batch_size=8, max_batch_delay_s=0.005
+            ) as server:
+                await server.submit_many(xs)
+                return server.metrics()
+
+        snapshot = asyncio.run(scenario())
+        assert snapshot.submitted == 12
+        assert snapshot.admitted == 12
+        assert snapshot.served == 12
+        assert snapshot.served_fraction == 1.0
+        assert snapshot.batches >= 2
+        assert snapshot.batch_size.total == snapshot.batches
+        assert snapshot.queue_depth.total == 12
+        assert len(snapshot.rungs) == 1
+        assert snapshot.rungs[0].rung == 0
+        assert snapshot.rungs[0].served == 12
+        assert snapshot.rungs[0].latency_p99_s >= snapshot.rungs[0].latency_p50_s >= 0.0
+        # The legacy view stays consistent with the snapshot.
+        assert snapshot.stats.requests == 12
+        assert snapshot.stats.mean_batch_size == snapshot.mean_batch_size
